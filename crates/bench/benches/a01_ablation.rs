@@ -1,0 +1,43 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * bucketed label index vs per-call sorting in the foremost sweep;
+//! * Floyd vs partial-Fisher–Yates distinct sampling at the crossover;
+//! * parallel vs sequential all-pairs sweeps (see also e02).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_rng::sample::sample_indices;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::foremost::foremost;
+use ephemeral_temporal::reference::foremost_arrivals_by_sorting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a01_ablation");
+    group.sample_size(20);
+
+    let n = 512;
+    let mut rng = default_rng(1);
+    let tn = sample_normalized_urt_clique(n, true, &mut rng);
+    group.bench_function("foremost_bucketed_n512", |b| {
+        b.iter(|| black_box(foremost(&tn, 0, 0).reached_count()))
+    });
+    group.bench_function("foremost_sorted_n512", |b| {
+        b.iter(|| black_box(foremost_arrivals_by_sorting(&tn, 0, 0)))
+    });
+
+    // Distinct sampling: k ≪ n (Floyd branch) vs k ~ n/2 (partial shuffle).
+    group.bench_function("sample_floyd_k32_of_1e6", |b| {
+        let mut rng = default_rng(2);
+        b.iter(|| black_box(sample_indices(1_000_000, 32, &mut rng)))
+    });
+    group.bench_function("sample_partial_fy_k500k_of_1e6", |b| {
+        let mut rng = default_rng(3);
+        b.iter(|| black_box(sample_indices(1_000_000, 500_000, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E01 kernel: one expansion-process run on a materialised U-RT clique,
+//! plus the delayed-revelation oracle at large n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::expansion::{expansion_process, ExpansionParams};
+use ephemeral_core::expansion_oracle::expansion_oracle;
+use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_rng::default_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_expansion");
+    group.sample_size(10);
+
+    let n = 1024;
+    let params = ExpansionParams::practical(n);
+    let mut rng = default_rng(1);
+    let tn = sample_normalized_urt_clique(n, true, &mut rng);
+    group.bench_function("exact_n1024", |b| {
+        b.iter(|| black_box(expansion_process(&tn, 0, 1, &params)))
+    });
+
+    let big = 1_000_000u64;
+    let paper = ExpansionParams::paper(big as usize);
+    group.bench_function("oracle_n1e6", |b| {
+        let mut rng = default_rng(2);
+        b.iter(|| black_box(expansion_oracle(big, big as u32, &paper, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E02 kernel: exact instance temporal diameter (n foremost sweeps) of a
+//! normalized U-RT clique.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_parallel::available_threads;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::distance::instance_temporal_diameter;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_diameter");
+    group.sample_size(10);
+
+    for &n in &[256usize, 512] {
+        let mut rng = default_rng(n as u64);
+        let tn = sample_normalized_urt_clique(n, true, &mut rng);
+        group.bench_function(format!("all_pairs_n{n}_seq"), |b| {
+            b.iter(|| black_box(instance_temporal_diameter(&tn, 1)))
+        });
+        group.bench_function(format!("all_pairs_n{n}_par"), |b| {
+            b.iter(|| black_box(instance_temporal_diameter(&tn, available_threads())))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

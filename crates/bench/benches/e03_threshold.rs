@@ -1,0 +1,28 @@
+//! E03 kernel: G(n,p) generation + connectivity check at the threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_graph::algo::is_connected;
+use ephemeral_graph::generators::gnp;
+use ephemeral_rng::default_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_threshold");
+    group.sample_size(20);
+
+    for &n in &[1024usize, 8192] {
+        let p = (n as f64).ln() / n as f64;
+        group.bench_function(format!("gnp_connectivity_n{n}"), |b| {
+            let mut rng = default_rng(3);
+            b.iter(|| {
+                let g = gnp(n, p, false, &mut rng);
+                black_box(is_connected(&g))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

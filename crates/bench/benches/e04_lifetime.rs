@@ -1,0 +1,27 @@
+//! E04 kernel: foremost sweeps on long-lifetime U-RT cliques (the bucket
+//! index must stay O(M + a) even when a ≫ n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::sample_urt_clique_with_lifetime;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::foremost::foremost;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_lifetime");
+    group.sample_size(20);
+
+    let n = 512;
+    for &ratio in &[1u32, 16] {
+        let mut rng = default_rng(u64::from(ratio));
+        let tn = sample_urt_clique_with_lifetime(n, true, n as u32 * ratio, &mut rng);
+        group.bench_function(format!("foremost_n512_a{}x", ratio), |b| {
+            b.iter(|| black_box(foremost(&tn, 0, 0).reached_count()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E05 kernel: the flooding protocol, exact and oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::dissemination::{flood, flood_oracle_clique};
+use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_rng::default_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_dissemination");
+    group.sample_size(10);
+
+    let n = 1024;
+    let mut rng = default_rng(5);
+    let tn = sample_normalized_urt_clique(n, true, &mut rng);
+    group.bench_function("flood_exact_n1024", |b| {
+        b.iter(|| black_box(flood(&tn, 0)))
+    });
+
+    group.bench_function("flood_oracle_n1e6", |b| {
+        let mut rng = default_rng(6);
+        b.iter(|| black_box(flood_oracle_clique(1_000_000, 1_000_000, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E06 kernel: star T_reach Monte Carlo (the O(n·r) fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::star::star_treach_probability;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_star");
+    group.sample_size(10);
+
+    for &n in &[1024usize, 8192] {
+        group.bench_function(format!("treach_mc_n{n}_r16_t200"), |b| {
+            b.iter(|| black_box(star_treach_probability(n, 16, 200, 6, 1)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

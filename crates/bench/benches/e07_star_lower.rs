@@ -1,0 +1,23 @@
+//! E07 kernel: star T_reach at sublogarithmic budgets and large n (the
+//! lower-bound regime stresses the sampler, not the checker).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::star::star_treach_probability;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_star_lower");
+    group.sample_size(10);
+
+    let n = 65_536;
+    for &r in &[2usize, 4] {
+        group.bench_function(format!("treach_mc_n64k_r{r}_t100"), |b| {
+            b.iter(|| black_box(star_treach_probability(n, r, 100, 7, 1)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

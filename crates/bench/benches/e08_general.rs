@@ -1,0 +1,30 @@
+//! E08 kernel: the generic T_reach check (n foremost sweeps vs static BFS)
+//! on a multi-labelled grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::sample_multi_urtn;
+use ephemeral_graph::generators;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::reachability::treach_holds;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_general");
+    group.sample_size(10);
+
+    let g = generators::grid(16, 16);
+    let n = g.num_nodes() as u32;
+    let mut rng = default_rng(8);
+    let tn = sample_multi_urtn(g, n, 32, &mut rng);
+    group.bench_function("treach_grid16x16_r32_seq", |b| {
+        b.iter(|| black_box(treach_holds(&tn, 1)))
+    });
+    group.bench_function("treach_grid16x16_r32_par", |b| {
+        b.iter(|| black_box(treach_holds(&tn, ephemeral_parallel::available_threads())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

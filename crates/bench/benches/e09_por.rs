@@ -1,0 +1,33 @@
+//! E09 kernel: deterministic OPT schemes (construction + certification).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::opt::{best_scheme, box_scheme, spanning_tree_scheme};
+use ephemeral_graph::generators;
+use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::TemporalNetwork;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_por");
+    group.sample_size(10);
+
+    let g = generators::grid(12, 12);
+    group.bench_function("box_scheme_grid12x12", |b| {
+        b.iter(|| black_box(box_scheme(&g)))
+    });
+    group.bench_function("spanning_tree_scheme_grid12x12", |b| {
+        b.iter(|| black_box(spanning_tree_scheme(&g, 0)))
+    });
+    group.bench_function("best_scheme_plus_certify_grid12x12", |b| {
+        b.iter(|| {
+            let s = best_scheme(&g).unwrap();
+            let tn = TemporalNetwork::new(g.clone(), s.assignment, s.lifetime).unwrap();
+            black_box(treach_holds(&tn, 1))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E10 kernel: the phone-call baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_phonecall::{push_broadcast, push_broadcast_with_memory, push_pull_broadcast};
+use ephemeral_rng::default_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_phonecall");
+    group.sample_size(20);
+
+    let n = 16_384;
+    group.bench_function("push_n16k", |b| {
+        let mut rng = default_rng(1);
+        b.iter(|| black_box(push_broadcast(n, 0, 100_000, &mut rng)))
+    });
+    group.bench_function("push_memory_n16k", |b| {
+        let mut rng = default_rng(2);
+        b.iter(|| black_box(push_broadcast_with_memory(n, 0, 100_000, &mut rng)))
+    });
+    group.bench_function("push_pull_n16k", |b| {
+        let mut rng = default_rng(3);
+        b.iter(|| black_box(push_pull_broadcast(n, 0, 100_000, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

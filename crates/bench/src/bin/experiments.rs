@@ -1,0 +1,42 @@
+//! Regenerate the paper's experiment tables.
+//!
+//! ```text
+//! cargo run --release -p ephemeral-bench --bin experiments            # all, full fidelity
+//! cargo run --release -p ephemeral-bench --bin experiments -- --quick # smoke pass
+//! cargo run --release -p ephemeral-bench --bin experiments -- e02 e06 # selected ids
+//! ```
+//!
+//! Output is the markdown that EXPERIMENTS.md embeds.
+
+use ephemeral_bench::{all_experiments, ExpConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+
+    eprintln!(
+        "# experiments: mode={}, seed={}, threads={}",
+        if quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+
+    let total = Instant::now();
+    for exp in all_experiments() {
+        if !ids.is_empty() && !ids.iter().any(|id| id.as_str() == exp.id) {
+            continue;
+        }
+        eprintln!("## running {} …", exp.id);
+        let started = Instant::now();
+        let tables = (exp.run)(&cfg);
+        println!("## {}\n", exp.title);
+        for t in &tables {
+            print!("{}", t.render());
+        }
+        eprintln!("## {} done in {:.1}s", exp.id, started.elapsed().as_secs_f64());
+    }
+    eprintln!("# all done in {:.1}s", total.elapsed().as_secs_f64());
+}

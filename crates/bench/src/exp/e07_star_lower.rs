@@ -1,0 +1,55 @@
+//! E07 — the star's lower bound (Theorem 6(b)).
+//!
+//! With `k = log n / β(n)` labels per edge, `β(n) → ∞`, some leaf pair has
+//! no journey w.h.p. Shape to reproduce: for fixed `β`-family, the success
+//! probability *decreases* with `n` — a sublogarithmic budget cannot keep
+//! up — while `r = Θ(log n)` (E06) keeps it near 1.
+
+use crate::table::{f, Table};
+use crate::ExpConfig;
+use ephemeral_core::star::star_treach_probability;
+
+/// Run E07.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "E07 · star with sublogarithmic budgets r = log2(n)/β(n): P[T_reach] must fall with n",
+        &[
+            "n",
+            "log2 n",
+            "r (β=√log n)",
+            "P",
+            "r (β=log log n)",
+            "P",
+            "r = log2 n (control)",
+            "P",
+        ],
+    );
+    let exps: &[u32] = if cfg.quick { &[8, 10] } else { &[8, 10, 12, 14, 16] };
+    let trials = cfg.scale(400, 60);
+    for &e in exps {
+        let n = 1usize << e;
+        let log2n = f64::from(e);
+        let r_sqrt = ((log2n / log2n.sqrt()).floor() as usize).max(1);
+        let r_loglog = ((log2n / log2n.ln().max(1.0)).floor() as usize).max(1);
+        let r_full = e as usize;
+        let p_sqrt =
+            star_treach_probability(n, r_sqrt, trials, cfg.seed ^ 0xE07, cfg.threads);
+        let p_loglog =
+            star_treach_probability(n, r_loglog, trials, cfg.seed ^ 0xE07 ^ 1, cfg.threads);
+        let p_full =
+            star_treach_probability(n, r_full, trials, cfg.seed ^ 0xE07 ^ 2, cfg.threads);
+        t.row(vec![
+            n.to_string(),
+            f(log2n, 0),
+            r_sqrt.to_string(),
+            f(p_sqrt.estimate, 3),
+            r_loglog.to_string(),
+            f(p_loglog.estimate, 3),
+            r_full.to_string(),
+            f(p_full.estimate, 3),
+        ]);
+    }
+    t.note("Theorem 6(b): any r = log n/β(n) with β → ∞ fails w.h.p.; the two sublogarithmic columns decay with n while the Θ(log n) control column holds steady or rises.");
+    vec![t]
+}

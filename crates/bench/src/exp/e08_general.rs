@@ -1,0 +1,103 @@
+//! E08 — general graphs: measured minimal `r*` vs Theorem 7's sufficient
+//! budget `2·d(G)·ln n` (Fig. 3's box structure).
+//!
+//! Shape to reproduce: `r*` never exceeds the budget; `r*` grows with the
+//! diameter across families; for the path family `r*` tracks `d·log n`
+//! growth.
+
+use crate::table::{f, Table};
+use crate::ExpConfig;
+use ephemeral_core::por::theorem7_r;
+use ephemeral_core::reachability_whp::{minimal_r, whp_target};
+use ephemeral_graph::algo::diameter;
+use ephemeral_graph::{generators, Graph};
+use ephemeral_rng::SeedSequence;
+
+fn families(n_side: usize, quick: bool, seed: u64) -> Vec<(String, Graph)> {
+    let n = n_side * n_side; // 64 by default
+    let seq = SeedSequence::new(seed);
+    let mut rng = seq.rng(0);
+    let mut out = vec![
+        ("star".to_owned(), generators::star(n)),
+        ("cycle".to_owned(), generators::cycle(n)),
+        (format!("grid {n_side}x{n_side}"), generators::grid(n_side, n_side)),
+        ("binary tree".to_owned(), generators::binary_tree(n - 1)),
+        ("hypercube".to_owned(), generators::hypercube((n as f64).log2() as u32)),
+    ];
+    if !quick {
+        out.push(("path".to_owned(), generators::path(n)));
+        // A connected G(n,p) sample just above the threshold.
+        let p = 2.5 * (n as f64).ln() / n as f64;
+        loop {
+            let g = generators::gnp(n, p, false, &mut rng);
+            if ephemeral_graph::algo::is_connected(&g) {
+                out.push((format!("G(n, 2.5 ln n/n)"), g));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Run E08.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "E08a · minimal r* for T_reach w.h.p. vs Theorem 7 budget 2·d·ln n (n = 64)",
+        &["family", "n", "m", "d(G)", "r*", "P at r*", "2·d·ln n", "r*/budget"],
+    );
+    let trials = cfg.scale(80, 15);
+    for (name, g) in families(8, cfg.quick, cfg.seed ^ 0xE08) {
+        let n = g.num_nodes();
+        let d = diameter(&g).expect("families are connected");
+        let res = minimal_r(
+            &g,
+            n as u32,
+            whp_target(n),
+            trials,
+            cfg.seed ^ 0xE08 ^ (d as u64) << 17,
+            cfg.threads,
+        );
+        let budget = theorem7_r(n, d);
+        t.row(vec![
+            name,
+            n.to_string(),
+            g.num_edges().to_string(),
+            d.to_string(),
+            res.r.to_string(),
+            f(res.probability.estimate, 3),
+            f(budget, 1),
+            f(res.r as f64 / budget, 3),
+        ]);
+    }
+    t.note("Theorem 7: r > 2·d·ln n always suffices — the ratio column must stay < 1 (typically ≪ 1: the theorem's union bound is loose).");
+
+    let mut scaling = Table::new(
+        "E08b · path P_n: r* growth against the d·log n budget",
+        &["n", "d", "r*", "2·d·ln n", "r*/budget"],
+    );
+    let sizes: &[usize] = if cfg.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    for &n in sizes {
+        let g = generators::path(n);
+        let d = diameter(&g).unwrap();
+        let res = minimal_r(
+            &g,
+            n as u32,
+            whp_target(n),
+            cfg.scale(60, 15),
+            cfg.seed ^ 0xE08B ^ (n as u64) << 8,
+            cfg.threads,
+        );
+        let budget = theorem7_r(n, d);
+        scaling.row(vec![
+            n.to_string(),
+            d.to_string(),
+            res.r.to_string(),
+            f(budget, 1),
+            f(res.r as f64 / budget, 3),
+        ]);
+    }
+    scaling.note("the path's diameter is n−1, so the budget is Θ(n·log n) labels per edge — and indeed r* grows superlogarithmically here, unlike on small-diameter families.");
+
+    vec![t, scaling]
+}

@@ -1,0 +1,76 @@
+//! E09 — the Price of Randomness (Definition 8, Theorems 6 & 8).
+//!
+//! Shape to reproduce: the star's PoR = r*/2 grows like `log n`
+//! (Theorem 6); every family's measured bracket sits under Theorem 8's
+//! `(2·d·ln n)·m/(n−1)` ceiling.
+
+use crate::table::{f, Table};
+use crate::ExpConfig;
+use ephemeral_core::por::por_report;
+use ephemeral_core::star::minimal_r_star;
+use ephemeral_graph::generators;
+
+/// Run E09.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "E09a · Price of Randomness bracket per family (PoR = m·r*/OPT)",
+        &[
+            "family", "n", "m", "d", "r*", "OPT upper (scheme)", "PoR in [lo, hi]",
+            "Thm 8 bound",
+        ],
+    );
+    let trials = cfg.scale(60, 12);
+    let fams: Vec<(&str, ephemeral_graph::Graph)> = vec![
+        ("star", generators::star(64)),
+        ("wheel", generators::wheel(64)),
+        ("cycle", generators::cycle(64)),
+        ("grid 8x8", generators::grid(8, 8)),
+        ("binary tree", generators::binary_tree(63)),
+        ("hypercube Q6", generators::hypercube(6)),
+        ("clique", generators::clique(32, false)),
+    ];
+    for (name, g) in fams {
+        let Some(rep) = por_report(&g, name, trials, cfg.seed ^ 0xE09, cfg.threads) else {
+            continue;
+        };
+        t.row(vec![
+            rep.name.clone(),
+            rep.n.to_string(),
+            rep.m.to_string(),
+            rep.diameter.to_string(),
+            rep.r.to_string(),
+            format!("{} ({})", rep.opt_upper, rep.opt_scheme),
+            format!("[{:.1}, {:.1}]", rep.por_lower, rep.por_upper),
+            f(rep.theorem8, 1),
+        ]);
+    }
+    t.note("OPT is NP-hard in general; the bracket divides m·r* by the best certified scheme (lo) and by the universal n−1 lower bound (hi). For the star OPT = 2m is exact, so lo is the true PoR.");
+
+    let mut star = Table::new(
+        "E09b · the star's PoR = r*/2 is Θ(log n) (Theorem 6)",
+        &["n", "r*", "PoR = r*/2", "log2 n", "PoR/log2 n"],
+    );
+    let exps: &[u32] = if cfg.quick { &[6, 8] } else { &[6, 8, 10, 12] };
+    for &e in exps {
+        let n = 1usize << e;
+        let r = minimal_r_star(
+            n,
+            1.0 - 1.0 / n as f64,
+            cfg.scale(400, 60),
+            cfg.seed ^ 0xE09B,
+            cfg.threads,
+        );
+        let por = r as f64 / 2.0;
+        star.row(vec![
+            n.to_string(),
+            r.to_string(),
+            f(por, 1),
+            f(f64::from(e), 0),
+            f(por / f64::from(e), 3),
+        ]);
+    }
+    star.note("PoR(star) = m·r*/(2m) = r*/2; the flat last column is Theorem 6's Θ(log n).");
+
+    vec![t, star]
+}

@@ -1,0 +1,14 @@
+//! One module per experiment (see the crate docs for the id ↔ claim map).
+
+pub mod e01_expansion;
+pub mod e02_diameter;
+pub mod e03_threshold;
+pub mod e04_lifetime;
+pub mod e05_dissemination;
+pub mod e06_star;
+pub mod e07_star_lower;
+pub mod e08_general;
+pub mod e09_por;
+pub mod e10_phonecall;
+pub mod x01_design;
+pub mod x02_fcase;

@@ -1,0 +1,199 @@
+//! Monte Carlo estimation of the Temporal Diameter (Definition 5,
+//! Theorems 3–4).
+//!
+//! `TD(G) = E[max_{s,t} δ(s,t)]` over the random labelling. Per trial we
+//! draw a fresh UNI-CASE assignment over a shared graph CSR, compute the
+//! instance diameter exactly (`n` foremost sweeps, parallel over sources),
+//! and summarise across trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p.
+//! for the directed normalized U-RT clique; experiment E02 fits `γ`.
+
+use crate::models::{LabelModel, UniformSingle};
+use ephemeral_graph::{generators, Graph};
+use ephemeral_parallel::stats::Summary;
+use ephemeral_parallel::{available_threads, par_for};
+use ephemeral_rng::SeedSequence;
+use ephemeral_temporal::distance::instance_temporal_diameter;
+use ephemeral_temporal::{TemporalNetwork, Time};
+
+/// Monte Carlo estimate of the temporal diameter of a random temporal
+/// network family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalDiameterEstimate {
+    /// Summary of the finite instance diameters.
+    pub finite: Summary,
+    /// Trials whose instance diameter was infinite (some pair unreachable).
+    pub infinite_instances: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// `mean / ln n` — the empirical `γ` against the natural log.
+    pub gamma_ln: f64,
+    /// `mean / log₂ n` — the empirical `γ` against the binary log.
+    pub gamma_log2: f64,
+}
+
+/// Estimate `TD` of the UNI-CASE model over a fixed graph. The graph CSR is
+/// shared across trials; each trial draws fresh labels, then the instance
+/// diameter runs its per-source sweeps in parallel.
+///
+/// # Panics
+/// If `trials == 0`, the graph is empty, or `lifetime == 0`.
+#[must_use]
+pub fn td_montecarlo(
+    graph: &Graph,
+    lifetime: Time,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> TemporalDiameterEstimate {
+    assert!(trials > 0, "need at least one trial");
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    let model = UniformSingle { lifetime };
+    let seq = SeedSequence::new(seed);
+
+    // Memory strategy: for large graphs a clique instance is ~100 MB, so
+    // trials run sequentially with per-source parallelism inside; for small
+    // graphs the sweep is too short to parallelise and we fan out across
+    // trials instead.
+    let big = graph.num_edges() >= 1 << 20;
+    let results: Vec<(Time, bool)> = if big {
+        (0..trials)
+            .map(|i| run_one_trial(graph, &model, lifetime, &seq, i, threads))
+            .collect()
+    } else {
+        par_for(trials, threads, |i| {
+            run_one_trial(graph, &model, lifetime, &seq, i, 1)
+        })
+    };
+
+    summarise(results, n)
+}
+
+fn run_one_trial(
+    graph: &Graph,
+    model: &UniformSingle,
+    lifetime: Time,
+    seq: &SeedSequence,
+    trial: usize,
+    inner_threads: usize,
+) -> (Time, bool) {
+    let mut rng = seq.rng(trial as u64);
+    let assignment = model.assign(graph.num_edges(), &mut rng);
+    let tn = TemporalNetwork::new(graph.clone(), assignment, lifetime)
+        .expect("model labels fit the lifetime");
+    let d = instance_temporal_diameter(&tn, inner_threads);
+    match d.value() {
+        Some(v) => (v, true),
+        None => (d.max_finite, false),
+    }
+}
+
+fn summarise(results: Vec<(Time, bool)>, n: usize) -> TemporalDiameterEstimate {
+    let trials = results.len();
+    let finite_samples: Vec<f64> = results
+        .iter()
+        .filter(|&&(_, finite)| finite)
+        .map(|&(v, _)| f64::from(v))
+        .collect();
+    let infinite_instances = trials - finite_samples.len();
+    let finite = Summary::from_samples(&finite_samples);
+    let ln_n = (n.max(2) as f64).ln();
+    let log2_n = (n.max(2) as f64).log2();
+    TemporalDiameterEstimate {
+        gamma_ln: finite.mean / ln_n,
+        gamma_log2: finite.mean / log2_n,
+        finite,
+        infinite_instances,
+        trials,
+    }
+}
+
+/// Estimate `TD` of the directed (or undirected) normalized U-RT clique —
+/// the headline quantity of §3.
+#[must_use]
+pub fn clique_td_montecarlo(
+    n: usize,
+    directed: bool,
+    trials: usize,
+    seed: u64,
+) -> TemporalDiameterEstimate {
+    let graph = generators::clique(n, directed);
+    td_montecarlo(&graph, n as Time, trials, seed, available_threads())
+}
+
+/// Estimate `TD` of a U-RT clique with an arbitrary lifetime (Theorem 5's
+/// regime when `lifetime ≫ n`).
+#[must_use]
+pub fn clique_td_with_lifetime(
+    n: usize,
+    directed: bool,
+    lifetime: Time,
+    trials: usize,
+    seed: u64,
+) -> TemporalDiameterEstimate {
+    let graph = generators::clique(n, directed);
+    td_montecarlo(&graph, lifetime, trials, seed, available_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urt_clique_diameter_is_logarithmic() {
+        let est = clique_td_montecarlo(128, true, 20, 1);
+        assert_eq!(est.trials, 20);
+        assert_eq!(est.infinite_instances, 0, "clique instances are connected");
+        // Θ(log n): between log2(n)/2 and 8·ln n at this size.
+        let ln_n = 128f64.ln();
+        assert!(est.finite.mean > 0.5 * 128f64.log2(), "mean {}", est.finite.mean);
+        assert!(est.finite.mean < 8.0 * ln_n, "mean {}", est.finite.mean);
+        assert!(est.gamma_ln > 0.0 && est.gamma_log2 > 0.0);
+    }
+
+    #[test]
+    fn undirected_clique_behaves_like_directed() {
+        // Remark 1: the undirected case is not significantly different.
+        let dir = clique_td_montecarlo(64, true, 15, 2);
+        let und = clique_td_montecarlo(64, false, 15, 2);
+        assert_eq!(und.infinite_instances, 0);
+        // Undirected labels serve both directions: diameter within 2x.
+        assert!(und.finite.mean <= dir.finite.mean * 1.5 + 2.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let a = clique_td_montecarlo(32, true, 10, 3);
+        let b = clique_td_montecarlo(32, true, 10, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_graphs_report_infinite_instances() {
+        // A path with a single uniform label per edge is almost never
+        // temporally connected.
+        let graph = generators::path(16);
+        let est = td_montecarlo(&graph, 16, 10, 4, 2);
+        assert!(est.infinite_instances > 5, "{}", est.infinite_instances);
+    }
+
+    #[test]
+    fn diameter_grows_with_lifetime() {
+        // Theorem 5 mechanics: larger lifetime stretches the diameter.
+        let short = clique_td_with_lifetime(64, true, 64, 10, 5);
+        let long = clique_td_with_lifetime(64, true, 64 * 8, 10, 5);
+        assert!(
+            long.finite.mean > short.finite.mean * 2.0,
+            "short {} long {}",
+            short.finite.mean,
+            long.finite.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let graph = generators::path(4);
+        let _ = td_montecarlo(&graph, 4, 0, 0, 1);
+    }
+}

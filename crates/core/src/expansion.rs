@@ -1,0 +1,460 @@
+//! Algorithm 1 of the paper: the **Expansion Process** on the directed
+//! normalized uniform random temporal clique.
+//!
+//! The process grows a forward frontier out of the source `s` through
+//! disjoint, increasing label windows
+//! `∆₁ = (0, c₁·ln n]`, `∆ᵢ = (c₁·ln n + (i−2)c₂, c₁·ln n + (i−1)c₂]`,
+//! and a backward frontier out of the target `t` through the mirrored
+//! windows `∆'ᵢ`, then looks for a single *matching* arc labelled inside
+//! `∆* = (c₁·ln n + d·c₂, 2c₁·ln n + d·c₂]` connecting the two `Θ(√n)`
+//! frontiers. Theorems 1–3 show each stage succeeds with probability
+//! `1 − O(n⁻³)`, certifying a journey with arrival `≤ 3c₁·ln n + 2d·c₂ =
+//! Θ(log n)`.
+//!
+//! This module is the exact, materialised-instance implementation; see
+//! [`crate::expansion_oracle`] for the lazily revealed variant that scales
+//! to millions of vertices.
+
+use ephemeral_graph::NodeId;
+use ephemeral_temporal::{Journey, TemporalNetwork, Time, TimeEdge};
+
+/// The constants of Algorithm 1 (`c₁`, `c₂`, and the expansion depth `d`).
+///
+/// The paper's proof picks `c₁ ≥ 33` and `c₁·c₂ ≥ 1024` so the Chernoff
+/// bounds hold with exponent 4; those constants only fit inside the
+/// lifetime for very large `n`. [`ExpansionParams::practical`] picks small
+/// constants that exhibit the same `Θ(log n)` behaviour at laptop scales —
+/// the theorem is an existence statement about constants, so sweeping both
+/// is exactly the experiment E01 runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionParams {
+    /// Chernoff constant of the wide windows (`∆₁`, `∆*`, `∆'₁`), of length
+    /// `c₁·ln n` each.
+    pub c1: f64,
+    /// Width of the narrow geometric-growth windows `∆₂, …, ∆_{d+1}`.
+    pub c2: f64,
+    /// Number of narrow windows per side.
+    pub d: usize,
+}
+
+impl ExpansionParams {
+    /// The constants used in the paper's proof (`c₁ = 33`,
+    /// `c₁·c₂ = 1024`), with the depth chosen by the proof's formula. Only
+    /// fits inside the lifetime for large `n` — check [`Self::fits`].
+    #[must_use]
+    pub fn paper(n: usize) -> Self {
+        let c1 = 33.0;
+        let c2 = 1024.0 / 33.0;
+        let d = Self::depth_for(n, c1, c2 / 8.0);
+        Self { c1, c2, d }
+    }
+
+    /// Small practical constants (`c₁ = 2`, `c₂ = 4`) with the depth chosen
+    /// for the *expected* growth factor and clamped so the windows fit
+    /// inside the normalized lifetime `a = n`.
+    #[must_use]
+    pub fn practical(n: usize) -> Self {
+        let c1 = 2.0;
+        let c2 = 4.0;
+        let mut d = Self::depth_for(n, c1, c2 / 2.0);
+        let mut p = Self { c1, c2, d };
+        while d > 0 && !p.fits(n, n as Time) {
+            d -= 1;
+            p = Self { c1, c2, d };
+        }
+        p
+    }
+
+    /// Smallest `d` with `c₁·ln n · growth^d ≥ √n` (0 when `Γ₁` alone is
+    /// expected to reach `√n`).
+    fn depth_for(n: usize, c1: f64, growth: f64) -> usize {
+        if n < 2 {
+            return 0;
+        }
+        let nf = n as f64;
+        let start = c1 * nf.ln();
+        let target = nf.sqrt();
+        if start >= target || growth <= 1.0 {
+            return 0;
+        }
+        ((target / start).ln() / growth.ln()).ceil().max(0.0) as usize
+    }
+
+    /// The concrete (integer) label windows for a given `n`.
+    #[must_use]
+    pub fn intervals(&self, n: usize) -> Intervals {
+        let l1 = (self.c1 * (n.max(2) as f64).ln()).ceil().max(1.0) as Time;
+        let c = self.c2.ceil().max(1.0) as Time;
+        Intervals { l1, c, d: self.d }
+    }
+
+    /// Does the full window layout end by `lifetime`?
+    #[must_use]
+    pub fn fits(&self, n: usize, lifetime: Time) -> bool {
+        self.intervals(n).total_end() <= lifetime
+    }
+}
+
+/// Concrete window boundaries. Every window is a half-open label interval
+/// `(lo, hi]`, matching the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Intervals {
+    /// Length of the wide windows `∆₁`, `∆*`, `∆'₁` (`⌈c₁·ln n⌉`).
+    pub l1: Time,
+    /// Length of the narrow windows (`⌈c₂⌉`).
+    pub c: Time,
+    /// Number of narrow windows per side.
+    pub d: usize,
+}
+
+impl Intervals {
+    /// Forward window `∆ᵢ`, `i ∈ {1, …, d+1}`, as `(lo, hi]`.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    #[must_use]
+    pub fn forward(&self, i: usize) -> (Time, Time) {
+        assert!((1..=self.d + 1).contains(&i), "forward window index {i}");
+        if i == 1 {
+            (0, self.l1)
+        } else {
+            let lo = self.l1 + (i as Time - 2) * self.c;
+            (lo, lo + self.c)
+        }
+    }
+
+    /// The matching window `∆*` as `(lo, hi]`.
+    #[must_use]
+    pub fn matching(&self) -> (Time, Time) {
+        let lo = self.l1 + self.d as Time * self.c;
+        (lo, lo + self.l1)
+    }
+
+    /// Backward window `∆'ᵢ`, `i ∈ {1, …, d+1}`, as `(lo, hi]`. Note the
+    /// reversal: `∆'_{d+1}` is the earliest backward window and `∆'₁` the
+    /// latest (adjacent to the deadline).
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    #[must_use]
+    pub fn backward(&self, i: usize) -> (Time, Time) {
+        assert!((1..=self.d + 1).contains(&i), "backward window index {i}");
+        let base = 2 * self.l1 + self.d as Time * self.c;
+        if i == 1 {
+            let lo = base + self.d as Time * self.c;
+            (lo, lo + self.l1)
+        } else {
+            // ∆'ᵢ = (2c₁ln n + (2d−i+1)c₂, 2c₁ln n + (2d−i+2)c₂]
+            let lo = base + (self.d as Time + 1 - i as Time) * self.c;
+            (lo, lo + self.c)
+        }
+    }
+
+    /// The end of the last window, `3c₁·ln n + 2d·c₂` — the guaranteed
+    /// arrival bound on success.
+    #[must_use]
+    pub fn total_end(&self) -> Time {
+        3 * self.l1 + 2 * self.d as Time * self.c
+    }
+}
+
+/// Result of one run of the expansion process.
+#[derive(Debug, Clone)]
+pub struct ExpansionOutcome {
+    /// Did the matching step find a connecting arc?
+    pub success: bool,
+    /// On success, the certified journey `s → … → t`.
+    pub journey: Option<Journey>,
+    /// `|Γᵢ(s)|` for `i = 1, …, d+1`.
+    pub forward_levels: Vec<usize>,
+    /// `|Γ'ᵢ(t)|` for `i = 1, …, d+1`.
+    pub backward_levels: Vec<usize>,
+    /// The arrival bound `3c₁·ln n + 2d·c₂` the journey respects.
+    pub arrival_bound: Time,
+}
+
+const UNSET: u32 = u32::MAX;
+
+/// Does edge `e` of `tn` carry a label in `(lo, hi]`? Returns it if so.
+#[inline]
+fn label_in(tn: &TemporalNetwork, e: u32, lo: Time, hi: Time) -> Option<Time> {
+    let labels = tn.labels(e);
+    let idx = labels.partition_point(|&l| l <= lo);
+    labels.get(idx).copied().filter(|&l| l <= hi)
+}
+
+/// Run Algorithm 1 from `s` towards `t` on a (typically clique) temporal
+/// network. Works on any graph, directed or undirected; the probabilistic
+/// guarantees of Theorems 1–3 apply to the directed normalized U-RT clique.
+///
+/// # Panics
+/// If `s == t`, either endpoint is out of range, or the window layout does
+/// not fit in the network's lifetime (check [`ExpansionParams::fits`]).
+#[must_use]
+pub fn expansion_process(
+    tn: &TemporalNetwork,
+    s: NodeId,
+    t: NodeId,
+    params: &ExpansionParams,
+) -> ExpansionOutcome {
+    let n = tn.num_nodes();
+    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    assert_ne!(s, t, "expansion process requires distinct endpoints");
+    let iv = params.intervals(n);
+    assert!(
+        iv.total_end() <= tn.lifetime(),
+        "windows end at {} beyond lifetime {}",
+        iv.total_end(),
+        tn.lifetime()
+    );
+    let g = tn.graph();
+
+    // ---- Forward expansion out of s --------------------------------------
+    let mut fwd_parent = vec![UNSET; n]; // predecessor towards s
+    let mut fwd_label = vec![0 as Time; n]; // label used to enter the vertex
+    let mut fwd_level = vec![UNSET; n]; // which Γ_i the vertex joined
+    let mut frontier: Vec<NodeId> = vec![s];
+    fwd_parent[s as usize] = s; // marks visited
+    let mut forward_levels = Vec::with_capacity(iv.d + 1);
+    for i in 1..=iv.d + 1 {
+        let (lo, hi) = iv.forward(i);
+        let mut next = Vec::new();
+        for &w in &frontier {
+            let (nbrs, eids) = g.out_adjacency(w);
+            for (&v, &e) in nbrs.iter().zip(eids) {
+                if fwd_parent[v as usize] != UNSET {
+                    continue;
+                }
+                if let Some(l) = label_in(tn, e, lo, hi) {
+                    fwd_parent[v as usize] = w;
+                    fwd_label[v as usize] = l;
+                    fwd_level[v as usize] = i as u32;
+                    next.push(v);
+                }
+            }
+        }
+        forward_levels.push(next.len());
+        frontier = next;
+        if frontier.is_empty() {
+            // Remaining levels are empty too; record and stop expanding.
+            while forward_levels.len() < iv.d + 1 {
+                forward_levels.push(0);
+            }
+            break;
+        }
+    }
+    let forward_frontier = frontier;
+
+    // ---- Backward expansion out of t -------------------------------------
+    let mut bwd_child = vec![UNSET; n]; // successor towards t
+    let mut bwd_label = vec![0 as Time; n];
+    let mut frontier: Vec<NodeId> = vec![t];
+    bwd_child[t as usize] = t;
+    let mut backward_levels = Vec::with_capacity(iv.d + 1);
+    for i in 1..=iv.d + 1 {
+        let (lo, hi) = iv.backward(i);
+        let mut next = Vec::new();
+        for &w in &frontier {
+            let (nbrs, eids) = g.in_adjacency(w);
+            for (&v, &e) in nbrs.iter().zip(eids) {
+                if bwd_child[v as usize] != UNSET {
+                    continue;
+                }
+                if let Some(l) = label_in(tn, e, lo, hi) {
+                    bwd_child[v as usize] = w;
+                    bwd_label[v as usize] = l;
+                    next.push(v);
+                }
+            }
+        }
+        backward_levels.push(next.len());
+        frontier = next;
+        if frontier.is_empty() {
+            while backward_levels.len() < iv.d + 1 {
+                backward_levels.push(0);
+            }
+            break;
+        }
+    }
+    let backward_frontier = frontier;
+
+    // ---- Matching through ∆* ---------------------------------------------
+    let (mlo, mhi) = iv.matching();
+    let mut in_backward = vec![false; n];
+    for &v in &backward_frontier {
+        in_backward[v as usize] = true;
+    }
+    let mut matched: Option<(NodeId, NodeId, Time)> = None;
+    'outer: for &u in &forward_frontier {
+        let (nbrs, eids) = g.out_adjacency(u);
+        for (&v, &e) in nbrs.iter().zip(eids) {
+            if !in_backward[v as usize] {
+                continue;
+            }
+            if let Some(l) = label_in(tn, e, mlo, mhi) {
+                matched = Some((u, v, l));
+                break 'outer;
+            }
+        }
+    }
+
+    let journey = matched.map(|(u, v, l)| {
+        let mut steps = Vec::new();
+        // s → u through the forward parents.
+        let mut cur = u;
+        while cur != s {
+            let p = fwd_parent[cur as usize];
+            steps.push(TimeEdge {
+                from: p,
+                to: cur,
+                time: fwd_label[cur as usize],
+            });
+            cur = p;
+        }
+        steps.reverse();
+        // The matching arc.
+        steps.push(TimeEdge { from: u, to: v, time: l });
+        // v → t through the backward children.
+        let mut cur = v;
+        while cur != t {
+            let c = bwd_child[cur as usize];
+            steps.push(TimeEdge {
+                from: cur,
+                to: c,
+                time: bwd_label[cur as usize],
+            });
+            cur = c;
+        }
+        Journey::new(steps).expect("window ordering guarantees a valid journey")
+    });
+
+    ExpansionOutcome {
+        success: journey.is_some(),
+        journey,
+        forward_levels,
+        backward_levels,
+        arrival_bound: iv.total_end(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::urtn::sample_normalized_urt_clique;
+    use ephemeral_rng::default_rng;
+
+    #[test]
+    fn windows_are_disjoint_increasing_and_tile() {
+        let p = ExpansionParams { c1: 2.0, c2: 4.0, d: 3 };
+        let iv = p.intervals(1000);
+        let mut windows = Vec::new();
+        for i in 1..=iv.d + 1 {
+            windows.push(iv.forward(i));
+        }
+        windows.push(iv.matching());
+        for i in (1..=iv.d + 1).rev() {
+            windows.push(iv.backward(i));
+        }
+        // Consecutive windows abut exactly: (a,b],(b,c],…
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "windows {pair:?} must abut");
+        }
+        assert_eq!(windows[0].0, 0);
+        assert_eq!(windows.last().unwrap().1, iv.total_end());
+    }
+
+    #[test]
+    fn paper_constants_match_the_proof() {
+        let p = ExpansionParams::paper(1_000_000);
+        assert!(p.c1 >= 33.0);
+        assert!(p.c1 * p.c2 >= 1024.0 - 1e-9);
+    }
+
+    #[test]
+    fn practical_params_fit_normalized_lifetime() {
+        for n in [64usize, 128, 256, 1024, 4096, 1 << 16] {
+            let p = ExpansionParams::practical(n);
+            assert!(p.fits(n, n as Time), "n={n}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn expansion_succeeds_often_on_the_urt_clique() {
+        let n = 256;
+        let params = ExpansionParams::practical(n);
+        let mut successes = 0;
+        for seed in 0..10 {
+            let mut rng = default_rng(seed);
+            let tn = sample_normalized_urt_clique(n, true, &mut rng);
+            let out = expansion_process(&tn, 0, 1, &params);
+            if out.success {
+                successes += 1;
+                let j = out.journey.as_ref().unwrap();
+                assert_eq!(j.source(), 0);
+                assert_eq!(j.target(), 1);
+                assert!(j.arrival() <= out.arrival_bound);
+                assert!(j.is_realizable_in(&tn), "journey must use real labels");
+            }
+        }
+        assert!(successes >= 7, "only {successes}/10 runs succeeded");
+    }
+
+    #[test]
+    fn levels_grow_geometrically_until_saturation() {
+        let n = 1024;
+        let params = ExpansionParams::practical(n);
+        let mut rng = default_rng(42);
+        let tn = sample_normalized_urt_clique(n, true, &mut rng);
+        let out = expansion_process(&tn, 0, 1, &params);
+        // Γ1 should be around c1·ln n = 2·6.93 ≈ 14; allow slack.
+        assert!(out.forward_levels[0] >= 4, "{:?}", out.forward_levels);
+        // Levels are recorded for every i.
+        assert_eq!(out.forward_levels.len(), params.d + 1);
+        assert_eq!(out.backward_levels.len(), params.d + 1);
+    }
+
+    #[test]
+    fn failure_is_reported_not_panicked() {
+        // A clique whose labels all sit beyond the windows: expansion must
+        // fail gracefully. Labels all equal to lifetime make Γ1 empty for a
+        // long lifetime.
+        use ephemeral_graph::generators;
+        use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
+        let n = 64;
+        let g = generators::clique(n, true);
+        let m = g.num_edges();
+        let lifetime = 10_000;
+        let labels = LabelAssignment::single(vec![lifetime; m]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
+        let params = ExpansionParams { c1: 2.0, c2: 4.0, d: 2 };
+        let out = expansion_process(&tn, 0, 1, &params);
+        assert!(!out.success);
+        assert!(out.journey.is_none());
+        assert_eq!(out.forward_levels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn same_endpoints_panic() {
+        let mut rng = default_rng(1);
+        let tn = sample_normalized_urt_clique(16, true, &mut rng);
+        let _ = expansion_process(&tn, 3, 3, &ExpansionParams::practical(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond lifetime")]
+    fn oversized_windows_panic() {
+        let mut rng = default_rng(1);
+        let tn = sample_normalized_urt_clique(16, true, &mut rng);
+        let params = ExpansionParams { c1: 33.0, c2: 31.0, d: 5 };
+        let _ = expansion_process(&tn, 0, 1, &params);
+    }
+
+    #[test]
+    fn depth_is_zero_when_gamma1_suffices() {
+        // Small n: c1·ln n ≥ √n already.
+        let p = ExpansionParams::practical(64);
+        // 2·ln 64 = 8.3 ≥ 8 = √64 ⇒ d = 0.
+        assert_eq!(p.d, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ephemeral-core
+//!
+//! The primary contribution of Akrida, Gąsieniec, Mertzios & Spirakis,
+//! *"Ephemeral Networks with Random Availability of Links: Diameter and
+//! Connectivity"* (SPAA 2014), as a library:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2 UNI-CASE / F-CASE random label models | [`models`] |
+//! | §3 Algorithm 1, the Expansion Process | [`expansion`] (exact), [`expansion_oracle`] (lazily-revealed huge-`n` instances) |
+//! | §3.5 flooding dissemination protocol | [`dissemination`] |
+//! | Definition 5, Theorems 3–4: temporal diameter `Θ(log n)` | [`diameter`] |
+//! | Theorem 5: lifetime lower bound `Ω((a/n)·log n)` | [`lifetime`] |
+//! | §4 star graphs, 2-split journeys, Theorem 6 | [`star`] |
+//! | Definition 7: `r(n)` labels strongly guaranteeing `T_reach` | [`reachability_whp`] |
+//! | §5 Claim 1 box scheme, deterministic `OPT` assignments | [`opt`] |
+//! | Definition 8, Theorems 6–8: Price of Randomness | [`por`] |
+//! | Closed-form bound curves used by the experiment tables | [`bounds`] |
+//! | §6 further research: designed availability (deterministic backbone + random extras) | [`design`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ephemeral_core::urtn;
+//! use ephemeral_core::expansion::{expansion_process, ExpansionParams};
+//! use ephemeral_rng::default_rng;
+//!
+//! // A directed normalized uniform random temporal clique on 128 vertices…
+//! let mut rng = default_rng(7);
+//! let tn = urtn::sample_normalized_urt_clique(128, true, &mut rng);
+//! // …and the paper's expansion process between two vertices.
+//! let params = ExpansionParams::practical(128);
+//! let outcome = expansion_process(&tn, 0, 1, &params);
+//! if outcome.success {
+//!     let j = outcome.journey.as_ref().unwrap();
+//!     assert!(j.is_realizable_in(&tn));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod design;
+pub mod diameter;
+pub mod dissemination;
+pub mod expansion;
+pub mod expansion_oracle;
+pub mod lifetime;
+pub mod models;
+pub mod opt;
+pub mod por;
+pub mod reachability_whp;
+pub mod star;
+pub mod urtn;

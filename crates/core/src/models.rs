@@ -1,0 +1,227 @@
+//! Random label models (paper §2: UNI-CASE and the F-CASE note).
+
+use ephemeral_rng::distr::{Discrete, Geometric};
+use ephemeral_rng::RandomSource;
+use ephemeral_temporal::{LabelAssignment, Time};
+
+/// A random assignment model: given `m` edges, draw a label set per edge.
+pub trait LabelModel {
+    /// Lifetime `a` of the networks this model produces.
+    fn lifetime(&self) -> Time;
+
+    /// Draw an assignment for `m` edges.
+    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment;
+}
+
+/// UNI-CASE (Definition 4): exactly one label per edge, uniform on
+/// `{1, …, a}`. With `a = n` this is the Normalized U-RTN of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSingle {
+    /// Lifetime `a`.
+    pub lifetime: Time,
+}
+
+impl LabelModel for UniformSingle {
+    fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
+        let labels: Vec<Time> = (0..m).map(|_| rng.range_u32(1, self.lifetime)).collect();
+        LabelAssignment::single(labels).expect("labels are in 1..=lifetime")
+    }
+}
+
+/// `r` i.i.d. uniform labels per edge (the §4 model: "adjacent vertices
+/// agree on a number r(n) of random available times for the edge joining
+/// them").
+///
+/// Labels are drawn **with replacement** and stored as a set, exactly like
+/// the paper's analysis (collisions make the set smaller, which only hurts
+/// reachability — every guarantee proved for `r` draws holds verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformMulti {
+    /// Lifetime `a`.
+    pub lifetime: Time,
+    /// Number of label draws per edge.
+    pub r: usize,
+}
+
+impl LabelModel for UniformMulti {
+    fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
+        LabelAssignment::from_fn(m, |_| {
+            (0..self.r).map(|_| rng.range_u32(1, self.lifetime)).collect()
+        })
+        .expect("labels are in 1..=lifetime")
+    }
+}
+
+/// F-CASE with a Zipf-skewed label distribution: `r` labels per edge, each
+/// equal to `k ∈ {1, …, a}` with probability `∝ 1/k^s`. Models networks
+/// whose links are predominantly available *early* (s > 0) — the paper's
+/// "prospective study" of non-uniform availability.
+#[derive(Debug, Clone)]
+pub struct ZipfMulti {
+    /// Lifetime `a`.
+    pub lifetime: Time,
+    /// Number of label draws per edge.
+    pub r: usize,
+    table: Discrete,
+}
+
+impl ZipfMulti {
+    /// Create with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// If `lifetime == 0`.
+    #[must_use]
+    pub fn new(lifetime: Time, r: usize, s: f64) -> Self {
+        assert!(lifetime >= 1, "lifetime must be at least 1");
+        let weights = ephemeral_rng::distr::zipf_weights(lifetime as usize, s);
+        let table = Discrete::new(&weights).expect("zipf weights are valid");
+        Self { lifetime, r, table }
+    }
+}
+
+impl LabelModel for ZipfMulti {
+    fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    fn assign(&self, m: usize, mut rng: &mut dyn RandomSource) -> LabelAssignment {
+        LabelAssignment::from_fn(m, |_| {
+            (0..self.r)
+                .map(|_| self.table.sample(&mut rng) as Time + 1)
+                .collect()
+        })
+        .expect("labels are in 1..=lifetime")
+    }
+}
+
+/// F-CASE with geometric inter-availability gaps: each edge becomes
+/// available at times `g₁+1, g₁+g₂+2, …` (truncated at the lifetime), where
+/// the gaps are i.i.d. `Geometric(p)`. Models memoryless link activation —
+/// the discrete analogue of Poisson availability used by edge-Markovian
+/// evolving-graph models.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricArrivals {
+    /// Lifetime `a`.
+    pub lifetime: Time,
+    /// Per-step activation probability.
+    pub p: f64,
+}
+
+impl LabelModel for GeometricArrivals {
+    fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    fn assign(&self, m: usize, mut rng: &mut dyn RandomSource) -> LabelAssignment {
+        let gap = Geometric::new(self.p);
+        LabelAssignment::from_fn(m, |_| {
+            let mut labels = Vec::new();
+            let mut t: u64 = 0;
+            loop {
+                t += gap.sample(&mut rng) + 1;
+                if t > u64::from(self.lifetime) {
+                    break;
+                }
+                labels.push(t as Time);
+            }
+            labels
+        })
+        .expect("labels are in 1..=lifetime")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_rng::default_rng;
+
+    #[test]
+    fn uniform_single_one_label_each() {
+        let mut rng = default_rng(1);
+        let model = UniformSingle { lifetime: 16 };
+        let a = model.assign(100, &mut rng);
+        assert_eq!(a.num_edges(), 100);
+        assert_eq!(a.total_labels(), 100);
+        assert!(a.max_label().unwrap() <= 16);
+        assert!(a.min_label().unwrap() >= 1);
+    }
+
+    #[test]
+    fn uniform_single_is_roughly_uniform() {
+        let mut rng = default_rng(2);
+        let model = UniformSingle { lifetime: 4 };
+        let a = model.assign(40_000, &mut rng);
+        let mut counts = [0u32; 4];
+        for (_, l) in a.iter() {
+            counts[(l - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = f64::from(c) / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_multi_at_most_r_labels() {
+        let mut rng = default_rng(3);
+        let model = UniformMulti { lifetime: 1000, r: 5 };
+        let a = model.assign(200, &mut rng);
+        for e in 0..200u32 {
+            let l = a.labels(e);
+            assert!(!l.is_empty() && l.len() <= 5, "edge {e}: {l:?}");
+            assert!(l.iter().all(|&t| (1..=1000).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn uniform_multi_collisions_shrink_sets() {
+        // Tiny lifetime forces collisions: sets must still be valid.
+        let mut rng = default_rng(4);
+        let model = UniformMulti { lifetime: 2, r: 10 };
+        let a = model.assign(50, &mut rng);
+        for e in 0..50u32 {
+            assert!(a.labels(e).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_early_labels() {
+        let mut rng = default_rng(5);
+        let model = ZipfMulti::new(100, 1, 1.5);
+        let a = model.assign(20_000, &mut rng);
+        let early = a.iter().filter(|&(_, l)| l <= 10).count();
+        assert!(early > 15_000, "early {early}");
+        assert_eq!(model.lifetime(), 100);
+    }
+
+    #[test]
+    fn geometric_arrivals_are_increasing_and_bounded() {
+        let mut rng = default_rng(6);
+        let model = GeometricArrivals { lifetime: 50, p: 0.2 };
+        let a = model.assign(100, &mut rng);
+        for e in 0..100u32 {
+            let l = a.labels(e);
+            assert!(l.windows(2).all(|w| w[0] < w[1]));
+            assert!(l.iter().all(|&t| (1..=50).contains(&t)));
+        }
+        // Expected ~p·a = 10 labels per edge.
+        let avg = a.total_labels() as f64 / 100.0;
+        assert!((avg - 10.0).abs() < 2.0, "avg {avg}");
+    }
+
+    #[test]
+    fn models_are_deterministic_under_seed() {
+        let model = UniformMulti { lifetime: 64, r: 3 };
+        let a = model.assign(64, &mut default_rng(9));
+        let b = model.assign(64, &mut default_rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,308 @@
+//! Deterministic label assignments and `OPT` bounds (§4–§5).
+//!
+//! `OPT(G)` — the least total number of labels preserving reachability — is
+//! hard to even approximate in general (Mertzios et al., ICALP'13, cited as
+//! [21]). The experiments therefore divide by *certified* quantities:
+//!
+//! * exact values where the paper states them (star: `OPT = 2m`),
+//! * constructive upper bounds: the **star scheme** (2 labels on each edge
+//!   of a universal vertex), the **box scheme** of Claim 1 (`d(G)` labels
+//!   on every edge), and the **spanning-tree scheme** (box scheme on a BFS
+//!   tree: `(n−1)·d(T)` labels),
+//! * the universal lower bound `OPT ≥ n − 1` (a labelled spanning
+//!   subgraph is necessary).
+//!
+//! Every constructive scheme is verified against the generic `T_reach`
+//! checker in this module's tests.
+
+use ephemeral_graph::algo::{bfs_tree, diameter, two_sweep_lower_bound};
+use ephemeral_graph::{Graph, NodeId};
+use ephemeral_temporal::{LabelAssignment, Time};
+
+/// A deterministic assignment together with its accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheme {
+    /// The label assignment.
+    pub assignment: LabelAssignment,
+    /// Total number of labels (`Σ_e |L_e|`).
+    pub total_labels: usize,
+    /// Lifetime needed by the scheme.
+    pub lifetime: Time,
+    /// Human-readable scheme name.
+    pub name: &'static str,
+}
+
+/// Universal lower bound `OPT ≥ n − 1` for connected graphs on `n ≥ 2`
+/// vertices (a labelled spanning subgraph is necessary); 0 otherwise.
+#[must_use]
+pub fn opt_lower_bound(g: &Graph) -> usize {
+    g.num_nodes().saturating_sub(1)
+}
+
+/// The star scheme: if `center` is adjacent to every other vertex, label
+/// each centre edge `{1, 2}` and leave the rest unlabelled. Any `u → v`
+/// journey goes `u →(1) c →(2) v`. Total `2(n−1)`; for the star graph
+/// itself this is the paper's `OPT = 2m`.
+///
+/// Returns `None` if `center` is not universal.
+#[must_use]
+pub fn star_scheme(g: &Graph, center: NodeId) -> Option<Scheme> {
+    let n = g.num_nodes();
+    if n == 0 || g.is_directed() {
+        return None;
+    }
+    if g.out_degree(center) != n - 1 {
+        return None;
+    }
+    let assignment = LabelAssignment::from_fn(g.num_edges(), |e| {
+        let (u, v) = g.endpoints(e);
+        if u == center || v == center {
+            vec![1, 2]
+        } else {
+            vec![]
+        }
+    })?;
+    Some(Scheme {
+        total_labels: 2 * (n - 1),
+        assignment,
+        lifetime: 2,
+        name: "star",
+    })
+}
+
+/// The box scheme of Claim 1 with `λ = 1`: every edge receives the labels
+/// `{1, 2, …, d(G)}`. Any shortest path becomes a journey by taking label
+/// `i` on its `i`-th edge, so `T_reach` is guaranteed. Total `m·d(G)`.
+///
+/// Returns `None` for disconnected graphs (diameter undefined) — or
+/// `d = 0` graphs, which need no labels at all.
+#[must_use]
+pub fn box_scheme(g: &Graph) -> Option<Scheme> {
+    let d = diameter(g)?;
+    let labels: Vec<Time> = (1..=d).collect();
+    let assignment = LabelAssignment::from_fn(g.num_edges(), |_| labels.clone())?;
+    Some(Scheme {
+        total_labels: g.num_edges() * d as usize,
+        assignment,
+        lifetime: d.max(1),
+        name: "box",
+    })
+}
+
+/// The spanning-tree scheme: a BFS tree from `root` gets the box scheme
+/// with the *tree's* diameter (exact via two-sweep, which is exact on
+/// trees); non-tree edges stay unlabelled. Total `(n−1)·d(T)`. On the star
+/// with `root = centre` this realises the paper's `OPT = 2m`.
+///
+/// Returns `None` for disconnected graphs.
+#[must_use]
+pub fn spanning_tree_scheme(g: &Graph, root: NodeId) -> Option<Scheme> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let tree = bfs_tree(g, root);
+    if !tree.is_spanning() {
+        return None;
+    }
+    if n == 1 {
+        let assignment = LabelAssignment::from_fn(g.num_edges(), |_| vec![])?;
+        return Some(Scheme {
+            assignment,
+            total_labels: 0,
+            lifetime: 1,
+            name: "spanning-tree",
+        });
+    }
+    // The tree as its own graph to measure its diameter exactly.
+    let mut tb = ephemeral_graph::GraphBuilder::new_undirected(n);
+    for &e in &tree.edges {
+        let (u, v) = g.endpoints(e);
+        tb.add_edge(u, v);
+    }
+    let tree_graph = tb.build().expect("tree edges are valid");
+    let d_tree = two_sweep_lower_bound(&tree_graph, root).expect("tree is connected");
+    let d_tree = d_tree.max(1);
+
+    // Label tree edge e with {depth-agnostic boxes}: every tree edge gets
+    // {1..d_tree}; any tree path has length ≤ d_tree.
+    let mut is_tree_edge = vec![false; g.num_edges()];
+    for &e in &tree.edges {
+        is_tree_edge[e as usize] = true;
+    }
+    let labels: Vec<Time> = (1..=d_tree).collect();
+    let assignment = LabelAssignment::from_fn(g.num_edges(), |e| {
+        if is_tree_edge[e as usize] {
+            labels.clone()
+        } else {
+            vec![]
+        }
+    })?;
+    Some(Scheme {
+        total_labels: (n - 1) * d_tree as usize,
+        assignment,
+        lifetime: d_tree,
+        name: "spanning-tree",
+    })
+}
+
+/// The best (fewest labels) applicable deterministic scheme for `g`: tries
+/// the star scheme on every max-degree vertex, the spanning-tree scheme
+/// from a few roots, and the box scheme, returning the cheapest.
+///
+/// Returns `None` for graphs where no scheme applies (disconnected).
+#[must_use]
+pub fn best_scheme(g: &Graph) -> Option<Scheme> {
+    let mut best: Option<Scheme> = None;
+    let mut consider = |s: Option<Scheme>| {
+        if let Some(s) = s {
+            if best.as_ref().is_none_or(|b| s.total_labels < b.total_labels) {
+                best = Some(s);
+            }
+        }
+    };
+    if !g.is_directed() && g.num_nodes() >= 2 {
+        let hub = (0..g.num_nodes() as u32).max_by_key(|&v| g.out_degree(v));
+        if let Some(hub) = hub {
+            consider(star_scheme(g, hub));
+        }
+        consider(spanning_tree_scheme(g, 0));
+    }
+    consider(box_scheme(g));
+    best
+}
+
+/// The paper's exact `OPT` for the star graph `K_{1,n−1}` (`n ≥ 3`):
+/// `2m = 2(n−1)` (§4.2: two labels per edge suffice, one per edge cannot).
+#[must_use]
+pub fn star_opt(n: usize) -> usize {
+    2 * n.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_graph::generators;
+    use ephemeral_temporal::reachability::treach_holds;
+    use ephemeral_temporal::TemporalNetwork;
+
+    fn verify(g: &Graph, s: &Scheme) {
+        let tn = TemporalNetwork::new(g.clone(), s.assignment.clone(), s.lifetime)
+            .expect("scheme labels fit its lifetime");
+        assert!(
+            treach_holds(&tn, 2),
+            "{} scheme must preserve reachability",
+            s.name
+        );
+        assert_eq!(s.assignment.total_labels(), s.total_labels, "{}", s.name);
+    }
+
+    #[test]
+    fn star_scheme_on_star_matches_paper_opt() {
+        let n = 20;
+        let g = generators::star(n);
+        let s = star_scheme(&g, 0).unwrap();
+        assert_eq!(s.total_labels, star_opt(n));
+        verify(&g, &s);
+    }
+
+    #[test]
+    fn star_scheme_on_clique_and_wheel() {
+        let g = generators::clique(8, false);
+        let s = star_scheme(&g, 3).unwrap();
+        assert_eq!(s.total_labels, 14);
+        verify(&g, &s);
+
+        let w = generators::wheel(9);
+        let s = star_scheme(&w, 0).unwrap();
+        assert_eq!(s.total_labels, 16);
+        verify(&w, &s);
+    }
+
+    #[test]
+    fn star_scheme_rejects_non_universal_center() {
+        let g = generators::path(5);
+        assert!(star_scheme(&g, 2).is_none());
+        let s = generators::star(5);
+        assert!(star_scheme(&s, 1).is_none(), "a leaf is not universal");
+    }
+
+    #[test]
+    fn box_scheme_on_various_families() {
+        for g in [
+            generators::path(9),
+            generators::cycle(8),
+            generators::grid(4, 5),
+            generators::hypercube(4),
+            generators::binary_tree(15),
+        ] {
+            let s = box_scheme(&g).unwrap();
+            assert_eq!(
+                s.total_labels,
+                g.num_edges() * diameter(&g).unwrap() as usize
+            );
+            verify(&g, &s);
+        }
+    }
+
+    #[test]
+    fn box_scheme_none_on_disconnected() {
+        let mut b = ephemeral_graph::GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert!(box_scheme(&g).is_none());
+    }
+
+    #[test]
+    fn spanning_tree_scheme_beats_box_on_dense_graphs() {
+        let g = generators::clique(12, false);
+        let tree = spanning_tree_scheme(&g, 0).unwrap();
+        let boxes = box_scheme(&g).unwrap();
+        assert!(tree.total_labels < boxes.total_labels + 1);
+        verify(&g, &tree);
+    }
+
+    #[test]
+    fn spanning_tree_on_star_realises_opt() {
+        let n = 16;
+        let g = generators::star(n);
+        let s = spanning_tree_scheme(&g, 0).unwrap();
+        assert_eq!(s.total_labels, star_opt(n));
+        verify(&g, &s);
+    }
+
+    #[test]
+    fn best_scheme_picks_the_cheapest() {
+        // On the star, the star scheme (= spanning tree from the centre)
+        // with 2(n−1) labels beats the box scheme with 2m = 2(n−1)… equal
+        // here; on the clique the star scheme wins outright.
+        let g = generators::clique(10, false);
+        let s = best_scheme(&g).unwrap();
+        assert_eq!(s.total_labels, 2 * 9);
+        verify(&g, &s);
+
+        // On a path, box scheme total = m·d = (n−1)², spanning tree the
+        // same; best is still valid.
+        let p = generators::path(6);
+        let s = best_scheme(&p).unwrap();
+        verify(&p, &s);
+    }
+
+    #[test]
+    fn lower_bound_is_n_minus_one() {
+        assert_eq!(opt_lower_bound(&generators::star(10)), 9);
+        assert_eq!(opt_lower_bound(&generators::clique(5, false)), 4);
+        assert_eq!(
+            opt_lower_bound(&ephemeral_graph::GraphBuilder::new_undirected(0).build().unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn schemes_respect_lower_bound() {
+        for g in [generators::star(12), generators::grid(3, 4), generators::cycle(9)] {
+            let s = best_scheme(&g).unwrap();
+            assert!(s.total_labels >= opt_lower_bound(&g), "{}", s.name);
+        }
+    }
+}

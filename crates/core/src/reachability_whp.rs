@@ -1,0 +1,178 @@
+//! Definition 7: experiments that *strongly guarantee temporal reachability
+//! with high probability* — how many random labels per edge until
+//! `P[T_reach] ≥ 1 − n^{−a}`?
+
+use crate::models::{LabelModel, UniformMulti};
+use ephemeral_graph::Graph;
+use ephemeral_parallel::{MonteCarlo, Proportion};
+use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::{TemporalNetwork, Time};
+
+/// Monte Carlo estimate of `P[T_reach]` for `r` i.i.d. uniform labels per
+/// edge over `graph` with the given lifetime.
+///
+/// # Panics
+/// If `r == 0`, `lifetime == 0` or `trials == 0`.
+#[must_use]
+pub fn treach_probability(
+    graph: &Graph,
+    lifetime: Time,
+    r: usize,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Proportion {
+    assert!(r >= 1 && trials >= 1);
+    let model = UniformMulti { lifetime, r };
+    MonteCarlo::new(trials, seed)
+        .with_threads(threads)
+        .success_probability(|_, rng| {
+            let assignment = model.assign(graph.num_edges(), rng);
+            let tn = TemporalNetwork::new(graph.clone(), assignment, lifetime)
+                .expect("model labels fit the lifetime");
+            treach_holds(&tn, 1)
+        })
+}
+
+/// Result of the minimal-`r` search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimalR {
+    /// Smallest evaluated `r` whose estimate met the target.
+    pub r: usize,
+    /// The estimate at that `r`.
+    pub probability: Proportion,
+    /// Every `(r, estimate)` pair evaluated along the way, in evaluation
+    /// order — the raw material of the E08 tables.
+    pub evaluations: Vec<(usize, f64)>,
+    /// The target probability used.
+    pub target: f64,
+}
+
+/// Find the empirically minimal `r` with `P[T_reach] ≥ target`, by doubling
+/// followed by binary search (both on the Monte Carlo estimate; the answer
+/// is exact up to sampling noise at the threshold).
+///
+/// The search is capped at `r = 4096`; if even that fails the cap is
+/// returned (with its measured probability) so callers can see the failure.
+///
+/// # Panics
+/// If `target ∉ (0, 1]` or `trials == 0`.
+#[must_use]
+pub fn minimal_r(
+    graph: &Graph,
+    lifetime: Time,
+    target: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> MinimalR {
+    assert!(target > 0.0 && target <= 1.0, "target must be in (0,1]");
+    assert!(trials >= 1);
+    let mut evaluations = Vec::new();
+    let mut probe = |r: usize| -> Proportion {
+        let p = treach_probability(graph, lifetime, r, trials, seed ^ ((r as u64) << 32), threads);
+        evaluations.push((r, p.estimate));
+        p
+    };
+
+    let mut hi = 1usize;
+    let mut hi_prob = probe(hi);
+    while hi_prob.estimate < target && hi < 4096 {
+        hi *= 2;
+        hi_prob = probe(hi);
+    }
+    if hi_prob.estimate < target {
+        return MinimalR {
+            r: hi,
+            probability: hi_prob,
+            evaluations,
+            target,
+        };
+    }
+    let mut lo = hi / 2; // exclusive: lo failed (or is 0)
+    let mut best = (hi, hi_prob);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let p = probe(mid);
+        if p.estimate >= target {
+            hi = mid;
+            best = (mid, p);
+        } else {
+            lo = mid;
+        }
+    }
+    MinimalR {
+        r: best.0,
+        probability: best.1,
+        evaluations,
+        target,
+    }
+}
+
+/// The paper's "with high probability" target for a given `n`: `1 − 1/n`
+/// (the weakest exponent `a = 1` of the definition).
+#[must_use]
+pub fn whp_target(n: usize) -> f64 {
+    1.0 - 1.0 / (n.max(2) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_graph::generators;
+
+    #[test]
+    fn clique_needs_one_label() {
+        let g = generators::clique(10, false);
+        let p = treach_probability(&g, 10, 1, 50, 1, 2);
+        assert_eq!(p.estimate, 1.0, "cliques satisfy T_reach with any labels");
+        let res = minimal_r(&g, 10, 0.99, 50, 1, 2);
+        assert_eq!(res.r, 1);
+        assert_eq!(res.evaluations.len(), 1);
+    }
+
+    #[test]
+    fn path_needs_many_labels() {
+        let g = generators::path(12);
+        let one = treach_probability(&g, 12, 1, 100, 2, 2);
+        assert!(one.estimate < 0.2, "{one}");
+        let many = treach_probability(&g, 12, 48, 100, 2, 2);
+        assert!(many.estimate > 0.8, "{many}");
+    }
+
+    #[test]
+    fn minimal_r_finds_a_threshold() {
+        let g = generators::star(32);
+        let res = minimal_r(&g, 32, 0.9, 150, 3, 2);
+        assert!(res.r >= 2, "one label cannot serve a star: {}", res.r);
+        assert!(res.r <= 64, "threshold unexpectedly large: {}", res.r);
+        assert!(res.probability.estimate >= 0.9);
+        // The evaluation trace includes the final r.
+        assert!(res.evaluations.iter().any(|&(r, _)| r == res.r));
+    }
+
+    #[test]
+    fn minimal_r_on_disconnected_graph_respects_static_reach() {
+        // T_reach only requires journeys where static paths exist; two
+        // disjoint edges each need their own labels but no cross pairs.
+        let mut b = ephemeral_graph::GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let res = minimal_r(&g, 4, 0.95, 50, 4, 1);
+        assert_eq!(res.r, 1, "single labels serve single edges");
+    }
+
+    #[test]
+    fn whp_target_formula() {
+        assert!((whp_target(100) - 0.99).abs() < 1e-12);
+        assert!(whp_target(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in (0,1]")]
+    fn bad_target_panics() {
+        let g = generators::path(4);
+        let _ = minimal_r(&g, 4, 0.0, 10, 0, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Uniform Random Temporal Network sampling (Definition 4 and §3's
+//! normalized clique).
+
+use crate::models::{LabelModel, UniformMulti, UniformSingle};
+use ephemeral_graph::{generators, Graph};
+use ephemeral_rng::RandomSource;
+use ephemeral_temporal::{TemporalNetwork, Time};
+
+/// Sample a U-RTN over `graph`: one uniform label from `{1, …, lifetime}`
+/// per edge (UNI-CASE).
+///
+/// # Panics
+/// If `lifetime == 0`.
+#[must_use]
+pub fn sample_urtn(graph: Graph, lifetime: Time, rng: &mut impl RandomSource) -> TemporalNetwork {
+    let model = UniformSingle { lifetime };
+    let assignment = model.assign(graph.num_edges(), rng);
+    TemporalNetwork::new(graph, assignment, lifetime).expect("model labels fit the lifetime")
+}
+
+/// Sample the **normalized** U-RT clique of §3: `K_n` (directed per the
+/// paper's main theorem when `directed`, undirected per Remark 1 otherwise)
+/// with one uniform label per edge from `{1, …, n}`.
+///
+/// # Panics
+/// If `n == 0`.
+#[must_use]
+pub fn sample_normalized_urt_clique(n: usize, directed: bool, rng: &mut impl RandomSource) -> TemporalNetwork {
+    assert!(n >= 1, "clique requires at least one vertex");
+    sample_urtn(generators::clique(n, directed), n as Time, rng)
+}
+
+/// Sample a U-RT clique with an arbitrary lifetime `a` (the Theorem 5
+/// regime when `a ≫ n`).
+#[must_use]
+pub fn sample_urt_clique_with_lifetime(
+    n: usize,
+    directed: bool,
+    lifetime: Time,
+    rng: &mut impl RandomSource,
+) -> TemporalNetwork {
+    assert!(n >= 1, "clique requires at least one vertex");
+    sample_urtn(generators::clique(n, directed), lifetime, rng)
+}
+
+/// Sample a multi-label U-RTN: `r` i.i.d. uniform labels per edge (§4).
+#[must_use]
+pub fn sample_multi_urtn(
+    graph: Graph,
+    lifetime: Time,
+    r: usize,
+    rng: &mut impl RandomSource,
+) -> TemporalNetwork {
+    let model = UniformMulti { lifetime, r };
+    let assignment = model.assign(graph.num_edges(), rng);
+    TemporalNetwork::new(graph, assignment, lifetime).expect("model labels fit the lifetime")
+}
+
+/// Resample only the labels of an existing network (same graph, same
+/// lifetime, fresh UNI-CASE draw) — the cheap per-trial path of the Monte
+/// Carlo estimators, which reuses the graph's CSR across trials.
+#[must_use]
+pub fn resample_single(tn: &TemporalNetwork, rng: &mut impl RandomSource) -> TemporalNetwork {
+    let model = UniformSingle { lifetime: tn.lifetime() };
+    let assignment = model.assign(tn.graph().num_edges(), rng);
+    TemporalNetwork::new(tn.graph().clone(), assignment, tn.lifetime())
+        .expect("model labels fit the lifetime")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_rng::default_rng;
+    use ephemeral_temporal::reachability;
+
+    #[test]
+    fn normalized_clique_has_unit_labels_per_arc() {
+        let mut rng = default_rng(1);
+        let tn = sample_normalized_urt_clique(10, true, &mut rng);
+        assert_eq!(tn.num_nodes(), 10);
+        assert_eq!(tn.graph().num_edges(), 90);
+        assert_eq!(tn.num_time_edges(), 90);
+        assert_eq!(tn.lifetime(), 10);
+        for e in 0..90u32 {
+            assert_eq!(tn.labels(e).len(), 1);
+        }
+    }
+
+    #[test]
+    fn clique_urtn_is_always_temporally_connected() {
+        // The direct edge provides a journey for every pair (the paper's
+        // "K_n is the only graph where one label always suffices").
+        let mut rng = default_rng(2);
+        for trial in 0..5 {
+            let tn = sample_normalized_urt_clique(12, true, &mut rng);
+            assert!(
+                reachability::is_temporally_connected(&tn, 1),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetime_variant_bounds_labels() {
+        let mut rng = default_rng(3);
+        let tn = sample_urt_clique_with_lifetime(8, false, 100, &mut rng);
+        assert_eq!(tn.lifetime(), 100);
+        assert!(tn.assignment().max_label().unwrap() <= 100);
+    }
+
+    #[test]
+    fn multi_urtn_has_r_draws() {
+        let mut rng = default_rng(4);
+        let g = generators::star(20);
+        let tn = sample_multi_urtn(g, 1000, 4, &mut rng);
+        for e in 0..19u32 {
+            let l = tn.labels(e).len();
+            assert!(l >= 1 && l <= 4);
+        }
+    }
+
+    #[test]
+    fn resample_keeps_structure_changes_labels() {
+        let mut rng = default_rng(5);
+        let tn = sample_normalized_urt_clique(16, true, &mut rng);
+        let tn2 = resample_single(&tn, &mut rng);
+        assert_eq!(tn.graph(), tn2.graph());
+        assert_eq!(tn.lifetime(), tn2.lifetime());
+        assert_ne!(tn.assignment(), tn2.assignment());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let a = sample_normalized_urt_clique(16, true, &mut default_rng(6));
+        let b = sample_normalized_urt_clique(16, true, &mut default_rng(6));
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

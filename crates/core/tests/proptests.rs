@@ -1,0 +1,99 @@
+//! Property-based tests for the paper-level machinery.
+
+use ephemeral_core::expansion::{expansion_process, ExpansionParams};
+use ephemeral_core::models::{GeometricArrivals, LabelModel, UniformMulti, ZipfMulti};
+use ephemeral_core::opt::{box_scheme, spanning_tree_scheme};
+use ephemeral_core::star::{star_treach, star_treach_bruteforce, EdgeExtremes};
+use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_graph::generators;
+use ephemeral_rng::SeedSequence;
+use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::TemporalNetwork;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn box_scheme_always_certifies_random_trees(seed: u64, n in 2usize..40) {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let g = generators::random_tree(n, &mut rng);
+        let s = box_scheme(&g).expect("trees are connected");
+        let tn = TemporalNetwork::new(g, s.assignment, s.lifetime).unwrap();
+        prop_assert!(treach_holds(&tn, 1));
+    }
+
+    #[test]
+    fn spanning_tree_scheme_certifies_random_connected_gnp(seed: u64, n in 4usize..30) {
+        let mut rng = SeedSequence::new(seed).rng(1);
+        // Force connectivity by overlaying a random tree with extra edges.
+        let tree = generators::random_tree(n, &mut rng);
+        let mut b = ephemeral_graph::GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        for (_, u, v) in tree.edges() {
+            b.add_edge(u, v);
+        }
+        use ephemeral_rng::RandomSource;
+        for _ in 0..n {
+            let u = rng.bounded_u32(n as u32);
+            let v = rng.bounded_u32(n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let s = spanning_tree_scheme(&g, 0).expect("connected by construction");
+        prop_assert_eq!(s.total_labels % (n - 1), 0, "labels only on tree edges");
+        let tn = TemporalNetwork::new(g, s.assignment, s.lifetime).unwrap();
+        prop_assert!(treach_holds(&tn, 1));
+    }
+
+    #[test]
+    fn star_fast_check_equals_bruteforce(
+        extremes in prop::collection::vec((1u32..12, 1u32..12), 0..8)
+    ) {
+        let ex: Vec<EdgeExtremes> = extremes
+            .into_iter()
+            .map(|(a, b)| EdgeExtremes { min: a.min(b), max: a.max(b) })
+            .collect();
+        prop_assert_eq!(star_treach(&ex), star_treach_bruteforce(&ex));
+    }
+
+    #[test]
+    fn expansion_journeys_always_validate(seed: u64) {
+        let n = 128;
+        let mut rng = SeedSequence::new(seed).rng(2);
+        let tn = sample_normalized_urt_clique(n, true, &mut rng);
+        let out = expansion_process(&tn, 0, 1, &ExpansionParams::practical(n));
+        if let Some(j) = &out.journey {
+            prop_assert!(j.is_realizable_in(&tn));
+            prop_assert_eq!(j.source(), 0);
+            prop_assert_eq!(j.target(), 1);
+            prop_assert!(j.arrival() <= out.arrival_bound);
+        }
+    }
+
+    #[test]
+    fn label_models_respect_their_lifetimes(seed: u64, m in 1usize..60, lifetime in 1u32..200) {
+        let mut rng = SeedSequence::new(seed).rng(3);
+        let models: Vec<Box<dyn LabelModel>> = vec![
+            Box::new(UniformMulti { lifetime, r: 3 }),
+            Box::new(ZipfMulti::new(lifetime, 3, 1.2)),
+            Box::new(GeometricArrivals { lifetime, p: 0.3 }),
+        ];
+        for model in &models {
+            let a = model.assign(m, &mut rng);
+            prop_assert_eq!(a.num_edges(), m);
+            if let Some(max) = a.max_label() {
+                prop_assert!(max <= model.lifetime());
+            }
+            if let Some(min) = a.min_label() {
+                prop_assert!(min >= 1);
+            }
+            // Constructing the network must always succeed.
+            let g = generators::gnm(m + 1, m, false, &mut rng);
+            let tn = TemporalNetwork::new(g, a, lifetime);
+            prop_assert!(tn.is_ok());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Hop diameter: the `d(G)` of the paper's §5 bound `r > 2·d(G)·log n`.
+
+use super::bfs::{bfs_distances, UNREACHABLE};
+use crate::{Graph, NodeId};
+
+/// Eccentricity of `v`: the largest finite BFS distance from `v`, or `None`
+/// if some node is unreachable from `v`.
+#[must_use]
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut max = 0u32;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter via one BFS per node: `O(n·(n+m))`. Returns `None` for
+/// disconnected graphs (and for directed graphs that are not strongly
+/// connected). The empty/singleton graph has diameter 0.
+#[must_use]
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut best = 0u32;
+    for v in 0..n as u32 {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Two-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Exact on trees; a lower bound in general.
+/// Returns `None` if the graph is disconnected (seen from `start`).
+#[must_use]
+pub fn two_sweep_lower_bound(g: &Graph, start: NodeId) -> Option<u32> {
+    let first = bfs_distances(g, start);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| if d == UNREACHABLE { 0 } else { d })?;
+    if first.iter().any(|&d| d == UNREACHABLE) {
+        return None;
+    }
+    eccentricity(g, far as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn known_diameters() {
+        assert_eq!(diameter(&generators::clique(8, false)), Some(1));
+        assert_eq!(diameter(&generators::star(8)), Some(2));
+        assert_eq!(diameter(&generators::path(9)), Some(8));
+        assert_eq!(diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(diameter(&generators::hypercube(5)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_has_no_diameter() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn directed_not_strongly_connected_has_no_diameter() {
+        let mut b = GraphBuilder::new_directed(2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn directed_cycle_diameter() {
+        let mut b = GraphBuilder::new_directed(4);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert_eq!(diameter(&GraphBuilder::new_undirected(0).build().unwrap()), Some(0));
+        assert_eq!(diameter(&GraphBuilder::new_undirected(1).build().unwrap()), Some(0));
+    }
+
+    #[test]
+    fn two_sweep_is_exact_on_trees() {
+        let t = generators::binary_tree(31);
+        assert_eq!(two_sweep_lower_bound(&t, 0), diameter(&t));
+        let p = generators::path(17);
+        assert_eq!(two_sweep_lower_bound(&p, 8), Some(16));
+    }
+
+    #[test]
+    fn two_sweep_is_a_lower_bound() {
+        let mut r = ephemeral_rng::default_rng(42);
+        for _ in 0..10 {
+            let g = generators::gnp(60, 0.08, false, &mut r);
+            if let Some(exact) = diameter(&g) {
+                let lb = two_sweep_lower_bound(&g, 0).unwrap();
+                assert!(lb <= exact, "lb {lb} > exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_sweep_none_when_disconnected() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(two_sweep_lower_bound(&g, 0), None);
+    }
+}

@@ -1,0 +1,315 @@
+//! Mutable edge-list builder that produces the immutable CSR [`Graph`].
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::NodeId;
+
+/// Accumulates edges, validates them, and freezes into a [`Graph`].
+///
+/// ```
+/// use ephemeral_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new_undirected(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    num_nodes: u32,
+    edges: Vec<(u32, u32)>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Builder for an undirected graph on `n` nodes.
+    ///
+    /// # Panics
+    /// If `n >= u32::MAX` (the id space reserves `u32::MAX` as a sentinel).
+    #[must_use]
+    pub fn new_undirected(n: usize) -> Self {
+        Self::new(n, false)
+    }
+
+    /// Builder for a directed graph on `n` nodes.
+    #[must_use]
+    pub fn new_directed(n: usize) -> Self {
+        Self::new(n, true)
+    }
+
+    fn new(n: usize, directed: bool) -> Self {
+        assert!(
+            n < u32::MAX as usize,
+            "node count {n} exceeds the u32 id space"
+        );
+        Self {
+            directed,
+            num_nodes: n as u32,
+            edges: Vec::new(),
+            dedup: false,
+        }
+    }
+
+    /// Silently drop duplicate edges at [`build`](Self::build) time instead
+    /// of reporting [`GraphError::DuplicateEdge`]. Useful for random
+    /// generators that may propose the same pair twice.
+    pub fn dedup_edges(&mut self) -> &mut Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Queue an edge (validated at build time). For undirected builders the
+    /// pair is canonicalized to `(min, max)`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        let pair = if self.directed || u <= v { (u, v) } else { (v, u) };
+        self.edges.push(pair);
+        self
+    }
+
+    /// Reserve capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.edges.reserve(additional);
+        self
+    }
+
+    /// Number of edges queued so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Validate and freeze into CSR form.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`],
+    /// [`GraphError::DuplicateEdge`] (unless [`dedup_edges`](Self::dedup_edges)
+    /// was requested), or [`GraphError::TooManyEdges`].
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let n = self.num_nodes;
+        let mut edges = self.edges.clone();
+
+        for &(u, v) in &edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+
+        // Duplicate handling on canonical pairs (already canonical for
+        // undirected; arcs compare as-is so (u,v) and (v,u) are distinct).
+        if self.dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        } else {
+            let mut sorted = edges.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(GraphError::DuplicateEdge { u: w[0].0, v: w[0].1 });
+                }
+            }
+        }
+
+        if edges.len() >= u32::MAX as usize {
+            return Err(GraphError::TooManyEdges);
+        }
+
+        // Counting-sort the adjacency into CSR, then sort each row by target.
+        let m = edges.len();
+        let (out_csr, in_csr) = if self.directed {
+            let out = build_csr(n, edges.iter().enumerate().map(|(e, &(u, v))| (u, v, e as u32)), m);
+            let inn = build_csr(n, edges.iter().enumerate().map(|(e, &(u, v))| (v, u, e as u32)), m);
+            (out, Some(inn))
+        } else {
+            let both = edges
+                .iter()
+                .enumerate()
+                .flat_map(|(e, &(u, v))| [(u, v, e as u32), (v, u, e as u32)]);
+            (build_csr(n, both, 2 * m), None)
+        };
+
+        let (out_offsets, out_node, out_edge) = out_csr;
+        let (in_offsets, in_node, in_edge) = in_csr.unwrap_or_default();
+
+        Ok(Graph::from_parts(
+            self.directed,
+            n,
+            edges,
+            out_offsets,
+            out_node,
+            out_edge,
+            in_offsets,
+            in_node,
+            in_edge,
+        ))
+    }
+}
+
+/// Build one CSR from `(source, target, edge_id)` triples; each row ends up
+/// sorted by `(target, edge_id)`.
+fn build_csr(
+    n: u32,
+    triples: impl Iterator<Item = (u32, u32, u32)> + Clone,
+    count: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; n as usize + 2];
+    for (s, _, _) in triples.clone() {
+        offsets[s as usize + 2] += 1;
+    }
+    for i in 2..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut node = vec![0u32; count];
+    let mut edge = vec![0u32; count];
+    for (s, t, e) in triples {
+        let slot = offsets[s as usize + 1] as usize;
+        node[slot] = t;
+        edge[slot] = e;
+        offsets[s as usize + 1] += 1;
+    }
+    offsets.pop();
+    // Sort each row by target (stable insertion order for equal targets
+    // cannot occur: duplicates were rejected or removed).
+    let mut perm: Vec<u32> = Vec::new();
+    for v in 0..n as usize {
+        let lo = offsets[v] as usize;
+        let hi = offsets[v + 1] as usize;
+        if hi - lo > 1 {
+            perm.clear();
+            perm.extend(lo as u32..hi as u32);
+            perm.sort_unstable_by_key(|&i| node[i as usize]);
+            let sorted_nodes: Vec<u32> = perm.iter().map(|&i| node[i as usize]).collect();
+            let sorted_edges: Vec<u32> = perm.iter().map(|&i| edge[i as usize]).collect();
+            node[lo..hi].copy_from_slice(&sorted_nodes);
+            edge[lo..hi].copy_from_slice(&sorted_edges);
+        }
+    }
+    (offsets, node, edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected(0).build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new_undirected(5).build().unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 3);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::NodeOutOfRange { node: 3, num_nodes: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(2, 2);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop { node: 2 });
+    }
+
+    #[test]
+    fn rejects_duplicates_including_mirrored_undirected() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // same undirected edge
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn directed_antiparallel_arcs_are_distinct() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_mode_drops_duplicates() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.dedup_edges();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_rows_are_sorted() {
+        let mut b = GraphBuilder::new_undirected(6);
+        // Insert in scrambled order.
+        for &(u, v) in &[(0u32, 5u32), (0, 2), (0, 4), (0, 1), (0, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let (nodes, _) = g.out_adjacency(0);
+        assert_eq!(nodes, &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn builder_len_tracking() {
+        let mut b = GraphBuilder::new_undirected(3);
+        assert!(b.is_empty());
+        b.add_edge(0, 1);
+        assert_eq!(b.len(), 1);
+        b.reserve(10);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_edges_undirected() {
+        let mut b = GraphBuilder::new_undirected(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        b.add_edge(4, 0);
+        let g = b.build().unwrap();
+        let total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn build_is_repeatable() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g1 = b.build().unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Errors reported by [`crate::GraphBuilder`].
+
+use std::fmt;
+
+/// Construction-time validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint is `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The declared number of nodes.
+        num_nodes: u32,
+    },
+    /// Self-loops are rejected: a temporal journey can never use one (its
+    /// label cannot strictly increase across it) and the paper's model
+    /// excludes them.
+    SelfLoop {
+        /// The looping node.
+        node: u32,
+    },
+    /// The same (canonical) edge was inserted twice and the builder was not
+    /// configured to ignore duplicates.
+    DuplicateEdge {
+        /// First endpoint (canonical order for undirected graphs).
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// More than `u32::MAX - 1` edges.
+    TooManyEdges,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            Self::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            Self::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            Self::TooManyEdges => write!(f, "edge count exceeds u32 capacity"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::NodeOutOfRange { node: 5, num_nodes: 3 }.to_string(),
+            "node 5 out of range (graph has 3 nodes)"
+        );
+        assert_eq!(GraphError::SelfLoop { node: 2 }.to_string(), "self-loop at node 2 is not allowed");
+        assert_eq!(GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(), "duplicate edge (1, 2)");
+        assert_eq!(GraphError::TooManyEdges.to_string(), "edge count exceeds u32 capacity");
+    }
+}

@@ -1,0 +1,183 @@
+//! Classic deterministic families.
+
+use crate::{Graph, GraphBuilder};
+
+/// Complete graph `K_n`. When `directed`, every ordered pair `(u, v)`,
+/// `u ≠ v`, is an arc — the paper's §3 substrate ("directed clique", where
+/// both `(u,v)` and `(v,u)` exist). `m = n(n−1)` directed, `n(n−1)/2`
+/// undirected.
+#[must_use]
+pub fn clique(n: usize, directed: bool) -> Graph {
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    if directed {
+        b.reserve(n.saturating_mul(n.saturating_sub(1)));
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    } else {
+        b.reserve(n * n.saturating_sub(1) / 2);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("clique construction is always valid")
+}
+
+/// Star `K_{1,n−1}`: node 0 is the centre, nodes `1..n` are leaves.
+/// Diameter 2 (for `n ≥ 3`); the paper's Theorem 6 witness graph.
+///
+/// # Panics
+/// If `n == 0`.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires at least the centre node");
+    let mut b = GraphBuilder::new_undirected(n);
+    b.reserve(n - 1);
+    for leaf in 1..n as u32 {
+        b.add_edge(0, leaf);
+    }
+    b.build().expect("star construction is always valid")
+}
+
+/// Path `P_n`: nodes `0 — 1 — … — n−1`. Diameter `n−1`.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new_undirected(n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.build().expect("path construction is always valid")
+}
+
+/// Cycle `C_n` (`n ≥ 3`). Diameter `⌊n/2⌋`.
+///
+/// # Panics
+/// If `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3, got {n}");
+    let mut b = GraphBuilder::new_undirected(n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as u32 - 1, 0);
+    b.build().expect("cycle construction is always valid")
+}
+
+/// Complete bipartite graph `K_{a,b}`: parts `0..a` and `a..a+b`.
+#[must_use]
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let n = a + b_size;
+    let mut b = GraphBuilder::new_undirected(n);
+    b.reserve(a * b_size);
+    for u in 0..a as u32 {
+        for v in a as u32..n as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("complete bipartite construction is always valid")
+}
+
+/// Wheel `W_n`: a cycle on nodes `1..n` plus hub 0 joined to every rim node.
+/// Requires `n ≥ 4` (a rim of ≥ 3).
+///
+/// # Panics
+/// If `n < 4`.
+#[must_use]
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4, got {n}");
+    let mut b = GraphBuilder::new_undirected(n);
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    for v in 2..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as u32 - 1, 1);
+    b.build().expect("wheel construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn clique_sizes() {
+        let g = clique(6, false);
+        assert_eq!(g.num_edges(), 15);
+        let d = clique(6, true);
+        assert_eq!(d.num_edges(), 30);
+        for u in 0..6u32 {
+            assert_eq!(d.out_degree(u), 5);
+            assert_eq!(d.in_degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn clique_tiny() {
+        assert_eq!(clique(0, false).num_nodes(), 0);
+        assert_eq!(clique(1, true).num_edges(), 0);
+        assert_eq!(clique(2, true).num_edges(), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.out_degree(0), 9);
+        for leaf in 1..10u32 {
+            assert_eq!(g.out_degree(leaf), 1);
+        }
+        assert_eq!(algo::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn star_of_one_is_a_point() {
+        let g = star(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = path(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(algo::diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(algo::diameter(&cycle(8)), Some(4));
+        assert_eq!(algo::diameter(&cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(algo::diameter(&g), Some(2));
+        // No intra-part edges.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(6); // hub + rim of 5
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(algo::diameter(&g), Some(2));
+    }
+}

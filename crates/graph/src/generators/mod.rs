@@ -1,0 +1,17 @@
+//! Graph families used by the paper's experiments.
+//!
+//! * [`classic`]: clique (the paper's §3 substrate), star (the §4 `PoR`
+//!   lower-bound witness), path, cycle, complete bipartite, wheel.
+//! * [`structured`]: grid, torus, hypercube, trees, barbell, lollipop —
+//!   the "general graphs" of §5 with a spread of diameters.
+//! * [`random`]: Erdős–Rényi `G(n,p)`/`G(n,m)` (the lower-bound tool of
+//!   Theorems 5 and the §3.4 remark), uniform random trees, random regular
+//!   graphs.
+
+pub mod classic;
+pub mod random;
+pub mod structured;
+
+pub use classic::{clique, complete_bipartite, cycle, path, star, wheel};
+pub use random::{gnm, gnp, random_regular, random_tree};
+pub use structured::{balanced_tree, barbell, binary_tree, grid, hypercube, lollipop, torus};

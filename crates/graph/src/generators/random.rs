@@ -1,0 +1,352 @@
+//! Random graph families.
+//!
+//! `G(n,p)` is load-bearing for the paper: Theorem 5 and the §3.4 remark
+//! both reduce temporal-diameter lower bounds to the classical Erdős–Rényi
+//! connectivity threshold `p = ln n / n` (experiment E03).
+
+use crate::{Graph, GraphBuilder, NodeId};
+use ephemeral_rng::distr::Geometric;
+use ephemeral_rng::sample::sample_indices;
+use ephemeral_rng::RandomSource;
+
+/// Erdős–Rényi `G(n,p)`: every unordered pair (or ordered pair when
+/// `directed`) is an edge independently with probability `p`.
+///
+/// Uses geometric skip-sampling: instead of `Θ(n²)` Bernoulli draws we jump
+/// straight to the next present edge, so generation is `O(n + m)` expected.
+///
+/// ```
+/// use ephemeral_graph::generators::gnp;
+/// let mut rng = ephemeral_rng::default_rng(1);
+/// let g = gnp(1000, 0.01, false, &mut rng);
+/// // ≈ p·(n choose 2) ≈ 4995 edges.
+/// assert!((3500..6500).contains(&g.num_edges()));
+/// ```
+///
+/// # Panics
+/// If `p ∉ [0, 1]`.
+#[must_use]
+pub fn gnp(n: usize, p: f64, directed: bool, rng: &mut impl RandomSource) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "gnp requires p in [0,1], got {p}");
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    let total_pairs: u64 = if directed {
+        (n as u64) * (n as u64).saturating_sub(1)
+    } else {
+        (n as u64) * (n as u64).saturating_sub(1) / 2
+    };
+    if p > 0.0 && total_pairs > 0 {
+        if p >= 1.0 {
+            return super::classic::clique(n, directed);
+        }
+        let skip = Geometric::new(p);
+        let mut idx: u64 = 0;
+        loop {
+            idx = idx.saturating_add(skip.sample(rng));
+            if idx >= total_pairs {
+                break;
+            }
+            let (u, v) = if directed {
+                decode_ordered_pair(idx, n as u64)
+            } else {
+                decode_unordered_pair(idx, n as u64)
+            };
+            b.add_edge(u, v);
+            idx += 1;
+        }
+    }
+    b.build().expect("gnp pairs are valid by construction")
+}
+
+/// `G(n,m)`: a uniform graph with exactly `m` distinct edges (or arcs).
+///
+/// # Panics
+/// If `m` exceeds the number of available pairs.
+#[must_use]
+pub fn gnm(n: usize, m: usize, directed: bool, rng: &mut impl RandomSource) -> Graph {
+    let total_pairs: u64 = if directed {
+        (n as u64) * (n as u64).saturating_sub(1)
+    } else {
+        (n as u64) * (n as u64).saturating_sub(1) / 2
+    };
+    assert!(
+        (m as u64) <= total_pairs,
+        "gnm: m = {m} exceeds available pairs = {total_pairs}"
+    );
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    b.reserve(m);
+    for idx in sample_indices(total_pairs as usize, m, rng) {
+        let (u, v) = if directed {
+            decode_ordered_pair(idx as u64, n as u64)
+        } else {
+            decode_unordered_pair(idx as u64, n as u64)
+        };
+        b.add_edge(u, v);
+    }
+    b.build().expect("gnm pairs are distinct by construction")
+}
+
+/// A uniformly random labelled tree on `n` nodes, via a random Prüfer
+/// sequence (exact uniformity over the `n^{n−2}` labelled trees).
+///
+/// # Panics
+/// If `n == 0`.
+#[must_use]
+pub fn random_tree(n: usize, rng: &mut impl RandomSource) -> Graph {
+    assert!(n >= 1, "random_tree requires n >= 1");
+    let mut b = GraphBuilder::new_undirected(n);
+    if n >= 2 {
+        if n == 2 {
+            b.add_edge(0, 1);
+        } else {
+            let prufer: Vec<u32> = (0..n - 2).map(|_| rng.bounded_u32(n as u32)).collect();
+            let mut degree = vec![1u32; n];
+            for &x in &prufer {
+                degree[x as usize] += 1;
+            }
+            // Stream the sequence with a "next leaf" pointer (O(n) total).
+            let mut ptr = 0usize;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            let mut leaf = ptr as u32;
+            for &x in &prufer {
+                b.add_edge(leaf, x);
+                degree[x as usize] -= 1;
+                if degree[x as usize] == 1 && (x as usize) < ptr {
+                    leaf = x;
+                } else {
+                    ptr += 1;
+                    while degree[ptr] != 1 {
+                        ptr += 1;
+                    }
+                    leaf = ptr as u32;
+                }
+            }
+            b.add_edge(leaf, n as u32 - 1);
+        }
+    }
+    b.build().expect("Prüfer decoding yields a valid tree")
+}
+
+/// A random `d`-regular graph on `n` nodes via the pairing/configuration
+/// model, resampling until the pairing is simple (no loops or multi-edges).
+/// Practical for `d ≪ √n`; the acceptance probability is
+/// `≈ exp(−(d²−1)/4)`, independent of `n`.
+///
+/// # Panics
+/// If `n·d` is odd or `d ≥ n`.
+#[must_use]
+pub fn random_regular(n: usize, d: usize, rng: &mut impl RandomSource) -> Graph {
+    assert!(n * d % 2 == 0, "random_regular requires n*d even");
+    assert!(d < n, "random_regular requires d < n");
+    if d == 0 {
+        return GraphBuilder::new_undirected(n).build().expect("empty graph");
+    }
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    loop {
+        ephemeral_rng::sample::shuffle(&mut stubs, rng);
+        let mut b = GraphBuilder::new_undirected(n);
+        b.reserve(n * d / 2);
+        let mut simple = true;
+        let mut seen: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if u == v {
+                simple = false;
+                break;
+            }
+            seen.push((u, v));
+        }
+        if simple {
+            seen.sort_unstable();
+            if seen.windows(2).all(|w| w[0] != w[1]) {
+                for (u, v) in seen {
+                    b.add_edge(u, v);
+                }
+                return b.build().expect("simple pairing is a valid graph");
+            }
+        }
+    }
+}
+
+/// Decode pair index `idx ∈ [0, n(n−1))` to an ordered pair `(u, v)`, `u≠v`.
+#[inline]
+fn decode_ordered_pair(idx: u64, n: u64) -> (NodeId, NodeId) {
+    let u = idx / (n - 1);
+    let mut v = idx % (n - 1);
+    if v >= u {
+        v += 1;
+    }
+    (u as NodeId, v as NodeId)
+}
+
+/// Decode pair index `idx ∈ [0, n(n−1)/2)` to an unordered pair `(u, v)`,
+/// `u < v`, in colexicographic order: pair k of column v covers
+/// `idx ∈ [v(v−1)/2, v(v+1)/2)`.
+#[inline]
+fn decode_unordered_pair(idx: u64, _n: u64) -> (NodeId, NodeId) {
+    // v = floor((1 + sqrt(1 + 8 idx)) / 2), then u = idx − v(v−1)/2.
+    let mut v = ((1.0 + (1.0 + 8.0 * idx as f64).sqrt()) / 2.0) as u64;
+    // Guard against floating-point off-by-one at large idx.
+    while v * (v - 1) / 2 > idx {
+        v -= 1;
+    }
+    while (v + 1) * v / 2 <= idx {
+        v += 1;
+    }
+    let u = idx - v * (v - 1) / 2;
+    (u as NodeId, v as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use ephemeral_rng::default_rng;
+
+    #[test]
+    fn decode_unordered_roundtrip() {
+        let n = 20u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = decode_unordered_pair(idx, n);
+            assert!(u < v, "idx {idx} -> ({u},{v})");
+            assert!((v as u64) < n);
+            assert!(seen.insert((u, v)), "duplicate pair for idx {idx}");
+        }
+    }
+
+    #[test]
+    fn decode_ordered_roundtrip() {
+        let n = 15u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) {
+            let (u, v) = decode_ordered_pair(idx, n);
+            assert_ne!(u, v);
+            assert!((u as u64) < n && (v as u64) < n);
+            assert!(seen.insert((u, v)), "duplicate pair for idx {idx}");
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = default_rng(1);
+        assert_eq!(gnp(10, 0.0, false, &mut r).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, false, &mut r).num_edges(), 45);
+        assert_eq!(gnp(10, 1.0, true, &mut r).num_edges(), 90);
+        assert_eq!(gnp(0, 0.5, false, &mut r).num_nodes(), 0);
+        assert_eq!(gnp(1, 0.5, false, &mut r).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut r = default_rng(2);
+        let n = 400;
+        let p = 0.05;
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let mut total = 0usize;
+        const REPS: usize = 20;
+        for _ in 0..REPS {
+            total += gnp(n, p, false, &mut r).num_edges();
+        }
+        let mean = total as f64 / REPS as f64;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_directed_counts_both_orientations() {
+        let mut r = default_rng(3);
+        let g = gnp(300, 0.02, true, &mut r);
+        let expected = 0.02 * (300.0 * 299.0);
+        assert!((g.num_edges() as f64 - expected).abs() < expected * 0.25);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn gnm_exact_count_and_distinct() {
+        let mut r = default_rng(4);
+        let g = gnm(50, 200, false, &mut r);
+        assert_eq!(g.num_edges(), 200);
+        let d = gnm(50, 200, true, &mut r);
+        assert_eq!(d.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let mut r = default_rng(5);
+        let g = gnm(10, 45, false, &mut r);
+        assert_eq!(g.num_edges(), 45);
+        assert_eq!(algo::diameter(&g), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds available pairs")]
+    fn gnm_rejects_oversized_m() {
+        let mut r = default_rng(5);
+        let _ = gnm(10, 46, false, &mut r);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut r = default_rng(6);
+        for n in [1usize, 2, 3, 10, 100, 1000] {
+            let g = random_tree(n, &mut r);
+            assert_eq!(g.num_edges(), n - 1, "n={n}");
+            assert!(algo::is_connected(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_degree_distribution_sane() {
+        // In a uniform labelled tree the expected number of leaves is ≈ n/e.
+        let mut r = default_rng(7);
+        let n = 2000;
+        let g = random_tree(n, &mut r);
+        let leaves = g.nodes().filter(|&v| g.out_degree(v) == 1).count();
+        let expected = n as f64 / std::f64::consts::E;
+        assert!(
+            (leaves as f64 - expected).abs() < expected * 0.15,
+            "leaves {leaves} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut r = default_rng(8);
+        let g = random_regular(100, 4, &mut r);
+        assert_eq!(g.num_edges(), 200);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn random_regular_zero_degree() {
+        let mut r = default_rng(9);
+        let g = random_regular(10, 0, &mut r);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_above_connectivity_threshold_is_connected() {
+        // p = 3 ln n / n is safely above the threshold.
+        let mut r = default_rng(10);
+        let n = 500;
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        let connected = (0..10)
+            .filter(|_| algo::is_connected(&gnp(n, p, false, &mut r)))
+            .count();
+        assert!(connected >= 9, "connected {connected}/10");
+    }
+}

@@ -1,0 +1,224 @@
+//! Structured deterministic families with a spread of diameters — the
+//! "general graphs" on which §5's box-scheme bound `r > 2·d(G)·log n` is
+//! exercised.
+
+use crate::{Graph, GraphBuilder};
+
+/// `rows × cols` grid; node `(r, c)` has id `r·cols + c`.
+/// Diameter `rows + cols − 2`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new_undirected(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("grid construction is always valid")
+}
+
+/// `rows × cols` torus (grid with wraparound). Requires `rows, cols ≥ 3`
+/// so the wrap edges are distinct. Diameter `⌊rows/2⌋ + ⌊cols/2⌋`.
+///
+/// # Panics
+/// If `rows < 3` or `cols < 3`.
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::new_undirected(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build().expect("torus construction is always valid")
+}
+
+/// `dim`-dimensional hypercube `Q_dim` on `2^dim` nodes; neighbors differ in
+/// one bit. Diameter `dim`.
+///
+/// # Panics
+/// If `dim >= 31` (id overflow).
+#[must_use]
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 31, "hypercube dimension too large: {dim}");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new_undirected(n);
+    b.reserve(n * dim as usize / 2);
+    for v in 0..n as u32 {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v, w);
+            }
+        }
+    }
+    b.build().expect("hypercube construction is always valid")
+}
+
+/// Complete binary tree on `n` nodes in heap order: node `v` has children
+/// `2v+1`, `2v+2`. Diameter `≈ 2·log₂ n`.
+#[must_use]
+pub fn binary_tree(n: usize) -> Graph {
+    balanced_tree(2, n)
+}
+
+/// Complete `arity`-ary tree on exactly `n` nodes in heap order: node `v`
+/// has children `arity·v + 1 … arity·v + arity` (those that are `< n`).
+///
+/// # Panics
+/// If `arity == 0`.
+#[must_use]
+pub fn balanced_tree(arity: usize, n: usize) -> Graph {
+    assert!(arity >= 1, "tree arity must be >= 1");
+    let mut b = GraphBuilder::new_undirected(n);
+    for v in 0..n {
+        for k in 1..=arity {
+            let child = arity * v + k;
+            if child < n {
+                b.add_edge(v as u32, child as u32);
+            }
+        }
+    }
+    b.build().expect("balanced tree construction is always valid")
+}
+
+/// Barbell graph: two `K_k` cliques joined by a single bridge edge.
+/// `n = 2k`, diameter 3 (for `k ≥ 2`).
+///
+/// # Panics
+/// If `k < 1`.
+#[must_use]
+pub fn barbell(k: usize) -> Graph {
+    assert!(k >= 1, "barbell requires k >= 1");
+    let n = 2 * k;
+    let mut b = GraphBuilder::new_undirected(n);
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    for u in k as u32..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    // Bridge between the two cliques.
+    b.add_edge(k as u32 - 1, k as u32);
+    b.build().expect("barbell construction is always valid")
+}
+
+/// Lollipop graph: a `K_k` clique with a path of `path_len` extra nodes
+/// attached to node `k−1`. `n = k + path_len`.
+///
+/// # Panics
+/// If `k < 1`.
+#[must_use]
+pub fn lollipop(k: usize, path_len: usize) -> Graph {
+    assert!(k >= 1, "lollipop requires a clique of k >= 1");
+    let n = k + path_len;
+    let mut b = GraphBuilder::new_undirected(n);
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    for i in 0..path_len {
+        let prev = if i == 0 { k as u32 - 1 } else { (k + i - 1) as u32 };
+        b.add_edge(prev, (k + i) as u32);
+    }
+    b.build().expect("lollipop construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(algo::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn grid_degenerate_is_path() {
+        let g = grid(1, 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32);
+        assert_eq!(algo::diameter(&g), Some(4));
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_dim_zero_is_a_point() {
+        let g = hypercube(0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7); // perfect depth-2 tree
+        assert_eq!(g.num_edges(), 6);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn balanced_ternary_tree() {
+        let g = balanced_tree(3, 13); // root + 3 + 9
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 6 + 6 + 1);
+        assert_eq!(algo::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert_eq!(algo::diameter(&g), Some(4));
+        assert!(algo::is_connected(&g));
+    }
+}

@@ -1,0 +1,61 @@
+//! # ephemeral-graph
+//!
+//! A compact CSR (compressed sparse row) graph substrate for the
+//! `ephemeral-networks` workspace — the static "underlying graph `G = (V,E)`"
+//! on which temporal labels are overlaid (Akrida et al., SPAA'14, §2).
+//!
+//! Design notes (following the workspace's HPC guides):
+//!
+//! * Nodes and edges are dense `u32` ids ([`NodeId`], [`EdgeId`]): half the
+//!   memory traffic of `usize` on 64-bit targets, and the experiment sizes
+//!   (`n ≤ 2²⁰`, `m ≤ 2³¹`) fit comfortably.
+//! * Storage is immutable CSR built once by [`GraphBuilder`]; adjacency lists
+//!   are sorted by target so `has_edge` is `O(log deg)` and iteration is
+//!   cache-linear.
+//! * Directed graphs carry both out- and in-adjacency (the paper's reverse
+//!   expansion process out of the target `t` walks in-arcs).
+//!
+//! ## Modules
+//!
+//! * [`generators`] — deterministic families (clique, star, path, cycle,
+//!   complete bipartite, wheel, grid, torus, hypercube, trees, barbell,
+//!   lollipop) and random families (`G(n,p)`, `G(n,m)`, uniform random trees,
+//!   random regular graphs).
+//! * [`algo`] — BFS, connected components, union–find, exact diameter and
+//!   two-sweep bounds, spanning trees.
+//! * [`dot`] — Graphviz export for the examples.
+//!
+//! ```
+//! use ephemeral_graph::{generators, algo};
+//!
+//! let g = generators::star(8);
+//! assert_eq!(g.num_nodes(), 8);
+//! assert_eq!(g.num_edges(), 7);
+//! assert_eq!(algo::diameter(&g), Some(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+mod builder;
+pub mod dot;
+mod error;
+pub mod generators;
+mod graph;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::Graph;
+
+/// Dense node identifier (`0..n`).
+pub type NodeId = u32;
+
+/// Dense edge identifier (`0..m`), in insertion order. For directed graphs
+/// an edge is an arc; for undirected graphs both adjacency directions share
+/// one id (temporal labels attach to the *edge*, as in the paper's
+/// undirected model, Remark 1).
+pub type EdgeId = u32;
+
+/// Sentinel for "no node" / "unreachable" in distance arrays.
+pub const INVALID_NODE: NodeId = NodeId::MAX;

@@ -1,0 +1,146 @@
+//! Exhaustive structural checks for every generator family, across sizes —
+//! the invariants the experiments implicitly rely on.
+
+use ephemeral_graph::algo::{connected_components, diameter, is_connected};
+use ephemeral_graph::generators;
+use ephemeral_graph::Graph;
+
+fn degree_sequence(g: &Graph) -> Vec<usize> {
+    let mut d: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+    d.sort_unstable();
+    d
+}
+
+#[test]
+fn clique_degrees_and_diameter_across_sizes() {
+    for n in [2usize, 3, 5, 9, 17] {
+        let g = generators::clique(n, false);
+        assert!(degree_sequence(&g).iter().all(|&d| d == n - 1), "n={n}");
+        assert_eq!(diameter(&g), Some(1), "n={n}");
+    }
+}
+
+#[test]
+fn star_is_bipartite_with_unique_hub() {
+    for n in [3usize, 8, 33] {
+        let g = generators::star(n);
+        let degs = degree_sequence(&g);
+        assert_eq!(degs[n - 1], n - 1, "hub degree, n={n}");
+        assert!(degs[..n - 1].iter().all(|&d| d == 1), "leaves, n={n}");
+        // Bipartite: no odd cycles — a star has no cycles at all.
+        assert_eq!(g.num_edges(), n - 1);
+    }
+}
+
+#[test]
+fn paths_and_cycles_have_expected_eccentricities() {
+    for n in [3usize, 6, 11] {
+        assert_eq!(diameter(&generators::path(n)), Some(n as u32 - 1));
+        assert_eq!(diameter(&generators::cycle(n)), Some(n as u32 / 2));
+    }
+}
+
+#[test]
+fn grid_and_torus_regularity() {
+    for (r, c) in [(3usize, 3usize), (4, 6), (5, 5)] {
+        let g = generators::grid(r, c);
+        assert_eq!(g.num_edges(), r * (c - 1) + c * (r - 1), "grid {r}x{c}");
+        assert_eq!(diameter(&g), Some((r + c - 2) as u32), "grid {r}x{c}");
+
+        let t = generators::torus(r, c);
+        assert_eq!(t.num_edges(), 2 * r * c, "torus {r}x{c}");
+        assert!(degree_sequence(&t).iter().all(|&d| d == 4), "torus {r}x{c}");
+        assert_eq!(diameter(&t), Some((r / 2 + c / 2) as u32), "torus {r}x{c}");
+    }
+}
+
+#[test]
+fn hypercube_is_dim_regular_with_dim_diameter() {
+    for dim in [1u32, 2, 3, 5, 7] {
+        let g = generators::hypercube(dim);
+        assert_eq!(g.num_nodes(), 1 << dim);
+        assert!(degree_sequence(&g).iter().all(|&d| d == dim as usize));
+        assert_eq!(diameter(&g), Some(dim));
+        // Bipartite by parity: endpoints of every edge differ in one bit.
+        for (_, u, v) in g.edges() {
+            assert_eq!((u ^ v).count_ones(), 1);
+        }
+    }
+}
+
+#[test]
+fn trees_have_no_cycles_and_correct_counts() {
+    for n in [1usize, 2, 7, 20, 100] {
+        for arity in [1usize, 2, 3, 5] {
+            let t = generators::balanced_tree(arity, n);
+            assert_eq!(t.num_edges(), n.saturating_sub(1), "arity {arity}, n {n}");
+            assert!(is_connected(&t));
+        }
+    }
+}
+
+#[test]
+fn barbell_and_lollipop_composition() {
+    for k in [2usize, 4, 7] {
+        let b = generators::barbell(k);
+        assert_eq!(b.num_nodes(), 2 * k);
+        assert_eq!(b.num_edges(), k * (k - 1) + 1);
+        assert!(is_connected(&b));
+
+        let l = generators::lollipop(k, 3);
+        assert_eq!(l.num_nodes(), k + 3);
+        assert_eq!(l.num_edges(), k * (k - 1) / 2 + 3);
+        assert!(is_connected(&l));
+    }
+}
+
+#[test]
+fn wheel_rim_plus_hub() {
+    for n in [4usize, 7, 12] {
+        let w = generators::wheel(n);
+        assert_eq!(w.num_edges(), 2 * (n - 1));
+        let degs = degree_sequence(&w);
+        assert_eq!(degs[n - 1], n - 1, "hub");
+        assert!(degs[..n - 1].iter().all(|&d| d == 3), "rim nodes have degree 3");
+    }
+}
+
+#[test]
+fn complete_bipartite_partition_sizes() {
+    for (a, b) in [(1usize, 1usize), (2, 5), (4, 4)] {
+        let g = generators::complete_bipartite(a, b);
+        assert_eq!(g.num_edges(), a * b);
+        // Part A nodes have degree b, part B nodes degree a.
+        for u in 0..a as u32 {
+            assert_eq!(g.out_degree(u), b);
+        }
+        for v in a as u32..(a + b) as u32 {
+            assert_eq!(g.out_degree(v), a);
+        }
+    }
+}
+
+#[test]
+fn gnp_monotone_in_p_on_average() {
+    let mut rng = ephemeral_rng::default_rng(31);
+    let n = 300;
+    let sparse: usize = (0..5)
+        .map(|_| generators::gnp(n, 0.01, false, &mut rng).num_edges())
+        .sum();
+    let dense: usize = (0..5)
+        .map(|_| generators::gnp(n, 0.05, false, &mut rng).num_edges())
+        .sum();
+    assert!(dense > 3 * sparse, "dense {dense} vs sparse {sparse}");
+}
+
+#[test]
+fn random_regular_is_connected_whp_for_d3() {
+    // Random 3-regular graphs are connected w.h.p.; over 10 samples at
+    // n = 60 none should be disconnected (prob ≪ 1e-3 each).
+    let mut rng = ephemeral_rng::default_rng(32);
+    for _ in 0..10 {
+        let g = generators::random_regular(60, 3, &mut rng);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the CSR graph substrate.
+
+use ephemeral_graph::algo::{
+    bfs_distances, connected_components, diameter, two_sweep_lower_bound, UnionFind, UNREACHABLE,
+};
+use ephemeral_graph::{generators, GraphBuilder};
+use ephemeral_rng::SeedSequence;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Arbitrary undirected edge list over up to 24 nodes (deduplicated).
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..60);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_roundtrips_edge_sets((n, raw) in arb_edges()) {
+        let mut b = GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        let mut expected: HashSet<(u32, u32)> = HashSet::new();
+        for (u, v) in raw {
+            if u != v {
+                b.add_edge(u, v);
+                expected.insert((u.min(v), u.max(v)));
+            }
+        }
+        let g = b.build().unwrap();
+        prop_assert_eq!(g.num_edges(), expected.len());
+        // Every stored edge is queryable in both directions.
+        for &(u, v) in &expected {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+        // Degree sum = 2m.
+        let degree_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Adjacency rows sorted strictly.
+        for v in g.nodes() {
+            let (nbrs, _) = g.out_adjacency(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes((n, raw) in arb_edges()) {
+        let mut b = GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        for (u, v) in raw {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        prop_assert_eq!(c.labels.len(), n);
+        prop_assert_eq!(c.sizes.iter().map(|&s| s as usize).sum::<usize>(), n);
+        prop_assert!(c.labels.iter().all(|&l| (l as usize) < c.count));
+        // BFS reach from any node equals its component size.
+        let dist = bfs_distances(&g, 0);
+        let reach = dist.iter().filter(|&&d| d != UNREACHABLE).count();
+        prop_assert_eq!(reach as u32, c.sizes[c.labels[0] as usize]);
+    }
+
+    #[test]
+    fn two_sweep_never_exceeds_diameter((n, raw) in arb_edges()) {
+        let mut b = GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        for (u, v) in raw {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        if let Some(exact) = diameter(&g) {
+            let lb = two_sweep_lower_bound(&g, 0).unwrap();
+            prop_assert!(lb <= exact);
+        }
+    }
+
+    #[test]
+    fn union_find_agrees_with_components((n, raw) in arb_edges()) {
+        let mut b = GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        let mut uf = UnionFind::new(n);
+        for (u, v) in raw {
+            if u != v {
+                b.add_edge(u, v);
+                uf.union(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        prop_assert_eq!(uf.num_sets(), connected_components(&g).count);
+    }
+
+    #[test]
+    fn gnp_edges_within_deterministic_bounds(seed: u64, n in 2usize..120, p in 0.0f64..=1.0) {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let g = generators::gnp(n, p, false, &mut rng);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+        if p == 0.0 {
+            prop_assert_eq!(g.num_edges(), 0);
+        }
+        if p == 1.0 {
+            prop_assert_eq!(g.num_edges(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn random_trees_are_trees(seed: u64, n in 1usize..300) {
+        let mut rng = SeedSequence::new(seed).rng(1);
+        let t = generators::random_tree(n, &mut rng);
+        prop_assert_eq!(t.num_edges(), n - 1);
+        prop_assert!(ephemeral_graph::algo::is_connected(&t));
+        // Two-sweep is exact on trees: it equals the full diameter scan.
+        if n >= 2 {
+            prop_assert_eq!(two_sweep_lower_bound(&t, 0), diameter(&t));
+        }
+    }
+
+    #[test]
+    fn gnm_has_exact_count(seed: u64, n in 2usize..60, frac in 0.0f64..=1.0) {
+        let max_m = n * (n - 1) / 2;
+        let m = (max_m as f64 * frac) as usize;
+        let mut rng = SeedSequence::new(seed).rng(2);
+        let g = generators::gnm(n, m, false, &mut rng);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn reversal_is_an_involution_on_digraphs(seed: u64, n in 2usize..40) {
+        let mut rng = SeedSequence::new(seed).rng(3);
+        let g = generators::gnp(n, 0.2, true, &mut rng);
+        prop_assert_eq!(g.reversed().reversed(), g.clone());
+        // Degree swap.
+        for v in g.nodes() {
+            prop_assert_eq!(g.out_degree(v), g.reversed().in_degree(v));
+        }
+    }
+}

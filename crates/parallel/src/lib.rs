@@ -1,0 +1,41 @@
+//! # ephemeral-parallel
+//!
+//! The HPC substrate of the workspace: data-parallel execution and the
+//! statistics needed to turn Monte Carlo samples into the numbers reported
+//! in EXPERIMENTS.md.
+//!
+//! * [`par_map`] / [`par_for`]: scoped data-parallelism over slices and index
+//!   ranges with atomic chunk stealing (the rayon-style "just parallelise
+//!   this loop" primitive, built on `std::thread::scope` so there is nothing
+//!   to configure and no global state).
+//! * [`ThreadPool`]: a persistent worker pool on crossbeam channels for
+//!   irregular task sets.
+//! * [`MonteCarlo`]: the deterministic experiment runner. Trial `i` always
+//!   receives the generator derived from `(experiment seed, i)`, so results
+//!   are **bit-identical no matter how many threads run the experiment** —
+//!   the property every number in EXPERIMENTS.md relies on.
+//! * [`stats`]: Welford online moments (mergeable, so parallel reductions
+//!   are exact), summaries with quantiles, normal & Wilson confidence
+//!   intervals, least-squares fits (used to fit `TD ≈ γ·log n`), histograms.
+//!
+//! ```
+//! use ephemeral_parallel::MonteCarlo;
+//!
+//! // Estimate E[max of 3 dice] with 10_000 deterministic trials.
+//! let mc = MonteCarlo::new(10_000, 42);
+//! let summary = mc.run_summary(|_, rng| {
+//!     use ephemeral_rng::RandomSource;
+//!     (0..3).map(|_| rng.bounded_u64(6) + 1).max().unwrap() as f64
+//! });
+//! assert!((summary.mean - 4.96).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod montecarlo;
+mod pool;
+pub mod stats;
+
+pub use montecarlo::{MonteCarlo, Proportion};
+pub use pool::{available_threads, par_for, par_map, ThreadPool};

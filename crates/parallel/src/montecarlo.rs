@@ -1,0 +1,183 @@
+//! The deterministic Monte Carlo experiment runner.
+
+use crate::pool::{available_threads, par_for};
+use crate::stats::{wilson_interval, Summary};
+use ephemeral_rng::{DefaultRng, SeedSequence};
+
+/// Runs `trials` independent simulations with per-trial derived seeds.
+///
+/// Determinism contract: the generator handed to trial `i` depends only on
+/// `(seed, i)`, never on thread scheduling, so every reported number is
+/// reproducible with `MonteCarlo::new(trials, seed)` regardless of the
+/// machine's core count.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Experiment master seed.
+    pub seed: u64,
+    /// Worker threads (defaults to the machine's available parallelism).
+    pub threads: usize,
+}
+
+impl MonteCarlo {
+    /// `trials` trials rooted at `seed`, on all available cores.
+    #[must_use]
+    pub fn new(trials: usize, seed: u64) -> Self {
+        Self {
+            trials,
+            seed,
+            threads: available_threads(),
+        }
+    }
+
+    /// Override the thread count (1 = sequential).
+    #[must_use]
+    pub const fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Run `sim(trial_index, rng)` for every trial; results in trial order.
+    pub fn run<R, F>(&self, sim: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut DefaultRng) -> R + Sync,
+    {
+        let seq = SeedSequence::new(self.seed);
+        par_for(self.trials, self.threads, |i| {
+            let mut rng = seq.rng(i as u64);
+            sim(i, &mut rng)
+        })
+    }
+
+    /// Run a real-valued simulation and summarise the samples.
+    pub fn run_summary<F>(&self, sim: F) -> Summary
+    where
+        F: Fn(usize, &mut DefaultRng) -> f64 + Sync,
+    {
+        Summary::from_samples(&self.run(sim))
+    }
+
+    /// Run a boolean simulation and report the empirical success
+    /// probability with a 95% Wilson interval.
+    pub fn success_probability<F>(&self, sim: F) -> Proportion
+    where
+        F: Fn(usize, &mut DefaultRng) -> bool + Sync,
+    {
+        let outcomes = self.run(sim);
+        let successes = outcomes.iter().filter(|&&b| b).count();
+        Proportion::new(successes, outcomes.len())
+    }
+}
+
+/// An empirical proportion with its 95% Wilson score interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: usize,
+    /// Number of trials.
+    pub trials: usize,
+    /// Point estimate `successes / trials` (0 when `trials == 0`).
+    pub estimate: f64,
+    /// Lower end of the 95% Wilson interval.
+    pub lo: f64,
+    /// Upper end of the 95% Wilson interval.
+    pub hi: f64,
+}
+
+impl Proportion {
+    /// Build from raw counts.
+    #[must_use]
+    pub fn new(successes: usize, trials: usize) -> Self {
+        let estimate = if trials == 0 {
+            0.0
+        } else {
+            successes as f64 / trials as f64
+        };
+        let (lo, hi) = wilson_interval(successes, trials, 0.95);
+        Self {
+            successes,
+            trials,
+            estimate,
+            lo,
+            hi,
+        }
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({}/{})",
+            self.estimate, self.lo, self.hi, self.successes, self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_rng::RandomSource;
+
+    #[test]
+    fn results_are_in_trial_order_and_deterministic() {
+        let mc = MonteCarlo::new(100, 7);
+        let a = mc.run(|i, rng| (i as u64) ^ rng.next_u64());
+        let b = mc.run(|i, rng| (i as u64) ^ rng.next_u64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base: Vec<u64> = MonteCarlo::new(500, 11)
+            .with_threads(1)
+            .run(|_, rng| rng.next_u64());
+        for threads in [2, 4, 16] {
+            let other = MonteCarlo::new(500, 11)
+                .with_threads(threads)
+                .run(|_, rng| rng.next_u64());
+            assert_eq!(base, other, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = MonteCarlo::new(50, 1).run(|_, rng| rng.next_u64());
+        let b = MonteCarlo::new(50, 2).run(|_, rng| rng.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn summary_of_uniform_mean() {
+        let mc = MonteCarlo::new(20_000, 3);
+        let s = mc.run_summary(|_, rng| rng.unit_f64());
+        assert!((s.mean - 0.5).abs() < 0.01, "mean {}", s.mean);
+        assert!((s.sd - (1.0f64 / 12.0).sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn success_probability_wilson_covers_truth() {
+        let mc = MonteCarlo::new(5_000, 9);
+        let p = mc.success_probability(|_, rng| rng.bernoulli(0.25));
+        assert!((p.estimate - 0.25).abs() < 0.03, "{p}");
+        assert!(p.lo <= 0.25 && 0.25 <= p.hi, "{p}");
+        assert_eq!(p.trials, 5_000);
+    }
+
+    #[test]
+    fn zero_trials_proportion_is_safe() {
+        let p = Proportion::new(0, 0);
+        assert_eq!(p.estimate, 0.0);
+        assert!(p.lo <= p.hi);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Proportion::new(1, 4);
+        let s = format!("{p}");
+        assert!(s.contains("0.2500"));
+        assert!(s.contains("(1/4)"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Data-parallel primitives.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of worker threads to use by default (the machine's available
+/// parallelism; 1 if it cannot be determined).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Pick a work-stealing block size: small enough to balance, large enough to
+/// amortise the atomic increment.
+fn block_size(len: usize, threads: usize) -> usize {
+    (len / (threads * 8)).max(1)
+}
+
+/// Apply `f` to every element of `items` (with its index), in parallel on
+/// `threads` threads, preserving order of results.
+///
+/// Work is distributed by atomic block stealing, so uneven per-item cost
+/// balances automatically. Falls back to a plain sequential map when
+/// `threads <= 1` or the input is tiny.
+///
+/// `f` must be `Sync` because multiple workers call it concurrently; it is
+/// only given `&T`, never `&mut`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let threads = threads.min(len);
+    let block = block_size(len, threads);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + block).min(len);
+                let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
+                collected.lock().push((start, out));
+            });
+        }
+    });
+    let mut chunks = collected.into_inner();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(len);
+    for (_, chunk) in chunks {
+        result.extend(chunk);
+    }
+    debug_assert_eq!(result.len(), len);
+    result
+}
+
+/// Parallel `for i in 0..count { f(i) }` returning results in index order.
+pub fn par_for<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map(&indices, threads, |_, &i| f(i))
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// A persistent worker pool over a crossbeam channel, for irregular task
+/// sets where scoped block-stealing does not fit (e.g. recursive work).
+///
+/// ```
+/// use ephemeral_parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || { hits.fetch_add(1, Ordering::Relaxed); });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct ThreadPool {
+    sender: Option<crossbeam::channel::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    state: Arc<PoolState>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
+        let state = Arc::new(PoolState {
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        // Isolate job panics: the worker must survive and the
+                        // pending count must drop, or wait_idle would hang.
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        let mut pending = state.pending.lock();
+                        *pending -= 1;
+                        if *pending == 0 {
+                            state.idle.notify_all();
+                        }
+                        drop(pending);
+                        drop(outcome); // panic payload discarded; job failures are the job's business
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            state,
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut pending = self.state.pending.lock();
+            *pending += 1;
+        }
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("workers alive until drop");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut pending = self.state.pending.lock();
+        while *pending > 0 {
+            self.state.idle.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, 4, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 16, 64] {
+            assert_eq!(par_map(&items, threads, |_, &x| x * x), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_correct_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let indexed = par_map(&items, 2, |i, &s| format!("{i}{s}"));
+        assert_eq!(indexed, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_with_uneven_work() {
+        // Items with wildly different cost still produce ordered output.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 8, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_for_counts() {
+        let squares = par_for(10, 4, |i| i * i);
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 199 * 200 / 2);
+    }
+
+    #[test]
+    fn pool_wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle(); // must not hang
+    }
+
+    #[test]
+    fn pool_survives_multiple_waves() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _wave in 0..3 {
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        // Failure injection: a panicking job must neither kill its worker
+        // nor wedge wait_idle.
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..40u64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                if i % 10 == 3 {
+                    panic!("injected failure");
+                }
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 36);
+        // The pool still works afterwards.
+        let counter2 = Arc::clone(&counter);
+        pool.execute(move || {
+            counter2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn pool_zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        pool.execute(move || {
+            f2.store(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Statistics for Monte Carlo experiment reporting.
+
+mod ci;
+mod histogram;
+mod online;
+mod regression;
+mod summary;
+
+pub use ci::{normal_interval, wilson_interval, z_for_confidence};
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use regression::{fit_linear, fit_log2, LinearFit};
+pub use summary::{quantile_sorted, Summary};

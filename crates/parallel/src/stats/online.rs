@@ -1,0 +1,221 @@
+//! Welford online moments with exact parallel merging (Chan et al.).
+
+/// Streaming mean/variance/extrema accumulator.
+///
+/// `merge` implements the numerically stable pairwise-combination formula,
+/// so per-thread accumulators can be reduced without bias — the reduction
+/// used by the parallel Monte Carlo paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Absorb every sample of another accumulator (exact, order-insensitive
+    /// up to floating-point rounding).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sd() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    #[must_use]
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    #[must_use]
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sem(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..317] {
+            left.push(x);
+        }
+        for &x in &xs[317..] {
+            right.push(x);
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-10);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        let snapshot = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, snapshot);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_is_associative_enough() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut c = OnlineStats::new();
+        for i in 0..30 {
+            a.push(f64::from(i));
+        }
+        for i in 30..60 {
+            b.push(f64::from(i));
+        }
+        for i in 60..90 {
+            c.push(f64::from(i));
+        }
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert!((ab_c.mean() - a_bc.mean()).abs() < 1e-10);
+        assert!((ab_c.variance() - a_bc.variance()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the parallel substrate and statistics.
+
+use ephemeral_parallel::stats::{quantile_sorted, OnlineStats, Summary};
+use ephemeral_parallel::{par_map, MonteCarlo};
+use ephemeral_rng::RandomSource;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_equals_sequential(
+        items in prop::collection::vec(any::<u32>(), 0..300),
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| u64::from(x) * 3 + i as u64)
+            .collect();
+        let par = par_map(&items, threads, |i, &x| u64::from(x) * 3 + i as u64);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn online_stats_merge_any_split(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] {
+            left.push(x);
+        }
+        for &x in &xs[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                <= 1e-5 * (1.0 + whole.variance().abs())
+        );
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_bounds_are_consistent(xs in prop::collection::vec(-1e5f64..1e5, 1..200)) {
+        let s = Summary::from_samples(&xs);
+        prop_assert!(s.min <= s.q25 + 1e-9);
+        prop_assert!(s.q25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q75 + 1e-9);
+        prop_assert!(s.q75 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.sd >= 0.0 && s.sem >= 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(xs in prop::collection::vec(-1e5f64..1e5, 1..100)) {
+        let mut sorted = xs;
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile_sorted(&sorted, f64::from(i) / 10.0);
+            prop_assert!(q >= last - 1e-12);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn monte_carlo_thread_invariance(trials in 1usize..200, seed: u64) {
+        let one = MonteCarlo::new(trials, seed)
+            .with_threads(1)
+            .run(|i, rng| rng.next_u64() ^ (i as u64));
+        let many = MonteCarlo::new(trials, seed)
+            .with_threads(5)
+            .run(|i, rng| rng.next_u64() ^ (i as u64));
+        prop_assert_eq!(one, many);
+    }
+
+    #[test]
+    fn proportion_interval_contains_estimate(successes in 0usize..500, extra in 0usize..500) {
+        let trials = successes + extra;
+        let p = ephemeral_parallel::Proportion::new(successes, trials);
+        if trials > 0 {
+            prop_assert!(p.lo <= p.estimate + 1e-12);
+            prop_assert!(p.estimate <= p.hi + 1e-12);
+        }
+        prop_assert!(p.lo >= 0.0 && p.hi <= 1.0);
+    }
+}

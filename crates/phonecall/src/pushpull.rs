@@ -1,0 +1,143 @@
+//! The push–pull protocol (Karp, Schindelhauer, Shenker & Vöcking).
+
+use ephemeral_rng::RandomSource;
+
+/// Result of a push–pull broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushPullOutcome {
+    /// Rounds until everyone was informed (or the round limit).
+    pub rounds: u32,
+    /// Rumor transmissions: one per informed caller (push) plus one per
+    /// uninformed caller whose callee was informed (a successful pull).
+    pub transmissions: u64,
+    /// Nodes informed at the end.
+    pub informed: usize,
+    /// Did everyone get the rumor?
+    pub complete: bool,
+}
+
+/// Synchronous push–pull on the complete graph: every node (informed or
+/// not) calls a uniformly random other node each round; the rumor crosses
+/// the call in whichever direction it can.
+///
+/// The quadratic-shrinking phase of the uninformed set is what caps
+/// transmissions at `O(n·log log n)` once the rumor saturates — E10
+/// measures exactly that contrast with pure push.
+///
+/// # Panics
+/// If `n == 0` or `source >= n`.
+#[must_use]
+pub fn push_pull_broadcast(
+    n: usize,
+    source: usize,
+    max_rounds: u32,
+    rng: &mut impl RandomSource,
+) -> PushPullOutcome {
+    assert!(n > 0 && source < n, "bad source/size");
+    let mut informed = vec![false; n];
+    informed[source] = true;
+    let mut informed_count = 1usize;
+    let mut transmissions = 0u64;
+    let mut rounds = 0u32;
+    let mut fresh: Vec<u32> = Vec::new();
+    while informed_count < n && rounds < max_rounds {
+        rounds += 1;
+        fresh.clear();
+        for u in 0..n as u32 {
+            let mut v = rng.bounded_u32(n as u32 - 1);
+            if v >= u {
+                v += 1;
+            }
+            match (informed[u as usize], informed[v as usize]) {
+                // Push: caller has it, callee may or may not.
+                (true, callee) => {
+                    transmissions += 1;
+                    if !callee {
+                        fresh.push(v);
+                    }
+                }
+                // Pull: caller lacks it, callee has it.
+                (false, true) => {
+                    transmissions += 1;
+                    fresh.push(u);
+                }
+                (false, false) => {}
+            }
+        }
+        for &v in &fresh {
+            if !informed[v as usize] {
+                informed[v as usize] = true;
+                informed_count += 1;
+            }
+        }
+    }
+    PushPullOutcome {
+        rounds,
+        transmissions,
+        informed: informed_count,
+        complete: informed_count == n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push_broadcast;
+    use ephemeral_rng::default_rng;
+
+    #[test]
+    fn push_pull_completes_fast() {
+        let mut rng = default_rng(1);
+        let n = 1024;
+        let out = push_pull_broadcast(n, 0, 10_000, &mut rng);
+        assert!(out.complete);
+        // Push–pull is no slower than ≈ log2 n + ln ln n + O(1); generous band.
+        assert!(f64::from(out.rounds) < 2.5 * (n as f64).log2(), "rounds {}", out.rounds);
+    }
+
+    #[test]
+    fn push_pull_beats_push_in_rounds() {
+        let n = 4096;
+        let mut pp_rounds = 0u32;
+        let mut p_rounds = 0u32;
+        for seed in 0..5 {
+            pp_rounds += push_pull_broadcast(n, 0, 10_000, &mut default_rng(seed)).rounds;
+            p_rounds += push_broadcast(n, 0, 10_000, &mut default_rng(100 + seed)).rounds;
+        }
+        assert!(pp_rounds < p_rounds, "push-pull {pp_rounds} !< push {p_rounds}");
+    }
+
+    #[test]
+    fn transmissions_are_bounded_by_n_per_round() {
+        let mut rng = default_rng(2);
+        let n = 256;
+        let out = push_pull_broadcast(n, 0, 10_000, &mut rng);
+        assert!(out.transmissions <= u64::from(out.rounds) * n as u64);
+        assert!(out.transmissions >= n as u64 - 1, "at least n−1 deliveries");
+    }
+
+    #[test]
+    fn round_limit_respected() {
+        let mut rng = default_rng(3);
+        let out = push_pull_broadcast(1 << 14, 0, 2, &mut rng);
+        assert!(!out.complete);
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn singleton_trivial() {
+        let mut rng = default_rng(4);
+        let out = push_pull_broadcast(1, 0, 5, &mut rng);
+        assert!(out.complete);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.transmissions, 0);
+    }
+
+    #[test]
+    fn two_nodes_one_round() {
+        let mut rng = default_rng(5);
+        let out = push_pull_broadcast(2, 0, 5, &mut rng);
+        assert!(out.complete);
+        assert_eq!(out.rounds, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! CSR storage of per-edge time-label sets.
+
+use crate::Time;
+
+/// The label assignment `L = {L_e : e ∈ E}` of a temporal network, stored
+/// as one flat CSR array (offsets per edge, labels sorted ascending and
+/// deduplicated within each edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelAssignment {
+    offsets: Vec<u32>,
+    labels: Vec<Time>,
+}
+
+impl LabelAssignment {
+    /// Build from one label vector per edge. Labels are sorted and
+    /// deduplicated per edge; zero labels are rejected (`None`) because the
+    /// paper's label sets are subsets of `{1, 2, …, a}`. Empty per-edge sets
+    /// are allowed (an edge that is never available).
+    #[must_use]
+    pub fn from_vecs(per_edge: Vec<Vec<Time>>) -> Option<Self> {
+        let mut offsets = Vec::with_capacity(per_edge.len() + 1);
+        offsets.push(0u32);
+        let total: usize = per_edge.iter().map(Vec::len).sum();
+        let mut labels = Vec::with_capacity(total);
+        for mut edge_labels in per_edge {
+            if edge_labels.iter().any(|&l| l == 0) {
+                return None;
+            }
+            edge_labels.sort_unstable();
+            edge_labels.dedup();
+            labels.extend_from_slice(&edge_labels);
+            offsets.push(labels.len() as u32);
+        }
+        Some(Self { offsets, labels })
+    }
+
+    /// Build from exactly one label per edge (the paper's single-label
+    /// model of §3). Rejects zero labels.
+    #[must_use]
+    pub fn single(labels: Vec<Time>) -> Option<Self> {
+        if labels.iter().any(|&l| l == 0) {
+            return None;
+        }
+        let offsets = (0..=labels.len() as u32).collect();
+        Some(Self { offsets, labels })
+    }
+
+    /// Build by calling `f(edge_id)` for each of `m` edges.
+    #[must_use]
+    pub fn from_fn(m: usize, mut f: impl FnMut(u32) -> Vec<Time>) -> Option<Self> {
+        Self::from_vecs((0..m as u32).map(&mut f).collect())
+    }
+
+    /// Number of edges covered.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted label set of edge `e`.
+    ///
+    /// # Panics
+    /// If `e >= num_edges()`.
+    #[inline]
+    #[must_use]
+    pub fn labels(&self, e: u32) -> &[Time] {
+        &self.labels[self.offsets[e as usize] as usize..self.offsets[e as usize + 1] as usize]
+    }
+
+    /// Total number of labels `Σ_e |L_e|` — the quantity the paper's `OPT`
+    /// and Price of Randomness count.
+    #[must_use]
+    pub fn total_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Largest label anywhere, or `None` if no edge has any label.
+    #[must_use]
+    pub fn max_label(&self) -> Option<Time> {
+        self.labels.iter().copied().max()
+    }
+
+    /// Smallest label anywhere, or `None` if no edge has any label.
+    #[must_use]
+    pub fn min_label(&self) -> Option<Time> {
+        self.labels.iter().copied().min()
+    }
+
+    /// Does edge `e` carry label `t`? `O(log |L_e|)`.
+    #[must_use]
+    pub fn has_label(&self, e: u32, t: Time) -> bool {
+        self.labels(e).binary_search(&t).is_ok()
+    }
+
+    /// Iterate `(edge, label)` pairs in edge order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Time)> + '_ {
+        (0..self.num_edges() as u32).flat_map(move |e| self.labels(e).iter().map(move |&l| (e, l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vecs_sorts_and_dedups() {
+        let a = LabelAssignment::from_vecs(vec![vec![3, 1, 3], vec![], vec![2]]).unwrap();
+        assert_eq!(a.num_edges(), 3);
+        assert_eq!(a.labels(0), &[1, 3]);
+        assert_eq!(a.labels(1), &[] as &[Time]);
+        assert_eq!(a.labels(2), &[2]);
+        assert_eq!(a.total_labels(), 3);
+    }
+
+    #[test]
+    fn zero_labels_are_rejected() {
+        assert!(LabelAssignment::from_vecs(vec![vec![0]]).is_none());
+        assert!(LabelAssignment::single(vec![1, 0]).is_none());
+    }
+
+    #[test]
+    fn single_gives_one_label_per_edge() {
+        let a = LabelAssignment::single(vec![5, 2, 9]).unwrap();
+        assert_eq!(a.num_edges(), 3);
+        assert_eq!(a.labels(1), &[2]);
+        assert_eq!(a.max_label(), Some(9));
+        assert_eq!(a.min_label(), Some(2));
+    }
+
+    #[test]
+    fn from_fn_builds_by_edge_id() {
+        let a = LabelAssignment::from_fn(3, |e| vec![e + 1, e + 10]).unwrap();
+        assert_eq!(a.labels(2), &[3, 12]);
+        assert_eq!(a.total_labels(), 6);
+    }
+
+    #[test]
+    fn has_label_binary_search() {
+        let a = LabelAssignment::from_vecs(vec![vec![2, 4, 8]]).unwrap();
+        assert!(a.has_label(0, 4));
+        assert!(!a.has_label(0, 5));
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = LabelAssignment::from_vecs(vec![]).unwrap();
+        assert_eq!(a.num_edges(), 0);
+        assert_eq!(a.total_labels(), 0);
+        assert_eq!(a.max_label(), None);
+        assert_eq!(a.min_label(), None);
+    }
+
+    #[test]
+    fn iter_yields_edge_label_pairs() {
+        let a = LabelAssignment::from_vecs(vec![vec![1, 2], vec![7]]).unwrap();
+        let pairs: Vec<(u32, Time)> = a.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 7)]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Compact all-pairs temporal reachability: one bit per ordered pair.
+//!
+//! For `T_reach`-style analyses over many instances, storing full `n × n`
+//! arrival matrices (`4n²` bytes) is wasteful when only reachability is
+//! asked. [`ReachabilityMatrix`] packs the closure into `n²/8` bytes of
+//! `u64` words and answers pair queries, per-source counts, and the
+//! pair-deficit (how many ordered pairs lack a journey) with word-parallel
+//! popcounts.
+
+use crate::foremost::foremost;
+use crate::network::TemporalNetwork;
+use crate::NEVER;
+use ephemeral_graph::NodeId;
+use ephemeral_parallel::par_for;
+
+/// Bit-packed `n × n` temporal reachability closure (row = source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl ReachabilityMatrix {
+    /// Compute the closure: bit `(s, t)` is set iff a journey `s → t`
+    /// exists (diagonal bits are set — a vertex reaches itself).
+    #[must_use]
+    pub fn compute(tn: &TemporalNetwork, threads: usize) -> Self {
+        let n = tn.num_nodes();
+        let words_per_row = n.div_ceil(64);
+        let rows = par_for(n, threads, |s| {
+            let run = foremost(tn, s as NodeId, 0);
+            let mut row = vec![0u64; words_per_row];
+            for (t, &a) in run.arrivals().iter().enumerate() {
+                if a != NEVER {
+                    row[t / 64] |= 1 << (t % 64);
+                }
+            }
+            row
+        });
+        let mut bits = Vec::with_capacity(n * words_per_row);
+        for row in rows {
+            bits.extend(row);
+        }
+        Self {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Does a journey `s → t` exist? (`true` on the diagonal.)
+    #[inline]
+    #[must_use]
+    pub fn reaches(&self, s: NodeId, t: NodeId) -> bool {
+        let idx = s as usize * self.words_per_row + t as usize / 64;
+        self.bits[idx] >> (t % 64) & 1 == 1
+    }
+
+    /// Number of vertices reachable from `s` (including `s`).
+    #[must_use]
+    pub fn out_count(&self, s: NodeId) -> usize {
+        let row = &self.bits[s as usize * self.words_per_row..][..self.words_per_row];
+        row.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of vertices that reach `t` (including `t`).
+    #[must_use]
+    pub fn in_count(&self, t: NodeId) -> usize {
+        (0..self.n as NodeId).filter(|&s| self.reaches(s, t)).count()
+    }
+
+    /// Ordered pairs `(s, t)`, `s ≠ t`, **without** a journey.
+    #[must_use]
+    pub fn missing_pairs(&self) -> usize {
+        let total_set: usize = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+        // Every diagonal bit is set, so reachable ordered off-diagonal pairs
+        // are total_set − n.
+        self.n * self.n - total_set
+    }
+
+    /// Is every ordered pair connected by a journey?
+    #[must_use]
+    pub fn is_temporally_connected(&self) -> bool {
+        self.missing_pairs() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelAssignment;
+    use crate::reachability::temporal_reach;
+    use ephemeral_graph::generators;
+    use ephemeral_rng::{RandomSource, SeedSequence};
+
+    fn random_network(seed: u64, n: usize) -> TemporalNetwork {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let g = generators::gnp(n, 0.3, false, &mut rng);
+        let lifetime = n as u32;
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            vec![rng.range_u32(1, lifetime)]
+        })
+        .unwrap();
+        TemporalNetwork::new(g, labels, lifetime).unwrap()
+    }
+
+    #[test]
+    fn closure_matches_per_source_reach() {
+        for seed in 0..10 {
+            let tn = random_network(seed, 37); // crosses a word boundary? n<64: single word
+            let m = ReachabilityMatrix::compute(&tn, 2);
+            for s in 0..37u32 {
+                let reach = temporal_reach(&tn, s);
+                for (t, &r) in reach.iter().enumerate() {
+                    assert_eq!(m.reaches(s, t as u32), r, "seed {seed} pair ({s},{t})");
+                }
+                assert_eq!(m.out_count(s), reach.iter().filter(|&&b| b).count());
+            }
+        }
+    }
+
+    #[test]
+    fn closure_works_across_word_boundaries() {
+        let tn = random_network(42, 130); // 3 words per row
+        let m = ReachabilityMatrix::compute(&tn, 2);
+        assert_eq!(m.n(), 130);
+        for s in [0u32, 63, 64, 65, 127, 128, 129] {
+            let reach = temporal_reach(&tn, s);
+            for t in [0u32, 63, 64, 65, 127, 128, 129] {
+                assert_eq!(m.reaches(s, t), reach[t as usize], "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_always_set() {
+        let tn = random_network(7, 20);
+        let m = ReachabilityMatrix::compute(&tn, 1);
+        for v in 0..20u32 {
+            assert!(m.reaches(v, v));
+        }
+    }
+
+    #[test]
+    fn missing_pairs_matches_bruteforce() {
+        let tn = random_network(3, 25);
+        let m = ReachabilityMatrix::compute(&tn, 2);
+        let mut brute = 0;
+        for s in 0..25u32 {
+            let reach = temporal_reach(&tn, s);
+            brute += reach.iter().filter(|&&b| !b).count();
+        }
+        assert_eq!(m.missing_pairs(), brute);
+    }
+
+    #[test]
+    fn clique_closure_is_complete() {
+        let g = generators::clique(10, false);
+        let mut rng = SeedSequence::new(5).rng(0);
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            vec![rng.range_u32(1, 10)]
+        })
+        .unwrap();
+        let tn = TemporalNetwork::new(g, labels, 10).unwrap();
+        let m = ReachabilityMatrix::compute(&tn, 2);
+        assert!(m.is_temporally_connected());
+        assert_eq!(m.missing_pairs(), 0);
+        assert_eq!(m.in_count(3), 10);
+    }
+
+    #[test]
+    fn thread_invariance() {
+        let tn = random_network(9, 70);
+        assert_eq!(
+            ReachabilityMatrix::compute(&tn, 1),
+            ReachabilityMatrix::compute(&tn, 4)
+        );
+    }
+}

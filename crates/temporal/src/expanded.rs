@@ -1,0 +1,316 @@
+//! The time-expanded graph and disjoint-journey counting — the substrate of
+//! Kempe, Kleinberg & Kumar (STOC'00), the paper's reference [19] and the
+//! direct ancestor of its single-label model.
+//!
+//! The **time-expanded graph** of a temporal network `(G, L)` with lifetime
+//! `a` has one copy `(v, t)` of every vertex per time `t ∈ {0, …, a}`,
+//! *wait* arcs `(v, t) → (v, t+1)`, and a *travel* arc
+//! `(u, t−1) → (v, t)` for every time-edge `(u, v, t)`. Journeys of the
+//! temporal network correspond exactly to `(s,0) → (t,a)` paths that use at
+//! least one travel arc; putting unit capacity on travel arcs and infinite
+//! capacity on wait arcs makes the max-flow value the maximum number of
+//! **time-edge-disjoint journeys** (flow integrality) — the temporal
+//! analogue of Menger's edge version, which Kempe et al. use to study
+//! connectivity and which survives in temporal graphs (unlike the vertex
+//! version, as their counterexample shows).
+
+use crate::network::TemporalNetwork;
+use ephemeral_graph::NodeId;
+
+/// A small max-flow network (adjacency lists with residual arcs).
+#[derive(Debug, Clone)]
+struct FlowNetwork {
+    /// Per-node list of arc indices.
+    adj: Vec<Vec<u32>>,
+    /// Arc targets.
+    to: Vec<u32>,
+    /// Residual capacities (arc `i` and its reverse `i ^ 1`).
+    cap: Vec<u32>,
+}
+
+impl FlowNetwork {
+    fn new(nodes: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); nodes],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    fn add_arc(&mut self, u: u32, v: u32, capacity: u32) {
+        let idx = self.to.len() as u32;
+        self.adj[u as usize].push(idx);
+        self.to.push(v);
+        self.cap.push(capacity);
+        self.adj[v as usize].push(idx + 1);
+        self.to.push(u);
+        self.cap.push(0);
+    }
+
+    /// Edmonds–Karp (BFS augmenting paths).
+    fn max_flow(&mut self, source: u32, sink: u32) -> u32 {
+        let n = self.adj.len();
+        let mut flow = 0u32;
+        let mut parent_arc = vec![u32::MAX; n];
+        loop {
+            for p in parent_arc.iter_mut() {
+                *p = u32::MAX;
+            }
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(source);
+            parent_arc[source as usize] = u32::MAX - 1; // visited marker
+            let mut found = false;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &a in &self.adj[u as usize] {
+                    let v = self.to[a as usize];
+                    if self.cap[a as usize] > 0 && parent_arc[v as usize] == u32::MAX {
+                        parent_arc[v as usize] = a;
+                        if v == sink {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !found {
+                return flow;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = u32::MAX;
+            let mut v = sink;
+            while v != source {
+                let a = parent_arc[v as usize];
+                bottleneck = bottleneck.min(self.cap[a as usize]);
+                v = self.to[(a ^ 1) as usize];
+            }
+            let mut v = sink;
+            while v != source {
+                let a = parent_arc[v as usize];
+                self.cap[a as usize] -= bottleneck;
+                self.cap[(a ^ 1) as usize] += bottleneck;
+                v = self.to[(a ^ 1) as usize];
+            }
+            flow += bottleneck;
+        }
+    }
+}
+
+/// Size accounting for an expansion (useful to predict memory before
+/// building).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionSize {
+    /// Nodes of the time-expanded graph: `n · (a + 1)`.
+    pub nodes: usize,
+    /// Wait arcs: `n · a`.
+    pub wait_arcs: usize,
+    /// Travel arcs: `M` (`2M` for undirected networks).
+    pub travel_arcs: usize,
+}
+
+/// Predict the size of the time-expanded graph of `tn`.
+#[must_use]
+pub fn expansion_size(tn: &TemporalNetwork) -> ExpansionSize {
+    let n = tn.num_nodes();
+    let a = tn.lifetime() as usize;
+    let travel = if tn.graph().is_directed() {
+        tn.num_time_edges()
+    } else {
+        2 * tn.num_time_edges()
+    };
+    ExpansionSize {
+        nodes: n * (a + 1),
+        wait_arcs: n * a,
+        travel_arcs: travel,
+    }
+}
+
+/// Maximum number of **time-edge-disjoint** `(s, t)`-journeys, via unit-
+/// capacity max-flow on the time-expanded graph. Each time-edge (one
+/// direction of it, for undirected networks) can be used by at most one
+/// journey; waiting at a vertex is unrestricted.
+///
+/// ```
+/// use ephemeral_graph::generators;
+/// use ephemeral_temporal::{expanded::max_disjoint_journeys, LabelAssignment, TemporalNetwork};
+///
+/// // One edge, three availability moments: three disjoint one-hop journeys.
+/// let tn = TemporalNetwork::new(
+///     generators::path(2),
+///     LabelAssignment::from_vecs(vec![vec![1, 2, 3]]).unwrap(),
+///     3,
+/// ).unwrap();
+/// assert_eq!(max_disjoint_journeys(&tn, 0, 1), 3);
+/// ```
+///
+/// Complexity: `O(F · (n·a + M))` for flow value `F` — fine for the
+/// analysis-sized instances this is meant for (`n·a ≲ 10⁶`).
+///
+/// # Panics
+/// If `s == t` or either endpoint is out of range.
+#[must_use]
+pub fn max_disjoint_journeys(tn: &TemporalNetwork, s: NodeId, t: NodeId) -> u32 {
+    let n = tn.num_nodes();
+    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    assert_ne!(s, t, "disjoint journeys need distinct endpoints");
+    let a = tn.lifetime() as usize;
+    let layer = |v: NodeId, time: usize| -> u32 { (time * n + v as usize) as u32 };
+    let mut net = FlowNetwork::new(n * (a + 1));
+    // Wait arcs (infinite capacity ≈ u32::MAX/2 to avoid overflow).
+    const UNBOUNDED: u32 = u32::MAX / 2;
+    for time in 0..a {
+        for v in 0..n as NodeId {
+            net.add_arc(layer(v, time), layer(v, time + 1), UNBOUNDED);
+        }
+    }
+    // Travel arcs with unit capacity.
+    let directed = tn.graph().is_directed();
+    for time in 1..=a {
+        for &e in tn.edges_at(time as u32) {
+            let (u, v) = tn.graph().endpoints(e);
+            net.add_arc(layer(u, time - 1), layer(v, time), 1);
+            if !directed {
+                net.add_arc(layer(v, time - 1), layer(u, time), 1);
+            }
+        }
+    }
+    net.max_flow(layer(s, 0), layer(t, a))
+}
+
+/// Does at least one `(s, t)`-journey exist, decided on the time-expanded
+/// graph? (Differential-testing twin of the foremost sweep.)
+#[must_use]
+pub fn journey_exists_expanded(tn: &TemporalNetwork, s: NodeId, t: NodeId) -> bool {
+    max_disjoint_journeys(tn, s, t) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foremost::foremost;
+    use crate::LabelAssignment;
+    use ephemeral_graph::{generators, GraphBuilder};
+    use ephemeral_rng::{RandomSource, SeedSequence};
+
+    fn path_network(labels: Vec<Vec<u32>>, lifetime: u32) -> TemporalNetwork {
+        let g = generators::path(labels.len() + 1);
+        TemporalNetwork::new(g, LabelAssignment::from_vecs(labels).unwrap(), lifetime).unwrap()
+    }
+
+    #[test]
+    fn single_path_has_one_disjoint_journey() {
+        let tn = path_network(vec![vec![1], vec![2], vec![3]], 3);
+        assert_eq!(max_disjoint_journeys(&tn, 0, 3), 1);
+        assert!(journey_exists_expanded(&tn, 0, 3));
+    }
+
+    #[test]
+    fn blocked_path_has_zero() {
+        let tn = path_network(vec![vec![2], vec![1]], 2);
+        assert_eq!(max_disjoint_journeys(&tn, 0, 2), 0);
+        assert!(!journey_exists_expanded(&tn, 0, 2));
+    }
+
+    #[test]
+    fn multi_labels_on_one_edge_give_parallel_journeys() {
+        // A single edge with 3 labels supports 3 time-edge-disjoint
+        // one-hop journeys.
+        let tn = path_network(vec![vec![1, 2, 3]], 3);
+        assert_eq!(max_disjoint_journeys(&tn, 0, 1), 3);
+    }
+
+    #[test]
+    fn bottleneck_edge_limits_the_count() {
+        // 0—1 has 3 labels, 1—2 has 1 usable label: the cut at 1—2 binds.
+        let tn = path_network(vec![vec![1, 2, 3], vec![4]], 4);
+        assert_eq!(max_disjoint_journeys(&tn, 0, 2), 1);
+    }
+
+    #[test]
+    fn two_vertex_disjoint_routes_count_twice() {
+        // A 4-cycle with increasing labels both ways around.
+        let g = generators::cycle(4); // edges 0-1,1-2,2-3,3-0
+        let labels =
+            LabelAssignment::from_vecs(vec![vec![1], vec![2], vec![2], vec![1]]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 2).unwrap();
+        // 0→2 via 0-1@1,1-2@2 and via 0-3@1,3-2@2.
+        assert_eq!(max_disjoint_journeys(&tn, 0, 2), 2);
+    }
+
+    #[test]
+    fn star_two_split_journey_is_found() {
+        // The paper's Figure 2 object: u1—c at {1}, c—u2 at {n/2+1}.
+        let g = generators::star(3); // centre 0, leaves 1, 2
+        let labels = LabelAssignment::from_vecs(vec![vec![1], vec![3]]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 4).unwrap();
+        assert_eq!(max_disjoint_journeys(&tn, 1, 2), 1);
+        // And in the reverse direction labels decrease: impossible.
+        assert_eq!(max_disjoint_journeys(&tn, 2, 1), 0);
+    }
+
+    #[test]
+    fn existence_agrees_with_foremost_on_random_instances() {
+        let seq = SeedSequence::new(777);
+        for trial in 0..25u64 {
+            let mut rng = seq.rng(trial);
+            let n = 4 + rng.index(8);
+            let mut b = GraphBuilder::new_undirected(n);
+            b.dedup_edges();
+            for v in 1..n as u32 {
+                b.add_edge(rng.bounded_u32(v), v);
+            }
+            for _ in 0..n {
+                let u = rng.bounded_u32(n as u32);
+                let v = rng.bounded_u32(n as u32);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build().unwrap();
+            let lifetime = 8;
+            let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+                vec![rng.range_u32(1, lifetime)]
+            })
+            .unwrap();
+            let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
+            let run = foremost(&tn, 0, 0);
+            for t in 1..n as u32 {
+                assert_eq!(
+                    run.reached(t),
+                    journey_exists_expanded(&tn, 0, t),
+                    "trial {trial}, target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directed_clique_has_many_disjoint_journeys() {
+        // In a URT-like clique every label is distinct-ish; between any two
+        // vertices there are at least a few disjoint routes.
+        let g = generators::clique(8, true);
+        let m = g.num_edges();
+        let labels: Vec<u32> = (0..m as u32).map(|i| 1 + (i % 8)).collect();
+        let tn = TemporalNetwork::new(g, LabelAssignment::single(labels).unwrap(), 8).unwrap();
+        let k = max_disjoint_journeys(&tn, 0, 7);
+        assert!(k >= 2, "expected multiple disjoint journeys, got {k}");
+        // Never more than the direct out-degree bound.
+        assert!(k <= 7);
+    }
+
+    #[test]
+    fn expansion_size_accounting() {
+        let tn = path_network(vec![vec![1, 2], vec![3]], 4);
+        let s = expansion_size(&tn);
+        assert_eq!(s.nodes, 3 * 5);
+        assert_eq!(s.wait_arcs, 3 * 4);
+        assert_eq!(s.travel_arcs, 2 * 3); // undirected: both directions
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn same_endpoints_panic() {
+        let tn = path_network(vec![vec![1]], 1);
+        let _ = max_disjoint_journeys(&tn, 0, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Foremost (earliest-arrival) journeys — Definition 3 of the paper.
+//!
+//! The sweep processes the network's time-edges in label order via the
+//! bucket index: when time `t` is processed, an edge `(u, v)` available at
+//! `t` extends any journey that reached `u` strictly before `t`. Because a
+//! node first reached *at* time `t` can never use another label-`t` edge,
+//! in-bucket processing order is irrelevant and the sweep is exact in
+//! `O(M + a)` time for a single source.
+
+use crate::journey::{Journey, TimeEdge};
+use crate::network::TemporalNetwork;
+use crate::{Time, NEVER};
+use ephemeral_graph::{NodeId, INVALID_NODE};
+
+/// The result of a single-source foremost sweep: earliest arrival times and
+/// predecessor pointers for journey reconstruction.
+#[derive(Debug, Clone)]
+pub struct ForemostRun {
+    source: NodeId,
+    start_time: Time,
+    arrival: Vec<Time>,
+    parent: Vec<NodeId>,
+}
+
+impl ForemostRun {
+    /// The source vertex.
+    #[must_use]
+    pub const fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The start time `t₀` (journeys use labels `> t₀`).
+    #[must_use]
+    pub const fn start_time(&self) -> Time {
+        self.start_time
+    }
+
+    /// Earliest arrival at `v`, or `None` if no journey exists. The source
+    /// itself reports its start time.
+    #[must_use]
+    pub fn arrival(&self, v: NodeId) -> Option<Time> {
+        let t = self.arrival[v as usize];
+        (t != NEVER).then_some(t)
+    }
+
+    /// Raw arrival array ([`NEVER`] marks unreachable) — the paper's
+    /// temporal distances `δ(s, ·)` when `start_time == 0`.
+    #[must_use]
+    pub fn arrivals(&self) -> &[Time] {
+        &self.arrival
+    }
+
+    /// Was `v` reached?
+    #[must_use]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.arrival[v as usize] != NEVER
+    }
+
+    /// How many vertices were reached (including the source)?
+    #[must_use]
+    pub fn reached_count(&self) -> usize {
+        self.arrival.iter().filter(|&&t| t != NEVER).count()
+    }
+
+    /// Reconstruct a foremost journey to `v` (`None` if unreachable or
+    /// `v == source`). The returned journey's arrival equals
+    /// `self.arrival(v)` and it is always strictly-increasing and chained
+    /// (enforced by [`Journey::new`]).
+    #[must_use]
+    pub fn journey_to(&self, v: NodeId) -> Option<Journey> {
+        if v == self.source || self.arrival[v as usize] == NEVER {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cur = v;
+        while cur != self.source {
+            let p = self.parent[cur as usize];
+            debug_assert_ne!(p, INVALID_NODE);
+            steps.push(TimeEdge {
+                from: p,
+                to: cur,
+                time: self.arrival[cur as usize],
+            });
+            cur = p;
+        }
+        steps.reverse();
+        Some(Journey::new(steps).expect("sweep invariants produce valid journeys"))
+    }
+}
+
+/// Single-source foremost sweep from `source`, using labels strictly greater
+/// than `start_time`.
+///
+/// ```
+/// use ephemeral_graph::generators;
+/// use ephemeral_temporal::{foremost::foremost, LabelAssignment, TemporalNetwork};
+///
+/// // 0—1 @2, 1—2 @5: the foremost journey to 2 arrives at 5.
+/// let tn = TemporalNetwork::new(
+///     generators::path(3),
+///     LabelAssignment::from_vecs(vec![vec![2], vec![5]]).unwrap(),
+///     5,
+/// ).unwrap();
+/// let run = foremost(&tn, 0, 0);
+/// assert_eq!(run.arrival(2), Some(5));
+/// assert_eq!(run.journey_to(2).unwrap().to_string(), "0 -[2]-> 1 -[5]-> 2");
+/// ```
+///
+/// # Panics
+/// If `source` is out of range.
+#[must_use]
+pub fn foremost(tn: &TemporalNetwork, source: NodeId, start_time: Time) -> ForemostRun {
+    foremost_with_horizon(tn, source, start_time, tn.lifetime())
+}
+
+/// Foremost sweep that ignores every label greater than `horizon` — the
+/// "consider only the arcs with labels up to k" construction of the paper's
+/// Theorem 5 proof, and a mild optimisation when only early arrivals matter.
+///
+/// # Panics
+/// If `source` is out of range.
+#[must_use]
+pub fn foremost_with_horizon(
+    tn: &TemporalNetwork,
+    source: NodeId,
+    start_time: Time,
+    horizon: Time,
+) -> ForemostRun {
+    let n = tn.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let directed = tn.graph().is_directed();
+    let mut arrival = vec![NEVER; n];
+    let mut parent = vec![INVALID_NODE; n];
+    arrival[source as usize] = start_time;
+    let mut reached = 1usize;
+    let last = horizon.min(tn.lifetime());
+    let mut t = start_time.saturating_add(1);
+    while t <= last {
+        for &e in tn.edges_at(t) {
+            let (u, v) = tn.graph().endpoints(e);
+            // u -> v
+            if arrival[u as usize] < t && arrival[v as usize] > t {
+                arrival[v as usize] = t;
+                parent[v as usize] = u;
+                reached += 1;
+            }
+            // v -> u for undirected edges
+            if !directed && arrival[v as usize] < t && arrival[u as usize] > t {
+                arrival[u as usize] = t;
+                parent[u as usize] = v;
+                reached += 1;
+            }
+        }
+        if reached == n {
+            break;
+        }
+        t += 1;
+    }
+    ForemostRun {
+        source,
+        start_time,
+        arrival,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelAssignment;
+    use ephemeral_graph::generators;
+    use ephemeral_graph::GraphBuilder;
+
+    fn path_network(labels: Vec<Vec<Time>>, lifetime: Time) -> TemporalNetwork {
+        let g = generators::path(labels.len() + 1);
+        TemporalNetwork::new(g, LabelAssignment::from_vecs(labels).unwrap(), lifetime).unwrap()
+    }
+
+    #[test]
+    fn increasing_labels_carry_through() {
+        let tn = path_network(vec![vec![1], vec![2], vec![3]], 3);
+        let run = foremost(&tn, 0, 0);
+        assert_eq!(run.arrivals(), &[0, 1, 2, 3]);
+        assert_eq!(run.reached_count(), 4);
+    }
+
+    #[test]
+    fn decreasing_labels_block_journeys() {
+        let tn = path_network(vec![vec![3], vec![2], vec![1]], 3);
+        let run = foremost(&tn, 0, 0);
+        assert_eq!(run.arrival(1), Some(3));
+        assert_eq!(run.arrival(2), None);
+        assert_eq!(run.arrival(3), None);
+        assert_eq!(run.reached_count(), 2);
+    }
+
+    #[test]
+    fn equal_labels_cannot_chain() {
+        let tn = path_network(vec![vec![2], vec![2]], 3);
+        let run = foremost(&tn, 0, 0);
+        assert_eq!(run.arrival(1), Some(2));
+        assert_eq!(run.arrival(2), None);
+    }
+
+    #[test]
+    fn multi_labels_offer_choices() {
+        // 0—1 at {1, 4}, 1—2 at {2}: must leave at 1 to make the connection.
+        let tn = path_network(vec![vec![1, 4], vec![2]], 4);
+        let run = foremost(&tn, 0, 0);
+        assert_eq!(run.arrival(2), Some(2));
+        // Starting after time 1, only the label-4 copy of 0—1 remains and
+        // the connection is missed.
+        let late = foremost(&tn, 0, 1);
+        assert_eq!(late.arrival(1), Some(4));
+        assert_eq!(late.arrival(2), None);
+    }
+
+    #[test]
+    fn start_time_excludes_equal_label() {
+        let tn = path_network(vec![vec![2]], 2);
+        let run = foremost(&tn, 0, 2);
+        assert_eq!(run.arrival(1), None);
+    }
+
+    #[test]
+    fn directed_arcs_are_one_way() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let tn =
+            TemporalNetwork::new(g, LabelAssignment::single(vec![1, 2]).unwrap(), 2).unwrap();
+        assert_eq!(foremost(&tn, 0, 0).arrival(2), Some(2));
+        assert_eq!(foremost(&tn, 2, 0).reached_count(), 1);
+    }
+
+    #[test]
+    fn undirected_edges_work_both_ways() {
+        let tn = path_network(vec![vec![1], vec![2]], 2);
+        let run = foremost(&tn, 2, 0);
+        assert_eq!(run.arrival(1), Some(2));
+        // 1—0 has label 1 < 2: cannot continue.
+        assert_eq!(run.arrival(0), None);
+    }
+
+    #[test]
+    fn journeys_are_valid_and_foremost() {
+        let tn = path_network(vec![vec![1, 3], vec![2, 5], vec![4]], 5);
+        let run = foremost(&tn, 0, 0);
+        for v in 1..=3u32 {
+            let j = run.journey_to(v).unwrap();
+            assert_eq!(j.source(), 0);
+            assert_eq!(j.target(), v);
+            assert_eq!(j.arrival(), run.arrival(v).unwrap());
+            assert!(j.is_realizable_in(&tn));
+        }
+        assert!(run.journey_to(0).is_none());
+    }
+
+    #[test]
+    fn journey_to_unreachable_is_none() {
+        let tn = path_network(vec![vec![2], vec![1]], 2);
+        let run = foremost(&tn, 0, 0);
+        assert!(run.journey_to(2).is_none());
+    }
+
+    #[test]
+    fn horizon_truncates_the_sweep() {
+        let tn = path_network(vec![vec![1], vec![2], vec![3]], 3);
+        let run = foremost_with_horizon(&tn, 0, 0, 2);
+        assert_eq!(run.arrival(2), Some(2));
+        assert_eq!(run.arrival(3), None);
+    }
+
+    #[test]
+    fn clique_single_labels_reach_everyone() {
+        // In a clique with one label per edge, the direct edge always
+        // provides a journey (the paper's observation that K_n is the only
+        // graph where one label always suffices).
+        let g = generators::clique(6, false);
+        let m = g.num_edges();
+        let labels: Vec<Time> = (0..m as Time).map(|i| 1 + (i % 6)).collect();
+        let tn = TemporalNetwork::new(g, LabelAssignment::single(labels).unwrap(), 6).unwrap();
+        for s in 0..6u32 {
+            assert_eq!(foremost(&tn, s, 0).reached_count(), 6, "source {s}");
+        }
+    }
+
+    #[test]
+    fn arrival_at_source_is_start_time() {
+        let tn = path_network(vec![vec![1]], 1);
+        let run = foremost(&tn, 0, 0);
+        assert_eq!(run.arrival(0), Some(0));
+        assert_eq!(run.source(), 0);
+        assert_eq!(run.start_time(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let tn = path_network(vec![vec![1]], 1);
+        let _ = foremost(&tn, 9, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Interval availability — the "continuous" model the paper's related work
+//! contrasts with (Bui-Xuan–Ferreira–Jarry; Fleischer–Tardos).
+//!
+//! Here an edge is available for whole inclusive windows `[start, end]`
+//! rather than isolated moments. Journeys still need strictly increasing
+//! crossing times, but within a window the traveller crosses at *any*
+//! integer moment — so waiting at a vertex until a window opens is the only
+//! delay. Because windows are not label-bucketable, the foremost algorithm
+//! here is Dijkstra-style (`O(M log n)`) instead of the discrete sweep's
+//! `O(M + a)`; the tests pin both against each other by exploding windows
+//! into discrete labels.
+
+use crate::assignment::LabelAssignment;
+use crate::{Time, NEVER};
+use ephemeral_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An inclusive availability window `[start, end]`, `1 ≤ start ≤ end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interval {
+    /// First moment the edge is usable.
+    pub start: Time,
+    /// Last moment the edge is usable.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Create a window (panics if `start == 0` or `start > end`).
+    #[must_use]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(start >= 1, "windows start at time 1");
+        assert!(start <= end, "empty window [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// Number of usable moments.
+    #[must_use]
+    pub const fn len(&self) -> Time {
+        self.end - self.start + 1
+    }
+
+    /// Windows are never empty (enforced at construction); provided for
+    /// API symmetry.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A temporal network with interval availability.
+#[derive(Debug, Clone)]
+pub struct IntervalNetwork {
+    graph: Graph,
+    /// CSR: windows of edge `e`, sorted by start.
+    offsets: Vec<u32>,
+    windows: Vec<Interval>,
+    lifetime: Time,
+}
+
+impl IntervalNetwork {
+    /// Build from one window list per edge. Windows are sorted per edge;
+    /// returns `None` on an edge-count mismatch or a window beyond the
+    /// lifetime.
+    #[must_use]
+    pub fn new(graph: Graph, mut per_edge: Vec<Vec<Interval>>, lifetime: Time) -> Option<Self> {
+        if per_edge.len() != graph.num_edges() || lifetime == 0 {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(per_edge.len() + 1);
+        offsets.push(0u32);
+        let mut windows = Vec::new();
+        for list in &mut per_edge {
+            if list.iter().any(|w| w.end > lifetime) {
+                return None;
+            }
+            list.sort_unstable();
+            windows.extend_from_slice(list);
+            offsets.push(windows.len() as u32);
+        }
+        Some(Self {
+            graph,
+            offsets,
+            windows,
+            lifetime,
+        })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Lifetime `a`.
+    #[must_use]
+    pub const fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    /// Windows of edge `e`, sorted by start.
+    #[must_use]
+    pub fn windows(&self, e: u32) -> &[Interval] {
+        &self.windows[self.offsets[e as usize] as usize..self.offsets[e as usize + 1] as usize]
+    }
+
+    /// Earliest usable crossing moment of edge `e` strictly after `after`,
+    /// or `None`.
+    #[must_use]
+    pub fn earliest_crossing(&self, e: u32, after: Time) -> Option<Time> {
+        for w in self.windows(e) {
+            if w.end > after {
+                return Some(w.start.max(after + 1));
+            }
+        }
+        None
+    }
+
+    /// Explode every window into discrete labels — the equivalence bridge
+    /// to [`crate::TemporalNetwork`] (quadratic in window length; meant for
+    /// tests and small lifetimes).
+    #[must_use]
+    pub fn to_discrete(&self) -> LabelAssignment {
+        LabelAssignment::from_fn(self.graph.num_edges(), |e| {
+            self.windows(e)
+                .iter()
+                .flat_map(|w| w.start..=w.end)
+                .collect()
+        })
+        .expect("window moments are valid labels")
+    }
+}
+
+/// Earliest arrivals from `source` (departing after `start_time`) under
+/// interval semantics, by Dijkstra over crossing times.
+///
+/// # Panics
+/// If `source` is out of range.
+#[must_use]
+pub fn foremost_intervals(net: &IntervalNetwork, source: NodeId, start_time: Time) -> Vec<Time> {
+    let n = net.graph.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let directed = net.graph.is_directed();
+    let mut arrival = vec![NEVER; n];
+    arrival[source as usize] = start_time;
+    let mut heap: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((start_time, source)));
+    while let Some(Reverse((t, u))) = heap.pop() {
+        if t > arrival[u as usize] {
+            continue; // stale entry
+        }
+        let (nbrs, eids) = net.graph.out_adjacency(u);
+        for (&v, &e) in nbrs.iter().zip(eids) {
+            // For undirected graphs out_adjacency already covers both
+            // directions; for directed graphs arcs point the right way.
+            let _ = directed;
+            if let Some(cross) = net.earliest_crossing(e, t) {
+                if cross < arrival[v as usize] {
+                    arrival[v as usize] = cross;
+                    heap.push(Reverse((cross, v)));
+                }
+            }
+        }
+    }
+    arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foremost::foremost;
+    use crate::TemporalNetwork;
+    use ephemeral_graph::generators;
+    use ephemeral_rng::{RandomSource, SeedSequence};
+
+    fn iv(a: Time, b: Time) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn interval_basics() {
+        let w = iv(3, 7);
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn inverted_window_panics() {
+        let _ = iv(5, 4);
+    }
+
+    #[test]
+    fn earliest_crossing_respects_windows_and_waiting() {
+        let g = generators::path(2);
+        let net = IntervalNetwork::new(g, vec![vec![iv(3, 5), iv(9, 9)]], 10).unwrap();
+        assert_eq!(net.earliest_crossing(0, 0), Some(3)); // wait for opening
+        assert_eq!(net.earliest_crossing(0, 3), Some(4)); // inside the window
+        assert_eq!(net.earliest_crossing(0, 5), Some(9)); // next window
+        assert_eq!(net.earliest_crossing(0, 9), None); // nothing later
+    }
+
+    #[test]
+    fn foremost_through_consecutive_windows() {
+        // 0—1 open [2,4], 1—2 open [3,8]: arrive 1 at 2, cross to 2 at 3.
+        let g = generators::path(3);
+        let net =
+            IntervalNetwork::new(g, vec![vec![iv(2, 4)], vec![iv(3, 8)]], 8).unwrap();
+        let arr = foremost_intervals(&net, 0, 0);
+        assert_eq!(arr, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn a_single_long_window_is_not_enough_twice() {
+        // Both edges share the window [5,5]: strictly increasing crossing
+        // times cannot fit two hops into one moment.
+        let g = generators::path(3);
+        let net = IntervalNetwork::new(g, vec![vec![iv(5, 5)], vec![iv(5, 5)]], 5).unwrap();
+        let arr = foremost_intervals(&net, 0, 0);
+        assert_eq!(arr[1], 5);
+        assert_eq!(arr[2], NEVER);
+        // Widen the second window by one moment and the journey completes.
+        let g = generators::path(3);
+        let net = IntervalNetwork::new(g, vec![vec![iv(5, 5)], vec![iv(5, 6)]], 6).unwrap();
+        assert_eq!(foremost_intervals(&net, 0, 0)[2], 6);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let g = generators::path(3);
+        assert!(IntervalNetwork::new(g.clone(), vec![vec![]], 5).is_none()); // wrong edge count
+        assert!(IntervalNetwork::new(g.clone(), vec![vec![iv(1, 9)], vec![]], 5).is_none()); // beyond lifetime
+        assert!(IntervalNetwork::new(g, vec![vec![], vec![]], 0).is_none()); // zero lifetime
+    }
+
+    #[test]
+    fn matches_discrete_explosion_on_random_instances() {
+        let seq = SeedSequence::new(313);
+        for trial in 0..40u64 {
+            let mut rng = seq.rng(trial);
+            let n = 3 + rng.index(8);
+            let g = generators::gnp(n, 0.5, trial % 2 == 0, &mut rng);
+            let lifetime: Time = 12;
+            let per_edge: Vec<Vec<Interval>> = (0..g.num_edges())
+                .map(|_| {
+                    (0..1 + rng.index(2))
+                        .map(|_| {
+                            let s = rng.range_u32(1, lifetime);
+                            let e = rng.range_u32(s, lifetime);
+                            iv(s, e)
+                        })
+                        .collect()
+                })
+                .collect();
+            let net = IntervalNetwork::new(g.clone(), per_edge, lifetime).unwrap();
+            let discrete =
+                TemporalNetwork::new(g, net.to_discrete(), lifetime).unwrap();
+            for s in 0..n as u32 {
+                assert_eq!(
+                    foremost_intervals(&net, s, 0),
+                    foremost(&discrete, s, 0).arrivals().to_vec(),
+                    "trial {trial}, source {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directed_interval_networks_respect_orientation() {
+        let mut b = ephemeral_graph::GraphBuilder::new_directed(2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let net = IntervalNetwork::new(g, vec![vec![iv(1, 3)]], 3).unwrap();
+        assert_eq!(foremost_intervals(&net, 0, 0)[1], 1);
+        assert_eq!(foremost_intervals(&net, 1, 0)[0], NEVER);
+    }
+}

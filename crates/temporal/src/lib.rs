@@ -1,0 +1,78 @@
+//! # ephemeral-temporal
+//!
+//! Temporal networks with discrete time labels, after Akrida, Gąsieniec,
+//! Mertzios & Spirakis, *"Ephemeral Networks with Random Availability of
+//! Links"* (SPAA'14), §2, which in turn extends Kempe–Kleinberg–Kumar
+//! (STOC'00) and Mertzios–Michail–Chatzigiannakis–Spirakis (ICALP'13).
+//!
+//! A **temporal network** `(G, L)` assigns every edge `e` of a (di)graph a
+//! finite set `L_e ⊆ {1, …, a}` of discrete availability times (`a` = the
+//! network's *lifetime*; the network is *ephemeral* — no edge exists after
+//! time `a`). A **journey** is a path whose consecutive edges carry strictly
+//! increasing labels; its **arrival time** is the label of its last edge.
+//! The **temporal distance** `δ(u, v)` is the minimum arrival time over all
+//! `(u, v)`-journeys (the arrival of the *foremost* journey).
+//!
+//! This crate provides the exact combinatorial layer — random models live in
+//! `ephemeral-core`:
+//!
+//! * [`LabelAssignment`]: CSR storage of per-edge label sets.
+//! * [`TemporalNetwork`]: graph + labels + lifetime, with a label-bucketed
+//!   time-edge index so journey sweeps run in `O(M + a)` per source, where
+//!   `M` is the number of time-edges.
+//! * [`foremost`]: earliest-arrival journeys (with reconstruction),
+//!   [`reverse`]: latest-departure journeys, [`fastest`]: minimum-duration
+//!   journeys, [`hops`]: hop-bounded reachability / fewest-hop journeys.
+//! * [`distance`]: all-pairs temporal distances, temporal eccentricity and
+//!   the instance temporal diameter (parallelised over sources).
+//! * [`reachability`]: temporal reach sets and the paper's `T_reach`
+//!   property ("every static path is matched by a journey", Definition 6).
+//! * [`closure`]: bit-packed all-pairs reachability; [`metrics`]:
+//!   whole-network summary statistics (temporal efficiency etc.).
+//! * [`expanded`]: the Kempe–Kleinberg–Kumar time-expanded graph with
+//!   max-flow counting of time-edge-disjoint journeys.
+//! * [`interval`]: continuous (window) availability with a Dijkstra-style
+//!   foremost; [`reference`]: the sort-based foremost used for
+//!   differential testing and ablation benchmarking.
+//!
+//! ```
+//! use ephemeral_graph::generators;
+//! use ephemeral_temporal::{LabelAssignment, TemporalNetwork, foremost};
+//!
+//! // A 3-path 0—1—2 available as 0—1 at time 1 and 1—2 at time 2.
+//! let g = generators::path(3);
+//! let labels = LabelAssignment::from_vecs(vec![vec![1], vec![2]]).unwrap();
+//! let tn = TemporalNetwork::new(g, labels, 2).unwrap();
+//! let run = foremost::foremost(&tn, 0, 0);
+//! assert_eq!(run.arrival(2), Some(2));
+//! let j = run.journey_to(2).unwrap();
+//! assert_eq!(j.hops(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+pub mod closure;
+pub mod distance;
+pub mod expanded;
+pub mod fastest;
+pub mod foremost;
+pub mod hops;
+pub mod interval;
+mod journey;
+pub mod metrics;
+mod network;
+pub mod reachability;
+pub mod reference;
+pub mod reverse;
+
+pub use assignment::LabelAssignment;
+pub use journey::{Journey, JourneyError, TimeEdge};
+pub use network::{TemporalError, TemporalNetwork};
+
+/// Discrete time label (`1..=lifetime`).
+pub type Time = u32;
+
+/// Sentinel arrival time for "no journey".
+pub const NEVER: Time = Time::MAX;

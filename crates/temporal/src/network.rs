@@ -1,0 +1,294 @@
+//! The temporal network type: graph + label assignment + lifetime, with a
+//! label-bucketed time-edge index for `O(M + a)` journey sweeps.
+
+use crate::assignment::LabelAssignment;
+use crate::Time;
+use ephemeral_graph::{EdgeId, Graph};
+use std::fmt;
+
+/// Construction-time validation failures for [`TemporalNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// Assignment covers a different number of edges than the graph has.
+    EdgeCountMismatch {
+        /// Edges in the graph.
+        graph_edges: usize,
+        /// Edges in the assignment.
+        assignment_edges: usize,
+    },
+    /// A label exceeds the declared lifetime.
+    LabelBeyondLifetime {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The offending label.
+        label: Time,
+        /// The declared lifetime.
+        lifetime: Time,
+    },
+    /// Lifetime must be at least 1.
+    ZeroLifetime,
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EdgeCountMismatch {
+                graph_edges,
+                assignment_edges,
+            } => write!(
+                f,
+                "label assignment covers {assignment_edges} edges but the graph has {graph_edges}"
+            ),
+            Self::LabelBeyondLifetime { edge, label, lifetime } => write!(
+                f,
+                "edge {edge} carries label {label} beyond the lifetime {lifetime}"
+            ),
+            Self::ZeroLifetime => write!(f, "lifetime must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+/// An ephemeral temporal network `(G, L)` with lifetime `a` (Definition 1).
+///
+/// Owns a bucket index mapping each time `t ∈ {1, …, a}` to the edges
+/// available at `t`; every journey algorithm in this crate sweeps that index
+/// instead of sorting time-edges, giving `O(M + a)` per source.
+#[derive(Debug, Clone)]
+pub struct TemporalNetwork {
+    graph: Graph,
+    assignment: LabelAssignment,
+    lifetime: Time,
+    /// CSR bucket index (length `lifetime + 2`): edges available at time `t`
+    /// are `bucket_edges[bucket_offsets[t] .. bucket_offsets[t+1]]`.
+    bucket_offsets: Vec<u32>,
+    bucket_edges: Vec<u32>,
+}
+
+impl TemporalNetwork {
+    /// Validate and index a temporal network.
+    ///
+    /// # Errors
+    /// See [`TemporalError`].
+    pub fn new(graph: Graph, assignment: LabelAssignment, lifetime: Time) -> Result<Self, TemporalError> {
+        if lifetime == 0 {
+            return Err(TemporalError::ZeroLifetime);
+        }
+        if graph.num_edges() != assignment.num_edges() {
+            return Err(TemporalError::EdgeCountMismatch {
+                graph_edges: graph.num_edges(),
+                assignment_edges: assignment.num_edges(),
+            });
+        }
+        for e in 0..assignment.num_edges() as u32 {
+            if let Some(&label) = assignment.labels(e).last() {
+                if label > lifetime {
+                    return Err(TemporalError::LabelBeyondLifetime { edge: e, label, lifetime });
+                }
+            }
+        }
+
+        // Counting sort of (label, edge) pairs into the bucket index.
+        let total = assignment.total_labels();
+        let mut bucket_offsets = vec![0u32; lifetime as usize + 2];
+        for (_, l) in assignment.iter() {
+            bucket_offsets[l as usize + 1] += 1;
+        }
+        for i in 1..bucket_offsets.len() {
+            bucket_offsets[i] += bucket_offsets[i - 1];
+        }
+        let mut cursor = bucket_offsets.clone();
+        let mut bucket_edges = vec![0u32; total];
+        for (e, l) in assignment.iter() {
+            let slot = cursor[l as usize] as usize;
+            bucket_edges[slot] = e;
+            cursor[l as usize] += 1;
+        }
+
+        Ok(Self {
+            graph,
+            assignment,
+            lifetime,
+            bucket_offsets,
+            bucket_edges,
+        })
+    }
+
+    /// Convenience: lifetime defaults to the maximum label present (or 1
+    /// for an unlabelled network).
+    ///
+    /// # Errors
+    /// See [`TemporalError`].
+    pub fn with_inferred_lifetime(graph: Graph, assignment: LabelAssignment) -> Result<Self, TemporalError> {
+        let lifetime = assignment.max_label().unwrap_or(1);
+        Self::new(graph, assignment, lifetime)
+    }
+
+    /// The underlying static graph `G`.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The label assignment `L`.
+    #[must_use]
+    pub fn assignment(&self) -> &LabelAssignment {
+        &self.assignment
+    }
+
+    /// Sorted labels of edge `e`.
+    #[inline]
+    #[must_use]
+    pub fn labels(&self, e: EdgeId) -> &[Time] {
+        self.assignment.labels(e)
+    }
+
+    /// The lifetime `a`.
+    #[must_use]
+    pub const fn lifetime(&self) -> Time {
+        self.lifetime
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of time-edges `M = Σ_e |L_e|` (for undirected networks each
+    /// label serves both directions but is counted once, matching the
+    /// paper's accounting of labels).
+    #[must_use]
+    pub fn num_time_edges(&self) -> usize {
+        self.assignment.total_labels()
+    }
+
+    /// The edges available at time `t` (`1 ≤ t ≤ lifetime`); empty slice
+    /// otherwise.
+    #[inline]
+    #[must_use]
+    pub fn edges_at(&self, t: Time) -> &[u32] {
+        if t == 0 || t > self.lifetime {
+            return &[];
+        }
+        let lo = self.bucket_offsets[t as usize] as usize;
+        let hi = self.bucket_offsets[t as usize + 1] as usize;
+        &self.bucket_edges[lo..hi]
+    }
+
+    /// Deconstruct into graph and assignment.
+    #[must_use]
+    pub fn into_parts(self) -> (Graph, LabelAssignment) {
+        (self.graph, self.assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_graph::generators;
+
+    fn tiny() -> TemporalNetwork {
+        // Path 0—1—2—3 with labels {1,3}, {2}, {3}.
+        let g = generators::path(4);
+        let a = LabelAssignment::from_vecs(vec![vec![1, 3], vec![2], vec![3]]).unwrap();
+        TemporalNetwork::new(g, a, 4).unwrap()
+    }
+
+    #[test]
+    fn bucket_index_matches_assignment() {
+        let tn = tiny();
+        assert_eq!(tn.edges_at(1), &[0]);
+        assert_eq!(tn.edges_at(2), &[1]);
+        {
+            let mut at3 = tn.edges_at(3).to_vec();
+            at3.sort_unstable();
+            assert_eq!(at3, vec![0, 2]);
+        }
+        assert_eq!(tn.edges_at(4), &[] as &[u32]);
+        assert_eq!(tn.edges_at(0), &[] as &[u32]);
+        assert_eq!(tn.edges_at(99), &[] as &[u32]);
+    }
+
+    #[test]
+    fn counts() {
+        let tn = tiny();
+        assert_eq!(tn.num_nodes(), 4);
+        assert_eq!(tn.num_time_edges(), 4);
+        assert_eq!(tn.lifetime(), 4);
+        assert_eq!(tn.labels(0), &[1, 3]);
+    }
+
+    #[test]
+    fn rejects_mismatched_edge_count() {
+        let g = generators::path(3); // 2 edges
+        let a = LabelAssignment::single(vec![1]).unwrap(); // 1 edge
+        assert_eq!(
+            TemporalNetwork::new(g, a, 3).unwrap_err(),
+            TemporalError::EdgeCountMismatch {
+                graph_edges: 2,
+                assignment_edges: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_label_beyond_lifetime() {
+        let g = generators::path(3);
+        let a = LabelAssignment::from_vecs(vec![vec![1], vec![5]]).unwrap();
+        assert_eq!(
+            TemporalNetwork::new(g, a, 4).unwrap_err(),
+            TemporalError::LabelBeyondLifetime { edge: 1, label: 5, lifetime: 4 }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_lifetime() {
+        let g = generators::path(2);
+        let a = LabelAssignment::single(vec![1]).unwrap();
+        assert_eq!(TemporalNetwork::new(g, a, 0).unwrap_err(), TemporalError::ZeroLifetime);
+    }
+
+    #[test]
+    fn inferred_lifetime_is_max_label() {
+        let g = generators::path(3);
+        let a = LabelAssignment::from_vecs(vec![vec![2], vec![7]]).unwrap();
+        let tn = TemporalNetwork::with_inferred_lifetime(g, a).unwrap();
+        assert_eq!(tn.lifetime(), 7);
+    }
+
+    #[test]
+    fn inferred_lifetime_of_unlabelled_network_is_one() {
+        let g = generators::path(3);
+        let a = LabelAssignment::from_vecs(vec![vec![], vec![]]).unwrap();
+        let tn = TemporalNetwork::with_inferred_lifetime(g, a).unwrap();
+        assert_eq!(tn.lifetime(), 1);
+        assert_eq!(tn.edges_at(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_label_sets_are_allowed() {
+        let g = generators::path(3);
+        let a = LabelAssignment::from_vecs(vec![vec![], vec![1]]).unwrap();
+        let tn = TemporalNetwork::new(g, a, 2).unwrap();
+        assert_eq!(tn.num_time_edges(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TemporalError::LabelBeyondLifetime { edge: 3, label: 9, lifetime: 5 };
+        assert!(e.to_string().contains("label 9"));
+        assert!(TemporalError::ZeroLifetime.to_string().contains("at least 1"));
+        let m = TemporalError::EdgeCountMismatch { graph_edges: 2, assignment_edges: 1 };
+        assert!(m.to_string().contains("covers 1"));
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let tn = tiny();
+        let (g, a) = tn.into_parts();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(a.total_labels(), 4);
+    }
+}

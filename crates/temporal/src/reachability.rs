@@ -1,0 +1,174 @@
+//! Temporal reachability and the paper's `T_reach` property.
+//!
+//! Definition 6: an assignment `L` **preserves the reachability** of `G`
+//! when for all `u, v`: a `(u, v)`-path exists in `G` **iff** a
+//! `(u, v)`-journey exists in `(G, L)`. Journeys are paths, so only the
+//! forward implication can fail; the check therefore compares per-source
+//! reach *counts* of static BFS and the temporal foremost sweep.
+
+use crate::foremost::foremost;
+use crate::network::TemporalNetwork;
+use crate::NEVER;
+use ephemeral_graph::algo::{bfs_distances, UNREACHABLE};
+use ephemeral_graph::NodeId;
+use ephemeral_parallel::par_for;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which vertices admit a journey from `source` (the source included).
+#[must_use]
+pub fn temporal_reach(tn: &TemporalNetwork, source: NodeId) -> Vec<bool> {
+    foremost(tn, source, 0)
+        .arrivals()
+        .iter()
+        .map(|&a| a != NEVER)
+        .collect()
+}
+
+/// Number of vertices reachable by journeys from `source` (incl. itself).
+#[must_use]
+pub fn temporal_reach_count(tn: &TemporalNetwork, source: NodeId) -> usize {
+    foremost(tn, source, 0).reached_count()
+}
+
+/// Is every ordered pair `(s, t)` connected by a journey? (The clique with
+/// one label per edge trivially satisfies this; most sparse networks do
+/// not.)
+#[must_use]
+pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
+    let n = tn.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    let failed = AtomicBool::new(false);
+    par_for(n, threads, |s| {
+        if failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if foremost(tn, s as NodeId, 0).reached_count() != n {
+            failed.store(true, Ordering::Relaxed);
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// Does the assignment preserve reachability (`T_reach`, Definition 6)?
+///
+/// Per source `s`, the set of temporally reachable vertices must equal the
+/// set of statically reachable vertices; since journeys are paths, equality
+/// of counts suffices. Parallel over sources with early exit.
+#[must_use]
+pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
+    let n = tn.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    let failed = AtomicBool::new(false);
+    par_for(n, threads, |s| {
+        if failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let static_reach = bfs_distances(tn.graph(), s as NodeId)
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .count();
+        let temporal = foremost(tn, s as NodeId, 0).reached_count();
+        debug_assert!(temporal <= static_reach, "journeys are paths");
+        if temporal != static_reach {
+            failed.store(true, Ordering::Relaxed);
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelAssignment;
+    use crate::Time;
+    use ephemeral_graph::generators;
+    use ephemeral_graph::GraphBuilder;
+
+    #[test]
+    fn reach_on_increasing_path() {
+        let g = generators::path(4);
+        let labels = LabelAssignment::single(vec![1, 2, 3]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 3).unwrap();
+        assert_eq!(temporal_reach(&tn, 0), vec![true; 4]);
+        assert_eq!(temporal_reach_count(&tn, 0), 4);
+        // From the far end the labels all decrease.
+        assert_eq!(temporal_reach(&tn, 3), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn treach_on_box_labelled_path() {
+        // Two labels per edge covering both directions: every edge gets
+        // {position+1, …} increasing forward and backward windows wide
+        // enough — simplest certificate: all edges available at all times.
+        let g = generators::path(5);
+        let labels = LabelAssignment::from_vecs(vec![vec![1, 2, 3, 4]; 4]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 4).unwrap();
+        assert!(treach_holds(&tn, 2));
+        assert!(is_temporally_connected(&tn, 2));
+    }
+
+    #[test]
+    fn treach_fails_on_one_label_path() {
+        // A path with a single label per edge can never serve both
+        // directions for n >= 3.
+        let g = generators::path(3);
+        let labels = LabelAssignment::single(vec![1, 2]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 2).unwrap();
+        assert!(!treach_holds(&tn, 1));
+        assert!(!is_temporally_connected(&tn, 1));
+    }
+
+    #[test]
+    fn treach_respects_static_disconnection() {
+        // Two disjoint labelled edges: static reachability is also split,
+        // so T_reach holds (reachability is *preserved*).
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let labels = LabelAssignment::single(vec![1, 1]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 1).unwrap();
+        assert!(treach_holds(&tn, 1));
+        assert!(!is_temporally_connected(&tn, 1));
+    }
+
+    #[test]
+    fn clique_single_label_always_satisfies_treach() {
+        // The paper's observation: K_n satisfies T_reach with any single
+        // labelling, because the direct edge is itself a journey.
+        let g = generators::clique(7, false);
+        let m = g.num_edges();
+        let labels: Vec<Time> = (0..m as Time).map(|i| 1 + (i % 7)).collect();
+        let tn = TemporalNetwork::new(g, LabelAssignment::single(labels).unwrap(), 7).unwrap();
+        assert!(treach_holds(&tn, 2));
+        assert!(is_temporally_connected(&tn, 2));
+    }
+
+    #[test]
+    fn trivial_networks_are_connected() {
+        let g = GraphBuilder::new_undirected(1).build().unwrap();
+        let labels = LabelAssignment::from_vecs(vec![]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 1).unwrap();
+        assert!(treach_holds(&tn, 1));
+        assert!(is_temporally_connected(&tn, 1));
+    }
+
+    #[test]
+    fn directed_star_out_edges_only() {
+        // Directed star: centre -> leaves with label 1. Static reach from a
+        // leaf is itself only; temporal matches => T_reach holds.
+        let mut b = GraphBuilder::new_directed(4);
+        for leaf in 1..4u32 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build().unwrap();
+        let labels = LabelAssignment::single(vec![1, 1, 1]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 1).unwrap();
+        assert!(treach_holds(&tn, 1));
+        assert!(!is_temporally_connected(&tn, 1));
+    }
+}

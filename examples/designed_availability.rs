@@ -1,0 +1,44 @@
+//! The paper's §6 research direction, live: design a network's availability
+//! by combining a deterministic backbone with random extras, and watch the
+//! cost/latency trade-off.
+//!
+//! Run with: `cargo run --release --example designed_availability`
+
+use ephemeral_networks::core::design::{average_temporal_distance, backbone_with_random_extras};
+use ephemeral_networks::graph::generators;
+use ephemeral_networks::parallel::available_threads;
+use ephemeral_networks::rng::default_rng;
+use ephemeral_networks::temporal::reachability::treach_holds;
+
+fn main() {
+    // A 10×10 torus: 100 routers, 200 links, plenty of chords to enrich.
+    let g = generators::torus(10, 10);
+    let lifetime = 100;
+    let threads = available_threads();
+    println!(
+        "torus 10x10: n = {}, links = {}, lifetime = {lifetime}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!("\n r extras | total slots | avg journey arrival | reach guaranteed?");
+
+    let mut rng = default_rng(2014);
+    for r in [0usize, 1, 2, 4, 8, 16, 32] {
+        let d = backbone_with_random_extras(&g, 0, r, lifetime, &mut rng)
+            .expect("torus is connected");
+        let (avg, missing) = average_temporal_distance(&d.network, threads);
+        let certified = treach_holds(&d.network, threads);
+        println!(
+            "{r:>9} | {:>11} | {avg:>19.2} | {} (missing pairs: {missing})",
+            d.network.assignment().total_labels(),
+            if certified { "yes" } else { "NO" },
+        );
+    }
+
+    println!(
+        "\nThe backbone alone (r = 0) already preserves reachability — the\n\
+         deterministic part of the design; every random extra label then\n\
+         buys latency, never correctness. This is the cost/performance dial\n\
+         the paper's conclusions (§6) propose to study."
+    );
+}

@@ -1,0 +1,47 @@
+//! # ephemeral-networks
+//!
+//! A Rust reproduction of **Akrida, Gąsieniec, Mertzios & Spirakis,
+//! "Ephemeral Networks with Random Availability of Links: Diameter and
+//! Connectivity" (SPAA 2014)** — temporal networks whose links appear only
+//! at random discrete times within a finite lifetime.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR (di)graph substrate, generators, classical algorithms.
+//! * [`temporal`] — labels, journeys, foremost / latest-departure / fastest
+//!   journey algorithms, temporal distances and `T_reach`.
+//! * [`core`] — the paper's contribution: U-RTN models, the Expansion
+//!   Process (Algorithm 1), the §3.5 dissemination protocol, temporal
+//!   diameter estimation, star-graph machinery, deterministic OPT schemes
+//!   and the Price of Randomness.
+//! * [`phonecall`] — the random phone-call model baselines (§1.1).
+//! * [`rng`] — deterministic PRNG stack (xoshiro256++ / SplitMix64).
+//! * [`parallel`] — data-parallel Monte Carlo engine and statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ephemeral_networks::core::urtn;
+//! use ephemeral_networks::core::dissemination::flood;
+//! use ephemeral_networks::rng::default_rng;
+//!
+//! // The paper's "hostile clique": every arc of K_64 is unguarded exactly
+//! // once, at a uniformly random moment in {1, …, 64}.
+//! let mut rng = default_rng(2014);
+//! let tn = urtn::sample_normalized_urt_clique(64, true, &mut rng);
+//!
+//! // Spreading a message greedily reaches everyone in O(log n) time.
+//! let out = flood(&tn, 0);
+//! assert_eq!(out.informed_count, 64);
+//! assert!(f64::from(out.broadcast_time.unwrap()) <= 8.0 * 64f64.ln());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ephemeral_core as core;
+pub use ephemeral_graph as graph;
+pub use ephemeral_parallel as parallel;
+pub use ephemeral_phonecall as phonecall;
+pub use ephemeral_rng as rng;
+pub use ephemeral_temporal as temporal;

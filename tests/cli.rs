@@ -1,0 +1,72 @@
+//! End-to-end invocations of the `ephemeral` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ephemeral"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn sample_reports_structure() {
+    let (ok, stdout, _) = run(&["sample", "--graph", "star:9", "--seed", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("n = 9"), "{stdout}");
+    assert!(stdout.contains("m = 8"), "{stdout}");
+}
+
+#[test]
+fn sample_dot_is_valid_graphviz() {
+    let (ok, stdout, _) = run(&["sample", "--graph", "path:3", "--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("graph urtn {"), "{stdout}");
+    assert!(stdout.contains("label="), "{stdout}");
+}
+
+#[test]
+fn diameter_subcommand_produces_estimate() {
+    let (ok, stdout, _) = run(&[
+        "diameter", "--graph", "clique:32", "--trials", "5", "--seed", "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("mean"), "{stdout}");
+    assert!(stdout.contains("infinite instances: 0"), "{stdout}");
+}
+
+#[test]
+fn reach_subcommand_reports_probability() {
+    let (ok, stdout, _) = run(&[
+        "reach", "--graph", "star:16", "--r", "24", "--trials", "20",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("P[T_reach]"), "{stdout}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn bad_graph_spec_fails_cleanly() {
+    let (ok, _, stderr) = run(&["sample", "--graph", "mobius:9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown graph kind"), "{stderr}");
+}
+
+#[test]
+fn flood_oracle_runs_at_scale() {
+    let (ok, stdout, _) = run(&["flood", "--n", "100000", "--oracle", "--seed", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("broadcast at Some"), "{stdout}");
+}

@@ -1,0 +1,107 @@
+//! Integration: dissemination on random temporal cliques vs the phone-call
+//! baselines — the §1.1 comparison as a runnable check.
+
+use ephemeral_networks::core::bounds;
+use ephemeral_networks::core::dissemination::{flood, flood_oracle_clique};
+use ephemeral_networks::core::urtn;
+use ephemeral_networks::phonecall::{push_broadcast, push_pull_broadcast};
+use ephemeral_networks::rng::default_rng;
+
+#[test]
+fn all_three_models_broadcast_in_logarithmic_time() {
+    let n = 512;
+    let ln_n = (n as f64).ln();
+    let mut rng = default_rng(3);
+
+    let tn = urtn::sample_normalized_urt_clique(n, true, &mut rng);
+    let temporal = flood(&tn, 0);
+    assert_eq!(temporal.informed_count, n);
+    let temporal_time = f64::from(temporal.broadcast_time.unwrap());
+
+    let push = push_broadcast(n, 0, 10_000, &mut rng);
+    assert!(push.complete);
+    let pp = push_pull_broadcast(n, 0, 10_000, &mut rng);
+    assert!(pp.complete);
+
+    for (label, t) in [
+        ("temporal flood", temporal_time),
+        ("push", f64::from(push.rounds)),
+        ("push-pull", f64::from(pp.rounds)),
+    ] {
+        assert!(t <= 6.0 * ln_n, "{label}: {t} > 6 ln n");
+        assert!(t >= 2.0, "{label}: implausibly fast ({t})");
+    }
+}
+
+#[test]
+fn message_complexity_ordering_matches_the_paper() {
+    // Temporal flooding is message-blind (Θ(n²)); push costs Θ(n log n);
+    // push–pull transmissions undercut push.
+    let n = 1024;
+    let mut rng = default_rng(4);
+    let tn = urtn::sample_normalized_urt_clique(n, true, &mut rng);
+    let temporal = flood(&tn, 0);
+    let push = push_broadcast(n, 0, 10_000, &mut rng);
+    let pp = push_pull_broadcast(n, 0, 10_000, &mut rng);
+
+    assert!(
+        temporal.messages > push.messages,
+        "flood {} should dwarf push {}",
+        temporal.messages,
+        push.messages
+    );
+    assert!(
+        pp.transmissions < temporal.messages,
+        "push-pull {} should undercut flooding {}",
+        pp.transmissions,
+        temporal.messages
+    );
+    // Flooding messages are a constant fraction of all n(n−1) arcs.
+    let arcs = (n * (n - 1)) as f64;
+    assert!(temporal.messages as f64 > 0.2 * arcs);
+}
+
+#[test]
+fn oracle_and_exact_flood_agree_in_distribution() {
+    // Mean broadcast time at n = 512, exact vs oracle, across seeds.
+    let n = 512usize;
+    let runs = 15;
+    let mut exact_sum = 0.0;
+    let mut oracle_sum = 0.0;
+    for seed in 0..runs {
+        let mut rng = default_rng(seed);
+        let tn = urtn::sample_normalized_urt_clique(n, true, &mut rng);
+        exact_sum += f64::from(flood(&tn, 0).broadcast_time.unwrap());
+        let mut rng2 = default_rng(1000 + seed);
+        oracle_sum += f64::from(
+            flood_oracle_clique(n as u64, n as u32, &mut rng2)
+                .broadcast_time
+                .unwrap(),
+        );
+    }
+    let exact_mean = exact_sum / runs as f64;
+    let oracle_mean = oracle_sum / runs as f64;
+    assert!(
+        (exact_mean - oracle_mean).abs() <= 0.25 * exact_mean,
+        "exact {exact_mean:.1} vs oracle {oracle_mean:.1}"
+    );
+}
+
+#[test]
+fn frieze_grimmett_curve_tracks_push() {
+    // Push rounds at several sizes stay within a band of log2 n + ln n.
+    for exp in [8u32, 10, 12] {
+        let n = 1usize << exp;
+        let mut rounds = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            rounds += f64::from(push_broadcast(n, 0, 10_000, &mut default_rng(seed)).rounds);
+        }
+        let mean = rounds / runs as f64;
+        let fg = bounds::frieze_grimmett(n);
+        assert!(
+            mean >= 0.6 * fg && mean <= 1.6 * fg,
+            "n = {n}: push mean {mean:.1} vs FG {fg:.1}"
+        );
+    }
+}

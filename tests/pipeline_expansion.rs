@@ -1,0 +1,68 @@
+//! Integration: sample a U-RTN, run the expansion process, and validate the
+//! certified journey against the temporal core's independent machinery.
+
+use ephemeral_networks::core::expansion::{expansion_process, ExpansionParams};
+use ephemeral_networks::core::urtn;
+use ephemeral_networks::rng::default_rng;
+use ephemeral_networks::temporal::foremost::foremost;
+use ephemeral_networks::temporal::reverse::latest_departure;
+
+#[test]
+fn expansion_journeys_are_consistent_with_foremost_and_reverse() {
+    let n = 256;
+    let params = ExpansionParams::practical(n);
+    let mut validated = 0;
+    for seed in 0..8 {
+        let mut rng = default_rng(seed);
+        let tn = urtn::sample_normalized_urt_clique(n, true, &mut rng);
+        let s = 3u32;
+        let t = 200u32;
+        let out = expansion_process(&tn, s, t, &params);
+        let Some(journey) = &out.journey else { continue };
+        validated += 1;
+
+        // The journey must be realizable and respect the window bound.
+        assert!(journey.is_realizable_in(&tn));
+        assert!(journey.arrival() <= out.arrival_bound);
+        assert_eq!(journey.source(), s);
+        assert_eq!(journey.target(), t);
+
+        // The foremost journey cannot arrive later than the certified one.
+        let fm = foremost(&tn, s, 0);
+        assert!(fm.arrival(t).unwrap() <= journey.arrival());
+
+        // The reverse sweep from t must see s departing no later than the
+        // certified journey departs (it maximises the departure).
+        let rev = latest_departure(&tn, t, tn.lifetime());
+        assert!(rev.departure(s).unwrap() >= journey.departure());
+    }
+    assert!(validated >= 6, "expansion succeeded only {validated}/8 times");
+}
+
+#[test]
+fn expansion_matches_oracle_statistics() {
+    // The exact expansion's level sizes at n = 1024 should match the
+    // oracle's mean-field prediction within Monte Carlo noise.
+    use ephemeral_networks::core::expansion_oracle::expected_levels;
+    let n = 1024usize;
+    let params = ExpansionParams::practical(n);
+    let expect = expected_levels(n as u64, n as u32, &params);
+
+    let runs = 12;
+    let mut sums = vec![0.0f64; expect.len()];
+    for seed in 100..100 + runs {
+        let mut rng = default_rng(seed);
+        let tn = urtn::sample_normalized_urt_clique(n, true, &mut rng);
+        let out = expansion_process(&tn, 0, 1, &params);
+        for (s, &l) in sums.iter_mut().zip(&out.forward_levels) {
+            *s += l as f64;
+        }
+    }
+    for (i, (&e, &s)) in expect.iter().zip(&sums).enumerate() {
+        let avg = s / runs as f64;
+        assert!(
+            (avg - e).abs() <= 0.35 * e.max(4.0),
+            "level {i}: exact avg {avg:.1} vs oracle expectation {e:.1}"
+        );
+    }
+}

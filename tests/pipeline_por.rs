@@ -1,0 +1,86 @@
+//! Integration: Price-of-Randomness pipeline across families, checking the
+//! paper's orderings end to end.
+
+use ephemeral_networks::core::opt;
+use ephemeral_networks::core::por::{por_report, theorem8_bound};
+use ephemeral_networks::core::star::minimal_r_star;
+use ephemeral_networks::graph::generators;
+use ephemeral_networks::temporal::reachability::treach_holds;
+use ephemeral_networks::temporal::TemporalNetwork;
+
+#[test]
+fn por_reports_are_internally_consistent_across_families() {
+    // Note: our deterministic schemes are only *upper bounds* on OPT, so
+    // they may cost more labels than m·r* on some families (observed on
+    // grids) — the theorem-backed invariants are the bracket ordering and
+    // Theorem 8's ceiling on the true PoR (i.e. on m·r/OPT ≤ m·r/(n−1)
+    // only when r meets Theorem 7's budget; we check the measured bracket
+    // is ordered and the star — where OPT is exact — sits under the bound).
+    for (name, g) in [
+        ("star", generators::star(64)),
+        ("cycle", generators::cycle(32)),
+        ("grid", generators::grid(6, 6)),
+    ] {
+        let rep = por_report(&g, name, 40, 11, 4).expect("connected");
+        assert!(rep.por_lower <= rep.por_upper + 1e-9, "{name}: bracket inverted");
+        // por_upper = m·r/(n−1) ≥ 1 always (m ≥ n−1, r ≥ 1); por_lower may
+        // dip below 1 because it divides by an OPT *over*-estimate.
+        assert!(rep.por_upper >= 1.0 - 1e-9, "{name}: PoR upper below 1");
+        assert!(rep.opt_lower <= rep.opt_upper, "{name}: OPT bounds inverted");
+        assert!(rep.r >= 1 && rep.m > 0 && rep.diameter >= 1, "{name}: degenerate report");
+    }
+
+    // For the star OPT is exact (2m), so the true PoR = r*/2 is measured,
+    // and Theorem 8 (with d = 2) must dominate it.
+    let star = generators::star(64);
+    let rep = por_report(&star, "star", 40, 11, 4).unwrap();
+    assert_eq!(rep.opt_upper, 2 * rep.m, "star scheme must realise OPT = 2m");
+    assert!(rep.opt_upper <= rep.m * rep.r, "star: r* ≥ 2 so m·r* ≥ 2m");
+    assert!(
+        rep.por_lower <= rep.theorem8 + 1e-9,
+        "star: measured {} above Theorem 8 bound {}",
+        rep.por_lower,
+        rep.theorem8
+    );
+}
+
+#[test]
+fn star_por_grows_with_n_like_log() {
+    // PoR(star) = r*/2; Theorem 6 says Θ(log n).
+    let r_small = minimal_r_star(64, 1.0 - 1.0 / 64.0, 300, 5, 4);
+    let r_large = minimal_r_star(4096, 1.0 - 1.0 / 4096.0, 300, 5, 4);
+    assert!(r_large > r_small, "threshold must grow: {r_small} vs {r_large}");
+    // Growth should be roughly the log ratio (2x), definitely not linear (64x).
+    assert!(
+        (r_large as f64) < (r_small as f64) * 8.0,
+        "superlogarithmic growth: {r_small} -> {r_large}"
+    );
+}
+
+#[test]
+fn box_scheme_certificate_verifies_for_every_family() {
+    for g in [
+        generators::path(12),
+        generators::cycle(12),
+        generators::grid(4, 4),
+        generators::hypercube(4),
+        generators::binary_tree(15),
+        generators::barbell(6),
+        generators::lollipop(5, 4),
+        generators::wheel(10),
+    ] {
+        let s = opt::box_scheme(&g).expect("connected family");
+        let tn = TemporalNetwork::new(g.clone(), s.assignment.clone(), s.lifetime).unwrap();
+        assert!(treach_holds(&tn, 2), "box scheme failed on a family");
+    }
+}
+
+#[test]
+fn theorem8_bound_dominates_diameter_families() {
+    // The bound (2 d ln n)·m/(n−1) must exceed 1 for every connected graph
+    // we evaluate, and scale with the diameter.
+    let path = theorem8_bound(100, 99, 99);
+    let star = theorem8_bound(100, 99, 2);
+    assert!(path > star);
+    assert!(star > 1.0);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over the whole stack: random instances, structural
+//! invariants.
+
+use ephemeral_networks::graph::{algo, GraphBuilder};
+use ephemeral_networks::rng::{RandomSource, SeedSequence};
+use ephemeral_networks::temporal::foremost::foremost;
+use ephemeral_networks::temporal::reverse::latest_departure;
+use ephemeral_networks::temporal::{LabelAssignment, TemporalNetwork, Time, NEVER};
+use proptest::prelude::*;
+
+/// Strategy: a connected-ish random undirected graph as an edge list over
+/// `n ≤ 12` nodes, plus 1–3 labels per edge in `1..=12`.
+fn arb_temporal_network() -> impl Strategy<Value = TemporalNetwork> {
+    (2usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+        let mut b = GraphBuilder::new_undirected(n);
+        b.dedup_edges();
+        // A random spanning-ish structure plus extra random edges.
+        for v in 1..n as u32 {
+            let u = rng.bounded_u32(v);
+            b.add_edge(u, v);
+        }
+        for _ in 0..n {
+            let u = rng.bounded_u32(n as u32);
+            let v = rng.bounded_u32(n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().expect("valid random graph");
+        let lifetime: Time = 12;
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            let k = 1 + rng.index(3);
+            (0..k).map(|_| rng.range_u32(1, lifetime)).collect()
+        })
+        .unwrap();
+        TemporalNetwork::new(g, labels, lifetime).unwrap()
+    })
+}
+
+/// Exhaustive journey arrival by DFS — the specification foremost is
+/// checked against.
+fn brute_force_arrival(tn: &TemporalNetwork, s: u32, t: u32) -> Option<Time> {
+    fn dfs(tn: &TemporalNetwork, cur: u32, t: u32, last: Time, best: &mut Option<Time>) {
+        if cur == t && last > 0 {
+            if best.is_none() || last < best.unwrap() {
+                *best = Some(last);
+            }
+            return;
+        }
+        if best.is_some_and(|b| last >= b) {
+            return; // cannot improve
+        }
+        let (nbrs, eids) = tn.graph().out_adjacency(cur);
+        for (&v, &e) in nbrs.iter().zip(eids) {
+            for &l in tn.labels(e) {
+                if l > last {
+                    dfs(tn, v, t, l, best);
+                }
+            }
+        }
+    }
+    let mut best = None;
+    dfs(tn, s, t, 0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn foremost_matches_bruteforce(tn in arb_temporal_network()) {
+        let n = tn.num_nodes() as u32;
+        let s = 0u32;
+        let run = foremost(&tn, s, 0);
+        for t in 1..n {
+            let brute = brute_force_arrival(&tn, s, t);
+            let swept = run.arrival(t).filter(|_| t != s);
+            prop_assert_eq!(swept, brute, "target {}", t);
+        }
+    }
+
+    #[test]
+    fn journeys_reconstructed_are_realizable(tn in arb_temporal_network()) {
+        let run = foremost(&tn, 0, 0);
+        for t in 1..tn.num_nodes() as u32 {
+            if let Some(j) = run.journey_to(t) {
+                prop_assert!(j.is_realizable_in(&tn));
+                prop_assert_eq!(j.arrival(), run.arrival(t).unwrap());
+                prop_assert!(j.hops() < tn.num_nodes() * 13, "journeys never loop forever");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_reachability_mirrors_forward(tn in arb_temporal_network()) {
+        let n = tn.num_nodes() as u32;
+        let t = n - 1;
+        let rev = latest_departure(&tn, t, tn.lifetime());
+        for s in 0..n {
+            if s == t { continue; }
+            let fwd = foremost(&tn, s, 0).reached(t);
+            prop_assert_eq!(fwd, rev.reaches(s), "s = {}", s);
+        }
+    }
+
+    #[test]
+    fn reverse_departure_is_maximal(tn in arb_temporal_network()) {
+        // Departing strictly later than the reverse sweep's answer must
+        // make the target unreachable.
+        let n = tn.num_nodes() as u32;
+        let t = n - 1;
+        let rev = latest_departure(&tn, t, tn.lifetime());
+        for s in 0..n {
+            if s == t { continue; }
+            if let Some(dep) = rev.departure(s) {
+                // A foremost run restricted to labels > dep-1 reaches t…
+                prop_assert!(foremost(&tn, s, dep - 1).reached(t));
+                // …but restricted to labels > dep it must not.
+                prop_assert!(!foremost(&tn, s, dep).reached(t), "s = {}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_reach_never_exceeds_static_reach(tn in arb_temporal_network()) {
+        for s in 0..tn.num_nodes() as u32 {
+            let static_reach = algo::bfs_distances(tn.graph(), s)
+                .iter().filter(|&&d| d != algo::UNREACHABLE).count();
+            let temporal = foremost(&tn, s, 0).reached_count();
+            prop_assert!(temporal <= static_reach);
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_within_lifetime(tn in arb_temporal_network()) {
+        let run = foremost(&tn, 0, 0);
+        for &a in run.arrivals() {
+            prop_assert!(a == NEVER || a <= tn.lifetime());
+        }
+    }
+}
