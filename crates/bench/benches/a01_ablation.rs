@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ephemeral_core::urtn::sample_normalized_urt_clique;
-use ephemeral_rng::sample::sample_indices;
 use ephemeral_rng::default_rng;
+use ephemeral_rng::sample::sample_indices;
 use ephemeral_temporal::foremost::foremost;
 use ephemeral_temporal::reference::foremost_arrivals_by_sorting;
 use std::hint::black_box;

@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     let n = 1024;
     let mut rng = default_rng(5);
     let tn = sample_normalized_urt_clique(n, true, &mut rng);
-    group.bench_function("flood_exact_n1024", |b| {
-        b.iter(|| black_box(flood(&tn, 0)))
-    });
+    group.bench_function("flood_exact_n1024", |b| b.iter(|| black_box(flood(&tn, 0))));
 
     group.bench_function("flood_oracle_n1e6", |b| {
         let mut rng = default_rng(6);

@@ -15,7 +15,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
 
     eprintln!(
         "# experiments: mode={}, seed={}, threads={}",
@@ -36,7 +40,11 @@ fn main() {
         for t in &tables {
             print!("{}", t.render());
         }
-        eprintln!("## {} done in {:.1}s", exp.id, started.elapsed().as_secs_f64());
+        eprintln!(
+            "## {} done in {:.1}s",
+            exp.id,
+            started.elapsed().as_secs_f64()
+        );
     }
     eprintln!("# all done in {:.1}s", total.elapsed().as_secs_f64());
 }

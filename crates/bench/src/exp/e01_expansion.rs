@@ -20,7 +20,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut exact = Table::new(
         "E01a · exact expansion on the directed normalized U-RT clique (practical constants)",
         &[
-            "n", "trials", "d", "success", "mean |Γ1|", "mean |Γ_{d+1}|", "√n", "arrival bound",
+            "n",
+            "trials",
+            "d",
+            "success",
+            "mean |Γ1|",
+            "mean |Γ_{d+1}|",
+            "√n",
+            "arrival bound",
             "3·ln n",
         ],
     );
@@ -58,11 +65,22 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             f(3.0 * (n as f64).ln(), 1),
         ]);
     }
-    exact.note("success = matching arc found in ∆*; bound = 3·c1·ln n + 2·d·c2 (Thm 3 arrival guarantee).");
+    exact.note(
+        "success = matching arc found in ∆*; bound = 3·c1·ln n + 2·d·c2 (Thm 3 arrival guarantee).",
+    );
 
     let mut oracle = Table::new(
         "E01b · delayed-revelation oracle at large n (paper constants c1=33, c1·c2=1024)",
-        &["n", "trials", "d", "success", "mean |Γ1|", "c1·ln n", "mean |Γ_{d+1}|", "√n"],
+        &[
+            "n",
+            "trials",
+            "d",
+            "success",
+            "mean |Γ1|",
+            "c1·ln n",
+            "mean |Γ_{d+1}|",
+            "√n",
+        ],
     );
     let big_sizes: &[u64] = if cfg.quick {
         &[100_000]
@@ -93,7 +111,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             f((n as f64).sqrt(), 1),
         ]);
     }
-    oracle.note("Theorem 3 predicts success with probability ≥ 1 − 3/n³ under the paper constants.");
+    oracle
+        .note("Theorem 3 predicts success with probability ≥ 1 − 3/n³ under the paper constants.");
 
     vec![exact, oracle]
 }

@@ -15,7 +15,15 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "E02 · temporal diameter TD of the directed normalized U-RT clique",
         &[
-            "n", "trials", "mean TD", "sd", "min", "max", "TD/ln n", "TD/log2 n", "infinite",
+            "n",
+            "trials",
+            "mean TD",
+            "sd",
+            "min",
+            "max",
+            "TD/ln n",
+            "TD/log2 n",
+            "infinite",
         ],
     );
     let sizes: &[usize] = if cfg.quick {

@@ -17,17 +17,22 @@ use ephemeral_temporal::foremost::foremost_with_horizon;
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "E03a · P[G(n,p) connected] around p = c·ln n/n",
-        &["n", "c=0.50", "c=0.75", "c=1.00", "c=1.25", "c=1.50", "c=2.00"],
+        &[
+            "n", "c=0.50", "c=0.75", "c=1.00", "c=1.25", "c=1.50", "c=2.00",
+        ],
     );
-    let sizes: &[usize] = if cfg.quick { &[256] } else { &[256, 1024, 4096] };
+    let sizes: &[usize] = if cfg.quick {
+        &[256]
+    } else {
+        &[256, 1024, 4096]
+    };
     let cs = [0.5, 0.75, 1.0, 1.25, 1.5, 2.0];
     for &n in sizes {
         let trials = cfg.scale(60, 10);
         let mut cells = vec![n.to_string()];
         for &c in &cs {
             let p = c * (n as f64).ln() / n as f64;
-            let prob =
-                gnp_connectivity_probability(n, p, trials, cfg.seed ^ 0xE03, cfg.threads);
+            let prob = gnp_connectivity_probability(n, p, trials, cfg.seed ^ 0xE03, cfg.threads);
             cells.push(f(prob.estimate, 3));
         }
         t.row(cells);

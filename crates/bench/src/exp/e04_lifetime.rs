@@ -15,10 +15,23 @@ use ephemeral_core::diameter::clique_td_with_lifetime;
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "E04 · TD of the U-RT clique as the lifetime a grows (directed, one label/arc)",
-        &["n", "a/n", "a", "trials", "mean TD", "sd", "(a/n)·ln n", "TD / bound"],
+        &[
+            "n",
+            "a/n",
+            "a",
+            "trials",
+            "mean TD",
+            "sd",
+            "(a/n)·ln n",
+            "TD / bound",
+        ],
     );
     let sizes: &[usize] = if cfg.quick { &[128] } else { &[128, 256, 512] };
-    let ratios: &[u32] = if cfg.quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16] };
+    let ratios: &[u32] = if cfg.quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     for &n in sizes {
         for &ratio in ratios {
             let a = (n as u32) * ratio;

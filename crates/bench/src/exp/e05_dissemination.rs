@@ -18,7 +18,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut exact = Table::new(
         "E05a · flooding a message through the U-RT clique (exact instances)",
         &[
-            "n", "trials", "mean time", "sd", "ln n", "time/ln n", "mean messages", "n(n-1)",
+            "n",
+            "trials",
+            "mean time",
+            "sd",
+            "ln n",
+            "time/ln n",
+            "mean messages",
+            "n(n-1)",
             "msg fraction",
         ],
     );
@@ -58,7 +65,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
 
     let mut oracle = Table::new(
         "E05b · oracle flooding at web scale",
-        &["n", "trials", "mean time", "ln n", "time/ln n", "E[messages]"],
+        &[
+            "n",
+            "trials",
+            "mean time",
+            "ln n",
+            "time/ln n",
+            "E[messages]",
+        ],
     );
     let big: &[u64] = if cfg.quick {
         &[100_000]

@@ -15,8 +15,18 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let n = if cfg.quick { 256 } else { 1024 };
     let trials = cfg.scale(500, 60);
     let mut sweep = Table::new(
-        format!("E06a · star K_{{1,{}}}: P[T_reach] vs labels-per-edge r (lifetime = n = {n})", n - 1),
-        &["r", "P[T_reach]", "wilson 95% lo", "hi", "paper lower bound", "2-split per pair"],
+        format!(
+            "E06a · star K_{{1,{}}}: P[T_reach] vs labels-per-edge r (lifetime = n = {n})",
+            n - 1
+        ),
+        &[
+            "r",
+            "P[T_reach]",
+            "wilson 95% lo",
+            "hi",
+            "paper lower bound",
+            "2-split per pair",
+        ],
     );
     let rs: &[usize] = if cfg.quick {
         &[2, 6, 10, 14, 18, 26]
@@ -40,11 +50,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         "E06b · minimal r* with P[T_reach] ≥ 1 − 1/n, vs n",
         &["n", "r*", "log2 n", "r*/log2 n"],
     );
-    let exps: &[u32] = if cfg.quick { &[6, 8] } else { &[6, 7, 8, 9, 10, 11, 12] };
+    let exps: &[u32] = if cfg.quick {
+        &[6, 8]
+    } else {
+        &[6, 7, 8, 9, 10, 11, 12]
+    };
     for &e in exps {
         let n = 1usize << e;
         let target = 1.0 - 1.0 / n as f64;
-        let r = minimal_r_star(n, target, cfg.scale(500, 80), cfg.seed ^ 0xE06B, cfg.threads);
+        let r = minimal_r_star(
+            n,
+            target,
+            cfg.scale(500, 80),
+            cfg.seed ^ 0xE06B,
+            cfg.threads,
+        );
         scaling.row(vec![
             n.to_string(),
             r.to_string(),

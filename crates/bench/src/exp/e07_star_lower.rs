@@ -25,7 +25,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             "P",
         ],
     );
-    let exps: &[u32] = if cfg.quick { &[8, 10] } else { &[8, 10, 12, 14, 16] };
+    let exps: &[u32] = if cfg.quick {
+        &[8, 10]
+    } else {
+        &[8, 10, 12, 14, 16]
+    };
     let trials = cfg.scale(400, 60);
     for &e in exps {
         let n = 1usize << e;
@@ -33,12 +37,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let r_sqrt = ((log2n / log2n.sqrt()).floor() as usize).max(1);
         let r_loglog = ((log2n / log2n.ln().max(1.0)).floor() as usize).max(1);
         let r_full = e as usize;
-        let p_sqrt =
-            star_treach_probability(n, r_sqrt, trials, cfg.seed ^ 0xE07, cfg.threads);
+        let p_sqrt = star_treach_probability(n, r_sqrt, trials, cfg.seed ^ 0xE07, cfg.threads);
         let p_loglog =
             star_treach_probability(n, r_loglog, trials, cfg.seed ^ 0xE07 ^ 1, cfg.threads);
-        let p_full =
-            star_treach_probability(n, r_full, trials, cfg.seed ^ 0xE07 ^ 2, cfg.threads);
+        let p_full = star_treach_probability(n, r_full, trials, cfg.seed ^ 0xE07 ^ 2, cfg.threads);
         t.row(vec![
             n.to_string(),
             f(log2n, 0),

@@ -20,9 +20,15 @@ fn families(n_side: usize, quick: bool, seed: u64) -> Vec<(String, Graph)> {
     let mut out = vec![
         ("star".to_owned(), generators::star(n)),
         ("cycle".to_owned(), generators::cycle(n)),
-        (format!("grid {n_side}x{n_side}"), generators::grid(n_side, n_side)),
+        (
+            format!("grid {n_side}x{n_side}"),
+            generators::grid(n_side, n_side),
+        ),
         ("binary tree".to_owned(), generators::binary_tree(n - 1)),
-        ("hypercube".to_owned(), generators::hypercube((n as f64).log2() as u32)),
+        (
+            "hypercube".to_owned(),
+            generators::hypercube((n as f64).log2() as u32),
+        ),
     ];
     if !quick {
         out.push(("path".to_owned(), generators::path(n)));
@@ -31,7 +37,7 @@ fn families(n_side: usize, quick: bool, seed: u64) -> Vec<(String, Graph)> {
         loop {
             let g = generators::gnp(n, p, false, &mut rng);
             if ephemeral_graph::algo::is_connected(&g) {
-                out.push((format!("G(n, 2.5 ln n/n)"), g));
+                out.push(("G(n, 2.5 ln n/n)".to_string(), g));
                 break;
             }
         }
@@ -44,7 +50,16 @@ fn families(n_side: usize, quick: bool, seed: u64) -> Vec<(String, Graph)> {
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "E08a · minimal r* for T_reach w.h.p. vs Theorem 7 budget 2·d·ln n (n = 64)",
-        &["family", "n", "m", "d(G)", "r*", "P at r*", "2·d·ln n", "r*/budget"],
+        &[
+            "family",
+            "n",
+            "m",
+            "d(G)",
+            "r*",
+            "P at r*",
+            "2·d·ln n",
+            "r*/budget",
+        ],
     );
     let trials = cfg.scale(80, 15);
     for (name, g) in families(8, cfg.quick, cfg.seed ^ 0xE08) {
@@ -76,7 +91,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         "E08b · path P_n: r* growth against the d·log n budget",
         &["n", "d", "r*", "2·d·ln n", "r*/budget"],
     );
-    let sizes: &[usize] = if cfg.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let sizes: &[usize] = if cfg.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128]
+    };
     for &n in sizes {
         let g = generators::path(n);
         let d = diameter(&g).unwrap();

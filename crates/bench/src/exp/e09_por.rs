@@ -16,7 +16,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "E09a · Price of Randomness bracket per family (PoR = m·r*/OPT)",
         &[
-            "family", "n", "m", "d", "r*", "OPT upper (scheme)", "PoR in [lo, hi]",
+            "family",
+            "n",
+            "m",
+            "d",
+            "r*",
+            "OPT upper (scheme)",
+            "PoR in [lo, hi]",
             "Thm 8 bound",
         ],
     );

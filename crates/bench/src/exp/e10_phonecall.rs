@@ -20,14 +20,23 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut rounds = Table::new(
         "E10a · broadcast time: temporal flood vs push vs push–pull (complete graph)",
         &[
-            "n", "flood time", "push rounds", "push-pull rounds", "log2n+ln n (FG)",
+            "n",
+            "flood time",
+            "push rounds",
+            "push-pull rounds",
+            "log2n+ln n (FG)",
             "flood/ln n",
         ],
     );
     let mut msgs = Table::new(
         "E10b · message complexity: the separation the paper highlights",
         &[
-            "n", "flood msgs", "n(n-1)", "push msgs", "n·ln n", "push-pull transmissions",
+            "n",
+            "flood msgs",
+            "n(n-1)",
+            "push msgs",
+            "n·ln n",
+            "push-pull transmissions",
             "n·lnln n",
         ],
     );
@@ -85,7 +94,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         "E10c · temporal flood time keeps tracking ln n at web scale (oracle)",
         &["n", "flood time (mean)", "ln n", "FG push curve"],
     );
-    let big: &[u64] = if cfg.quick { &[1_000_000] } else { &[100_000, 1_000_000, 10_000_000] };
+    let big: &[u64] = if cfg.quick {
+        &[1_000_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
     for (si, &n) in big.iter().enumerate() {
         let mut rng = seq.rng(900 + si as u64);
         let t = cfg.scale(30, 6);

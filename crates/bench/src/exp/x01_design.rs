@@ -21,7 +21,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "X01 · backbone + r random extra labels per chord (8x8 torus, lifetime = 64)",
         &[
-            "r extras", "trials", "total labels", "avg temporal distance", "missing pairs",
+            "r extras",
+            "trials",
+            "total labels",
+            "avg temporal distance",
+            "missing pairs",
             "latency vs backbone",
         ],
     );

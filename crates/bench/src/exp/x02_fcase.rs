@@ -46,8 +46,17 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let lifetime = n as Time;
     let trials = cfg.scale(200, 40);
     let mut t = Table::new(
-        format!("X02 · star K_{{1,{}}}: P[T_reach] under different label distributions F", n - 1),
-        &["r", "uniform", "zipf s=1.0 (early-skew)", "reverse-zipf (late-skew)", "half-half split"],
+        format!(
+            "X02 · star K_{{1,{}}}: P[T_reach] under different label distributions F",
+            n - 1
+        ),
+        &[
+            "r",
+            "uniform",
+            "zipf s=1.0 (early-skew)",
+            "reverse-zipf (late-skew)",
+            "half-half split",
+        ],
     );
     for &r in &[4usize, 8, 12, 16, 24] {
         let uniform = UniformMulti { lifetime, r };
@@ -70,21 +79,22 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         // Structured spread: half the draws uniform in the early half, half
         // in the late half (a deterministic-ish "design" for the 2-split
         // journeys of Theorem 6a).
-        let p_split = probability_with(&g, lifetime, trials, cfg.seed ^ 4, cfg.threads, |m, rng| {
-            LabelAssignment::from_fn(m, |_| {
-                let half = lifetime / 2;
-                (0..r)
-                    .map(|i| {
-                        if i % 2 == 0 {
-                            rng.range_u32(1, half)
-                        } else {
-                            rng.range_u32(half + 1, lifetime)
-                        }
-                    })
-                    .collect()
-            })
-            .expect("labels in range")
-        });
+        let p_split =
+            probability_with(&g, lifetime, trials, cfg.seed ^ 4, cfg.threads, |m, rng| {
+                LabelAssignment::from_fn(m, |_| {
+                    let half = lifetime / 2;
+                    (0..r)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                rng.range_u32(1, half)
+                            } else {
+                                rng.range_u32(half + 1, lifetime)
+                            }
+                        })
+                        .collect()
+                })
+                .expect("labels in range")
+            });
         t.row(vec![
             r.to_string(),
             f(p_uni, 3),

@@ -67,7 +67,10 @@ pub fn backbone_with_random_extras(
     for &e in &tree.edges {
         is_tree_edge[e as usize] = true;
     }
-    let extras_model = UniformMulti { lifetime, r: r_extra.max(1) };
+    let extras_model = UniformMulti {
+        lifetime,
+        r: r_extra.max(1),
+    };
     let extras = if r_extra > 0 {
         Some(extras_model.assign(g.num_edges(), rng))
     } else {
@@ -128,7 +131,11 @@ pub fn average_temporal_distance(tn: &TemporalNetwork, threads: usize) -> (f64, 
         count += c;
         missing += m;
     }
-    let avg = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    let avg = if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    };
     (avg, missing)
 }
 

@@ -146,7 +146,11 @@ mod tests {
         assert_eq!(est.infinite_instances, 0, "clique instances are connected");
         // Θ(log n): between log2(n)/2 and 8·ln n at this size.
         let ln_n = 128f64.ln();
-        assert!(est.finite.mean > 0.5 * 128f64.log2(), "mean {}", est.finite.mean);
+        assert!(
+            est.finite.mean > 0.5 * 128f64.log2(),
+            "mean {}",
+            est.finite.mean
+        );
         assert!(est.finite.mean < 8.0 * ln_n, "mean {}", est.finite.mean);
         assert!(est.gamma_ln > 0.0 && est.gamma_log2 > 0.0);
     }

@@ -98,7 +98,11 @@ pub fn flood(tn: &TemporalNetwork, source: NodeId) -> FloodOutcome {
 /// broadcast completes by `O(log n) ≪ a` steps, so the bias is negligible
 /// — and the exact [`flood`] covers every size we can materialise.
 #[must_use]
-pub fn flood_oracle_clique(n: u64, lifetime: Time, rng: &mut impl RandomSource) -> FloodOracleOutcome {
+pub fn flood_oracle_clique(
+    n: u64,
+    lifetime: Time,
+    rng: &mut impl RandomSource,
+) -> FloodOracleOutcome {
     assert!(n >= 1, "clique requires at least one vertex");
     let a = f64::from(lifetime);
     let mut uninformed = n - 1;

@@ -198,7 +198,10 @@ pub fn expansion_process(
     params: &ExpansionParams,
 ) -> ExpansionOutcome {
     let n = tn.num_nodes();
-    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    assert!(
+        (s as usize) < n && (t as usize) < n,
+        "endpoints out of range"
+    );
     assert_ne!(s, t, "expansion process requires distinct endpoints");
     let iv = params.intervals(n);
     assert!(
@@ -313,7 +316,11 @@ pub fn expansion_process(
         }
         steps.reverse();
         // The matching arc.
-        steps.push(TimeEdge { from: u, to: v, time: l });
+        steps.push(TimeEdge {
+            from: u,
+            to: v,
+            time: l,
+        });
         // v → t through the backward children.
         let mut cur = v;
         while cur != t {
@@ -345,7 +352,11 @@ mod tests {
 
     #[test]
     fn windows_are_disjoint_increasing_and_tile() {
-        let p = ExpansionParams { c1: 2.0, c2: 4.0, d: 3 };
+        let p = ExpansionParams {
+            c1: 2.0,
+            c2: 4.0,
+            d: 3,
+        };
         let iv = p.intervals(1000);
         let mut windows = Vec::new();
         for i in 1..=iv.d + 1 {
@@ -426,7 +437,11 @@ mod tests {
         let lifetime = 10_000;
         let labels = LabelAssignment::single(vec![lifetime; m]).unwrap();
         let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
-        let params = ExpansionParams { c1: 2.0, c2: 4.0, d: 2 };
+        let params = ExpansionParams {
+            c1: 2.0,
+            c2: 4.0,
+            d: 2,
+        };
         let out = expansion_process(&tn, 0, 1, &params);
         assert!(!out.success);
         assert!(out.journey.is_none());
@@ -446,7 +461,11 @@ mod tests {
     fn oversized_windows_panic() {
         let mut rng = default_rng(1);
         let tn = sample_normalized_urt_clique(16, true, &mut rng);
-        let params = ExpansionParams { c1: 33.0, c2: 31.0, d: 5 };
+        let params = ExpansionParams {
+            c1: 33.0,
+            c2: 31.0,
+            d: 5,
+        };
         let _ = expansion_process(&tn, 0, 1, &params);
     }
 

@@ -95,7 +95,7 @@ pub fn expansion_oracle(
     // Window lengths: ∆1 then d narrow windows (forward); mirrored backward.
     let mut lengths = Vec::with_capacity(iv.d + 1);
     lengths.push(iv.l1);
-    lengths.extend(std::iter::repeat(iv.c).take(iv.d));
+    lengths.extend(std::iter::repeat_n(iv.c, iv.d));
 
     let (forward_levels, fwd_frontier) = grow_side(n, a, params, &lengths, rng);
     let (backward_levels, bwd_frontier) = grow_side(n, a, params, &lengths, rng);
@@ -127,7 +127,7 @@ pub fn expected_levels(n: u64, lifetime: Time, params: &ExpansionParams) -> Vec<
     let a = f64::from(lifetime);
     let mut lengths = Vec::with_capacity(iv.d + 1);
     lengths.push(iv.l1);
-    lengths.extend(std::iter::repeat(iv.c).take(iv.d));
+    lengths.extend(std::iter::repeat_n(iv.c, iv.d));
     let mut pool = (n - 1) as f64;
     let mut frontier = 1.0f64;
     let mut out = Vec::with_capacity(lengths.len());
@@ -146,11 +146,7 @@ pub fn expected_levels(n: u64, lifetime: Time, params: &ExpansionParams) -> Vec<
 /// callers that need concrete (but still lazily-sampled) frontier members,
 /// e.g. for visualisation.
 #[must_use]
-pub fn sample_frontier_ids(
-    n: u64,
-    size: usize,
-    rng: &mut impl RandomSource,
-) -> Vec<u64> {
+pub fn sample_frontier_ids(n: u64, size: usize, rng: &mut impl RandomSource) -> Vec<u64> {
     sample_indices(n as usize, size.min(n as usize), rng)
         .into_iter()
         .map(|i| i as u64)
@@ -216,7 +212,11 @@ mod tests {
     fn zero_frontier_propagates() {
         // A lifetime so large that windows have negligible probability:
         // Γ1 is almost surely empty and the outcome must fail cleanly.
-        let params = ExpansionParams { c1: 0.001, c2: 0.001, d: 2 };
+        let params = ExpansionParams {
+            c1: 0.001,
+            c2: 0.001,
+            d: 2,
+        };
         let mut rng = default_rng(3);
         let out = expansion_oracle(1000, 1_000_000, &params, &mut rng);
         assert!(!out.success);
@@ -236,7 +236,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond lifetime")]
     fn oracle_rejects_oversized_windows() {
-        let params = ExpansionParams { c1: 50.0, c2: 50.0, d: 10 };
+        let params = ExpansionParams {
+            c1: 50.0,
+            c2: 50.0,
+            d: 10,
+        };
         let mut rng = default_rng(5);
         let _ = expansion_oracle(100, 100, &params, &mut rng);
     }

@@ -6,6 +6,7 @@
 //!
 //! | Paper | Module |
 //! |---|---|
+//! | §2 uniform random temporal network sampling (U-RTN) | [`urtn`] |
 //! | §2 UNI-CASE / F-CASE random label models | [`models`] |
 //! | §3 Algorithm 1, the Expansion Process | [`expansion`] (exact), [`expansion_oracle`] (lazily-revealed huge-`n` instances) |
 //! | §3.5 flooding dissemination protocol | [`dissemination`] |

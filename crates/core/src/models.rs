@@ -54,7 +54,9 @@ impl LabelModel for UniformMulti {
 
     fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
         LabelAssignment::from_fn(m, |_| {
-            (0..self.r).map(|_| rng.range_u32(1, self.lifetime)).collect()
+            (0..self.r)
+                .map(|_| rng.range_u32(1, self.lifetime))
+                .collect()
         })
         .expect("labels are in 1..=lifetime")
     }
@@ -172,7 +174,10 @@ mod tests {
     #[test]
     fn uniform_multi_at_most_r_labels() {
         let mut rng = default_rng(3);
-        let model = UniformMulti { lifetime: 1000, r: 5 };
+        let model = UniformMulti {
+            lifetime: 1000,
+            r: 5,
+        };
         let a = model.assign(200, &mut rng);
         for e in 0..200u32 {
             let l = a.labels(e);
@@ -205,7 +210,10 @@ mod tests {
     #[test]
     fn geometric_arrivals_are_increasing_and_bounded() {
         let mut rng = default_rng(6);
-        let model = GeometricArrivals { lifetime: 50, p: 0.2 };
+        let model = GeometricArrivals {
+            lifetime: 50,
+            p: 0.2,
+        };
         let a = model.assign(100, &mut rng);
         for e in 0..100u32 {
             let l = a.labels(e);

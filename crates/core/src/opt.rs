@@ -156,7 +156,10 @@ pub fn best_scheme(g: &Graph) -> Option<Scheme> {
     let mut best: Option<Scheme> = None;
     let mut consider = |s: Option<Scheme>| {
         if let Some(s) = s {
-            if best.as_ref().is_none_or(|b| s.total_labels < b.total_labels) {
+            if best
+                .as_ref()
+                .is_none_or(|b| s.total_labels < b.total_labels)
+            {
                 best = Some(s);
             }
         }
@@ -293,14 +296,22 @@ mod tests {
         assert_eq!(opt_lower_bound(&generators::star(10)), 9);
         assert_eq!(opt_lower_bound(&generators::clique(5, false)), 4);
         assert_eq!(
-            opt_lower_bound(&ephemeral_graph::GraphBuilder::new_undirected(0).build().unwrap()),
+            opt_lower_bound(
+                &ephemeral_graph::GraphBuilder::new_undirected(0)
+                    .build()
+                    .unwrap()
+            ),
             0
         );
     }
 
     #[test]
     fn schemes_respect_lower_bound() {
-        for g in [generators::star(12), generators::grid(3, 4), generators::cycle(9)] {
+        for g in [
+            generators::star(12),
+            generators::grid(3, 4),
+            generators::cycle(9),
+        ] {
             let s = best_scheme(&g).unwrap();
             assert!(s.total_labels >= opt_lower_bound(&g), "{}", s.name);
         }

@@ -70,7 +70,14 @@ pub fn minimal_r(
     assert!(trials >= 1);
     let mut evaluations = Vec::new();
     let mut probe = |r: usize| -> Proportion {
-        let p = treach_probability(graph, lifetime, r, trials, seed ^ ((r as u64) << 32), threads);
+        let p = treach_probability(
+            graph,
+            lifetime,
+            r,
+            trials,
+            seed ^ ((r as u64) << 32),
+            threads,
+        );
         evaluations.push((r, p.estimate));
         p
     };

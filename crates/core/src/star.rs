@@ -126,8 +126,9 @@ pub fn star_treach_probability(
         .success_probability(move |_, rng| {
             // Streaming top-2 tracking would need the same pass as
             // star_treach; sampling extremes per edge is the dominant cost.
-            let extremes: Vec<EdgeExtremes> =
-                (0..leaves).map(|_| sample_extremes(lifetime, r, rng)).collect();
+            let extremes: Vec<EdgeExtremes> = (0..leaves)
+                .map(|_| sample_extremes(lifetime, r, rng))
+                .collect();
             star_treach(&extremes)
         })
 }
@@ -154,13 +155,7 @@ pub fn star_failure_upper_bound(n: usize, r: usize) -> f64 {
 /// # Panics
 /// If `n < 2`, `trials == 0` or `target ∉ (0, 1]`.
 #[must_use]
-pub fn minimal_r_star(
-    n: usize,
-    target: f64,
-    trials: usize,
-    seed: u64,
-    threads: usize,
-) -> usize {
+pub fn minimal_r_star(n: usize, target: f64, trials: usize, seed: u64, threads: usize) -> usize {
     assert!(n >= 2 && trials > 0);
     assert!(target > 0.0 && target <= 1.0, "target must be in (0,1]");
     let meets = |r: usize| -> bool {
@@ -258,11 +253,7 @@ mod tests {
                     ex(*l.first().unwrap(), *l.last().unwrap())
                 })
                 .collect();
-            assert_eq!(
-                star_treach(&extremes),
-                treach_holds(&tn, 1),
-                "seed {seed}"
-            );
+            assert_eq!(star_treach(&extremes), treach_holds(&tn, 1), "seed {seed}");
         }
     }
 
@@ -272,7 +263,12 @@ mod tests {
         let p1 = star_treach_probability(n, 1, 400, 1, 2);
         let p6 = star_treach_probability(n, 6, 400, 1, 2);
         let p16 = star_treach_probability(n, 16, 400, 1, 2);
-        assert!(p1.estimate < p6.estimate, "{} !< {}", p1.estimate, p6.estimate);
+        assert!(
+            p1.estimate < p6.estimate,
+            "{} !< {}",
+            p1.estimate,
+            p6.estimate
+        );
         assert!(p6.estimate <= p16.estimate + 0.05);
         assert!(p16.estimate > 0.95, "{p16}");
         // One label per edge can never satisfy T_reach for n ≥ 3 leaves

@@ -25,7 +25,11 @@ pub fn sample_urtn(graph: Graph, lifetime: Time, rng: &mut impl RandomSource) ->
 /// # Panics
 /// If `n == 0`.
 #[must_use]
-pub fn sample_normalized_urt_clique(n: usize, directed: bool, rng: &mut impl RandomSource) -> TemporalNetwork {
+pub fn sample_normalized_urt_clique(
+    n: usize,
+    directed: bool,
+    rng: &mut impl RandomSource,
+) -> TemporalNetwork {
     assert!(n >= 1, "clique requires at least one vertex");
     sample_urtn(generators::clique(n, directed), n as Time, rng)
 }
@@ -61,7 +65,9 @@ pub fn sample_multi_urtn(
 /// Carlo estimators, which reuses the graph's CSR across trials.
 #[must_use]
 pub fn resample_single(tn: &TemporalNetwork, rng: &mut impl RandomSource) -> TemporalNetwork {
-    let model = UniformSingle { lifetime: tn.lifetime() };
+    let model = UniformSingle {
+        lifetime: tn.lifetime(),
+    };
     let assignment = model.assign(tn.graph().num_edges(), rng);
     TemporalNetwork::new(tn.graph().clone(), assignment, tn.lifetime())
         .expect("model labels fit the lifetime")
@@ -115,7 +121,7 @@ mod tests {
         let tn = sample_multi_urtn(g, 1000, 4, &mut rng);
         for e in 0..19u32 {
             let l = tn.labels(e).len();
-            assert!(l >= 1 && l <= 4);
+            assert!((1..=4).contains(&l));
         }
     }
 

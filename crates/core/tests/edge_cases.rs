@@ -75,7 +75,10 @@ fn expansion_on_minimum_viable_clique() {
     let tn = sample_urt_clique_with_lifetime(n, true, n as u32, &mut rng);
     // Must run without panicking; success is not guaranteed at tiny n.
     let out = expansion_process(&tn, 0, 1, &ExpansionParams::practical(n));
-    assert_eq!(out.forward_levels.len(), ExpansionParams::practical(n).d + 1);
+    assert_eq!(
+        out.forward_levels.len(),
+        ExpansionParams::practical(n).d + 1
+    );
 }
 
 #[test]

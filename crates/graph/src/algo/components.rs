@@ -62,7 +62,12 @@ pub fn largest_component_size(g: &Graph) -> usize {
     if g.num_nodes() == 0 {
         return 0;
     }
-    connected_components(g).sizes.iter().copied().max().unwrap_or(0) as usize
+    connected_components(g)
+        .sizes
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0) as usize
 }
 
 #[cfg(test)]
@@ -106,9 +111,16 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_are_connected() {
-        assert!(is_connected(&GraphBuilder::new_undirected(0).build().unwrap()));
-        assert!(is_connected(&GraphBuilder::new_undirected(1).build().unwrap()));
-        assert_eq!(largest_component_size(&GraphBuilder::new_undirected(0).build().unwrap()), 0);
+        assert!(is_connected(
+            &GraphBuilder::new_undirected(0).build().unwrap()
+        ));
+        assert!(is_connected(
+            &GraphBuilder::new_undirected(1).build().unwrap()
+        ));
+        assert_eq!(
+            largest_component_size(&GraphBuilder::new_undirected(0).build().unwrap()),
+            0
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn two_sweep_lower_bound(g: &Graph, start: NodeId) -> Option<u32> {
         .iter()
         .enumerate()
         .max_by_key(|&(_, &d)| if d == UNREACHABLE { 0 } else { d })?;
-    if first.iter().any(|&d| d == UNREACHABLE) {
+    if first.contains(&UNREACHABLE) {
         return None;
     }
     eccentricity(g, far as NodeId)
@@ -94,8 +94,14 @@ mod tests {
 
     #[test]
     fn degenerate_graphs() {
-        assert_eq!(diameter(&GraphBuilder::new_undirected(0).build().unwrap()), Some(0));
-        assert_eq!(diameter(&GraphBuilder::new_undirected(1).build().unwrap()), Some(0));
+        assert_eq!(
+            diameter(&GraphBuilder::new_undirected(0).build().unwrap()),
+            Some(0)
+        );
+        assert_eq!(
+            diameter(&GraphBuilder::new_undirected(1).build().unwrap()),
+            Some(0)
+        );
     }
 
     #[test]

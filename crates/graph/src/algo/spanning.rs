@@ -158,7 +158,10 @@ mod tests {
                 let e = t.parent_edge[v as usize];
                 let (a, b) = g.endpoints(e);
                 let p = t.parent[v as usize];
-                assert!((a, b) == (v.min(p), v.max(p)), "edge {e} should join {v} and {p}");
+                assert!(
+                    (a, b) == (v.min(p), v.max(p)),
+                    "edge {e} should join {v} and {p}"
+                );
             }
         }
     }

@@ -63,7 +63,11 @@ impl GraphBuilder {
     /// Queue an edge (validated at build time). For undirected builders the
     /// pair is canonicalized to `(min, max)`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
-        let pair = if self.directed || u <= v { (u, v) } else { (v, u) };
+        let pair = if self.directed || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.edges.push(pair);
         self
     }
@@ -98,10 +102,16 @@ impl GraphBuilder {
 
         for &(u, v) in &edges {
             if u >= n {
-                return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    num_nodes: n,
+                });
             }
             if v >= n {
-                return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
@@ -118,7 +128,10 @@ impl GraphBuilder {
             sorted.sort_unstable();
             for w in sorted.windows(2) {
                 if w[0] == w[1] {
-                    return Err(GraphError::DuplicateEdge { u: w[0].0, v: w[0].1 });
+                    return Err(GraphError::DuplicateEdge {
+                        u: w[0].0,
+                        v: w[0].1,
+                    });
                 }
             }
         }
@@ -130,8 +143,22 @@ impl GraphBuilder {
         // Counting-sort the adjacency into CSR, then sort each row by target.
         let m = edges.len();
         let (out_csr, in_csr) = if self.directed {
-            let out = build_csr(n, edges.iter().enumerate().map(|(e, &(u, v))| (u, v, e as u32)), m);
-            let inn = build_csr(n, edges.iter().enumerate().map(|(e, &(u, v))| (v, u, e as u32)), m);
+            let out = build_csr(
+                n,
+                edges
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &(u, v))| (u, v, e as u32)),
+                m,
+            );
+            let inn = build_csr(
+                n,
+                edges
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &(u, v))| (v, u, e as u32)),
+                m,
+            );
             (out, Some(inn))
         } else {
             let both = edges
@@ -226,7 +253,10 @@ mod tests {
         b.add_edge(0, 3);
         assert_eq!(
             b.build().unwrap_err(),
-            GraphError::NodeOutOfRange { node: 3, num_nodes: 3 }
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
         );
     }
 

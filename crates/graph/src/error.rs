@@ -53,11 +53,24 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            GraphError::NodeOutOfRange { node: 5, num_nodes: 3 }.to_string(),
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 3
+            }
+            .to_string(),
             "node 5 out of range (graph has 3 nodes)"
         );
-        assert_eq!(GraphError::SelfLoop { node: 2 }.to_string(), "self-loop at node 2 is not allowed");
-        assert_eq!(GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(), "duplicate edge (1, 2)");
-        assert_eq!(GraphError::TooManyEdges.to_string(), "edge count exceeds u32 capacity");
+        assert_eq!(
+            GraphError::SelfLoop { node: 2 }.to_string(),
+            "self-loop at node 2 is not allowed"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(),
+            "duplicate edge (1, 2)"
+        );
+        assert_eq!(
+            GraphError::TooManyEdges.to_string(),
+            "edge count exceeds u32 capacity"
+        );
     }
 }

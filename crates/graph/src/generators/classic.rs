@@ -85,7 +85,8 @@ pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
             b.add_edge(u, v);
         }
     }
-    b.build().expect("complete bipartite construction is always valid")
+    b.build()
+        .expect("complete bipartite construction is always valid")
 }
 
 /// Wheel `W_n`: a cycle on nodes `1..n` plus hub 0 joined to every rim node.

@@ -145,12 +145,19 @@ pub fn random_tree(n: usize, rng: &mut impl RandomSource) -> Graph {
 /// If `n·d` is odd or `d ≥ n`.
 #[must_use]
 pub fn random_regular(n: usize, d: usize, rng: &mut impl RandomSource) -> Graph {
-    assert!(n * d % 2 == 0, "random_regular requires n*d even");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "random_regular requires n*d even"
+    );
     assert!(d < n, "random_regular requires d < n");
     if d == 0 {
-        return GraphBuilder::new_undirected(n).build().expect("empty graph");
+        return GraphBuilder::new_undirected(n)
+            .build()
+            .expect("empty graph");
     }
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     loop {
         ephemeral_rng::sample::shuffle(&mut stubs, rng);
         let mut b = GraphBuilder::new_undirected(n);

@@ -90,7 +90,8 @@ pub fn balanced_tree(arity: usize, n: usize) -> Graph {
             }
         }
     }
-    b.build().expect("balanced tree construction is always valid")
+    b.build()
+        .expect("balanced tree construction is always valid")
 }
 
 /// Barbell graph: two `K_k` cliques joined by a single bridge edge.
@@ -134,7 +135,11 @@ pub fn lollipop(k: usize, path_len: usize) -> Graph {
         }
     }
     for i in 0..path_len {
-        let prev = if i == 0 { k as u32 - 1 } else { (k + i - 1) as u32 };
+        let prev = if i == 0 {
+            k as u32 - 1
+        } else {
+            (k + i - 1) as u32
+        };
         b.add_edge(prev, (k + i) as u32);
     }
     b.build().expect("lollipop construction is always valid")

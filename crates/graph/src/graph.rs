@@ -209,7 +209,11 @@ impl Graph {
         if self.num_nodes() < 2 {
             return None;
         }
-        let pairs = if self.directed { n * (n - 1.0) } else { n * (n - 1.0) / 2.0 };
+        let pairs = if self.directed {
+            n * (n - 1.0)
+        } else {
+            n * (n - 1.0) / 2.0
+        };
         Some(self.num_edges() as f64 / pairs)
     }
 

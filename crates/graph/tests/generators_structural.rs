@@ -101,7 +101,10 @@ fn wheel_rim_plus_hub() {
         assert_eq!(w.num_edges(), 2 * (n - 1));
         let degs = degree_sequence(&w);
         assert_eq!(degs[n - 1], n - 1, "hub");
-        assert!(degs[..n - 1].iter().all(|&d| d == 3), "rim nodes have degree 3");
+        assert!(
+            degs[..n - 1].iter().all(|&d| d == 3),
+            "rim nodes have degree 3"
+        );
     }
 }
 

@@ -195,7 +195,11 @@ mod tests {
         let items: Vec<u64> = (0..257).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
         for threads in [1, 2, 3, 7, 16, 64] {
-            assert_eq!(par_map(&items, threads, |_, &x| x * x), expected, "threads={threads}");
+            assert_eq!(
+                par_map(&items, threads, |_, &x| x * x),
+                expected,
+                "threads={threads}"
+            );
         }
     }
 

@@ -71,7 +71,10 @@ mod tests {
         for &(s, n) in &[(0usize, 100usize), (50, 100), (100, 100), (1, 3)] {
             let (lo, hi) = wilson_interval(s, n, 0.95);
             let p = s as f64 / n as f64;
-            assert!(lo <= p + 1e-12 && p - 1e-12 <= hi, "({s},{n}): [{lo},{hi}] vs {p}");
+            assert!(
+                lo <= p + 1e-12 && p - 1e-12 <= hi,
+                "({s},{n}): [{lo},{hi}] vs {p}"
+            );
             assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
         }
     }

@@ -49,7 +49,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "fit_linear: x values are all identical");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,

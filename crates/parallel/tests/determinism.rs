@@ -1,0 +1,99 @@
+//! Cross-thread determinism: the Monte Carlo engine's core contract.
+//!
+//! Trial `i` must draw the same random stream whether the experiment runs on
+//! 1 thread or all of them — threads decide only *which* trials they
+//! execute, never what those trials see. This is what makes every number in
+//! the experiment tables reproducible on any machine.
+
+use ephemeral_parallel::{available_threads, MonteCarlo};
+use ephemeral_rng::{RandomSource, SeedSequence};
+
+/// A small but non-trivial simulation: a random walk whose step count and
+/// step sizes both come from the trial's generator.
+fn walk(trial: usize, rng: &mut ephemeral_rng::DefaultRng) -> f64 {
+    let steps = 8 + rng.index(64);
+    let mut position = trial as f64;
+    for _ in 0..steps {
+        position += rng.unit_f64() - 0.5;
+    }
+    position
+}
+
+#[test]
+fn summaries_are_bit_identical_across_thread_counts() {
+    let trials = 1003; // deliberately not a multiple of any block size
+    let seed = 0xA11CE;
+
+    let sequential = MonteCarlo::new(trials, seed)
+        .with_threads(1)
+        .run_summary(walk);
+    let parallel = MonteCarlo::new(trials, seed)
+        .with_threads(available_threads())
+        .run_summary(walk);
+
+    // PartialEq would accept -0.0 == 0.0; compare raw bits to rule out even
+    // that much divergence.
+    assert_eq!(sequential.n, parallel.n);
+    for (name, a, b) in [
+        ("mean", sequential.mean, parallel.mean),
+        ("sd", sequential.sd, parallel.sd),
+        ("sem", sequential.sem, parallel.sem),
+        ("min", sequential.min, parallel.min),
+        ("max", sequential.max, parallel.max),
+        ("median", sequential.median, parallel.median),
+        ("q25", sequential.q25, parallel.q25),
+        ("q75", sequential.q75, parallel.q75),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} != {b}");
+    }
+}
+
+#[test]
+fn raw_trial_outputs_are_identical_across_thread_counts() {
+    let seed = 2014;
+    let one = MonteCarlo::new(257, seed)
+        .with_threads(1)
+        .run(|i, rng| (i as u64).wrapping_add(rng.next_u64()));
+    for threads in [2, 3, available_threads().max(2)] {
+        let many = MonteCarlo::new(257, seed)
+            .with_threads(threads)
+            .run(|i, rng| (i as u64).wrapping_add(rng.next_u64()));
+        assert_eq!(one, many, "threads={threads}");
+    }
+}
+
+/// Golden values locking in the `SeedSequence::derive` construction.
+///
+/// `MonteCarlo` hands trial `i` the generator `SeedSequence::new(seed).rng(i)`;
+/// if the derivation in `crates/rng/src/seeds.rs` changes, every published
+/// experiment number silently changes with it. These constants make that
+/// loud instead. Update them ONLY with a changelog entry declaring the
+/// stream break.
+#[test]
+fn seed_derivation_contract_is_frozen() {
+    let seq = SeedSequence::new(2014);
+    let derived: Vec<u64> = (0..4).map(|i| seq.derive(i)).collect();
+    assert_eq!(
+        derived,
+        vec![
+            0xa33c_e03d_6365_e349,
+            0x8117_30c4_a820_6379,
+            0x2aae_47ac_363d_db3e,
+            0x9395_81a0_807a_6c69,
+        ],
+        "SeedSequence::derive changed — this breaks reproducibility of all \
+         published experiment numbers"
+    );
+
+    // The first output of each trial generator, as MonteCarlo consumes it.
+    let firsts: Vec<u64> = (0..3).map(|i| seq.rng(i).next_u64()).collect();
+    assert_eq!(
+        firsts,
+        vec![
+            0x1760_098b_8c92_c0d8,
+            0x2f42_6b59_c44e_54b2,
+            0xe56d_d46c_baca_1b43,
+        ],
+        "Xoshiro256PlusPlus seeding or output changed"
+    );
+}

@@ -1,0 +1,83 @@
+//! Regression tests for `par_map` block-stealing edge cases.
+//!
+//! Audit notes on `pool.rs`:
+//!
+//! * `len` not divisible by the block size — the final block is clipped with
+//!   `end = (start + block).min(len)`, so no out-of-bounds reads and no
+//!   dropped tail elements.
+//! * `threads > len` — the worker count is clamped with
+//!   `threads.min(len)`, so no thread ever starts with an empty universe
+//!   (and `len <= 1` short-circuits to the sequential path entirely).
+//!
+//! These tests pin that behaviour for adversarial lengths: 1, primes, and
+//! `threads * 8 ± 1` (the boundary of the `len / (threads * 8)` block-size
+//! heuristic, where rounding once dropped whole tails in similar designs).
+
+use ephemeral_parallel::{available_threads, par_for, par_map};
+
+fn check_matches_sequential(len: usize, threads: usize) {
+    let items: Vec<u64> = (0..len as u64).map(|x| x.wrapping_mul(0x9e37)).collect();
+    let expected: Vec<u64> = items
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x.rotate_left((i % 63) as u32) ^ i as u64)
+        .collect();
+    let got = par_map(&items, threads, |i, &x| {
+        x.rotate_left((i % 63) as u32) ^ i as u64
+    });
+    assert_eq!(got, expected, "len={len} threads={threads}");
+}
+
+#[test]
+fn adversarial_lengths_match_sequential() {
+    for threads in [1, 2, 3, 4, 7, 8, 16, 64] {
+        // Singleton and tiny inputs.
+        for len in [1, 2, 3] {
+            check_matches_sequential(len, threads);
+        }
+        // Primes: never divisible by any block size > 1.
+        for len in [5, 13, 101, 251, 257, 1009] {
+            check_matches_sequential(len, threads);
+        }
+        // The block-size heuristic boundary: threads * 8 ± 1 and exact.
+        let pivot = threads * 8;
+        for len in [pivot.saturating_sub(1).max(1), pivot, pivot + 1] {
+            check_matches_sequential(len, threads);
+        }
+    }
+}
+
+#[test]
+fn threads_exceeding_len_are_clamped() {
+    // 64 threads over 5 items: must neither panic, spin, nor reorder.
+    check_matches_sequential(5, 64);
+    check_matches_sequential(2, available_threads().max(2) * 4);
+}
+
+#[test]
+fn par_for_agrees_with_par_map_on_adversarial_counts() {
+    for count in [0, 1, 31, 33, 257] {
+        let seq: Vec<usize> = (0..count).map(|i| i * i + 1).collect();
+        assert_eq!(par_for(count, 8, |i| i * i + 1), seq, "count={count}");
+    }
+}
+
+#[test]
+fn uneven_work_does_not_break_ordering_at_block_boundaries() {
+    // Cost spikes at block boundaries are the worst case for stealing order.
+    let threads = 4;
+    let len = threads * 8 + 1;
+    let items: Vec<u64> = (0..len as u64).collect();
+    let out = par_map(&items, threads, |i, &x| {
+        if i % 8 == 0 {
+            // Busy-work so early blocks finish last.
+            let mut acc = x;
+            for k in 0..50_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        }
+        x
+    });
+    assert_eq!(out, items);
+}

@@ -23,7 +23,12 @@ pub struct PushOutcome {
 /// # Panics
 /// If `n == 0` or `source >= n`.
 #[must_use]
-pub fn push_broadcast(n: usize, source: usize, max_rounds: u32, rng: &mut impl RandomSource) -> PushOutcome {
+pub fn push_broadcast(
+    n: usize,
+    source: usize,
+    max_rounds: u32,
+    rng: &mut impl RandomSource,
+) -> PushOutcome {
     assert!(n > 0 && source < n, "bad source/size");
     let mut informed = vec![false; n];
     informed[source] = true;
@@ -32,10 +37,8 @@ pub fn push_broadcast(n: usize, source: usize, max_rounds: u32, rng: &mut impl R
     let mut rounds = 0u32;
     while informed_list.len() < n && rounds < max_rounds {
         rounds += 1;
-        let count = informed_list.len();
         let mut fresh: Vec<u32> = Vec::new();
-        for i in 0..count {
-            let u = informed_list[i];
+        for &u in &informed_list {
             // Uniform over the other n−1 nodes.
             let mut v = rng.bounded_u32(n as u32 - 1);
             if v >= u {
@@ -83,13 +86,11 @@ pub fn push_broadcast_with_memory(
     let mut rounds = 0u32;
     while informed_list.len() < n && rounds < max_rounds {
         rounds += 1;
-        let count = informed_list.len();
         let mut fresh: Vec<u32> = Vec::new();
-        for i in 0..count {
-            let u = informed_list[i] as usize;
+        for &u in &informed_list {
+            let u = u as usize;
             if contacts[u].is_empty() {
-                let mut list: Vec<u32> =
-                    (0..n as u32).filter(|&v| v != u as u32).collect();
+                let mut list: Vec<u32> = (0..n as u32).filter(|&v| v != u as u32).collect();
                 shuffle(&mut list, rng);
                 contacts[u] = list;
             }
@@ -135,11 +136,9 @@ pub fn push_broadcast_on_graph(
     let mut rounds = 0u32;
     while informed_list.len() < n && rounds < max_rounds {
         rounds += 1;
-        let count = informed_list.len();
         let mut fresh: Vec<u32> = Vec::new();
         let mut progress = false;
-        for i in 0..count {
-            let u = informed_list[i];
+        for &u in &informed_list {
             let (nbrs, _) = g.out_adjacency(u);
             if nbrs.is_empty() {
                 continue;
@@ -180,7 +179,11 @@ mod tests {
         // Frieze–Grimmett: ≈ log2 n + ln n ≈ 16.9; generous band.
         let fg = (n as f64).log2() + (n as f64).ln();
         assert!(f64::from(out.rounds) < 2.0 * fg, "rounds {}", out.rounds);
-        assert!(f64::from(out.rounds) > 0.5 * (n as f64).log2(), "rounds {}", out.rounds);
+        assert!(
+            f64::from(out.rounds) > 0.5 * (n as f64).log2(),
+            "rounds {}",
+            out.rounds
+        );
         // Push sends Θ(n log n) messages.
         assert!(out.messages as f64 > 0.5 * (n as f64) * (n as f64).ln() / 2.0);
     }
@@ -191,7 +194,11 @@ mod tests {
         let out = push_broadcast(1 << 12, 0, 3, &mut rng);
         assert!(!out.complete);
         assert_eq!(out.rounds, 3);
-        assert!(out.informed <= 8, "at most doubling per round: {}", out.informed);
+        assert!(
+            out.informed <= 8,
+            "at most doubling per round: {}",
+            out.informed
+        );
     }
 
     #[test]
@@ -240,7 +247,11 @@ mod tests {
         let g = generators::path(32);
         let out = push_broadcast_on_graph(&g, 0, 10_000, &mut rng);
         assert!(out.complete);
-        assert!(out.rounds >= 31, "needs ≥ n−1 rounds from an end: {}", out.rounds);
+        assert!(
+            out.rounds >= 31,
+            "needs ≥ n−1 rounds from an end: {}",
+            out.rounds
+        );
     }
 
     #[test]

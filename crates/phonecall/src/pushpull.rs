@@ -92,7 +92,11 @@ mod tests {
         let out = push_pull_broadcast(n, 0, 10_000, &mut rng);
         assert!(out.complete);
         // Push–pull is no slower than ≈ log2 n + ln ln n + O(1); generous band.
-        assert!(f64::from(out.rounds) < 2.5 * (n as f64).log2(), "rounds {}", out.rounds);
+        assert!(
+            f64::from(out.rounds) < 2.5 * (n as f64).log2(),
+            "rounds {}",
+            out.rounds
+        );
     }
 
     #[test]
@@ -104,7 +108,10 @@ mod tests {
             pp_rounds += push_pull_broadcast(n, 0, 10_000, &mut default_rng(seed)).rounds;
             p_rounds += push_broadcast(n, 0, 10_000, &mut default_rng(100 + seed)).rounds;
         }
-        assert!(pp_rounds < p_rounds, "push-pull {pp_rounds} !< push {p_rounds}");
+        assert!(
+            pp_rounds < p_rounds,
+            "push-pull {pp_rounds} !< push {p_rounds}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Binomial {
     /// Create `Bin(n, p)`. Requires `p ∈ [0, 1]` (else panics).
     #[must_use]
     pub fn new(n: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "binomial p must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial p must be in [0,1], got {p}"
+        );
         Self { n, p }
     }
 
@@ -349,8 +352,17 @@ mod tests {
         let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r) as f64).collect();
         let m = mean_of(&samples);
         assert!((m - d.mean()).abs() < 0.15, "mean {m} vs {}", d.mean());
-        let var = mean_of(&samples.iter().map(|x| (x - m) * (x - m)).collect::<Vec<_>>());
-        assert!((var - d.variance()).abs() < 0.5, "var {var} vs {}", d.variance());
+        let var = mean_of(
+            &samples
+                .iter()
+                .map(|x| (x - m) * (x - m))
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            (var - d.variance()).abs() < 0.5,
+            "var {var} vs {}",
+            d.variance()
+        );
     }
 
     #[test]

@@ -158,7 +158,14 @@ mod tests {
     #[test]
     fn sample_indices_basic_contract() {
         let mut r = rng();
-        for &(n, k) in &[(100usize, 5usize), (100, 50), (100, 100), (8, 8), (1, 1), (10, 0)] {
+        for &(n, k) in &[
+            (100usize, 5usize),
+            (100, 50),
+            (100, 100),
+            (8, 8),
+            (1, 1),
+            (10, 0),
+        ] {
             let s = sample_indices(n, k, &mut r);
             assert_eq!(s.len(), k, "n={n} k={k}");
             let mut sorted = s.clone();

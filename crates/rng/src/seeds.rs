@@ -46,7 +46,9 @@ impl SeedSequence {
     #[must_use]
     pub fn derive(&self, stream: u64) -> u64 {
         let a = SplitMix64::mix(self.base);
-        let b = SplitMix64::mix(stream.wrapping_mul(crate::splitmix::GOLDEN_GAMMA) ^ 0x5851_F42D_4C95_7F2D);
+        let b = SplitMix64::mix(
+            stream.wrapping_mul(crate::splitmix::GOLDEN_GAMMA) ^ 0x5851_F42D_4C95_7F2D,
+        );
         SplitMix64::mix(a ^ b.rotate_left(32))
     }
 

@@ -42,6 +42,7 @@ impl SplitMix64 {
 
     /// Advance the state and return the next output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // RNG convention; these types are not iterators
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         Self::mix(self.state)

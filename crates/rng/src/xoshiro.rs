@@ -47,6 +47,7 @@ impl Xoshiro256PlusPlus {
 
     /// Advance the generator and return the next 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // RNG convention; these types are not iterators
     pub fn next(&mut self) -> u64 {
         let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;

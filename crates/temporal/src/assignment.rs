@@ -23,7 +23,7 @@ impl LabelAssignment {
         let total: usize = per_edge.iter().map(Vec::len).sum();
         let mut labels = Vec::with_capacity(total);
         for mut edge_labels in per_edge {
-            if edge_labels.iter().any(|&l| l == 0) {
+            if edge_labels.contains(&0) {
                 return None;
             }
             edge_labels.sort_unstable();
@@ -38,7 +38,7 @@ impl LabelAssignment {
     /// model of §3). Rejects zero labels.
     #[must_use]
     pub fn single(labels: Vec<Time>) -> Option<Self> {
-        if labels.iter().any(|&l| l == 0) {
+        if labels.contains(&0) {
             return None;
         }
         let offsets = (0..=labels.len() as u32).collect();

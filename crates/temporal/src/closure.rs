@@ -73,7 +73,9 @@ impl ReachabilityMatrix {
     /// Number of vertices that reach `t` (including `t`).
     #[must_use]
     pub fn in_count(&self, t: NodeId) -> usize {
-        (0..self.n as NodeId).filter(|&s| self.reaches(s, t)).count()
+        (0..self.n as NodeId)
+            .filter(|&s| self.reaches(s, t))
+            .count()
     }
 
     /// Ordered pairs `(s, t)`, `s ≠ t`, **without** a journey.
@@ -95,8 +97,8 @@ impl ReachabilityMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LabelAssignment;
     use crate::reachability::temporal_reach;
+    use crate::LabelAssignment;
     use ephemeral_graph::generators;
     use ephemeral_rng::{RandomSource, SeedSequence};
 
@@ -104,10 +106,8 @@ mod tests {
         let mut rng = SeedSequence::new(seed).rng(0);
         let g = generators::gnp(n, 0.3, false, &mut rng);
         let lifetime = n as u32;
-        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
-            vec![rng.range_u32(1, lifetime)]
-        })
-        .unwrap();
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, lifetime)]).unwrap();
         TemporalNetwork::new(g, labels, lifetime).unwrap()
     }
 
@@ -164,10 +164,8 @@ mod tests {
     fn clique_closure_is_complete() {
         let g = generators::clique(10, false);
         let mut rng = SeedSequence::new(5).rng(0);
-        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
-            vec![rng.range_u32(1, 10)]
-        })
-        .unwrap();
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 10)]).unwrap();
         let tn = TemporalNetwork::new(g, labels, 10).unwrap();
         let m = ReachabilityMatrix::compute(&tn, 2);
         assert!(m.is_temporally_connected());

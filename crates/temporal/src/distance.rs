@@ -61,7 +61,9 @@ impl DistanceMatrix {
 #[must_use]
 pub fn all_pairs_temporal_distances(tn: &TemporalNetwork, threads: usize) -> DistanceMatrix {
     let n = tn.num_nodes();
-    let rows = par_for(n, threads, |s| foremost(tn, s as NodeId, 0).arrivals().to_vec());
+    let rows = par_for(n, threads, |s| {
+        foremost(tn, s as NodeId, 0).arrivals().to_vec()
+    });
     let mut data = Vec::with_capacity(n * n);
     for row in rows {
         data.extend(row);

@@ -151,7 +151,10 @@ pub fn expansion_size(tn: &TemporalNetwork) -> ExpansionSize {
 #[must_use]
 pub fn max_disjoint_journeys(tn: &TemporalNetwork, s: NodeId, t: NodeId) -> u32 {
     let n = tn.num_nodes();
-    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    assert!(
+        (s as usize) < n && (t as usize) < n,
+        "endpoints out of range"
+    );
     assert_ne!(s, t, "disjoint journeys need distinct endpoints");
     let a = tn.lifetime() as usize;
     let layer = |v: NodeId, time: usize| -> u32 { (time * n + v as usize) as u32 };
@@ -230,8 +233,7 @@ mod tests {
     fn two_vertex_disjoint_routes_count_twice() {
         // A 4-cycle with increasing labels both ways around.
         let g = generators::cycle(4); // edges 0-1,1-2,2-3,3-0
-        let labels =
-            LabelAssignment::from_vecs(vec![vec![1], vec![2], vec![2], vec![1]]).unwrap();
+        let labels = LabelAssignment::from_vecs(vec![vec![1], vec![2], vec![2], vec![1]]).unwrap();
         let tn = TemporalNetwork::new(g, labels, 2).unwrap();
         // 0→2 via 0-1@1,1-2@2 and via 0-3@1,3-2@2.
         assert_eq!(max_disjoint_journeys(&tn, 0, 2), 2);
@@ -268,10 +270,9 @@ mod tests {
             }
             let g = b.build().unwrap();
             let lifetime = 8;
-            let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
-                vec![rng.range_u32(1, lifetime)]
-            })
-            .unwrap();
+            let labels =
+                LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, lifetime)])
+                    .unwrap();
             let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
             let run = foremost(&tn, 0, 0);
             for t in 1..n as u32 {

@@ -135,13 +135,9 @@ mod tests {
         // Brute-force all journeys on a 4-cycle with two labels per edge and
         // compare minimum duration.
         let g = generators::cycle(4);
-        let labels = LabelAssignment::from_vecs(vec![
-            vec![1, 5],
-            vec![2, 6],
-            vec![3, 7],
-            vec![4, 8],
-        ])
-        .unwrap();
+        let labels =
+            LabelAssignment::from_vecs(vec![vec![1, 5], vec![2, 6], vec![3, 7], vec![4, 8]])
+                .unwrap();
         let tn = TemporalNetwork::new(g, labels, 8).unwrap();
 
         // Enumerate journeys by DFS over time-edges (tiny instance).

@@ -228,8 +228,7 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 2);
         let g = b.build().unwrap();
-        let tn =
-            TemporalNetwork::new(g, LabelAssignment::single(vec![1, 2]).unwrap(), 2).unwrap();
+        let tn = TemporalNetwork::new(g, LabelAssignment::single(vec![1, 2]).unwrap(), 2).unwrap();
         assert_eq!(foremost(&tn, 0, 0).arrival(2), Some(2));
         assert_eq!(foremost(&tn, 2, 0).reached_count(), 1);
     }

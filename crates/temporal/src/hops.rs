@@ -128,11 +128,7 @@ mod tests {
             let run = foremost(&tn, s, 0);
             let hops = min_hops(&tn, s, 6);
             for v in 0..6u32 {
-                assert_eq!(
-                    run.reached(v),
-                    hops[v as usize] != u32::MAX,
-                    "s={s} v={v}"
-                );
+                assert_eq!(run.reached(v), hops[v as usize] != u32::MAX, "s={s} v={v}");
             }
         }
     }

@@ -204,8 +204,7 @@ mod tests {
     fn foremost_through_consecutive_windows() {
         // 0—1 open [2,4], 1—2 open [3,8]: arrive 1 at 2, cross to 2 at 3.
         let g = generators::path(3);
-        let net =
-            IntervalNetwork::new(g, vec![vec![iv(2, 4)], vec![iv(3, 8)]], 8).unwrap();
+        let net = IntervalNetwork::new(g, vec![vec![iv(2, 4)], vec![iv(3, 8)]], 8).unwrap();
         let arr = foremost_intervals(&net, 0, 0);
         assert_eq!(arr, vec![0, 2, 3]);
     }
@@ -253,8 +252,7 @@ mod tests {
                 })
                 .collect();
             let net = IntervalNetwork::new(g.clone(), per_edge, lifetime).unwrap();
-            let discrete =
-                TemporalNetwork::new(g, net.to_discrete(), lifetime).unwrap();
+            let discrete = TemporalNetwork::new(g, net.to_discrete(), lifetime).unwrap();
             for s in 0..n as u32 {
                 assert_eq!(
                     foremost_intervals(&net, s, 0),

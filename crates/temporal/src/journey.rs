@@ -47,7 +47,11 @@ impl fmt::Display for JourneyError {
             Self::Empty => write!(f, "journey must have at least one time-edge"),
             Self::Disconnected { step } => write!(f, "steps {step} and {} do not chain", step + 1),
             Self::NonIncreasing { step } => {
-                write!(f, "labels not strictly increasing between steps {step} and {}", step + 1)
+                write!(
+                    f,
+                    "labels not strictly increasing between steps {step} and {}",
+                    step + 1
+                )
             }
         }
     }
@@ -145,7 +149,8 @@ impl Journey {
             let edge = if g.is_directed() {
                 g.find_edge(te.from, te.to)
             } else {
-                g.find_edge(te.from, te.to).or_else(|| g.find_edge(te.to, te.from))
+                g.find_edge(te.from, te.to)
+                    .or_else(|| g.find_edge(te.to, te.from))
             };
             edge.is_some_and(|e| tn.labels(e).binary_search(&te.time).is_ok())
         })
@@ -235,8 +240,12 @@ mod tests {
         let g = b.build().unwrap();
         let labels = LabelAssignment::single(vec![3]).unwrap();
         let tn = TemporalNetwork::new(g, labels, 3).unwrap();
-        assert!(Journey::new(vec![te(0, 1, 3)]).unwrap().is_realizable_in(&tn));
-        assert!(!Journey::new(vec![te(1, 0, 3)]).unwrap().is_realizable_in(&tn));
+        assert!(Journey::new(vec![te(0, 1, 3)])
+            .unwrap()
+            .is_realizable_in(&tn));
+        assert!(!Journey::new(vec![te(1, 0, 3)])
+            .unwrap()
+            .is_realizable_in(&tn));
     }
 
     #[test]
@@ -249,7 +258,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(JourneyError::Empty.to_string().contains("at least one"));
-        assert!(JourneyError::Disconnected { step: 0 }.to_string().contains("chain"));
-        assert!(JourneyError::NonIncreasing { step: 1 }.to_string().contains("strictly increasing"));
+        assert!(JourneyError::Disconnected { step: 0 }
+            .to_string()
+            .contains("chain"));
+        assert!(JourneyError::NonIncreasing { step: 1 }
+            .to_string()
+            .contains("strictly increasing"));
     }
 }

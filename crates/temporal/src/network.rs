@@ -39,7 +39,11 @@ impl fmt::Display for TemporalError {
                 f,
                 "label assignment covers {assignment_edges} edges but the graph has {graph_edges}"
             ),
-            Self::LabelBeyondLifetime { edge, label, lifetime } => write!(
+            Self::LabelBeyondLifetime {
+                edge,
+                label,
+                lifetime,
+            } => write!(
                 f,
                 "edge {edge} carries label {label} beyond the lifetime {lifetime}"
             ),
@@ -71,7 +75,11 @@ impl TemporalNetwork {
     ///
     /// # Errors
     /// See [`TemporalError`].
-    pub fn new(graph: Graph, assignment: LabelAssignment, lifetime: Time) -> Result<Self, TemporalError> {
+    pub fn new(
+        graph: Graph,
+        assignment: LabelAssignment,
+        lifetime: Time,
+    ) -> Result<Self, TemporalError> {
         if lifetime == 0 {
             return Err(TemporalError::ZeroLifetime);
         }
@@ -84,7 +92,11 @@ impl TemporalNetwork {
         for e in 0..assignment.num_edges() as u32 {
             if let Some(&label) = assignment.labels(e).last() {
                 if label > lifetime {
-                    return Err(TemporalError::LabelBeyondLifetime { edge: e, label, lifetime });
+                    return Err(TemporalError::LabelBeyondLifetime {
+                        edge: e,
+                        label,
+                        lifetime,
+                    });
                 }
             }
         }
@@ -120,7 +132,10 @@ impl TemporalNetwork {
     ///
     /// # Errors
     /// See [`TemporalError`].
-    pub fn with_inferred_lifetime(graph: Graph, assignment: LabelAssignment) -> Result<Self, TemporalError> {
+    pub fn with_inferred_lifetime(
+        graph: Graph,
+        assignment: LabelAssignment,
+    ) -> Result<Self, TemporalError> {
         let lifetime = assignment.max_label().unwrap_or(1);
         Self::new(graph, assignment, lifetime)
     }
@@ -239,7 +254,11 @@ mod tests {
         let a = LabelAssignment::from_vecs(vec![vec![1], vec![5]]).unwrap();
         assert_eq!(
             TemporalNetwork::new(g, a, 4).unwrap_err(),
-            TemporalError::LabelBeyondLifetime { edge: 1, label: 5, lifetime: 4 }
+            TemporalError::LabelBeyondLifetime {
+                edge: 1,
+                label: 5,
+                lifetime: 4
+            }
         );
     }
 
@@ -247,7 +266,10 @@ mod tests {
     fn rejects_zero_lifetime() {
         let g = generators::path(2);
         let a = LabelAssignment::single(vec![1]).unwrap();
-        assert_eq!(TemporalNetwork::new(g, a, 0).unwrap_err(), TemporalError::ZeroLifetime);
+        assert_eq!(
+            TemporalNetwork::new(g, a, 0).unwrap_err(),
+            TemporalError::ZeroLifetime
+        );
     }
 
     #[test]
@@ -277,10 +299,19 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TemporalError::LabelBeyondLifetime { edge: 3, label: 9, lifetime: 5 };
+        let e = TemporalError::LabelBeyondLifetime {
+            edge: 3,
+            label: 9,
+            lifetime: 5,
+        };
         assert!(e.to_string().contains("label 9"));
-        assert!(TemporalError::ZeroLifetime.to_string().contains("at least 1"));
-        let m = TemporalError::EdgeCountMismatch { graph_edges: 2, assignment_edges: 1 };
+        assert!(TemporalError::ZeroLifetime
+            .to_string()
+            .contains("at least 1"));
+        let m = TemporalError::EdgeCountMismatch {
+            graph_edges: 2,
+            assignment_edges: 1,
+        };
         assert!(m.to_string().contains("covers 1"));
     }
 

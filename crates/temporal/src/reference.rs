@@ -28,11 +28,7 @@ pub fn foremost_arrivals_by_sorting(
     assert!((source as usize) < n, "source {source} out of range");
     let directed = tn.graph().is_directed();
     // Gather and sort every (label, edge) pair.
-    let mut time_edges: Vec<(Time, u32)> = tn
-        .assignment()
-        .iter()
-        .map(|(e, l)| (l, e))
-        .collect();
+    let mut time_edges: Vec<(Time, u32)> = tn.assignment().iter().map(|(e, l)| (l, e)).collect();
     time_edges.sort_unstable();
     let mut arrival = vec![NEVER; n];
     arrival[source as usize] = start_time;

@@ -122,11 +122,11 @@ pub fn latest_departure(tn: &TemporalNetwork, target: NodeId, deadline: Time) ->
             let (u, v) = tn.graph().endpoints(e);
             // Arc u -> v used at t: requires continuing from v strictly
             // after t.
-            if latest[v as usize] >= t + 1 && latest[u as usize] < t && u != target {
+            if latest[v as usize] > t && latest[u as usize] < t && u != target {
                 latest[u as usize] = t;
                 child[u as usize] = v;
             }
-            if !directed && latest[u as usize] >= t + 1 && latest[v as usize] < t && v != target {
+            if !directed && latest[u as usize] > t && latest[v as usize] < t && v != target {
                 latest[v as usize] = t;
                 child[v as usize] = u;
             }

@@ -1,6 +1,7 @@
 //! Worked instances from the paper and its reference lineage, as
 //! executable specifications.
 
+use ephemeral_graph::generators;
 use ephemeral_temporal::expanded::max_disjoint_journeys;
 use ephemeral_temporal::fastest::fastest_journey;
 use ephemeral_temporal::foremost::foremost;
@@ -9,7 +10,6 @@ use ephemeral_temporal::metrics::temporal_metrics;
 use ephemeral_temporal::reachability::treach_holds;
 use ephemeral_temporal::reverse::latest_departure;
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
-use ephemeral_graph::generators;
 
 /// Paper §4.2, Figure 2: the 2-split journey through a star's centre.
 /// `e1 = {u1, c}` has a label in `(0, n/2)` and `e2 = {c, u2}` one in
@@ -24,7 +24,11 @@ fn figure2_two_split_journey() {
     let tn = TemporalNetwork::new(g, labels, n).unwrap();
 
     let run = foremost(&tn, 1, 0);
-    assert_eq!(run.arrival(2), Some(8), "u1 → u2 arrives with the second window");
+    assert_eq!(
+        run.arrival(2),
+        Some(8),
+        "u1 → u2 arrives with the second window"
+    );
     let j = run.journey_to(2).unwrap();
     assert_eq!(j.vertices(), vec![1, 0, 2]);
     assert_eq!(j.departure(), 3);
@@ -94,8 +98,7 @@ fn disjoint_journeys_respect_cuts() {
     b.add_edge(2, 1);
     b.add_edge(1, 3);
     let g = b.build().unwrap();
-    let labels =
-        LabelAssignment::from_vecs(vec![vec![1], vec![1], vec![2], vec![3]]).unwrap();
+    let labels = LabelAssignment::from_vecs(vec![vec![1], vec![1], vec![2], vec![3]]).unwrap();
     let tn = TemporalNetwork::new(g, labels, 3).unwrap();
     assert_eq!(max_disjoint_journeys(&tn, 0, 3), 1);
 }
@@ -113,8 +116,7 @@ fn three_journey_notions_diverge() {
     b.add_edge(1, 2);
     b.add_edge(0, 2);
     let g = b.build().unwrap();
-    let labels =
-        LabelAssignment::from_vecs(vec![vec![1, 6], vec![2, 7], vec![9]]).unwrap();
+    let labels = LabelAssignment::from_vecs(vec![vec![1, 6], vec![2, 7], vec![9]]).unwrap();
     let tn = TemporalNetwork::new(g, labels, 9).unwrap();
 
     // Foremost: arrival 2 via the two-hop route.
@@ -149,5 +151,8 @@ fn ephemerality_is_absolute() {
         assert_eq!(at_lifetime.departure(v), beyond.departure(v));
     }
     let m = temporal_metrics(&tn, 1);
-    assert_eq!(m.max_temporal_distance, 3, "no journey can end after max label");
+    assert_eq!(
+        m.max_temporal_distance, 3,
+        "no journey can end after max label"
+    );
 }

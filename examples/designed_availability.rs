@@ -24,8 +24,8 @@ fn main() {
 
     let mut rng = default_rng(2014);
     for r in [0usize, 1, 2, 4, 8, 16, 32] {
-        let d = backbone_with_random_extras(&g, 0, r, lifetime, &mut rng)
-            .expect("torus is connected");
+        let d =
+            backbone_with_random_extras(&g, 0, r, lifetime, &mut rng).expect("torus is connected");
         let (avg, missing) = average_temporal_distance(&d.network, threads);
         let certified = treach_holds(&d.network, threads);
         println!(

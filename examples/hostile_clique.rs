@@ -45,7 +45,10 @@ fn main() {
             j.arrival(),
             outcome.arrival_bound
         ),
-        None => println!("expansion failed this run (bound {})", outcome.arrival_bound),
+        None => println!(
+            "expansion failed this run (bound {})",
+            outcome.arrival_bound
+        ),
     }
 
     println!("\n== The same story at n = 1,000,000 (delayed-revelation oracle) ==");

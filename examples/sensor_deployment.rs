@@ -20,7 +20,10 @@ fn main() {
     let g = generators::grid(12, 12);
     let n = g.num_nodes();
     let d = diameter(&g).expect("grid is connected");
-    println!("sensor grid: n = {n}, links = {}, diameter = {d}", g.num_edges());
+    println!(
+        "sensor grid: n = {n}, links = {}, diameter = {d}",
+        g.num_edges()
+    );
     println!("w.h.p. target: P[all-pairs relay] ≥ {:.4}", whp_target(n));
 
     // Sweep the per-link slot budget.

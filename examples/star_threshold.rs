@@ -11,7 +11,11 @@ fn main() {
     let n = 1024;
     let trials = 400;
     println!("star K_{{1,{}}} (normalized lifetime a = n = {n})", n - 1);
-    println!("log2 n = {:.1}, ln n = {:.1}\n", (n as f64).log2(), (n as f64).ln());
+    println!(
+        "log2 n = {:.1}, ln n = {:.1}\n",
+        (n as f64).log2(),
+        (n as f64).ln()
+    );
 
     println!(" r | P[T_reach]                     | paper bound 1−n(n−1)·2^(1−r) | 2-split/pair");
     for r in (2..=40).step_by(2) {

@@ -58,7 +58,8 @@ impl Args {
 fn parse_graph(spec: &str, directed: bool, seed: u64) -> Result<Graph, String> {
     let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
     let int = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|_| format!("bad size in graph spec: {spec}"))
+        s.parse()
+            .map_err(|_| format!("bad size in graph spec: {spec}"))
     };
     match kind {
         "clique" => Ok(generators::clique(int(rest)?, directed)),
@@ -256,7 +257,10 @@ mod tests {
         assert_eq!(parse_graph("star:5", false, 0).unwrap().num_edges(), 4);
         assert_eq!(parse_graph("grid:3x4", false, 0).unwrap().num_nodes(), 12);
         assert_eq!(parse_graph("torus:3x3", false, 0).unwrap().num_edges(), 18);
-        assert_eq!(parse_graph("hypercube:3", false, 0).unwrap().num_edges(), 12);
+        assert_eq!(
+            parse_graph("hypercube:3", false, 0).unwrap().num_edges(),
+            12
+        );
         assert_eq!(parse_graph("tree:9", false, 1).unwrap().num_edges(), 8);
         let g = parse_graph("gnp:50:0.2", false, 1).unwrap();
         assert_eq!(g.num_nodes(), 50);

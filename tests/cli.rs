@@ -33,7 +33,13 @@ fn sample_dot_is_valid_graphviz() {
 #[test]
 fn diameter_subcommand_produces_estimate() {
     let (ok, stdout, _) = run(&[
-        "diameter", "--graph", "clique:32", "--trials", "5", "--seed", "1",
+        "diameter",
+        "--graph",
+        "clique:32",
+        "--trials",
+        "5",
+        "--seed",
+        "1",
     ]);
     assert!(ok);
     assert!(stdout.contains("mean"), "{stdout}");
@@ -42,9 +48,7 @@ fn diameter_subcommand_produces_estimate() {
 
 #[test]
 fn reach_subcommand_reports_probability() {
-    let (ok, stdout, _) = run(&[
-        "reach", "--graph", "star:16", "--r", "24", "--trials", "20",
-    ]);
+    let (ok, stdout, _) = run(&["reach", "--graph", "star:16", "--r", "24", "--trials", "20"]);
     assert!(ok);
     assert!(stdout.contains("P[T_reach]"), "{stdout}");
 }

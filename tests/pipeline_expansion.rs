@@ -18,7 +18,9 @@ fn expansion_journeys_are_consistent_with_foremost_and_reverse() {
         let s = 3u32;
         let t = 200u32;
         let out = expansion_process(&tn, s, t, &params);
-        let Some(journey) = &out.journey else { continue };
+        let Some(journey) = &out.journey else {
+            continue;
+        };
         validated += 1;
 
         // The journey must be realizable and respect the window bound.
@@ -36,7 +38,10 @@ fn expansion_journeys_are_consistent_with_foremost_and_reverse() {
         let rev = latest_departure(&tn, t, tn.lifetime());
         assert!(rev.departure(s).unwrap() >= journey.departure());
     }
-    assert!(validated >= 6, "expansion succeeded only {validated}/8 times");
+    assert!(
+        validated >= 6,
+        "expansion succeeded only {validated}/8 times"
+    );
 }
 
 #[test]

@@ -22,19 +22,32 @@ fn por_reports_are_internally_consistent_across_families() {
         ("grid", generators::grid(6, 6)),
     ] {
         let rep = por_report(&g, name, 40, 11, 4).expect("connected");
-        assert!(rep.por_lower <= rep.por_upper + 1e-9, "{name}: bracket inverted");
+        assert!(
+            rep.por_lower <= rep.por_upper + 1e-9,
+            "{name}: bracket inverted"
+        );
         // por_upper = m·r/(n−1) ≥ 1 always (m ≥ n−1, r ≥ 1); por_lower may
         // dip below 1 because it divides by an OPT *over*-estimate.
         assert!(rep.por_upper >= 1.0 - 1e-9, "{name}: PoR upper below 1");
-        assert!(rep.opt_lower <= rep.opt_upper, "{name}: OPT bounds inverted");
-        assert!(rep.r >= 1 && rep.m > 0 && rep.diameter >= 1, "{name}: degenerate report");
+        assert!(
+            rep.opt_lower <= rep.opt_upper,
+            "{name}: OPT bounds inverted"
+        );
+        assert!(
+            rep.r >= 1 && rep.m > 0 && rep.diameter >= 1,
+            "{name}: degenerate report"
+        );
     }
 
     // For the star OPT is exact (2m), so the true PoR = r*/2 is measured,
     // and Theorem 8 (with d = 2) must dominate it.
     let star = generators::star(64);
     let rep = por_report(&star, "star", 40, 11, 4).unwrap();
-    assert_eq!(rep.opt_upper, 2 * rep.m, "star scheme must realise OPT = 2m");
+    assert_eq!(
+        rep.opt_upper,
+        2 * rep.m,
+        "star scheme must realise OPT = 2m"
+    );
     assert!(rep.opt_upper <= rep.m * rep.r, "star: r* ≥ 2 so m·r* ≥ 2m");
     assert!(
         rep.por_lower <= rep.theorem8 + 1e-9,
@@ -49,7 +62,10 @@ fn star_por_grows_with_n_like_log() {
     // PoR(star) = r*/2; Theorem 6 says Θ(log n).
     let r_small = minimal_r_star(64, 1.0 - 1.0 / 64.0, 300, 5, 4);
     let r_large = minimal_r_star(4096, 1.0 - 1.0 / 4096.0, 300, 5, 4);
-    assert!(r_large > r_small, "threshold must grow: {r_small} vs {r_large}");
+    assert!(
+        r_large > r_small,
+        "threshold must grow: {r_small} vs {r_large}"
+    );
     // Growth should be roughly the log ratio (2x), definitely not linear (64x).
     assert!(
         (r_large as f64) < (r_small as f64) * 8.0,

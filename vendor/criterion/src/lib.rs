@@ -1,0 +1,257 @@
+//! Offline API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The workspace's 11 bench targets are written against the standard
+//! criterion surface (`criterion_group!` / `criterion_main!` / `Criterion`
+//! benchmark groups). This vendored subset keeps those targets compiling and
+//! running with no network access: it performs a short warm-up, then a fixed
+//! number of timed samples, and reports median / mean nanoseconds per
+//! iteration to stdout. No statistical analysis, plots or baselines — just
+//! honest wall-clock numbers suitable for coarse kernel comparisons.
+//!
+//! Command-line arguments passed by `cargo bench` (`--bench`, filters) are
+//! accepted; a filter string restricts which benchmark ids run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench` plus any user
+        // filter; `cargo test --benches` invokes it with `--test`. Unknown
+        // `--flag value` pairs (e.g. upstream criterion's `--sample-size 20`)
+        // are skipped whole, so the value is not mistaken for a filter.
+        let mut filter = None;
+        let mut list_only = false;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--noplot" | "-n" => skip_value = false,
+                "--list" => {
+                    list_only = true;
+                    skip_value = false;
+                }
+                s if s.starts_with("--") => skip_value = !s.contains('='),
+                _ if skip_value => skip_value = false,
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            filter,
+            sample_size: 20,
+            list_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Register and run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+    }
+}
+
+/// A named group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Register and run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Finish the group (retained for API compatibility; reporting is
+    /// per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting the configured number of samples. Each
+    /// sample runs the routine enough times to amortise timer overhead.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: target ~5ms per sample, at least 1 iter.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(5).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / u32::try_from(per_sample).unwrap_or(u32::MAX));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / u32::try_from(sorted.len()).unwrap_or(1);
+        println!(
+            "{id}: median {} / mean {} per iter ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Define a benchmark group: `criterion_group!(benches, fn_a, fn_b);`
+/// expands to a function `benches()` that runs each registered function
+/// against a shared [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench entry point: `criterion_main!(benches);` expands to
+/// `fn main` invoking each group (bench targets set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            list_only: false,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_respects_filter() {
+        let mut c = Criterion {
+            filter: Some("matches".into()),
+            sample_size: 2,
+            list_only: false,
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("skipped", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

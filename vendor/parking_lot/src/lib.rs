@@ -1,0 +1,161 @@
+//! Offline API-compatible subset of the `parking_lot` crate.
+//!
+//! This workspace builds with no network access, so the handful of
+//! `parking_lot` APIs it uses ([`Mutex`], [`Condvar`]) are provided here as
+//! thin wrappers over `std::sync`. Semantics match `parking_lot` where the
+//! workspace relies on them:
+//!
+//! * `Mutex::lock` returns a guard directly (no `Result`) — poisoning is
+//!   swallowed, as `parking_lot` has no poisoning at all.
+//! * `Condvar::wait` takes `&mut MutexGuard` and re-acquires on wake.
+//!
+//! Only the surface actually exercised by the workspace is implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A mutual-exclusion primitive, API-compatible with `parking_lot::Mutex`
+/// for the operations this workspace uses.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, blocking until it is available.
+    ///
+    /// Unlike `std`, never returns a poison error: a panic while holding the
+    /// lock leaves the data accessible, exactly as in `parking_lot`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(unpoison(self.inner.lock())),
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+
+    /// Mutably borrow the protected value without locking (requires `&mut`).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; unlocks on drop.
+///
+/// Wraps the `std` guard in an `Option` so [`Condvar::wait`] can take
+/// ownership through `&mut` (std's `wait` consumes the guard, parking_lot's
+/// borrows it). The `Option` is only ever `None` transiently inside `wait`.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable, API-compatible with `parking_lot::Condvar` for the
+/// operations this workspace uses.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's mutex and block until notified; the
+    /// mutex is re-acquired (and the guard refreshed) before returning.
+    ///
+    /// Spurious wake-ups are possible, exactly as with `parking_lot` — wrap
+    /// calls in a predicate loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let owned = guard.guard.take().expect("guard present outside wait");
+        guard.guard = Some(unpoison(self.inner.wait(owned)));
+    }
+
+    /// Wake a single waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_lock_and_into_inner() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn get_mut_skips_locking() {
+        let mut m = Mutex::new(String::from("a"));
+        m.get_mut().push('b');
+        assert_eq!(&*m.lock(), "ab");
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut started = lock.lock();
+            *started = true;
+            drop(started);
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            cv.wait(&mut started);
+        }
+        handle.join().unwrap();
+        assert!(*started);
+    }
+}

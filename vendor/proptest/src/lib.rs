@@ -1,0 +1,125 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! The workspace's property tests are written against the standard proptest
+//! surface (`proptest!`, strategies, `prop_assert*`). This vendored subset
+//! keeps them compiling and running with no network access:
+//!
+//! * **Deterministic**: every test function derives its RNG from a hash of
+//!   its own fully-qualified name and the case index, so a failure
+//!   reproduces exactly on re-run — there is no persistence file to manage.
+//! * **Non-shrinking**: a failing case panics with its case index; since
+//!   generation is deterministic, re-running under a debugger replays it.
+//! * **Cappable**: the `PROPTEST_CASES` environment variable caps the number
+//!   of cases per test (it can lower, never raise, a count set in source via
+//!   [`test_runner::ProptestConfig::with_cases`]), which is how CI keeps the
+//!   suite fast.
+//!
+//! Only the surface actually exercised by the workspace is implemented:
+//! integer / float range strategies, tuples, [`strategy::Just`],
+//! `any::<T>()`, `prop::collection::vec`, `prop_map` / `prop_flat_map`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define deterministic property tests.
+///
+/// Supports the standard proptest forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn name(x: u64, v in prop::collection::vec(0u32..9, 0..5)) { ... }
+/// }
+/// ```
+///
+/// Parameters are either `pattern in strategy` or the `name: Type`
+/// shorthand for `name in any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `fn` inside a [`proptest!`] block into a looping
+/// test function. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.resolved_cases();
+            for __case in 0..__cases {
+                let __case_ctx = $crate::test_runner::CaseContext::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __rng = __case_ctx.rng();
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: bind each proptest parameter to a sampled value. Not part of
+/// the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $param:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $param = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, mut $param:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let mut $param = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $pat:pat in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Assert a boolean property; failure panics with the case's context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality of a property; failure panics with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality of a property; failure panics with both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,12 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves after a glob
+/// import of this prelude, as it does with upstream proptest.
+pub mod prop {
+    pub use crate::collection;
+}

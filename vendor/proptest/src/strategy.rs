@@ -1,0 +1,265 @@
+//! Value-generation strategies: ranges, tuples, `Just`, map / flat-map.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: `sample` produces the
+/// final value directly from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Strategy producing `f(v)` for each generated `v`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Strategy that generates `v`, builds the strategy `f(v)`, and samples
+    /// from it — for strategies whose shape depends on an earlier draw.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy yielding a clone of one fixed value. See [`Strategy`].
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain: every value is fair game.
+                    rng.next_u64() as $t
+                } else {
+                    lo + (rng.below(span) as $t)
+                }
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                let span = ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )+};
+}
+
+signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Guard the half-open upper bound against rounding.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                let u = rng.unit_f64() as $t;
+                (lo + u * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0x5eed)
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..256 {
+            let x = (3u32..7).sample(&mut r);
+            assert!((3..7).contains(&x));
+            let y = (1u64..=u64::MAX).sample(&mut r);
+            assert!(y >= 1);
+            let z = (0u64..=u64::MAX).sample(&mut r);
+            let _ = z; // full domain: any value is valid
+            let n = (-5i32..5).sample(&mut r);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..256 {
+            let x = (-1e6f64..1e6).sample(&mut r);
+            assert!((-1e6..1e6).contains(&x));
+            let y = (0.0f64..=1.0).sample(&mut r);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_tuples_compose() {
+        let mut r = rng();
+        let strat = (2usize..5).prop_flat_map(|n| (Just(n), 0..n as u32));
+        for _ in 0..64 {
+            let (n, v) = strat.sample(&mut r);
+            assert!((2..5).contains(&n));
+            assert!((v as usize) < n);
+        }
+        let doubled = (1u64..10).prop_map(|x| x * 2);
+        for _ in 0..64 {
+            let d = doubled.sample(&mut r);
+            assert!(d % 2 == 0 && (2..20).contains(&d));
+        }
+    }
+}
