@@ -4,17 +4,72 @@
 //! cargo run --release -p ephemeral-bench --bin experiments            # all, full fidelity
 //! cargo run --release -p ephemeral-bench --bin experiments -- --quick # smoke pass
 //! cargo run --release -p ephemeral-bench --bin experiments -- e02 e06 # selected ids
+//! cargo run --release -p ephemeral-bench --bin experiments -- --format json --quick
 //! ```
 //!
-//! Output is the markdown that EXPERIMENTS.md embeds.
+//! Default output is the markdown that EXPERIMENTS.md embeds;
+//! `--format json` (or `--format=json`) emits JSON lines instead — one
+//! object per table row (and one per footnote), tagged with the
+//! `experiment` id and `table` title, so perf/accuracy trajectories can be
+//! tracked by machine across runs.
 
 use ephemeral_bench::{all_experiments, ExpConfig};
 use std::time::Instant;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Markdown,
+    Json,
+}
+
+/// Parsed command line: one pass partitions the args into flags and ids,
+/// so a value-taking flag can never be mistaken for an experiment id.
+struct Cli {
+    quick: bool,
+    format: Format,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        format: Format::Markdown,
+        ids: Vec::new(),
+    };
+    fn format_value(value: &str) -> Result<Format, String> {
+        match value {
+            "markdown" | "md" => Ok(Format::Markdown),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format '{other}' (markdown | json)")),
+        }
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--quick" {
+            cli.quick = true;
+        } else if a == "--format" {
+            let value = it.next().ok_or("--format needs a value")?;
+            cli.format = format_value(value)?;
+        } else if let Some(value) = a.strip_prefix("--format=") {
+            cli.format = format_value(value)?;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag '{a}'"));
+        } else {
+            cli.ids.push(a.clone());
+        }
+    }
+    Ok(cli)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let Cli { quick, format, ids } = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let cfg = if quick {
         ExpConfig::quick()
     } else {
@@ -36,9 +91,27 @@ fn main() {
         eprintln!("## running {} …", exp.id);
         let started = Instant::now();
         let tables = (exp.run)(&cfg);
-        println!("## {}\n", exp.title);
-        for t in &tables {
-            print!("{}", t.render());
+        match format {
+            Format::Markdown => {
+                println!("## {}\n", exp.title);
+                for t in &tables {
+                    print!("{}", t.render());
+                }
+            }
+            Format::Json => {
+                // Tag every line with the experiment so a whole run can be
+                // concatenated into one trajectory file.
+                for t in &tables {
+                    for line in t.render_json_lines().lines() {
+                        let tagged = format!(
+                            "{{\"experiment\":\"{}\",{}",
+                            exp.id,
+                            line.strip_prefix('{').expect("rows are JSON objects")
+                        );
+                        println!("{tagged}");
+                    }
+                }
+            }
         }
         eprintln!(
             "## {} done in {:.1}s",

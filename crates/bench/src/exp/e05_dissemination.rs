@@ -6,8 +6,8 @@
 
 use crate::table::{f, Table};
 use crate::ExpConfig;
-use ephemeral_core::dissemination::{flood, flood_oracle_clique};
-use ephemeral_core::urtn::{resample_single, sample_normalized_urt_clique};
+use ephemeral_core::dissemination::{flood_montecarlo, flood_oracle_clique};
+use ephemeral_graph::generators;
 use ephemeral_parallel::stats::Summary;
 use ephemeral_rng::SeedSequence;
 
@@ -36,19 +36,19 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     };
     for (si, &n) in sizes.iter().enumerate() {
         let trials = cfg.scale(if n >= 2048 { 10 } else { 30 }, 4);
-        let mut rng = seq.rng(si as u64);
-        let base = sample_normalized_urt_clique(n, true, &mut rng);
-        let mut times = Vec::with_capacity(trials);
-        let mut msgs = 0.0f64;
-        for _ in 0..trials {
-            let tn = resample_single(&base, &mut rng);
-            let out = flood(&tn, 0);
-            times.push(f64::from(out.broadcast_time.expect("clique floods fully")));
-            msgs += out.messages as f64;
-        }
-        let s = Summary::from_samples(&times);
+        // Per-worker scratch reuse + parallel trials via flood_montecarlo.
+        let g = generators::clique(n, true);
+        let est = flood_montecarlo(
+            &g,
+            n as u32,
+            0,
+            trials,
+            cfg.seed ^ 0xE05 ^ ((si as u64) << 40),
+            cfg.threads,
+        );
+        assert_eq!(est.incomplete, 0, "clique floods fully");
+        let s = est.broadcast_times;
         let arcs = (n * (n - 1)) as f64;
-        let mean_msgs = msgs / trials as f64;
         exact.row(vec![
             n.to_string(),
             trials.to_string(),
@@ -56,9 +56,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             f(s.sd, 2),
             f((n as f64).ln(), 2),
             f(s.mean / (n as f64).ln(), 2),
-            f(mean_msgs, 0),
+            f(est.mean_messages, 0),
             f(arcs, 0),
-            f(mean_msgs / arcs, 3),
+            f(est.mean_messages / arcs, 3),
         ]);
     }
     exact.note("time/ln n should be a flat constant (Thm 4 + §3.5); msg fraction stays Θ(1) — blind flooding uses Θ(n²) messages.");

@@ -1,4 +1,4 @@
-//! Markdown table rendering for experiment reports.
+//! Markdown and JSON-lines table rendering for experiment reports.
 
 /// A titled markdown table with optional footnotes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +92,56 @@ impl Table {
         out.push('\n');
         out
     }
+
+    /// Render as machine-readable JSON lines: one object per data row
+    /// (`{"table": <title>, "<column>": <cell>, …}`) followed by one object
+    /// per footnote (`{"table": <title>, "note": <text>}`). Cells stay
+    /// strings — they are already formatted for the report — so downstream
+    /// tooling can parse numbers with full knowledge of the printed
+    /// precision. This is the `--format json` payload of the `experiments`
+    /// binary, the format perf/accuracy trajectories are tracked in.
+    #[must_use]
+    pub fn render_json_lines(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str("{\"table\":");
+            out.push_str(&json_string(&self.title));
+            for (key, cell) in self.header.iter().zip(row) {
+                out.push(',');
+                out.push_str(&json_string(key));
+                out.push(':');
+                out.push_str(&json_string(cell));
+            }
+            out.push_str("}\n");
+        }
+        for note in &self.notes {
+            out.push_str("{\"table\":");
+            out.push_str(&json_string(&self.title));
+            out.push_str(",\"note\":");
+            out.push_str(&json_string(note));
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string encoder (RFC 8259 escapes; no external deps).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format helper: fixed-precision float cell.
@@ -117,6 +167,36 @@ mod tests {
         assert!(s.contains("> a footnote"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn renders_json_lines() {
+        let mut t = Table::new("demo \"quoted\"", &["n", "value"]);
+        t.row(vec!["8".into(), "1.5".into()]);
+        t.row(vec!["1024".into(), "12.25".into()]);
+        t.note("a\nnote");
+        let s = t.render_json_lines();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"table\":\"demo \\\"quoted\\\"\",\"n\":\"8\",\"value\":\"1.5\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"table\":\"demo \\\"quoted\\\"\",\"n\":\"1024\",\"value\":\"12.25\"}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"table\":\"demo \\\"quoted\\\"\",\"note\":\"a\\nnote\"}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
     }
 
     #[test]

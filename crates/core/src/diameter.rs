@@ -2,18 +2,22 @@
 //! Theorems 3–4).
 //!
 //! `TD(G) = E[max_{s,t} δ(s,t)]` over the random labelling. Per trial we
-//! draw a fresh UNI-CASE assignment over a shared graph CSR, compute the
-//! instance diameter exactly (`n` foremost sweeps, parallel over sources),
-//! and summarise across trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p.
-//! for the directed normalized U-RT clique; experiment E02 fits `γ`.
+//! draw a fresh UNI-CASE assignment into per-worker scratch buffers over a
+//! shared graph CSR, rebuild the time-edge index in place, and compute the
+//! instance diameter exactly through the bit-parallel engine (one sweep per
+//! batch of 64 sources instead of `n` scalar sweeps), then summarise across
+//! trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p. for the directed
+//! normalized U-RT clique; experiment E02 fits `γ`.
 
-use crate::models::{LabelModel, UniformSingle};
 use ephemeral_graph::{generators, Graph};
 use ephemeral_parallel::stats::Summary;
-use ephemeral_parallel::{available_threads, par_for};
+use ephemeral_parallel::{available_threads, par_for_with};
 use ephemeral_rng::SeedSequence;
-use ephemeral_temporal::distance::instance_temporal_diameter;
-use ephemeral_temporal::{TemporalNetwork, Time};
+use ephemeral_temporal::distance::{
+    instance_temporal_diameter, instance_temporal_diameter_reusing,
+};
+use ephemeral_temporal::engine::BatchSweeper;
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
 
 /// Monte Carlo estimate of the temporal diameter of a random temporal
 /// network family.
@@ -31,9 +35,53 @@ pub struct TemporalDiameterEstimate {
     pub gamma_log2: f64,
 }
 
-/// Estimate `TD` of the UNI-CASE model over a fixed graph. The graph CSR is
-/// shared across trials; each trial draws fresh labels, then the instance
-/// diameter runs its per-source sweeps in parallel.
+/// Per-worker trial scratch: one owned copy of the network whose labels are
+/// redrawn in place each trial, the spare assignment the draw writes into,
+/// and the engine sweeper — so a full Monte Carlo run performs no
+/// per-trial allocation once the buffers are warm (locked in by the
+/// allocation regression test in `tests/alloc_regression.rs`).
+struct TrialScratch {
+    tn: TemporalNetwork,
+    spare: LabelAssignment,
+    sweeper: BatchSweeper,
+}
+
+impl TrialScratch {
+    fn new(graph: &Graph, lifetime: Time) -> Self {
+        Self {
+            tn: crate::urtn::placeholder_network(graph, lifetime),
+            spare: LabelAssignment::default(),
+            sweeper: BatchSweeper::new(),
+        }
+    }
+
+    /// Draw trial `trial`'s labels into the spare buffers, swap them into
+    /// the network, and return the instance diameter (engine batches run on
+    /// `inner_threads`; 1 reuses this scratch's sweeper).
+    fn run_trial(
+        &mut self,
+        seq: &SeedSequence,
+        trial: usize,
+        inner_threads: usize,
+    ) -> (Time, bool) {
+        let mut rng = seq.rng(trial as u64);
+        crate::urtn::resample_single_in_place(&mut self.tn, &mut self.spare, &mut rng);
+        let d = if inner_threads <= 1 {
+            instance_temporal_diameter_reusing(&self.tn, &mut self.sweeper)
+        } else {
+            instance_temporal_diameter(&self.tn, inner_threads)
+        };
+        match d.value() {
+            Some(v) => (v, true),
+            None => (d.max_finite, false),
+        }
+    }
+}
+
+/// Estimate `TD` of the UNI-CASE model over a fixed graph. Each worker owns
+/// one copy of the graph CSR for the whole run; each trial redraws labels
+/// into per-worker scratch and runs the batch engine — batches × threads,
+/// not sources × threads.
 ///
 /// # Panics
 /// If `trials == 0`, the graph is empty, or `lifetime == 0`.
@@ -48,44 +96,28 @@ pub fn td_montecarlo(
     assert!(trials > 0, "need at least one trial");
     let n = graph.num_nodes();
     assert!(n > 0, "graph must be non-empty");
-    let model = UniformSingle { lifetime };
     let seq = SeedSequence::new(seed);
 
     // Memory strategy: for large graphs a clique instance is ~100 MB, so
-    // trials run sequentially with per-source parallelism inside; for small
-    // graphs the sweep is too short to parallelise and we fan out across
-    // trials instead.
+    // trials run sequentially with batch-level parallelism inside; for
+    // small graphs one trial's few batches cannot feed many threads, so we
+    // fan out across trials instead (one scratch per worker).
     let big = graph.num_edges() >= 1 << 20;
     let results: Vec<(Time, bool)> = if big {
+        let mut scratch = TrialScratch::new(graph, lifetime);
         (0..trials)
-            .map(|i| run_one_trial(graph, &model, lifetime, &seq, i, threads))
+            .map(|i| scratch.run_trial(&seq, i, threads))
             .collect()
     } else {
-        par_for(trials, threads, |i| {
-            run_one_trial(graph, &model, lifetime, &seq, i, 1)
-        })
+        par_for_with(
+            trials,
+            threads,
+            || TrialScratch::new(graph, lifetime),
+            |scratch, i| scratch.run_trial(&seq, i, 1),
+        )
     };
 
     summarise(results, n)
-}
-
-fn run_one_trial(
-    graph: &Graph,
-    model: &UniformSingle,
-    lifetime: Time,
-    seq: &SeedSequence,
-    trial: usize,
-    inner_threads: usize,
-) -> (Time, bool) {
-    let mut rng = seq.rng(trial as u64);
-    let assignment = model.assign(graph.num_edges(), &mut rng);
-    let tn = TemporalNetwork::new(graph.clone(), assignment, lifetime)
-        .expect("model labels fit the lifetime");
-    let d = instance_temporal_diameter(&tn, inner_threads);
-    match d.value() {
-        Some(v) => (v, true),
-        None => (d.max_finite, false),
-    }
 }
 
 fn summarise(results: Vec<(Time, bool)>, n: usize) -> TemporalDiameterEstimate {

@@ -9,17 +9,20 @@
 //! fires, whether useful or not, which is the `Θ(n²)`-messages behaviour
 //! the paper contrasts with the phone-call model's `O(n log log n)`.
 
-use ephemeral_graph::NodeId;
+use ephemeral_graph::{Graph, NodeId};
+use ephemeral_parallel::stats::Summary;
+use ephemeral_parallel::MonteCarlo;
 use ephemeral_rng::distr::Binomial;
 use ephemeral_rng::RandomSource;
 use ephemeral_temporal::foremost::foremost;
-use ephemeral_temporal::{TemporalNetwork, Time};
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
 
 /// Result of one protocol run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FloodOutcome {
-    /// Time each vertex first held the message ([`NEVER`] = never informed;
-    /// the source holds it from time 0).
+    /// Time each vertex first held the message
+    /// ([`NEVER`](ephemeral_temporal::NEVER) = never informed; the source
+    /// holds it from time 0).
     pub informed_time: Vec<Time>,
     /// Number of vertices that ever received the message (incl. source).
     pub informed_count: usize,
@@ -85,6 +88,67 @@ pub fn flood(tn: &TemporalNetwork, source: NodeId) -> FloodOutcome {
         informed_count,
         broadcast_time,
         messages,
+    }
+}
+
+/// Monte Carlo summary of repeated protocol runs over fresh UNI-CASE
+/// labellings of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodEstimate {
+    /// Summary of the broadcast times of the trials that covered everyone.
+    pub broadcast_times: Summary,
+    /// Trials in which some vertex was never informed within the lifetime.
+    pub incomplete: usize,
+    /// Mean protocol messages per trial (complete or not).
+    pub mean_messages: f64,
+    /// Total trials.
+    pub trials: usize,
+}
+
+/// Run [`flood`] from `source` over `trials` fresh UNI-CASE labellings of
+/// `graph`. Each worker owns one copy of the graph CSR; per trial the
+/// labels are redrawn into scratch buffers and the time-edge index is
+/// rebuilt in place, so the loop does not reallocate the network (the
+/// batch-scheduled sibling of `diameter::td_montecarlo` — flooding itself
+/// is inherently single-source, so the per-trial sweep stays scalar).
+///
+/// # Panics
+/// If `trials == 0`, `lifetime == 0`, or `source` is out of range.
+#[must_use]
+pub fn flood_montecarlo(
+    graph: &Graph,
+    lifetime: Time,
+    source: NodeId,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> FloodEstimate {
+    assert!(trials > 0, "need at least one trial");
+    let outcomes: Vec<(Option<Time>, u64)> = MonteCarlo::new(trials, seed)
+        .with_threads(threads)
+        .run_with(
+            || {
+                (
+                    crate::urtn::placeholder_network(graph, lifetime),
+                    LabelAssignment::default(),
+                )
+            },
+            |(tn, spare), _, rng| {
+                crate::urtn::resample_single_in_place(tn, spare, rng);
+                let out = flood(tn, source);
+                (out.broadcast_time, out.messages)
+            },
+        );
+    let times: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|&(t, _)| t.map(f64::from))
+        .collect();
+    let messages: f64 = outcomes.iter().map(|&(_, m)| m as f64).sum();
+    FloodEstimate {
+        broadcast_times: Summary::from_samples(&times),
+        incomplete: trials - times.len(),
+        mean_messages: messages / trials as f64,
+        trials,
     }
 }
 
@@ -221,6 +285,32 @@ mod tests {
         // tail's informed time fires; at least (n-1) and at most n(n-1).
         assert!(out.messages >= (n as u64 - 1));
         assert!(out.messages <= (n as u64) * (n as u64 - 1));
+    }
+
+    #[test]
+    fn flood_montecarlo_summarises_and_is_thread_invariant() {
+        let g = generators::clique(64, true);
+        let a = flood_montecarlo(&g, 64, 0, 12, 9, 1);
+        let b = flood_montecarlo(&g, 64, 0, 12, 9, 4);
+        assert_eq!(a, b, "thread count must not change the estimate");
+        assert_eq!(a.trials, 12);
+        assert_eq!(a.incomplete, 0, "the clique always floods");
+        let ln_n = 64f64.ln();
+        assert!(
+            a.broadcast_times.mean <= 8.0 * ln_n,
+            "{}",
+            a.broadcast_times.mean
+        );
+        assert!(a.broadcast_times.mean >= 2.0);
+        assert!(a.mean_messages >= 63.0);
+    }
+
+    #[test]
+    fn flood_montecarlo_reports_incomplete_trials() {
+        // Single-label paths almost never flood end to end.
+        let g = generators::path(12);
+        let est = flood_montecarlo(&g, 12, 0, 20, 3, 2);
+        assert!(est.incomplete > 10, "{}", est.incomplete);
     }
 
     #[test]

@@ -9,8 +9,18 @@ pub trait LabelModel {
     /// Lifetime `a` of the networks this model produces.
     fn lifetime(&self) -> Time;
 
-    /// Draw an assignment for `m` edges.
-    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment;
+    /// Draw an assignment for `m` edges **into** `out`, reusing its buffers
+    /// — the per-trial path of the Monte Carlo estimators (zero-allocation
+    /// once `out`'s capacity is warm, for the single-label models). The
+    /// label stream drawn from `rng` is identical to [`LabelModel::assign`].
+    fn assign_into(&self, m: usize, rng: &mut dyn RandomSource, out: &mut LabelAssignment);
+
+    /// Draw a fresh assignment for `m` edges.
+    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
+        let mut out = LabelAssignment::default();
+        self.assign_into(m, rng, &mut out);
+        out
+    }
 }
 
 /// UNI-CASE (Definition 4): exactly one label per edge, uniform on
@@ -26,9 +36,9 @@ impl LabelModel for UniformSingle {
         self.lifetime
     }
 
-    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
-        let labels: Vec<Time> = (0..m).map(|_| rng.range_u32(1, self.lifetime)).collect();
-        LabelAssignment::single(labels).expect("labels are in 1..=lifetime")
+    fn assign_into(&self, m: usize, rng: &mut dyn RandomSource, out: &mut LabelAssignment) {
+        let ok = out.refill_single(m, |_| rng.range_u32(1, self.lifetime));
+        assert!(ok, "labels are in 1..=lifetime");
     }
 }
 
@@ -52,13 +62,12 @@ impl LabelModel for UniformMulti {
         self.lifetime
     }
 
-    fn assign(&self, m: usize, rng: &mut dyn RandomSource) -> LabelAssignment {
-        LabelAssignment::from_fn(m, |_| {
-            (0..self.r)
-                .map(|_| rng.range_u32(1, self.lifetime))
-                .collect()
-        })
-        .expect("labels are in 1..=lifetime")
+    fn assign_into(&self, m: usize, rng: &mut dyn RandomSource, out: &mut LabelAssignment) {
+        let mut buf = Vec::with_capacity(self.r);
+        let ok = out.refill_with(m, &mut buf, |_, b| {
+            b.extend((0..self.r).map(|_| rng.range_u32(1, self.lifetime)));
+        });
+        assert!(ok, "labels are in 1..=lifetime");
     }
 }
 
@@ -94,13 +103,12 @@ impl LabelModel for ZipfMulti {
         self.lifetime
     }
 
-    fn assign(&self, m: usize, mut rng: &mut dyn RandomSource) -> LabelAssignment {
-        LabelAssignment::from_fn(m, |_| {
-            (0..self.r)
-                .map(|_| self.table.sample(&mut rng) as Time + 1)
-                .collect()
-        })
-        .expect("labels are in 1..=lifetime")
+    fn assign_into(&self, m: usize, mut rng: &mut dyn RandomSource, out: &mut LabelAssignment) {
+        let mut buf = Vec::with_capacity(self.r);
+        let ok = out.refill_with(m, &mut buf, |_, b| {
+            b.extend((0..self.r).map(|_| self.table.sample(&mut rng) as Time + 1));
+        });
+        assert!(ok, "labels are in 1..=lifetime");
     }
 }
 
@@ -122,21 +130,20 @@ impl LabelModel for GeometricArrivals {
         self.lifetime
     }
 
-    fn assign(&self, m: usize, mut rng: &mut dyn RandomSource) -> LabelAssignment {
+    fn assign_into(&self, m: usize, mut rng: &mut dyn RandomSource, out: &mut LabelAssignment) {
         let gap = Geometric::new(self.p);
-        LabelAssignment::from_fn(m, |_| {
-            let mut labels = Vec::new();
+        let mut buf = Vec::new();
+        let ok = out.refill_with(m, &mut buf, |_, b| {
             let mut t: u64 = 0;
             loop {
                 t += gap.sample(&mut rng) + 1;
                 if t > u64::from(self.lifetime) {
                     break;
                 }
-                labels.push(t as Time);
+                b.push(t as Time);
             }
-            labels
-        })
-        .expect("labels are in 1..=lifetime")
+        });
+        assert!(ok, "labels are in 1..=lifetime");
     }
 }
 
@@ -231,5 +238,34 @@ mod tests {
         let a = model.assign(64, &mut default_rng(9));
         let b = model.assign(64, &mut default_rng(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assign_into_draws_the_same_stream_as_assign() {
+        // The scratch path must be indistinguishable from the fresh path —
+        // same rng consumption, same labels — for every model, so switching
+        // a Monte Carlo loop to scratch reuse never changes its results.
+        let models: Vec<Box<dyn LabelModel>> = vec![
+            Box::new(UniformSingle { lifetime: 32 }),
+            Box::new(UniformMulti { lifetime: 32, r: 4 }),
+            Box::new(ZipfMulti::new(32, 3, 1.1)),
+            Box::new(GeometricArrivals {
+                lifetime: 32,
+                p: 0.25,
+            }),
+        ];
+        for (k, model) in models.iter().enumerate() {
+            let fresh = model.assign(50, &mut default_rng(100 + k as u64));
+            let mut scratch = LabelAssignment::default();
+            let mut rng = default_rng(100 + k as u64);
+            for trial in 0..3 {
+                model.assign_into(50, &mut rng, &mut scratch);
+                if trial == 0 {
+                    assert_eq!(scratch, fresh, "model {k}");
+                }
+            }
+            // After several refills the scratch is still a valid CSR.
+            assert_eq!(scratch.num_edges(), 50);
+        }
     }
 }

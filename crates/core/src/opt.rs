@@ -2,7 +2,7 @@
 //!
 //! `OPT(G)` — the least total number of labels preserving reachability — is
 //! hard to even approximate in general (Mertzios et al., ICALP'13, cited as
-//! [21]). The experiments therefore divide by *certified* quantities:
+//! \[21\]). The experiments therefore divide by *certified* quantities:
 //!
 //! * exact values where the paper states them (star: `OPT = 2m`),
 //! * constructive upper bounds: the **star scheme** (2 labels on each edge

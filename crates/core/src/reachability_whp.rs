@@ -6,10 +6,13 @@ use crate::models::{LabelModel, UniformMulti};
 use ephemeral_graph::Graph;
 use ephemeral_parallel::{MonteCarlo, Proportion};
 use ephemeral_temporal::reachability::treach_holds;
-use ephemeral_temporal::{TemporalNetwork, Time};
+use ephemeral_temporal::{LabelAssignment, Time};
 
 /// Monte Carlo estimate of `P[T_reach]` for `r` i.i.d. uniform labels per
-/// edge over `graph` with the given lifetime.
+/// edge over `graph` with the given lifetime. Each worker owns one copy of
+/// the graph CSR and redraws labels into scratch buffers per trial; the
+/// `T_reach` check itself runs 64 sources per pass through the batch
+/// engine.
 ///
 /// # Panics
 /// If `r == 0`, `lifetime == 0` or `trials == 0`.
@@ -26,12 +29,22 @@ pub fn treach_probability(
     let model = UniformMulti { lifetime, r };
     MonteCarlo::new(trials, seed)
         .with_threads(threads)
-        .success_probability(|_, rng| {
-            let assignment = model.assign(graph.num_edges(), rng);
-            let tn = TemporalNetwork::new(graph.clone(), assignment, lifetime)
-                .expect("model labels fit the lifetime");
-            treach_holds(&tn, 1)
-        })
+        .success_probability_with(
+            || {
+                (
+                    crate::urtn::placeholder_network(graph, lifetime),
+                    LabelAssignment::default(),
+                )
+            },
+            |(tn, spare), _, rng| {
+                model.assign_into(tn.graph().num_edges(), rng, spare);
+                let drawn = std::mem::take(spare);
+                *spare = tn
+                    .replace_assignment(drawn)
+                    .expect("model labels fit the lifetime");
+                treach_holds(tn, 1)
+            },
+        )
 }
 
 /// Result of the minimal-`r` search.

@@ -4,7 +4,7 @@
 use crate::models::{LabelModel, UniformMulti, UniformSingle};
 use ephemeral_graph::{generators, Graph};
 use ephemeral_rng::RandomSource;
-use ephemeral_temporal::{TemporalNetwork, Time};
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
 
 /// Sample a U-RTN over `graph`: one uniform label from `{1, …, lifetime}`
 /// per edge (UNI-CASE).
@@ -73,6 +73,41 @@ pub fn resample_single(tn: &TemporalNetwork, rng: &mut impl RandomSource) -> Tem
         .expect("model labels fit the lifetime")
 }
 
+/// A network over `graph` whose every edge carries the placeholder label 1
+/// — the warm-up state of the Monte Carlo scratch loops, overwritten by the
+/// first trial's draw (via [`resample_single_in_place`] or a model's
+/// `assign_into`).
+///
+/// # Panics
+/// If `lifetime == 0`.
+#[must_use]
+pub fn placeholder_network(graph: &Graph, lifetime: Time) -> TemporalNetwork {
+    let placeholder =
+        LabelAssignment::single(vec![1; graph.num_edges()]).expect("constant labels are non-zero");
+    TemporalNetwork::new(graph.clone(), placeholder, lifetime)
+        .expect("label 1 fits any positive lifetime")
+}
+
+/// [`resample_single`] without any allocation (once warm): the fresh
+/// UNI-CASE draw goes into `spare`'s buffers, is swapped into `tn` with an
+/// in-place rebuild of the time-edge index, and the displaced assignment
+/// becomes the next call's `spare`. Draws the same label stream as
+/// [`resample_single`], so switching a loop over never changes results.
+pub fn resample_single_in_place(
+    tn: &mut TemporalNetwork,
+    spare: &mut LabelAssignment,
+    rng: &mut impl RandomSource,
+) {
+    let model = UniformSingle {
+        lifetime: tn.lifetime(),
+    };
+    model.assign_into(tn.graph().num_edges(), rng, spare);
+    let drawn = std::mem::take(spare);
+    *spare = tn
+        .replace_assignment(drawn)
+        .expect("model labels fit the lifetime");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +168,27 @@ mod tests {
         assert_eq!(tn.graph(), tn2.graph());
         assert_eq!(tn.lifetime(), tn2.lifetime());
         assert_ne!(tn.assignment(), tn2.assignment());
+    }
+
+    #[test]
+    fn in_place_resampling_matches_the_allocating_path() {
+        let mut rng_a = default_rng(7);
+        let mut rng_b = default_rng(7);
+        let base_a = sample_normalized_urt_clique(24, true, &mut rng_a);
+        let mut base_b = sample_normalized_urt_clique(24, true, &mut rng_b);
+        let mut spare = LabelAssignment::default();
+        for round in 0..4 {
+            let fresh = resample_single(&base_a, &mut rng_a);
+            resample_single_in_place(&mut base_b, &mut spare, &mut rng_b);
+            assert_eq!(fresh.assignment(), base_b.assignment(), "round {round}");
+            for t in 0..=24 {
+                let mut x = fresh.edges_at(t).to_vec();
+                let mut y = base_b.edges_at(t).to_vec();
+                x.sort_unstable();
+                y.sort_unstable();
+                assert_eq!(x, y, "round {round} time {t}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Allocation-count regression test for the Monte Carlo hot loop.
+//!
+//! The per-trial path — draw a UNI-CASE assignment into scratch, swap it
+//! into the network with an in-place bucket rebuild, run the batch engine —
+//! is designed to allocate **nothing** once its buffers are warm. A
+//! counting global allocator pins that down; a regression here means a
+//! `Vec` started being reborn per trial somewhere in the loop.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is global
+//! to the test binary, so concurrent tests would pollute the count.
+
+use ephemeral_core::models::{LabelModel, UniformSingle};
+use ephemeral_core::urtn::resample_single_in_place;
+use ephemeral_graph::generators;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::distance::instance_temporal_diameter_reusing;
+use ephemeral_temporal::engine::BatchSweeper;
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; the counter increment has no
+// safety implications.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_montecarlo_trials_do_not_allocate() {
+    let n = 96; // two engine batches, so the ragged batch path is exercised
+    let graph = generators::clique(n, true);
+    let lifetime = n as u32;
+    let model = UniformSingle { lifetime };
+    let mut rng = default_rng(7);
+
+    let placeholder =
+        LabelAssignment::single(vec![1; graph.num_edges()]).expect("constant labels are non-zero");
+    let mut tn = TemporalNetwork::new(graph, placeholder, lifetime).expect("valid network");
+    let mut spare = LabelAssignment::default();
+    let mut sweeper = BatchSweeper::new();
+
+    // Warm-up: let every buffer reach its steady-state capacity.
+    let mut warm_diam = 0u64;
+    for _ in 0..3 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let d = instance_temporal_diameter_reusing(&tn, &mut sweeper);
+        warm_diam += u64::from(d.max_finite);
+    }
+    assert!(warm_diam > 0, "clique trials produce finite diameters");
+
+    // Measured window: the full per-trial pipeline, many times over.
+    let before = allocations();
+    let mut acc = 0u64;
+    for _ in 0..20 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let d = instance_temporal_diameter_reusing(&tn, &mut sweeper);
+        acc += u64::from(d.max_finite) + d.unreachable_pairs as u64;
+    }
+    let during = allocations() - before;
+    assert!(acc > 0, "keep the loop observable");
+    assert_eq!(
+        during, 0,
+        "warm Monte Carlo trials must not allocate (saw {during} allocations in 20 trials)"
+    );
+
+    // The scratch draw alone is also allocation-free once warm.
+    let before = allocations();
+    for _ in 0..50 {
+        model.assign_into(tn.graph().num_edges(), &mut rng, &mut spare);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "assign_into must reuse the scratch assignment's buffers"
+    );
+}

@@ -8,6 +8,10 @@
 //!   ranges with atomic chunk stealing (the rayon-style "just parallelise
 //!   this loop" primitive, built on `std::thread::scope` so there is nothing
 //!   to configure and no global state).
+//! * [`par_map_with`] / [`par_for_with`]: the same primitives with
+//!   per-worker scratch state (`init()` once per worker, `&mut` per item) —
+//!   how batch-of-64 sweep buffers and per-trial label draws are reused
+//!   across a Monte Carlo loop without reallocating.
 //! * [`ThreadPool`]: a persistent worker pool on crossbeam channels for
 //!   irregular task sets.
 //! * [`MonteCarlo`]: the deterministic experiment runner. Trial `i` always
@@ -38,4 +42,4 @@ mod pool;
 pub mod stats;
 
 pub use montecarlo::{MonteCarlo, Proportion};
-pub use pool::{available_threads, par_for, par_map, ThreadPool};
+pub use pool::{available_threads, par_for, par_for_with, par_map, par_map_with, ThreadPool};

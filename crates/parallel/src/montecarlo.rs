@@ -1,6 +1,6 @@
 //! The deterministic Monte Carlo experiment runner.
 
-use crate::pool::{available_threads, par_for};
+use crate::pool::{available_threads, par_for, par_for_with};
 use crate::stats::{wilson_interval, Summary};
 use ephemeral_rng::{DefaultRng, SeedSequence};
 
@@ -51,6 +51,25 @@ impl MonteCarlo {
         })
     }
 
+    /// [`MonteCarlo::run`] with per-worker scratch state: `init()` is called
+    /// once per worker thread and the state is handed to every trial that
+    /// worker executes. The determinism contract is unchanged — trial `i`
+    /// still draws from the generator derived from `(seed, i)` — so the
+    /// state must only be used for reusable allocations (scratch label
+    /// draws, sweep frontiers), never to carry data between trials.
+    pub fn run_with<S, R, I, F>(&self, init: I, sim: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &mut DefaultRng) -> R + Sync,
+    {
+        let seq = SeedSequence::new(self.seed);
+        par_for_with(self.trials, self.threads, init, |state, i| {
+            let mut rng = seq.rng(i as u64);
+            sim(state, i, &mut rng)
+        })
+    }
+
     /// Run a real-valued simulation and summarise the samples.
     pub fn run_summary<F>(&self, sim: F) -> Summary
     where
@@ -66,6 +85,18 @@ impl MonteCarlo {
         F: Fn(usize, &mut DefaultRng) -> bool + Sync,
     {
         let outcomes = self.run(sim);
+        let successes = outcomes.iter().filter(|&&b| b).count();
+        Proportion::new(successes, outcomes.len())
+    }
+
+    /// [`MonteCarlo::success_probability`] with per-worker scratch state
+    /// (see [`MonteCarlo::run_with`]).
+    pub fn success_probability_with<S, I, F>(&self, init: I, sim: F) -> Proportion
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &mut DefaultRng) -> bool + Sync,
+    {
+        let outcomes = self.run_with(init, sim);
         let successes = outcomes.iter().filter(|&&b| b).count();
         Proportion::new(successes, outcomes.len())
     }
@@ -140,6 +171,33 @@ mod tests {
                 .run(|_, rng| rng.next_u64());
             assert_eq!(base, other, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_with_matches_run_and_is_thread_invariant() {
+        // A stateful run whose state is pure scratch must reproduce the
+        // stateless run bit-for-bit, at any thread count.
+        let base: Vec<u64> = MonteCarlo::new(300, 21)
+            .with_threads(1)
+            .run(|i, rng| (i as u64).wrapping_mul(rng.next_u64()));
+        for threads in [1, 3, 8] {
+            let stateful = MonteCarlo::new(300, 21).with_threads(threads).run_with(
+                Vec::<u64>::new,
+                |scratch, i, rng| {
+                    scratch.push(i as u64); // grows per worker; must not matter
+                    (i as u64).wrapping_mul(rng.next_u64())
+                },
+            );
+            assert_eq!(base, stateful, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn success_probability_with_matches_stateless() {
+        let stateless = MonteCarlo::new(2_000, 5).success_probability(|_, rng| rng.bernoulli(0.4));
+        let stateful = MonteCarlo::new(2_000, 5)
+            .success_probability_with(|| 0u8, |_, _, rng| rng.bernoulli(0.4));
+        assert_eq!(stateless, stateful);
     }
 
     #[test]

@@ -32,9 +32,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state: every worker thread calls
+/// `init()` exactly once and threads the resulting value, by `&mut`, through
+/// each item it processes. This is the primitive behind batch-scheduled
+/// Monte Carlo loops that reuse per-trial scratch buffers (label draws,
+/// sweep frontiers) instead of reallocating them on every item.
+///
+/// The state is deliberately invisible in the output: results depend only on
+/// `(index, item)`, so the determinism contract of [`par_map`] carries over
+/// — use the state for *allocations*, never for cross-item accumulation.
+pub fn par_map_with<T, S, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
     if threads <= 1 || len <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let threads = threads.min(len);
     let block = block_size(len, threads);
@@ -42,14 +69,17 @@ where
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(block, Ordering::Relaxed);
-                if start >= len {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + block).min(len);
+                    let out: Vec<R> = (start..end).map(|i| f(&mut state, i, &items[i])).collect();
+                    collected.lock().push((start, out));
                 }
-                let end = (start + block).min(len);
-                let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
-                collected.lock().push((start, out));
             });
         }
     });
@@ -71,6 +101,17 @@ where
 {
     let indices: Vec<usize> = (0..count).collect();
     par_map(&indices, threads, |_, &i| f(i))
+}
+
+/// [`par_for`] with per-worker scratch state (see [`par_map_with`]).
+pub fn par_for_with<S, R, I, F>(count: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map_with(&indices, threads, init, |state, _, &i| f(state, i))
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -229,6 +270,80 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_and_matches_sequential() {
+        let items: Vec<u64> = (0..513).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 5, 16] {
+            // State is a scratch buffer: correctness must not depend on how
+            // items are distributed over workers.
+            let out = par_map_with(
+                &items,
+                threads,
+                || Vec::with_capacity(8),
+                |scratch: &mut Vec<u64>, _, &x| {
+                    scratch.clear();
+                    scratch.push(x);
+                    scratch[0] * 3
+                },
+            );
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_calls_init_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..100).collect();
+        let inits = AtomicUsize::new(0);
+        let threads = 4;
+        par_map_with(
+            &items,
+            threads,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _, &x| x,
+        );
+        let calls = inits.load(Ordering::Relaxed);
+        assert!(
+            calls >= 1 && calls <= threads,
+            "init called {calls} times for {threads} workers"
+        );
+    }
+
+    #[test]
+    fn par_map_with_empty_skips_init() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let empty: Vec<u32> = vec![];
+        let out = par_map_with(
+            &empty,
+            8,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _, &x| x,
+        );
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn par_for_with_preserves_order() {
+        let out = par_for_with(
+            1000,
+            8,
+            || 0u64,
+            |acc, i| {
+                *acc += 1; // scratch accumulation must not leak into results
+                (i * i) as u64
+            },
+        );
+        let expected: Vec<u64> = (0..1000).map(|i: u64| i * i).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

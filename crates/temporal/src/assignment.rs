@@ -11,6 +11,18 @@ pub struct LabelAssignment {
     labels: Vec<Time>,
 }
 
+impl Default for LabelAssignment {
+    /// An assignment covering zero edges — the natural scratch seed for the
+    /// in-place `refill_*` APIs. Performs **no allocation**, so
+    /// `std::mem::take` in a buffer-swap loop is free.
+    fn default() -> Self {
+        Self {
+            offsets: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
 impl LabelAssignment {
     /// Build from one label vector per edge. Labels are sorted and
     /// deduplicated per edge; zero labels are rejected (`None`) because the
@@ -51,10 +63,67 @@ impl LabelAssignment {
         Self::from_vecs((0..m as u32).map(&mut f).collect())
     }
 
+    /// Rebuild in place with exactly one label per edge, reusing this
+    /// assignment's buffers — the zero-allocation (once warm) per-trial
+    /// path of the UNI-CASE Monte Carlo estimators. Returns `false` (and
+    /// leaves the assignment empty) if `f` produces a zero label.
+    pub fn refill_single(&mut self, m: usize, mut f: impl FnMut(u32) -> Time) -> bool {
+        self.offsets.clear();
+        self.labels.clear();
+        self.offsets.reserve(m + 1);
+        self.labels.reserve(m);
+        self.offsets.push(0);
+        for e in 0..m as u32 {
+            let t = f(e);
+            if t == 0 {
+                self.offsets.truncate(1);
+                self.labels.clear();
+                return false;
+            }
+            self.labels.push(t);
+            self.offsets.push(e + 1);
+        }
+        true
+    }
+
+    /// Rebuild in place with arbitrary per-edge sets: `f(e, buf)` fills the
+    /// (cleared) scratch `buf` with edge `e`'s labels, which are then
+    /// sorted, deduplicated and appended — the multi-label analogue of
+    /// [`LabelAssignment::refill_single`], sharing one scratch vector
+    /// across all edges. Returns `false` (and leaves the assignment empty)
+    /// if any label is zero.
+    pub fn refill_with(
+        &mut self,
+        m: usize,
+        buf: &mut Vec<Time>,
+        mut f: impl FnMut(u32, &mut Vec<Time>),
+    ) -> bool {
+        self.offsets.clear();
+        self.labels.clear();
+        self.offsets.reserve(m + 1);
+        self.offsets.push(0);
+        for e in 0..m as u32 {
+            buf.clear();
+            f(e, buf);
+            if buf.contains(&0) {
+                self.offsets.truncate(1);
+                self.labels.clear();
+                return false;
+            }
+            buf.sort_unstable();
+            buf.dedup();
+            self.labels.extend_from_slice(buf);
+            self.offsets.push(self.labels.len() as u32);
+        }
+        true
+    }
+
     /// Number of edges covered.
     #[must_use]
     pub fn num_edges(&self) -> usize {
-        self.offsets.len() - 1
+        // A default-constructed scratch has an empty offsets vector (no
+        // allocation); it covers zero edges like `from_vecs(vec![])`.
+        self.offsets.len().saturating_sub(1)
     }
 
     /// The sorted label set of edge `e`.
@@ -148,6 +217,38 @@ mod tests {
         assert_eq!(a.total_labels(), 0);
         assert_eq!(a.max_label(), None);
         assert_eq!(a.min_label(), None);
+    }
+
+    #[test]
+    fn refill_single_matches_fresh_construction() {
+        let mut a = LabelAssignment::default();
+        assert_eq!(a.num_edges(), 0);
+        assert!(a.refill_single(4, |e| e + 1));
+        assert_eq!(a, LabelAssignment::single(vec![1, 2, 3, 4]).unwrap());
+        // Shrinking reuse keeps the CSR consistent.
+        assert!(a.refill_single(2, |_| 9));
+        assert_eq!(a, LabelAssignment::single(vec![9, 9]).unwrap());
+        // A zero label empties the assignment and reports failure.
+        assert!(!a.refill_single(3, |e| e));
+        assert_eq!(a.num_edges(), 0);
+        assert_eq!(a.total_labels(), 0);
+    }
+
+    #[test]
+    fn refill_with_sorts_and_dedups_like_from_vecs() {
+        let mut a = LabelAssignment::default();
+        let mut buf = Vec::new();
+        assert!(a.refill_with(3, &mut buf, |e, b| {
+            if e != 1 {
+                b.extend_from_slice(&[3, 1, 3]);
+            }
+        }));
+        assert_eq!(
+            a,
+            LabelAssignment::from_vecs(vec![vec![3, 1, 3], vec![], vec![3, 1, 3]]).unwrap()
+        );
+        assert!(!a.refill_with(2, &mut buf, |_, b| b.push(0)));
+        assert_eq!(a.num_edges(), 0);
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //! asked. [`ReachabilityMatrix`] packs the closure into `n²/8` bytes of
 //! `u64` words and answers pair queries, per-source counts, and the
 //! pair-deficit (how many ordered pairs lack a journey) with word-parallel
-//! popcounts.
+//! popcounts. The closure is computed by the bit-parallel
+//! [`engine`](crate::engine) — one sweep per batch of 64 sources instead of
+//! one per source — and the per-source scalar sweep remains the
+//! differential oracle (see this module's tests and
+//! `tests/engine_proptests.rs`).
 
-use crate::foremost::foremost;
+use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::network::TemporalNetwork;
-use crate::NEVER;
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for;
+use ephemeral_parallel::par_for_with;
 
 /// Bit-packed `n × n` temporal reachability closure (row = source).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,24 +26,32 @@ pub struct ReachabilityMatrix {
 
 impl ReachabilityMatrix {
     /// Compute the closure: bit `(s, t)` is set iff a journey `s → t`
-    /// exists (diagonal bits are set — a vertex reaches itself).
+    /// exists (diagonal bits are set — a vertex reaches itself). One engine
+    /// sweep per batch of 64 sources, batches fanned out over `threads`.
     #[must_use]
     pub fn compute(tn: &TemporalNetwork, threads: usize) -> Self {
         let n = tn.num_nodes();
         let words_per_row = n.div_ceil(64);
-        let rows = par_for(n, threads, |s| {
-            let run = foremost(tn, s as NodeId, 0);
-            let mut row = vec![0u64; words_per_row];
-            for (t, &a) in run.arrivals().iter().enumerate() {
-                if a != NEVER {
-                    row[t / 64] |= 1 << (t % 64);
+        let chunks = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+            let batch = batch_range(n, b);
+            let sources: Vec<NodeId> = batch.collect();
+            sweeper.sweep(tn, &sources, 0, |_, _, _| {});
+            // Transpose the sweeper's per-vertex lane words into per-source
+            // rows of target bits: O(reached pairs) single-bit sets.
+            let mut rows = vec![0u64; sources.len() * words_per_row];
+            for v in 0..n {
+                let mut lanes = sweeper.lanes_reaching(v as NodeId);
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                    lanes &= lanes - 1;
                 }
             }
-            row
+            rows
         });
         let mut bits = Vec::with_capacity(n * words_per_row);
-        for row in rows {
-            bits.extend(row);
+        for chunk in chunks {
+            bits.extend(chunk);
         }
         Self {
             n,

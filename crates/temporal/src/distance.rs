@@ -2,15 +2,20 @@
 //!
 //! The paper's Temporal Diameter (Definition 5) is the **expectation over
 //! random instances** of `max_{s,t} δ(s,t)`; this module computes the inner
-//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly, with
-//! the per-source foremost sweeps fanned out over threads. The Monte Carlo
-//! expectation lives in `ephemeral-core::diameter`.
+//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly,
+//! through the bit-parallel [`engine`](crate::engine): one sweep per batch
+//! of 64 sources (batches fanned out over threads) instead of one scalar
+//! sweep per source. The instance diameter needs no arrival matrix at all —
+//! it is the last time any (source, vertex) bit newly sets. The Monte Carlo
+//! expectation lives in `ephemeral-core::diameter`; the scalar `foremost`
+//! sweep remains the differential oracle for all of this.
 
+use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for;
+use ephemeral_parallel::par_for_with;
 
 /// Temporal distances `δ(source, ·)` (earliest arrivals from start time 0);
 /// [`NEVER`] marks unreachable vertices, and `δ(s, s) = 0`.
@@ -56,17 +61,21 @@ impl DistanceMatrix {
     }
 }
 
-/// All-pairs temporal distances: one foremost sweep per source, parallel
-/// over sources. `O(n · (M + a))` work.
+/// All-pairs temporal distances: one engine sweep per batch of 64 sources,
+/// parallel over batches. `O(⌈n/64⌉ · (M + a) + n²)` work, and every entry
+/// bit-identical to a per-source scalar sweep.
 #[must_use]
 pub fn all_pairs_temporal_distances(tn: &TemporalNetwork, threads: usize) -> DistanceMatrix {
     let n = tn.num_nodes();
-    let rows = par_for(n, threads, |s| {
-        foremost(tn, s as NodeId, 0).arrivals().to_vec()
+    let chunks = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+        let sources: Vec<NodeId> = batch_range(n, b).collect();
+        let mut rows = vec![NEVER; sources.len() * n];
+        sweeper.arrivals_into(tn, &sources, 0, &mut rows);
+        rows
     });
     let mut data = Vec::with_capacity(n * n);
-    for row in rows {
-        data.extend(row);
+    for chunk in chunks {
+        data.extend(chunk);
     }
     DistanceMatrix { n, data }
 }
@@ -108,26 +117,47 @@ impl InstanceDiameter {
     }
 }
 
-/// Compute the instance temporal diameter by `n` parallel foremost sweeps.
+/// Compute the instance temporal diameter: one engine sweep per batch of 64
+/// sources, parallel over batches. No arrival matrix is materialised — per
+/// batch, the diameter contribution is simply the last time any bit newly
+/// set ([`crate::engine::SweepStats::last_arrival`]).
 #[must_use]
 pub fn instance_temporal_diameter(tn: &TemporalNetwork, threads: usize) -> InstanceDiameter {
     let n = tn.num_nodes();
-    let per_source = par_for(n, threads, |s| {
-        let run = foremost(tn, s as NodeId, 0);
-        let mut max = 0 as Time;
-        let mut missing = 0usize;
-        for (v, &a) in run.arrivals().iter().enumerate() {
-            if a == NEVER {
-                missing += 1;
-            } else if v != s {
-                max = max.max(a);
-            }
-        }
-        (max, missing)
+    let per_batch = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+        diameter_batch(tn, sweeper, b)
     });
+    reduce_batches(per_batch)
+}
+
+/// Sequential [`instance_temporal_diameter`] reusing a caller-owned sweeper
+/// — the zero-allocation inner loop of the Monte Carlo estimators in
+/// `ephemeral-core`, which keep one sweeper per worker across trials.
+#[must_use]
+pub fn instance_temporal_diameter_reusing(
+    tn: &TemporalNetwork,
+    sweeper: &mut BatchSweeper,
+) -> InstanceDiameter {
+    let n = tn.num_nodes();
+    reduce_batches((0..batch_count(n)).map(|b| diameter_batch(tn, sweeper, b)))
+}
+
+fn diameter_batch(tn: &TemporalNetwork, sweeper: &mut BatchSweeper, b: usize) -> (Time, usize) {
+    let n = tn.num_nodes();
+    let mut sources = [0 as NodeId; crate::engine::MAX_LANES];
+    let mut lanes = 0;
+    for s in batch_range(n, b) {
+        sources[lanes] = s;
+        lanes += 1;
+    }
+    let stats = sweeper.sweep(tn, &sources[..lanes], 0, |_, _, _| {});
+    (stats.last_arrival, stats.unreached_pairs(n))
+}
+
+fn reduce_batches(per_batch: impl IntoIterator<Item = (Time, usize)>) -> InstanceDiameter {
     let mut max_finite = 0;
     let mut unreachable_pairs = 0;
-    for (max, missing) in per_source {
+    for (max, missing) in per_batch {
         max_finite = max_finite.max(max);
         unreachable_pairs += missing;
     }
@@ -228,6 +258,38 @@ mod tests {
         let d = instance_temporal_diameter(&tn, 2);
         assert_eq!(d.unreachable_pairs, 0);
         assert_eq!(d.value(), Some(2)); // hop diameter of C5 is 2
+    }
+
+    #[test]
+    fn engine_matrix_matches_scalar_sweeps_across_batches() {
+        // 130 vertices = 3 batches; compare every row against the scalar
+        // oracle (the differential contract of the engine refactor).
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let mut rng = SeedSequence::new(77).rng(0);
+        let g = generators::gnp(130, 0.05, false, &mut rng);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 64)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 64).unwrap();
+        let m = all_pairs_temporal_distances(&tn, 3);
+        for s in 0..130u32 {
+            assert_eq!(m.row(s), temporal_distances(&tn, s).as_slice(), "row {s}");
+        }
+        // The diameter agrees between the parallel and reusing paths, and
+        // with a brute-force reduction of the matrix.
+        let d = instance_temporal_diameter(&tn, 3);
+        let mut sweeper = crate::engine::BatchSweeper::new();
+        assert_eq!(d, instance_temporal_diameter_reusing(&tn, &mut sweeper));
+        let mut max = 0;
+        let mut missing = 0;
+        for (_, _, t) in m.pairs() {
+            if t == NEVER {
+                missing += 1;
+            } else {
+                max = max.max(t);
+            }
+        }
+        assert_eq!(d.max_finite, max);
+        assert_eq!(d.unreachable_pairs, missing);
     }
 
     #[test]

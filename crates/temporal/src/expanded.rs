@@ -1,5 +1,5 @@
 //! The time-expanded graph and disjoint-journey counting — the substrate of
-//! Kempe, Kleinberg & Kumar (STOC'00), the paper's reference [19] and the
+//! Kempe, Kleinberg & Kumar (STOC'00), the paper's reference \[19\] and the
 //! direct ancestor of its single-label model.
 //!
 //! The **time-expanded graph** of a temporal network `(G, L)` with lifetime

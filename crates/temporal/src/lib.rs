@@ -23,17 +23,30 @@
 //! * [`foremost`]: earliest-arrival journeys (with reconstruction),
 //!   [`reverse`]: latest-departure journeys, [`fastest`]: minimum-duration
 //!   journeys, [`hops`]: hop-bounded reachability / fewest-hop journeys.
+//! * [`engine`]: the bit-parallel multi-source sweep kernel — up to 64
+//!   sources per pass over the time-edge index, with arrivals guaranteed
+//!   **bit-identical** to per-source scalar `foremost` sweeps (property
+//!   tests in `tests/engine_proptests.rs` enforce this; the scalar sweep
+//!   stays as the differential-testing oracle).
 //! * [`distance`]: all-pairs temporal distances, temporal eccentricity and
-//!   the instance temporal diameter (parallelised over sources).
+//!   the instance temporal diameter (batched through the engine, parallel
+//!   over batches of 64 sources).
 //! * [`reachability`]: temporal reach sets and the paper's `T_reach`
-//!   property ("every static path is matched by a journey", Definition 6).
-//! * [`closure`]: bit-packed all-pairs reachability; [`metrics`]:
-//!   whole-network summary statistics (temporal efficiency etc.).
+//!   property ("every static path is matched by a journey", Definition 6) —
+//!   batch-engine checks with per-batch early exit.
+//! * [`closure`]: bit-packed all-pairs reachability computed by the engine;
+//!   [`metrics`]: whole-network summary statistics (temporal efficiency
+//!   etc.).
 //! * [`expanded`]: the Kempe–Kleinberg–Kumar time-expanded graph with
 //!   max-flow counting of time-edge-disjoint journeys.
+//! * In-place reuse: [`LabelAssignment::refill_single`] /
+//!   [`LabelAssignment::refill_with`] redraw labels into existing buffers
+//!   and [`TemporalNetwork::replace_assignment`] rebuilds the time-edge
+//!   index without reallocating — the zero-allocation per-trial path of the
+//!   Monte Carlo estimators in `ephemeral-core`.
 //! * [`interval`]: continuous (window) availability with a Dijkstra-style
-//!   foremost; [`reference`]: the sort-based foremost used for
-//!   differential testing and ablation benchmarking.
+//!   foremost; [`reference`](mod@reference): the sort-based foremost used
+//!   for differential testing and ablation benchmarking.
 //!
 //! ```
 //! use ephemeral_graph::generators;
@@ -55,6 +68,7 @@
 mod assignment;
 pub mod closure;
 pub mod distance;
+pub mod engine;
 pub mod expanded;
 pub mod fastest;
 pub mod foremost;

@@ -80,51 +80,69 @@ impl TemporalNetwork {
         assignment: LabelAssignment,
         lifetime: Time,
     ) -> Result<Self, TemporalError> {
-        if lifetime == 0 {
-            return Err(TemporalError::ZeroLifetime);
-        }
-        if graph.num_edges() != assignment.num_edges() {
-            return Err(TemporalError::EdgeCountMismatch {
-                graph_edges: graph.num_edges(),
-                assignment_edges: assignment.num_edges(),
-            });
-        }
-        for e in 0..assignment.num_edges() as u32 {
-            if let Some(&label) = assignment.labels(e).last() {
-                if label > lifetime {
-                    return Err(TemporalError::LabelBeyondLifetime {
-                        edge: e,
-                        label,
-                        lifetime,
-                    });
-                }
-            }
-        }
+        validate(&graph, &assignment, lifetime)?;
+        let mut tn = Self {
+            graph,
+            assignment,
+            lifetime,
+            bucket_offsets: Vec::new(),
+            bucket_edges: Vec::new(),
+        };
+        tn.rebuild_buckets();
+        Ok(tn)
+    }
 
-        // Counting sort of (label, edge) pairs into the bucket index.
+    /// Replace the label assignment in place — the per-trial path of the
+    /// Monte Carlo estimators. Validates the incoming assignment, rebuilds
+    /// the bucket index **reusing its existing allocations**, and returns
+    /// the previous assignment so its buffers can serve as the next draw's
+    /// scratch (see `LabelAssignment::refill_single`). On error the network
+    /// is unchanged and the incoming assignment is dropped.
+    ///
+    /// # Errors
+    /// See [`TemporalError`] (the lifetime stays as constructed).
+    pub fn replace_assignment(
+        &mut self,
+        assignment: LabelAssignment,
+    ) -> Result<LabelAssignment, TemporalError> {
+        validate(&self.graph, &assignment, self.lifetime)?;
+        let old = std::mem::replace(&mut self.assignment, assignment);
+        self.rebuild_buckets();
+        Ok(old)
+    }
+
+    /// Counting sort of (label, edge) pairs into the bucket index, reusing
+    /// the index vectors' capacity (no allocation once warm).
+    fn rebuild_buckets(&mut self) {
+        let Self {
+            assignment,
+            lifetime,
+            bucket_offsets,
+            bucket_edges,
+            ..
+        } = self;
         let total = assignment.total_labels();
-        let mut bucket_offsets = vec![0u32; lifetime as usize + 2];
+        bucket_offsets.clear();
+        bucket_offsets.resize(*lifetime as usize + 2, 0);
         for (_, l) in assignment.iter() {
             bucket_offsets[l as usize + 1] += 1;
         }
         for i in 1..bucket_offsets.len() {
             bucket_offsets[i] += bucket_offsets[i - 1];
         }
-        let mut cursor = bucket_offsets.clone();
-        let mut bucket_edges = vec![0u32; total];
+        bucket_edges.clear();
+        bucket_edges.resize(total, 0);
+        // Place each edge at its bucket's cursor, advancing the cursor in
+        // the offsets array itself; every offset then holds its successor's
+        // start, so a shift-right restores the index without a scratch copy.
         for (e, l) in assignment.iter() {
-            let slot = cursor[l as usize] as usize;
+            let slot = bucket_offsets[l as usize] as usize;
             bucket_edges[slot] = e;
-            cursor[l as usize] += 1;
+            bucket_offsets[l as usize] += 1;
         }
-
-        Ok(Self {
-            graph,
-            assignment,
-            lifetime,
-            bucket_offsets,
-            bucket_edges,
-        })
+        let len = bucket_offsets.len();
+        bucket_offsets.copy_within(0..len - 1, 1);
+        bucket_offsets[0] = 0;
     }
 
     /// Convenience: lifetime defaults to the maximum label present (or 1
@@ -197,6 +215,36 @@ impl TemporalNetwork {
     pub fn into_parts(self) -> (Graph, LabelAssignment) {
         (self.graph, self.assignment)
     }
+}
+
+/// The construction-time checks, shared by [`TemporalNetwork::new`] and
+/// [`TemporalNetwork::replace_assignment`].
+fn validate(
+    graph: &Graph,
+    assignment: &LabelAssignment,
+    lifetime: Time,
+) -> Result<(), TemporalError> {
+    if lifetime == 0 {
+        return Err(TemporalError::ZeroLifetime);
+    }
+    if graph.num_edges() != assignment.num_edges() {
+        return Err(TemporalError::EdgeCountMismatch {
+            graph_edges: graph.num_edges(),
+            assignment_edges: assignment.num_edges(),
+        });
+    }
+    for e in 0..assignment.num_edges() as u32 {
+        if let Some(&label) = assignment.labels(e).last() {
+            if label > lifetime {
+                return Err(TemporalError::LabelBeyondLifetime {
+                    edge: e,
+                    label,
+                    lifetime,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -313,6 +361,51 @@ mod tests {
             assignment_edges: 1,
         };
         assert!(m.to_string().contains("covers 1"));
+    }
+
+    #[test]
+    fn replace_assignment_rebuilds_the_bucket_index() {
+        let mut tn = tiny();
+        let fresh = LabelAssignment::from_vecs(vec![vec![4], vec![1, 4], vec![2]]).unwrap();
+        let old = tn.replace_assignment(fresh).unwrap();
+        assert_eq!(old.labels(0), &[1, 3], "previous assignment handed back");
+        assert_eq!(tn.edges_at(1), &[1]);
+        assert_eq!(tn.edges_at(2), &[2]);
+        assert_eq!(tn.edges_at(3), &[] as &[u32]);
+        {
+            let mut at4 = tn.edges_at(4).to_vec();
+            at4.sort_unstable();
+            assert_eq!(at4, vec![0, 1]);
+        }
+        // The rebuilt index is indistinguishable from a fresh construction.
+        let rebuilt =
+            TemporalNetwork::new(tn.graph().clone(), tn.assignment().clone(), tn.lifetime())
+                .unwrap();
+        for t in 0..=5 {
+            assert_eq!(tn.edges_at(t), rebuilt.edges_at(t), "time {t}");
+        }
+    }
+
+    #[test]
+    fn replace_assignment_rejects_invalid_and_keeps_state() {
+        let mut tn = tiny();
+        let bad = LabelAssignment::from_vecs(vec![vec![9], vec![2], vec![3]]).unwrap();
+        assert_eq!(
+            tn.replace_assignment(bad).unwrap_err(),
+            TemporalError::LabelBeyondLifetime {
+                edge: 0,
+                label: 9,
+                lifetime: 4
+            }
+        );
+        // The original network is untouched.
+        assert_eq!(tn.labels(0), &[1, 3]);
+        assert_eq!(tn.edges_at(1), &[0]);
+        let short = LabelAssignment::single(vec![1]).unwrap();
+        assert!(matches!(
+            tn.replace_assignment(short).unwrap_err(),
+            TemporalError::EdgeCountMismatch { .. }
+        ));
     }
 
     #[test]

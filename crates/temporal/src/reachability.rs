@@ -4,14 +4,18 @@
 //! when for all `u, v`: a `(u, v)`-path exists in `G` **iff** a
 //! `(u, v)`-journey exists in `(G, L)`. Journeys are paths, so only the
 //! forward implication can fail; the check therefore compares per-source
-//! reach *counts* of static BFS and the temporal foremost sweep.
+//! reach *counts* of static BFS and the temporal sweep. The whole-network
+//! checks run 64 sources per pass through the bit-parallel
+//! [`engine`](crate::engine), with early exit at batch granularity; the
+//! single-source helpers stay on the scalar `foremost` oracle.
 
+use crate::engine::{batch_count, batch_range, BatchSweeper, MAX_LANES};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::NEVER;
-use ephemeral_graph::algo::{bfs_distances, UNREACHABLE};
+use crate::{Time, NEVER};
+use ephemeral_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for;
+use ephemeral_parallel::par_for_with;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which vertices admit a journey from `source` (the source included).
@@ -32,7 +36,8 @@ pub fn temporal_reach_count(tn: &TemporalNetwork, source: NodeId) -> usize {
 
 /// Is every ordered pair `(s, t)` connected by a journey? (The clique with
 /// one label per edge trivially satisfies this; most sparse networks do
-/// not.)
+/// not.) One engine sweep per batch of 64 sources, with early exit at batch
+/// granularity.
 #[must_use]
 pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
@@ -40,41 +45,78 @@ pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
         return true;
     }
     let failed = AtomicBool::new(false);
-    par_for(n, threads, |s| {
+    par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
         if failed.load(Ordering::Relaxed) {
             return;
         }
-        if foremost(tn, s as NodeId, 0).reached_count() != n {
+        let sources: Vec<NodeId> = batch_range(n, b).collect();
+        let stats = sweeper.sweep(tn, &sources, 0, |_, _, _| {});
+        if !stats.all_reached(n) {
             failed.store(true, Ordering::Relaxed);
         }
     });
     !failed.load(Ordering::Relaxed)
 }
 
+/// Per-lane temporal reach counts of one engine batch: each source counts
+/// itself plus one per newly-reached vertex.
+fn batch_reach_counts(
+    tn: &TemporalNetwork,
+    sweeper: &mut BatchSweeper,
+    sources: &[NodeId],
+) -> [usize; MAX_LANES] {
+    let mut counts = [0usize; MAX_LANES];
+    for c in counts.iter_mut().take(sources.len()) {
+        *c = 1;
+    }
+    sweeper.sweep(tn, sources, 0, |_, mut lanes, _: Time| {
+        while lanes != 0 {
+            counts[lanes.trailing_zeros() as usize] += 1;
+            lanes &= lanes - 1;
+        }
+    });
+    counts
+}
+
 /// Does the assignment preserve reachability (`T_reach`, Definition 6)?
 ///
 /// Per source `s`, the set of temporally reachable vertices must equal the
 /// set of statically reachable vertices; since journeys are paths, equality
-/// of counts suffices. Parallel over sources with early exit.
+/// of counts suffices. Temporal counts come from engine batches of 64
+/// sources, parallel over batches with early exit; static counts come from
+/// a single union–find components pass when the graph is undirected
+/// (`O(M)` total — component size = reach count), or one BFS per source
+/// for directed graphs.
 #[must_use]
 pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
     if n <= 1 {
         return true;
     }
+    let components = (!tn.graph().is_directed()).then(|| connected_components(tn.graph()));
+    let static_reach = |s: NodeId| -> usize {
+        match &components {
+            Some(c) => c.sizes[c.labels[s as usize] as usize] as usize,
+            None => bfs_distances(tn.graph(), s)
+                .iter()
+                .filter(|&&d| d != UNREACHABLE)
+                .count(),
+        }
+    };
     let failed = AtomicBool::new(false);
-    par_for(n, threads, |s| {
+    par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
         if failed.load(Ordering::Relaxed) {
             return;
         }
-        let static_reach = bfs_distances(tn.graph(), s as NodeId)
-            .iter()
-            .filter(|&&d| d != UNREACHABLE)
-            .count();
-        let temporal = foremost(tn, s as NodeId, 0).reached_count();
-        debug_assert!(temporal <= static_reach, "journeys are paths");
-        if temporal != static_reach {
-            failed.store(true, Ordering::Relaxed);
+        let sources: Vec<NodeId> = batch_range(n, b).collect();
+        let temporal = batch_reach_counts(tn, sweeper, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            let expected = static_reach(s);
+            debug_assert!(temporal[lane] <= expected, "journeys are paths");
+            if temporal[lane] != expected {
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
         }
     });
     !failed.load(Ordering::Relaxed)
@@ -146,6 +188,34 @@ mod tests {
         let tn = TemporalNetwork::new(g, LabelAssignment::single(labels).unwrap(), 7).unwrap();
         assert!(treach_holds(&tn, 2));
         assert!(is_temporally_connected(&tn, 2));
+    }
+
+    #[test]
+    fn batched_checks_match_scalar_loops_across_batch_boundaries() {
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        for seed in 0..4u64 {
+            let mut rng = SeedSequence::new(seed).rng(9);
+            let n = 70; // two engine batches
+            let g = generators::gnp(n, 0.08, false, &mut rng);
+            let labels =
+                LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 32)]).unwrap();
+            let tn = TemporalNetwork::new(g, labels, 32).unwrap();
+            let scalar_connected =
+                (0..n as NodeId).all(|s| foremost(&tn, s, 0).reached_count() == n);
+            assert_eq!(
+                is_temporally_connected(&tn, 2),
+                scalar_connected,
+                "seed {seed}"
+            );
+            let scalar_treach = (0..n as NodeId).all(|s| {
+                let stat = bfs_distances(tn.graph(), s)
+                    .iter()
+                    .filter(|&&d| d != UNREACHABLE)
+                    .count();
+                foremost(&tn, s, 0).reached_count() == stat
+            });
+            assert_eq!(treach_holds(&tn, 2), scalar_treach, "seed {seed}");
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!
 //! * [`graph`] — CSR (di)graph substrate, generators, classical algorithms.
 //! * [`temporal`] — labels, journeys, foremost / latest-departure / fastest
-//!   journey algorithms, temporal distances and `T_reach`.
+//!   journey algorithms, temporal distances and `T_reach`; the
+//!   `engine` module batches 64 sources per sweep behind the all-pairs
+//!   closure, distance and diameter entry points.
 //! * [`core`] — the paper's contribution: U-RTN models, the Expansion
 //!   Process (Algorithm 1), the §3.5 dissemination protocol, temporal
 //!   diameter estimation, star-graph machinery, deterministic OPT schemes
