@@ -1,0 +1,38 @@
+//! Adaptive vs fixed trial allocation: wall-clock to reach a target CI
+//! width on the E02 kernel (mean TD of the normalized U-RT clique).
+//!
+//! The fixed baseline reproduces the old hard-coded per-`n` trial counts
+//! (60 at this size). The adaptive runs stop as soon as the 95% CI
+//! half-width reaches the target — typically well under the fixed count at
+//! a loose target, and never beyond the cap at a tight one — which is
+//! exactly the speed the sweep engine buys on low-variance cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::diameter::{clique_td_adaptive, clique_td_montecarlo};
+use ephemeral_parallel::adaptive::AdaptiveConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_vs_fixed");
+    group.sample_size(10);
+    let n = 128;
+
+    group.bench_function("fixed_60_trials_n128".to_string(), |b| {
+        b.iter(|| black_box(clique_td_montecarlo(n, true, 60, 42)))
+    });
+
+    for (label, hw) in [("loose_ci_0.50", 0.5), ("tight_ci_0.15", 0.15)] {
+        let cfg = AdaptiveConfig::new(hw)
+            .with_min_trials(12)
+            .with_batch(12)
+            .with_max_trials(240);
+        group.bench_function(format!("adaptive_{label}_n128"), |b| {
+            b.iter(|| black_box(clique_td_adaptive(n, true, &cfg, 42)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

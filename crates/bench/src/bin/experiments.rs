@@ -1,19 +1,31 @@
-//! Regenerate the paper's experiment tables.
+//! Regenerate the paper's experiment tables, or run a scenario sweep.
 //!
 //! ```text
 //! cargo run --release -p ephemeral-bench --bin experiments            # all, full fidelity
 //! cargo run --release -p ephemeral-bench --bin experiments -- --quick # smoke pass
 //! cargo run --release -p ephemeral-bench --bin experiments -- e02 e06 # selected ids
 //! cargo run --release -p ephemeral-bench --bin experiments -- --format json --quick
+//!
+//! # Scenario sweep: adaptive CI-driven grid over families × label models,
+//! # streamed as JSON lines (one row per completed cell, canonical order).
+//! cargo run --release -p ephemeral-bench --bin experiments -- sweep --quick
+//! cargo run --release -p ephemeral-bench --bin experiments -- sweep --out sweep.jsonl
+//! # …killed mid-grid? Resume: completed cells are re-emitted verbatim and
+//! # only the missing ones are computed — the final file is byte-identical
+//! # to an uninterrupted run.
+//! cargo run --release -p ephemeral-bench --bin experiments -- \
+//!     sweep --resume sweep.jsonl --out sweep.jsonl
 //! ```
 //!
 //! Default output is the markdown that EXPERIMENTS.md embeds;
 //! `--format json` (or `--format=json`) emits JSON lines instead — one
 //! object per table row (and one per footnote), tagged with the
 //! `experiment` id and `table` title, so perf/accuracy trajectories can be
-//! tracked by machine across runs.
+//! tracked by machine across runs. Sweep mode emits JSON lines only.
 
+use ephemeral_bench::sweep::{run_sweep, SweepSpec};
 use ephemeral_bench::{all_experiments, ExpConfig};
+use std::io::Write;
 use std::time::Instant;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -61,8 +73,116 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Parsed `sweep` subcommand line.
+struct SweepCli {
+    quick: bool,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    resume: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepCli, String> {
+    let mut cli = SweepCli {
+        quick: false,
+        seed: None,
+        threads: None,
+        resume: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--seed" => {
+                cli.seed = Some(
+                    value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                );
+            }
+            "--threads" => {
+                cli.threads = Some(
+                    value_of("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
+            }
+            "--resume" => cli.resume = Some(value_of("--resume")?),
+            "--out" => cli.out = Some(value_of("--out")?),
+            "--format" => {
+                let v = value_of("--format")?;
+                if v != "json" {
+                    return Err(format!("sweep emits JSON lines only, not '{v}'"));
+                }
+            }
+            other if other.strip_prefix("--format=").is_some() => {
+                if other != "--format=json" {
+                    return Err(format!("sweep emits JSON lines only, not '{other}'"));
+                }
+            }
+            other => return Err(format!("unknown sweep argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run_sweep_mode(args: &[String]) -> Result<(), String> {
+    let cli = parse_sweep_args(args)?;
+    let seed = cli.seed.unwrap_or(ExpConfig::full().seed);
+    let threads = cli
+        .threads
+        .unwrap_or_else(ephemeral_parallel::available_threads);
+    let spec = if cli.quick {
+        SweepSpec::quick(seed)
+    } else {
+        SweepSpec::full(seed)
+    };
+    let resume: Vec<String> = match &cli.resume {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read --resume {path}: {e}"))?
+            .lines()
+            .map(str::to_owned)
+            .collect(),
+        None => Vec::new(),
+    };
+    let cells = spec.cells().len();
+    eprintln!(
+        "# sweep: mode={}, seed={seed}, threads={threads}, cells={cells}, resumed={}",
+        if cli.quick { "quick" } else { "full" },
+        resume.len().min(cells)
+    );
+    let started = Instant::now();
+    let mut file = match &cli.out {
+        Some(path) => Some(
+            std::fs::File::create(path).map_err(|e| format!("cannot create --out {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    run_sweep(&spec, threads, &resume, |row| {
+        println!("{row}");
+        if let Some(f) = &mut file {
+            writeln!(f, "{row}").expect("write --out row");
+        }
+    });
+    eprintln!("# sweep done in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "sweep") {
+        if let Err(e) = run_sweep_mode(&args[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let Cli { quick, format, ids } = match parse_args(&args) {
         Ok(cli) => cli,
         Err(e) => {

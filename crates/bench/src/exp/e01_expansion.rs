@@ -11,12 +11,11 @@ use crate::ExpConfig;
 use ephemeral_core::expansion::{expansion_process, ExpansionParams};
 use ephemeral_core::expansion_oracle::expansion_oracle;
 use ephemeral_core::urtn::{resample_single, sample_normalized_urt_clique};
-use ephemeral_rng::SeedSequence;
 
 /// Run E01.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let seq = SeedSequence::new(cfg.seed ^ 0xE01);
+    let seq = cfg.seq(0xE01);
     let mut exact = Table::new(
         "E01a · exact expansion on the directed normalized U-RT clique (practical constants)",
         &[

@@ -3,24 +3,27 @@
 //!
 //! Shape to reproduce: `TD/ln n` flat (a constant γ), `R²` of the
 //! `TD ≈ a + γ·log₂ n` fit near 1, zero infinite instances.
+//!
+//! Trials are allocated adaptively: each size runs batches until the 95%
+//! CI half-width of the mean TD reaches the target (or the per-size cap —
+//! tight where instances are cheap, generous where they are ~100 MB).
 
 use crate::table::{f, Table};
 use crate::ExpConfig;
-use ephemeral_core::diameter::clique_td_montecarlo;
+use ephemeral_core::diameter::clique_td_adaptive;
 use ephemeral_parallel::stats::fit_log2;
 
 /// Run E02.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
-        "E02 · temporal diameter TD of the directed normalized U-RT clique",
+        "E02 · temporal diameter TD of the directed normalized U-RT clique (adaptive trials, target CI ±0.25)",
         &[
             "n",
             "trials",
             "mean TD",
+            "±95%",
             "sd",
-            "min",
-            "max",
             "TD/ln n",
             "TD/log2 n",
             "infinite",
@@ -31,27 +34,27 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     } else {
         &[64, 128, 256, 512, 1024, 2048]
     };
+    let seq = cfg.seq(0xE02);
     let mut ns = Vec::new();
     let mut means = Vec::new();
     for &n in sizes {
-        let trials = cfg.scale(
-            match n {
-                0..=256 => 60,
-                257..=1024 => 30,
-                _ => 12,
-            },
-            5,
-        );
-        let est = clique_td_montecarlo(n, true, trials, cfg.seed ^ 0xE02 ^ (n as u64) << 20);
+        // The CI target is uniform; the cap scales down with instance cost
+        // so the big sizes stay affordable even if noisy.
+        let cap = match n {
+            0..=256 => 1200,
+            257..=1024 => 300,
+            _ => 60,
+        };
+        let acfg = cfg.adaptive(0.25, cap);
+        let est = clique_td_adaptive(n, true, &acfg, seq.derive(n as u64));
         ns.push(n);
-        means.push(est.finite.mean);
+        means.push(est.finite.mean());
         t.row(vec![
             n.to_string(),
-            trials.to_string(),
-            f(est.finite.mean, 2),
-            f(est.finite.sd, 2),
-            f(est.finite.min, 0),
-            f(est.finite.max, 0),
+            est.trials.to_string(),
+            f(est.finite.mean(), 2),
+            f(est.half_width, 2),
+            f(est.finite.sd(), 2),
             f(est.gamma_ln, 3),
             f(est.gamma_log2, 3),
             est.infinite_instances.to_string(),

@@ -9,12 +9,11 @@ use crate::ExpConfig;
 use ephemeral_core::dissemination::{flood_montecarlo, flood_oracle_clique};
 use ephemeral_graph::generators;
 use ephemeral_parallel::stats::Summary;
-use ephemeral_rng::SeedSequence;
 
 /// Run E05.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let seq = SeedSequence::new(cfg.seed ^ 0xE05);
+    let seq = cfg.seq(0xE05);
     let mut exact = Table::new(
         "E05a · flooding a message through the U-RT clique (exact instances)",
         &[
@@ -38,14 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let trials = cfg.scale(if n >= 2048 { 10 } else { 30 }, 4);
         // Per-worker scratch reuse + parallel trials via flood_montecarlo.
         let g = generators::clique(n, true);
-        let est = flood_montecarlo(
-            &g,
-            n as u32,
-            0,
-            trials,
-            cfg.seed ^ 0xE05 ^ ((si as u64) << 40),
-            cfg.threads,
-        );
+        let est = flood_montecarlo(&g, n as u32, 0, trials, seq.derive(si as u64), cfg.threads);
         assert_eq!(est.incomplete, 0, "clique floods fully");
         let s = est.broadcast_times;
         let arcs = (n * (n - 1)) as f64;

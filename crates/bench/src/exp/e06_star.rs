@@ -34,7 +34,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         &[2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40]
     };
     for &r in rs {
-        let p = star_treach_probability(n, r, trials, cfg.seed ^ 0xE06, cfg.threads);
+        let p = star_treach_probability(n, r, trials, cfg.seq(0xE06).derive(r as u64), cfg.threads);
         sweep.row(vec![
             r.to_string(),
             f(p.estimate, 4),
@@ -62,7 +62,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             n,
             target,
             cfg.scale(500, 80),
-            cfg.seed ^ 0xE06B,
+            cfg.seq(0xE06B).derive(u64::from(e)),
             cfg.threads,
         );
         scaling.row(vec![

@@ -37,10 +37,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let r_sqrt = ((log2n / log2n.sqrt()).floor() as usize).max(1);
         let r_loglog = ((log2n / log2n.ln().max(1.0)).floor() as usize).max(1);
         let r_full = e as usize;
-        let p_sqrt = star_treach_probability(n, r_sqrt, trials, cfg.seed ^ 0xE07, cfg.threads);
-        let p_loglog =
-            star_treach_probability(n, r_loglog, trials, cfg.seed ^ 0xE07 ^ 1, cfg.threads);
-        let p_full = star_treach_probability(n, r_full, trials, cfg.seed ^ 0xE07 ^ 2, cfg.threads);
+        let seq = cfg.seq(0xE07).child(u64::from(e));
+        let p_sqrt = star_treach_probability(n, r_sqrt, trials, seq.derive(0), cfg.threads);
+        let p_loglog = star_treach_probability(n, r_loglog, trials, seq.derive(1), cfg.threads);
+        let p_full = star_treach_probability(n, r_full, trials, seq.derive(2), cfg.threads);
         t.row(vec![
             n.to_string(),
             f(log2n, 0),

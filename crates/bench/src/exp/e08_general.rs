@@ -8,7 +8,7 @@
 use crate::table::{f, Table};
 use crate::ExpConfig;
 use ephemeral_core::por::theorem7_r;
-use ephemeral_core::reachability_whp::{minimal_r, whp_target};
+use ephemeral_core::reachability_whp::{minimal_r_adaptive, whp_target};
 use ephemeral_graph::algo::diameter;
 use ephemeral_graph::{generators, Graph};
 use ephemeral_rng::SeedSequence;
@@ -49,7 +49,7 @@ fn families(n_side: usize, quick: bool, seed: u64) -> Vec<(String, Graph)> {
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
-        "E08a · minimal r* for T_reach w.h.p. vs Theorem 7 budget 2·d·ln n (n = 64)",
+        "E08a · minimal r* for T_reach w.h.p. vs Theorem 7 budget 2·d·ln n (n = 64; adaptive probes)",
         &[
             "family",
             "n",
@@ -57,20 +57,29 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             "d(G)",
             "r*",
             "P at r*",
+            "probe trials",
             "2·d·ln n",
             "r*/budget",
         ],
     );
-    let trials = cfg.scale(80, 15);
-    for (name, g) in families(8, cfg.quick, cfg.seed ^ 0xE08) {
+    let seq = cfg.seq(0xE08);
+    // Each probed r runs only as many trials as its Wilson interval needs:
+    // probes far from the threshold (p̂ ≈ 0 or 1 — most of the doubling +
+    // binary search) stop after a couple of batches, probes at the
+    // threshold spend the cap.
+    let acfg = cfg.adaptive(0.04, 300);
+    for (fi, (name, g)) in families(8, cfg.quick, seq.derive(0))
+        .into_iter()
+        .enumerate()
+    {
         let n = g.num_nodes();
         let d = diameter(&g).expect("families are connected");
-        let res = minimal_r(
+        let res = minimal_r_adaptive(
             &g,
             n as u32,
             whp_target(n),
-            trials,
-            cfg.seed ^ 0xE08 ^ (d as u64) << 17,
+            &acfg,
+            seq.derive(1 + fi as u64),
             cfg.threads,
         );
         let budget = theorem7_r(n, d);
@@ -81,11 +90,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             d.to_string(),
             res.r.to_string(),
             f(res.probability.estimate, 3),
+            res.probability.trials.to_string(),
             f(budget, 1),
             f(res.r as f64 / budget, 3),
         ]);
     }
-    t.note("Theorem 7: r > 2·d·ln n always suffices — the ratio column must stay < 1 (typically ≪ 1: the theorem's union bound is loose).");
+    t.note("Theorem 7: r > 2·d·ln n always suffices — the ratio column must stay < 1 (typically ≪ 1: the theorem's union bound is loose). 'probe trials' is the adaptive spend at the accepted r*.");
 
     let mut scaling = Table::new(
         "E08b · path P_n: r* growth against the d·log n budget",
@@ -96,15 +106,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     } else {
         &[16, 32, 64, 128]
     };
+    let seq_b = cfg.seq(0xE08B);
     for &n in sizes {
         let g = generators::path(n);
         let d = diameter(&g).unwrap();
-        let res = minimal_r(
+        let res = minimal_r_adaptive(
             &g,
             n as u32,
             whp_target(n),
-            cfg.scale(60, 15),
-            cfg.seed ^ 0xE08B ^ (n as u64) << 8,
+            &acfg,
+            seq_b.derive(n as u64),
             cfg.threads,
         );
         let budget = theorem7_r(n, d);

@@ -36,8 +36,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         ("hypercube Q6", generators::hypercube(6)),
         ("clique", generators::clique(32, false)),
     ];
-    for (name, g) in fams {
-        let Some(rep) = por_report(&g, name, trials, cfg.seed ^ 0xE09, cfg.threads) else {
+    for (fi, (name, g)) in fams.into_iter().enumerate() {
+        let Some(rep) = por_report(
+            &g,
+            name,
+            trials,
+            cfg.seq(0xE09).derive(fi as u64),
+            cfg.threads,
+        ) else {
             continue;
         };
         t.row(vec![
@@ -64,7 +70,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             n,
             1.0 - 1.0 / n as f64,
             cfg.scale(400, 60),
-            cfg.seed ^ 0xE09B,
+            cfg.seq(0xE09B).derive(u64::from(e)),
             cfg.threads,
         );
         let por = r as f64 / 2.0;

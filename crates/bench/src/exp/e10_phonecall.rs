@@ -11,12 +11,11 @@ use ephemeral_core::bounds;
 use ephemeral_core::dissemination::{flood, flood_oracle_clique};
 use ephemeral_core::urtn::{resample_single, sample_normalized_urt_clique};
 use ephemeral_phonecall::{push_broadcast, push_pull_broadcast};
-use ephemeral_rng::SeedSequence;
 
 /// Run E10.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let seq = SeedSequence::new(cfg.seed ^ 0xE10);
+    let seq = cfg.seq(0xE10);
     let mut rounds = Table::new(
         "E10a · broadcast time: temporal flood vs push vs push–pull (complete graph)",
         &[

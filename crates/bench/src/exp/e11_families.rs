@@ -1,0 +1,122 @@
+//! E11 — temporal diameter and connectivity **across graph families**: the
+//! generalization the scenario engine exists for.
+//!
+//! The paper's Θ(log n) temporal-diameter picture is proved for the clique
+//! (where a single uniform label per arc always preserves reachability).
+//! Follow-up work asks what survives on sparse random availability and
+//! structured substrates. Shape to reproduce: under UNI-CASE (one label per
+//! edge) **only** the dense families stay temporally connected — every
+//! sparse substrate's instance diameter is almost surely infinite and
+//! `P[T_reach] ≈ 0`; granting `r = ⌈2·ln n⌉` labels per edge rescues every
+//! family, with the finite TD now tracking the substrate's static diameter
+//! rather than `log n` alone.
+
+use crate::table::{f, Table};
+use crate::ExpConfig;
+use ephemeral_core::scenario::{GraphFamily, LabelModelSpec, LifetimeRule, Metric, Scenario};
+
+/// Run E11.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let n = if cfg.quick { 64 } else { 144 };
+    let seq = cfg.seq(0xE11);
+    let acfg = cfg.adaptive(0.3, 800);
+    let families = GraphFamily::catalog();
+    let r_log = (2.0 * (n as f64).ln()).ceil() as usize;
+
+    let mut single = Table::new(
+        format!("E11a · one uniform label per edge (UNI-CASE), n ≈ {n}: the clique-only picture"),
+        &[
+            "family",
+            "nodes",
+            "edges",
+            "P[T_reach]",
+            "±",
+            "TD (finite)",
+            "inf. frac",
+            "trials",
+        ],
+    );
+    let mut multi = Table::new(
+        format!("E11b · r = ⌈2·ln n⌉ = {r_log} labels per edge, n ≈ {n}: every family rescued"),
+        &[
+            "family",
+            "nodes",
+            "P[T_reach]",
+            "±",
+            "TD (finite)",
+            "±",
+            "inf. frac",
+            "TD/ln n",
+            "trials",
+        ],
+    );
+
+    for (fi, &family) in families.iter().enumerate() {
+        let cell = |model, metric| Scenario {
+            family,
+            model,
+            lifetime: LifetimeRule::EqualsN,
+            metric,
+            n,
+        };
+        // One derived seed stream per (family, model, metric) cell.
+        let fam_seq = seq.child(fi as u64);
+
+        let td1 = cell(LabelModelSpec::UniformSingle, Metric::TemporalDiameter).evaluate(
+            &acfg,
+            fam_seq.derive(0),
+            cfg.threads,
+        );
+        let tr1 = cell(LabelModelSpec::UniformSingle, Metric::TreachProbability).evaluate(
+            &acfg,
+            fam_seq.derive(1),
+            cfg.threads,
+        );
+        single.row(vec![
+            family.name(),
+            td1.nodes.to_string(),
+            td1.edges.to_string(),
+            f(tr1.estimate, 3),
+            f(tr1.half_width, 3),
+            if td1.failures < 1.0 {
+                f(td1.estimate, 1)
+            } else {
+                "∞".to_owned()
+            },
+            f(td1.failures, 2),
+            (td1.trials + tr1.trials).to_string(),
+        ]);
+
+        let td_r = cell(
+            LabelModelSpec::UniformMulti { r: r_log },
+            Metric::TemporalDiameter,
+        )
+        .evaluate(&acfg, fam_seq.derive(2), cfg.threads);
+        let tr_r = cell(
+            LabelModelSpec::UniformMulti { r: r_log },
+            Metric::TreachProbability,
+        )
+        .evaluate(&acfg, fam_seq.derive(3), cfg.threads);
+        let ln_n = (td_r.nodes.max(2) as f64).ln();
+        multi.row(vec![
+            family.name(),
+            td_r.nodes.to_string(),
+            f(tr_r.estimate, 3),
+            f(tr_r.half_width, 3),
+            f(td_r.estimate, 1),
+            if td_r.half_width.is_finite() {
+                f(td_r.half_width, 1)
+            } else {
+                "-".to_owned()
+            },
+            f(td_r.failures, 2),
+            f(td_r.estimate / ln_n, 2),
+            (td_r.trials + tr_r.trials).to_string(),
+        ]);
+    }
+
+    single.note("the clique (and other dense families) are the only substrates where one random label per edge preserves reachability — sparse families sit at P[T_reach] ≈ 0 with almost surely infinite temporal diameter, so Theorems 3–4 genuinely are a clique phenomenon.");
+    multi.note("a Θ(log n) per-edge budget (Theorem 7 mechanics) restores temporal connectivity everywhere; TD/ln n now separates the families by their static diameter — the torus and bipartite columns bracket the clique's constant.");
+    vec![single, multi]
+}

@@ -10,5 +10,6 @@ pub mod e07_star_lower;
 pub mod e08_general;
 pub mod e09_por;
 pub mod e10_phonecall;
+pub mod e11_families;
 pub mod x01_design;
 pub mod x02_fcase;

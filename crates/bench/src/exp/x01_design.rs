@@ -13,7 +13,6 @@ use crate::table::{f, Table};
 use crate::ExpConfig;
 use ephemeral_core::design::{average_temporal_distance, backbone_with_random_extras};
 use ephemeral_graph::generators;
-use ephemeral_rng::SeedSequence;
 
 /// Run X01.
 #[must_use]
@@ -31,7 +30,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     );
     let g = generators::torus(8, 8);
     let lifetime = 64;
-    let seq = SeedSequence::new(cfg.seed ^ 0x9001);
+    let seq = cfg.seq(0x9001);
     let trials = cfg.scale(20, 5);
     let mut baseline = None;
     for &r in &[0usize, 1, 2, 4, 8, 16] {

@@ -59,28 +59,51 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         ],
     );
     for &r in &[4usize, 8, 12, 16, 24] {
+        let seq = cfg.seq(0xF0CA).child(r as u64);
         let uniform = UniformMulti { lifetime, r };
         let zipf = ZipfMulti::new(lifetime, r, 1.0);
-        let p_uni = probability_with(&g, lifetime, trials, cfg.seed ^ 1, cfg.threads, |m, rng| {
-            uniform.assign(m, rng)
-        });
-        let p_zipf = probability_with(&g, lifetime, trials, cfg.seed ^ 2, cfg.threads, |m, rng| {
-            zipf.assign(m, rng)
-        });
+        let p_uni = probability_with(
+            &g,
+            lifetime,
+            trials,
+            seq.derive(0),
+            cfg.threads,
+            |m, rng| uniform.assign(m, rng),
+        );
+        let p_zipf = probability_with(
+            &g,
+            lifetime,
+            trials,
+            seq.derive(1),
+            cfg.threads,
+            |m, rng| zipf.assign(m, rng),
+        );
         // Late skew: mirror the zipf draw t ↦ lifetime + 1 − t.
         let zipf_mirror = ZipfMulti::new(lifetime, r, 1.0);
-        let p_late = probability_with(&g, lifetime, trials, cfg.seed ^ 3, cfg.threads, |m, rng| {
-            let a = zipf_mirror.assign(m, rng);
-            LabelAssignment::from_fn(m, |e| {
-                a.labels(e).iter().map(|&t| lifetime + 1 - t).collect()
-            })
-            .expect("mirrored labels stay in range")
-        });
+        let p_late = probability_with(
+            &g,
+            lifetime,
+            trials,
+            seq.derive(2),
+            cfg.threads,
+            |m, rng| {
+                let a = zipf_mirror.assign(m, rng);
+                LabelAssignment::from_fn(m, |e| {
+                    a.labels(e).iter().map(|&t| lifetime + 1 - t).collect()
+                })
+                .expect("mirrored labels stay in range")
+            },
+        );
         // Structured spread: half the draws uniform in the early half, half
         // in the late half (a deterministic-ish "design" for the 2-split
         // journeys of Theorem 6a).
-        let p_split =
-            probability_with(&g, lifetime, trials, cfg.seed ^ 4, cfg.threads, |m, rng| {
+        let p_split = probability_with(
+            &g,
+            lifetime,
+            trials,
+            seq.derive(3),
+            cfg.threads,
+            |m, rng| {
                 LabelAssignment::from_fn(m, |_| {
                     let half = lifetime / 2;
                     (0..r)
@@ -94,7 +117,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                         .collect()
                 })
                 .expect("labels in range")
-            });
+            },
+        );
         t.row(vec![
             r.to_string(),
             f(p_uni, 3),

@@ -15,18 +15,33 @@
 //! | E08 | Fig. 3 / Thm 7: box budget `2·d·ln n` vs measured `r*` |
 //! | E09 | Thm 6/8: Price of Randomness, measured vs bound |
 //! | E10 | §1.1: temporal flood vs push / push–pull baselines |
+//! | E11 | Generalization: TD + connectivity across graph families (the clique's Θ(log n) vs sparse substrates) |
 //!
 //! Run everything: `cargo run --release -p ephemeral-bench --bin experiments`
 //! (add `--quick` for a fast smoke pass, or experiment ids to filter).
+//! `experiments sweep` runs the declarative scenario [`sweep`] instead —
+//! an adaptive CI-driven grid over families × label models, streamed as
+//! resumable JSON lines (`--resume <file>` skips completed cells and
+//! reproduces the uninterrupted output byte-for-byte).
 //! The Criterion benches (`cargo bench`) time the computational kernels
-//! behind each experiment at a fixed size.
+//! behind each experiment at a fixed size; `adaptive_vs_fixed` measures
+//! what CI-driven stopping buys over the old hard-coded trial counts.
+//!
+//! E02/E03/E04/E08 allocate their trials adaptively (see
+//! [`ExpConfig::adaptive`]); the remaining tables keep fixed counts where
+//! a fixed design is the point (e.g. E06's fixed-`r` probability curve).
+//! All per-cell seeds come from [`ExpConfig::seq`] —
+//! `SeedSequence::derive` streams, never ad-hoc xor mixing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod sweep;
 pub mod table;
 
+use ephemeral_parallel::adaptive::AdaptiveConfig;
+use ephemeral_rng::SeedSequence;
 pub use table::Table;
 
 /// Global experiment configuration.
@@ -67,6 +82,33 @@ impl ExpConfig {
             quick
         } else {
             full
+        }
+    }
+
+    /// The experiment's seed stream: a [`SeedSequence`] child keyed by an
+    /// experiment tag. Every per-cell seed inside an experiment must come
+    /// from `cfg.seq(TAG).derive(stream)` — derived streams cannot collide,
+    /// unlike the xor mixing this replaced.
+    #[must_use]
+    pub fn seq(&self, tag: u64) -> SeedSequence {
+        SeedSequence::new(self.seed).child(tag)
+    }
+
+    /// Adaptive stopping knobs for a CI-driven experiment cell: the given
+    /// target half-width and trial cap at full fidelity, both relaxed by
+    /// ~an order of magnitude in `--quick` mode.
+    #[must_use]
+    pub fn adaptive(&self, target_half_width: f64, max_trials: usize) -> AdaptiveConfig {
+        if self.quick {
+            AdaptiveConfig::new(target_half_width * 4.0)
+                .with_min_trials(6)
+                .with_batch(6)
+                .with_max_trials((max_trials / 10).clamp(6, 60))
+        } else {
+            AdaptiveConfig::new(target_half_width)
+                .with_min_trials(12)
+                .with_batch(24)
+                .with_max_trials(max_trials.max(12))
         }
     }
 }
@@ -134,6 +176,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "e10",
             title: "E10 · Temporal flooding vs the random phone-call model (§1.1)",
             run: exp::e10_phonecall::run,
+        },
+        Experiment {
+            id: "e11",
+            title:
+                "E11 · Temporal diameter and connectivity across graph families (scenario engine)",
+            run: exp::e11_families::run,
         },
         Experiment {
             id: "x01",

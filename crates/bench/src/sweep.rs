@@ -1,0 +1,291 @@
+//! The scenario sweep engine: expand a declarative grid of graph families ×
+//! label models × lifetime rules × metrics × sizes into cells, schedule the
+//! cells across a worker pool, and stream **one JSON-lines row per
+//! completed cell** — in canonical grid order, so output is reproducible
+//! and resumable.
+//!
+//! ## Determinism and resume
+//!
+//! Every cell's seed is derived from the sweep seed and the cell's grid
+//! index through [`SeedSequence::derive`] (no xor mixing — streams cannot
+//! collide), and [`Scenario::evaluate`] is deterministic in `(cell, seed)`
+//! regardless of scheduling. Rows are emitted in grid order. Consequently a
+//! sweep killed mid-grid leaves a clean prefix of the full output; running
+//! again with `--resume <file>` re-emits the surviving rows **verbatim**,
+//! computes only the missing cells, and produces byte-identical final
+//! output to an uninterrupted run. A truncated trailing line (the kill
+//! landed mid-write) is detected and ignored.
+
+use crate::table::json_string;
+use ephemeral_core::scenario::{
+    GraphFamily, LabelModelSpec, LifetimeRule, Metric, Scenario, ScenarioOutcome,
+};
+use ephemeral_parallel::adaptive::AdaptiveConfig;
+use ephemeral_parallel::ThreadPool;
+use ephemeral_rng::SeedSequence;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Stream tag under the sweep seed reserved for per-cell seeds.
+const CELL_STREAM: u64 = 0x5EED;
+
+/// A declarative sweep grid: the cross product of every axis, plus the
+/// adaptive stopping knobs shared by all cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Substrate families.
+    pub families: Vec<GraphFamily>,
+    /// Label models.
+    pub models: Vec<LabelModelSpec>,
+    /// Lifetime rules.
+    pub lifetimes: Vec<LifetimeRule>,
+    /// Metrics.
+    pub metrics: Vec<Metric>,
+    /// Target vertex counts.
+    pub sizes: Vec<usize>,
+    /// Stopping knobs for every cell.
+    pub adaptive: AdaptiveConfig,
+    /// Master seed; cell `i` uses `SeedSequence::new(seed).child(CELL_STREAM).derive(i)`.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The full-fidelity default grid: the whole scenario catalog, single
+    /// and multi-label UNI-CASE, temporal diameter + `T_reach`, three sizes.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        Self {
+            families: GraphFamily::catalog(),
+            models: vec![
+                LabelModelSpec::UniformSingle,
+                LabelModelSpec::UniformMulti { r: 4 },
+            ],
+            lifetimes: vec![LifetimeRule::EqualsN],
+            metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
+            sizes: vec![64, 144, 256],
+            adaptive: AdaptiveConfig::new(0.25)
+                .with_min_trials(24)
+                .with_batch(24)
+                .with_max_trials(1_500),
+            seed,
+        }
+    }
+
+    /// A small smoke grid (the `--quick` preset and the CI gate).
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            families: vec![
+                GraphFamily::Clique { directed: true },
+                GraphFamily::Gnp { c: 1.5 },
+                GraphFamily::Star,
+            ],
+            models: vec![
+                LabelModelSpec::UniformSingle,
+                LabelModelSpec::UniformMulti { r: 4 },
+            ],
+            lifetimes: vec![LifetimeRule::EqualsN],
+            metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
+            sizes: vec![36, 64],
+            adaptive: AdaptiveConfig::new(1.0)
+                .with_min_trials(8)
+                .with_batch(8)
+                .with_max_trials(48),
+            seed,
+        }
+    }
+
+    /// Expand the grid into cells, in canonical order (family, model,
+    /// lifetime, metric, size — innermost last). Output rows appear in
+    /// exactly this order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &family in &self.families {
+            for &model in &self.models {
+                for &lifetime in &self.lifetimes {
+                    for &metric in &self.metrics {
+                        for &n in &self.sizes {
+                            out.push(Scenario {
+                                family,
+                                model,
+                                lifetime,
+                                metric,
+                                n,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The derived seed of cell `index` — a dedicated
+    /// [`SeedSequence::derive`] stream per cell, so no two cells (and no
+    /// cell and any other experiment) can share draws.
+    #[must_use]
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        SeedSequence::new(self.seed)
+            .child(CELL_STREAM)
+            .derive(index as u64)
+    }
+
+    /// A fingerprint of everything that determines a cell's numbers: the
+    /// seed, the adaptive stopping knobs, and the full grid. Stamped into
+    /// every row so `--resume` can tell rows of *this* sweep apart from a
+    /// file produced with a different seed, mode or grid — mismatched rows
+    /// are recomputed instead of silently corrupting the output.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical description; stability across runs is all
+        // that matters (the value is never compared across versions — a
+        // format change invalidates resume files anyway).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        eat(&self.adaptive.target_half_width.to_bits().to_le_bytes());
+        eat(&self.adaptive.confidence.to_bits().to_le_bytes());
+        eat(&self.adaptive.min_trials.to_le_bytes());
+        eat(&self.adaptive.max_trials.to_le_bytes());
+        eat(&self.adaptive.batch.to_le_bytes());
+        for cell in self.cells() {
+            eat(cell.id().as_bytes());
+            eat(b"/");
+        }
+        h
+    }
+}
+
+/// Render one completed cell as a JSON-lines row. All numeric fields use
+/// fixed formatting, so re-rendering the same outcome is byte-stable.
+/// `fingerprint` is the owning spec's [`SweepSpec::fingerprint`].
+#[must_use]
+pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> String {
+    let half_width = if out.half_width.is_finite() {
+        format!("{:.4}", out.half_width)
+    } else {
+        "null".to_owned()
+    };
+    format!(
+        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4}}}",
+        json_string(&cell.id()),
+        json_string(&cell.family.name()),
+        json_string(&cell.model.name()),
+        json_string(&cell.lifetime.name()),
+        json_string(cell.metric.name()),
+        cell.n,
+        out.nodes,
+        out.edges,
+        out.lifetime,
+        out.trials,
+        out.converged,
+        out.estimate,
+        half_width,
+        out.failures,
+    )
+}
+
+/// Extract the cell id of a sweep row, or `None` if the line is not a
+/// complete row (e.g. the torn trailing line of a killed run).
+#[must_use]
+pub fn parse_cell_id(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"cell\":\"")?;
+    let end = rest.find('"')?;
+    if !line.ends_with('}') {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+/// Run the sweep: compute every cell not already present in `resume`
+/// (lines of a previous, possibly interrupted run of the **same spec** —
+/// rows whose spec fingerprint doesn't match are recomputed, so a file
+/// from a different seed, mode or grid cannot silently corrupt the
+/// output), stream rows in canonical order through `emit` as cells
+/// complete, and return the full row list.
+///
+/// Cells are scheduled across a [`ThreadPool`] of `threads` workers, each
+/// cell evaluated single-threaded — per-cell results are deterministic, so
+/// neither the pool size nor scheduling order can change any byte of the
+/// output.
+///
+/// # Panics
+/// If a cell evaluation panics (the panic is forwarded with the cell id
+/// rather than hanging the stream).
+pub fn run_sweep(
+    spec: &SweepSpec,
+    threads: usize,
+    resume: &[String],
+    mut emit: impl FnMut(&str),
+) -> Vec<String> {
+    let cells = spec.cells();
+    let fingerprint = spec.fingerprint();
+    let spec_tag = format!("\"spec\":\"{fingerprint:016x}\"");
+    let mut cached: HashMap<&str, &str> = HashMap::new();
+    for line in resume {
+        if let Some(id) = parse_cell_id(line) {
+            if line.contains(&spec_tag) {
+                cached.entry(id).or_insert(line.as_str());
+            }
+        }
+    }
+
+    // Slot per cell: pre-fill from the resume file, compute the rest. A
+    // panicking evaluation fills its slot with the panic message so the
+    // streaming loop can forward it instead of waiting forever.
+    type Slots = Arc<(Mutex<Vec<Option<Result<String, String>>>>, Condvar)>;
+    let slots: Slots = Arc::new((Mutex::new(vec![None; cells.len()]), Condvar::new()));
+    let pool = ThreadPool::new(threads.max(1));
+    let cfg = spec.adaptive;
+    for (i, cell) in cells.iter().enumerate() {
+        let id = cell.id();
+        if let Some(&line) = cached.get(id.as_str()) {
+            slots.0.lock().expect("sweep slots lock")[i] = Some(Ok(line.to_owned()));
+            continue;
+        }
+        let slots = Arc::clone(&slots);
+        let cell = *cell;
+        let seed = spec.cell_seed(i);
+        pool.execute(move || {
+            let result = std::panic::catch_unwind(|| {
+                let outcome = cell.evaluate(&cfg, seed, 1);
+                render_row(fingerprint, &cell, &outcome)
+            })
+            .map_err(|payload| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned())
+            });
+            let mut guard = slots.0.lock().expect("sweep slots lock");
+            guard[i] = Some(result);
+            drop(guard);
+            slots.1.notify_all();
+        });
+    }
+
+    // Stream rows in canonical order as they become available.
+    let mut rows = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let mut guard = slots.0.lock().expect("sweep slots lock");
+        while guard[i].is_none() {
+            guard = slots.1.wait(guard).expect("sweep slots wait");
+        }
+        let row = match guard[i].take().expect("slot filled") {
+            Ok(row) => row,
+            Err(msg) => panic!("sweep cell {} failed: {msg}", cell.id()),
+        };
+        drop(guard);
+        emit(&row);
+        rows.push(row);
+    }
+    pool.wait_idle();
+    rows
+}

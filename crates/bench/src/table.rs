@@ -126,7 +126,8 @@ impl Table {
 }
 
 /// Minimal JSON string encoder (RFC 8259 escapes; no external deps).
-fn json_string(s: &str) -> String {
+/// Shared with the sweep subsystem's row rendering.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

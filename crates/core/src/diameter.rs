@@ -10,7 +10,10 @@
 //! normalized U-RT clique; experiment E02 fits `γ`.
 
 use ephemeral_graph::{generators, Graph};
-use ephemeral_parallel::stats::Summary;
+use ephemeral_parallel::adaptive::{
+    run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator,
+};
+use ephemeral_parallel::stats::{OnlineStats, Summary};
 use ephemeral_parallel::{available_threads, par_for_with};
 use ephemeral_rng::SeedSequence;
 use ephemeral_temporal::distance::{
@@ -140,6 +143,77 @@ fn summarise(results: Vec<(Time, bool)>, n: usize) -> TemporalDiameterEstimate {
     }
 }
 
+/// [`td_montecarlo`] with **adaptive** trial allocation: batches run until
+/// the CI half-width of the mean finite instance diameter reaches the
+/// config's target, or its trial cap. Trials are spent only where variance
+/// demands them — a low-variance size stops early, a noisy one keeps
+/// sampling. Deterministic in `(graph, lifetime, cfg, seed)` regardless of
+/// `threads`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveDiameterEstimate {
+    /// Moments of the finite instance diameters.
+    pub finite: OnlineStats,
+    /// CI half-width of the finite mean at the config's confidence level.
+    pub half_width: f64,
+    /// Did the run hit the target precision before the cap?
+    pub converged: bool,
+    /// Trials whose instance diameter was infinite (some pair unreachable).
+    pub infinite_instances: usize,
+    /// Total trials executed.
+    pub trials: usize,
+    /// `mean / ln n` — the empirical `γ` against the natural log.
+    pub gamma_ln: f64,
+    /// `mean / log₂ n` — the empirical `γ` against the binary log.
+    pub gamma_log2: f64,
+}
+
+/// Adaptive-stopping estimate of `TD` over a fixed graph (see
+/// [`AdaptiveDiameterEstimate`]). Uses the same per-worker scratch loop as
+/// [`td_montecarlo`]; large graphs (≥ 2²⁰ edges) run trials sequentially
+/// with batch-level engine parallelism instead, without changing any
+/// reported number.
+///
+/// # Panics
+/// If the graph is empty or `lifetime == 0`.
+#[must_use]
+pub fn td_montecarlo_adaptive(
+    graph: &Graph,
+    lifetime: Time,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+) -> AdaptiveDiameterEstimate {
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    let seq = SeedSequence::new(seed);
+    let big = graph.num_edges() >= 1 << 20;
+    let (outer_threads, inner_threads) = if big { (1, threads) } else { (threads, 1) };
+    let run: AdaptiveRun<FilteredMeanAccumulator> = run_adaptive(
+        cfg,
+        seed,
+        outer_threads,
+        || TrialScratch::new(graph, lifetime),
+        |scratch, trial, _| {
+            // TrialScratch derives the trial generator itself from `seq`
+            // (identical construction — the rng handed in is untouched).
+            let (v, finite) = scratch.run_trial(&seq, trial, inner_threads);
+            (f64::from(v), finite)
+        },
+    );
+    let finite = run.accumulator.accepted;
+    let ln_n = (n.max(2) as f64).ln();
+    let log2_n = (n.max(2) as f64).log2();
+    AdaptiveDiameterEstimate {
+        gamma_ln: finite.mean() / ln_n,
+        gamma_log2: finite.mean() / log2_n,
+        finite,
+        half_width: run.half_width,
+        converged: run.converged,
+        infinite_instances: run.accumulator.rejected,
+        trials: run.trials,
+    }
+}
+
 /// Estimate `TD` of the directed (or undirected) normalized U-RT clique —
 /// the headline quantity of §3.
 #[must_use]
@@ -165,6 +239,32 @@ pub fn clique_td_with_lifetime(
 ) -> TemporalDiameterEstimate {
     let graph = generators::clique(n, directed);
     td_montecarlo(&graph, lifetime, trials, seed, available_threads())
+}
+
+/// Adaptive-stopping estimate of `TD` of the normalized U-RT clique.
+#[must_use]
+pub fn clique_td_adaptive(
+    n: usize,
+    directed: bool,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+) -> AdaptiveDiameterEstimate {
+    let graph = generators::clique(n, directed);
+    td_montecarlo_adaptive(&graph, n as Time, cfg, seed, available_threads())
+}
+
+/// Adaptive-stopping estimate of `TD` of a U-RT clique with an arbitrary
+/// lifetime (Theorem 5's regime).
+#[must_use]
+pub fn clique_td_with_lifetime_adaptive(
+    n: usize,
+    directed: bool,
+    lifetime: Time,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+) -> AdaptiveDiameterEstimate {
+    let graph = generators::clique(n, directed);
+    td_montecarlo_adaptive(&graph, lifetime, cfg, seed, available_threads())
 }
 
 #[cfg(test)]
@@ -231,5 +331,57 @@ mod tests {
     fn zero_trials_panics() {
         let graph = generators::path(4);
         let _ = td_montecarlo(&graph, 4, 0, 0, 1);
+    }
+
+    #[test]
+    fn adaptive_draws_the_same_trial_streams_as_fixed() {
+        // With the stopping rule disabled (cap == min == fixed count), the
+        // adaptive estimator must reproduce td_montecarlo's samples exactly.
+        let graph = generators::clique(48, true);
+        let fixed = td_montecarlo(&graph, 48, 24, 5, 2);
+        let cfg = AdaptiveConfig::new(0.0)
+            .with_min_trials(24)
+            .with_max_trials(24)
+            .with_batch(8);
+        let adaptive = td_montecarlo_adaptive(&graph, 48, &cfg, 5, 2);
+        assert_eq!(adaptive.trials, 24);
+        assert_eq!(adaptive.infinite_instances, fixed.infinite_instances);
+        assert_eq!(
+            adaptive.finite.mean().to_bits(),
+            fixed.finite.mean.to_bits()
+        );
+        assert_eq!(adaptive.finite.min(), fixed.finite.min);
+        assert_eq!(adaptive.finite.max(), fixed.finite.max);
+    }
+
+    #[test]
+    fn adaptive_estimate_is_thread_invariant_and_converges() {
+        let graph = generators::clique(32, true);
+        let cfg = AdaptiveConfig::new(0.5)
+            .with_min_trials(8)
+            .with_batch(8)
+            .with_max_trials(400);
+        let base = td_montecarlo_adaptive(&graph, 32, &cfg, 9, 1);
+        for threads in [2, 8] {
+            let other = td_montecarlo_adaptive(&graph, 32, &cfg, 9, threads);
+            assert_eq!(base, other, "threads={threads}");
+        }
+        assert!(base.converged);
+        assert!(base.half_width <= 0.5);
+        assert!(base.trials >= 8 && base.trials <= 400);
+        assert_eq!(base.infinite_instances, 0);
+    }
+
+    #[test]
+    fn adaptive_clique_wrappers_track_the_log_law() {
+        let cfg = AdaptiveConfig::new(1.0)
+            .with_min_trials(8)
+            .with_batch(8)
+            .with_max_trials(64);
+        let est = clique_td_adaptive(64, true, &cfg, 11);
+        assert!(est.finite.mean() > 0.5 * 64f64.log2());
+        assert!(est.finite.mean() < 8.0 * 64f64.ln());
+        let long = clique_td_with_lifetime_adaptive(64, true, 64 * 8, &cfg, 11);
+        assert!(long.finite.mean() > est.finite.mean() * 2.0);
     }
 }

@@ -18,6 +18,7 @@
 //! | Definition 8, Theorems 6–8: Price of Randomness | [`por`] |
 //! | Closed-form bound curves used by the experiment tables | [`bounds`] |
 //! | §6 further research: designed availability (deterministic backbone + random extras) | [`design`] |
+//! | Generalization: declarative scenarios (graph family × label model × lifetime × metric) with adaptive CI-driven estimation | [`scenario`] |
 //!
 //! ## Quick start
 //!
@@ -52,5 +53,6 @@ pub mod models;
 pub mod opt;
 pub mod por;
 pub mod reachability_whp;
+pub mod scenario;
 pub mod star;
 pub mod urtn;

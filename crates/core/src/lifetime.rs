@@ -9,6 +9,7 @@
 
 use ephemeral_graph::algo::{connected_components, is_connected};
 use ephemeral_graph::{generators, GraphBuilder};
+use ephemeral_parallel::adaptive::{adaptive_proportion, AdaptiveConfig, AdaptiveProportion};
 use ephemeral_parallel::{MonteCarlo, Proportion};
 use ephemeral_rng::RandomSource;
 use ephemeral_temporal::foremost::foremost_with_horizon;
@@ -60,6 +61,24 @@ pub fn gnp_connectivity_probability(
     MonteCarlo::new(trials, seed)
         .with_threads(threads)
         .success_probability(|_, rng| is_connected(&generators::gnp(n, p, false, rng)))
+}
+
+/// [`gnp_connectivity_probability`] with adaptive trial allocation: stops
+/// once the Wilson half-width reaches the config's target (or its cap).
+/// Far from the threshold `p̂` sits at 0 or 1 and a handful of batches
+/// suffice; near `c = 1` the estimator keeps sampling — exactly where E03's
+/// S-curve needs resolution.
+#[must_use]
+pub fn gnp_connectivity_probability_adaptive(
+    n: usize,
+    p: f64,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+) -> AdaptiveProportion {
+    adaptive_proportion(cfg, seed, threads, |_, rng| {
+        is_connected(&generators::gnp(n, p, false, rng))
+    })
 }
 
 /// Size of the largest component of a sampled `G(n, p)`, normalised by `n`
@@ -128,6 +147,29 @@ mod tests {
         let above = gnp_connectivity_probability(n, 2.5 * ln_n / n as f64, 30, 3, 2);
         assert!(below.estimate < 0.3, "below: {below}");
         assert!(above.estimate > 0.8, "above: {above}");
+    }
+
+    #[test]
+    fn adaptive_gnp_probability_spends_trials_near_the_threshold() {
+        let n = 128;
+        let ln_n = (n as f64).ln();
+        let cfg = AdaptiveConfig::new(0.08)
+            .with_min_trials(16)
+            .with_batch(16)
+            .with_max_trials(2_000);
+        let far = gnp_connectivity_probability_adaptive(n, 3.0 * ln_n / n as f64, &cfg, 5, 2);
+        let near = gnp_connectivity_probability_adaptive(n, 1.0 * ln_n / n as f64, &cfg, 5, 2);
+        assert!(far.converged && near.converged);
+        assert!(far.proportion.estimate > 0.9, "{}", far.proportion);
+        assert!(
+            near.proportion.trials > far.proportion.trials,
+            "near {} vs far {}",
+            near.proportion.trials,
+            far.proportion.trials
+        );
+        // Thread invariance of the adaptive path.
+        let again = gnp_connectivity_probability_adaptive(n, 1.0 * ln_n / n as f64, &cfg, 5, 8);
+        assert_eq!(again, near);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use crate::models::{LabelModel, UniformMulti};
 use ephemeral_graph::Graph;
+use ephemeral_parallel::adaptive::{adaptive_proportion_with, AdaptiveConfig, AdaptiveProportion};
 use ephemeral_parallel::{MonteCarlo, Proportion};
+use ephemeral_rng::SeedSequence;
 use ephemeral_temporal::reachability::treach_holds;
 use ephemeral_temporal::{LabelAssignment, Time};
 
@@ -45,6 +47,46 @@ pub fn treach_probability(
                 treach_holds(tn, 1)
             },
         )
+}
+
+/// [`treach_probability`] with adaptive trial allocation: batches run until
+/// the Wilson half-width reaches the config's target or its cap. At the
+/// extremes (`p̂ ≈ 0` or `1` — most probes of a minimal-`r` search) this
+/// stops after a few batches; only probes near the threshold pay for
+/// precision.
+///
+/// # Panics
+/// If `r == 0` or `lifetime == 0`.
+#[must_use]
+pub fn treach_probability_adaptive(
+    graph: &Graph,
+    lifetime: Time,
+    r: usize,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+) -> AdaptiveProportion {
+    assert!(r >= 1);
+    let model = UniformMulti { lifetime, r };
+    adaptive_proportion_with(
+        cfg,
+        seed,
+        threads,
+        || {
+            (
+                crate::urtn::placeholder_network(graph, lifetime),
+                LabelAssignment::default(),
+            )
+        },
+        |(tn, spare), _, rng| {
+            model.assign_into(tn.graph().num_edges(), rng, spare);
+            let drawn = std::mem::take(spare);
+            *spare = tn
+                .replace_assignment(drawn)
+                .expect("model labels fit the lifetime");
+            treach_holds(tn, 1)
+        },
+    )
 }
 
 /// Result of the minimal-`r` search.
@@ -93,6 +135,65 @@ pub fn minimal_r(
         );
         evaluations.push((r, p.estimate));
         p
+    };
+
+    let mut hi = 1usize;
+    let mut hi_prob = probe(hi);
+    while hi_prob.estimate < target && hi < 4096 {
+        hi *= 2;
+        hi_prob = probe(hi);
+    }
+    if hi_prob.estimate < target {
+        return MinimalR {
+            r: hi,
+            probability: hi_prob,
+            evaluations,
+            target,
+        };
+    }
+    let mut lo = hi / 2; // exclusive: lo failed (or is 0)
+    let mut best = (hi, hi_prob);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let p = probe(mid);
+        if p.estimate >= target {
+            hi = mid;
+            best = (mid, p);
+        } else {
+            lo = mid;
+        }
+    }
+    MinimalR {
+        r: best.0,
+        probability: best.1,
+        evaluations,
+        target,
+    }
+}
+
+/// [`minimal_r`] with adaptive trial allocation per probe: the doubling +
+/// binary search is unchanged, but each probed `r` runs only as many trials
+/// as its Wilson interval demands (per-probe seeds come from a
+/// [`SeedSequence`] stream keyed by `r`, so probes never share draws).
+///
+/// # Panics
+/// If `target ∉ (0, 1]`.
+#[must_use]
+pub fn minimal_r_adaptive(
+    graph: &Graph,
+    lifetime: Time,
+    target: f64,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+) -> MinimalR {
+    assert!(target > 0.0 && target <= 1.0, "target must be in (0,1]");
+    let seq = SeedSequence::new(seed);
+    let mut evaluations = Vec::new();
+    let mut probe = |r: usize| -> Proportion {
+        let p = treach_probability_adaptive(graph, lifetime, r, cfg, seq.derive(r as u64), threads);
+        evaluations.push((r, p.proportion.estimate));
+        p.proportion
     };
 
     let mut hi = 1usize;
@@ -181,6 +282,43 @@ mod tests {
         let g = b.build().unwrap();
         let res = minimal_r(&g, 4, 0.95, 50, 4, 1);
         assert_eq!(res.r, 1, "single labels serve single edges");
+    }
+
+    #[test]
+    fn adaptive_minimal_r_matches_the_fixed_search_shape() {
+        let g = generators::star(32);
+        let cfg = AdaptiveConfig::new(0.06)
+            .with_min_trials(24)
+            .with_batch(24)
+            .with_max_trials(600);
+        let res = minimal_r_adaptive(&g, 32, 0.9, &cfg, 3, 2);
+        assert!(res.r >= 2 && res.r <= 64, "r = {}", res.r);
+        assert!(res.probability.estimate >= 0.9);
+        assert!(res.evaluations.iter().any(|&(r, _)| r == res.r));
+        // Determinism across thread counts (the sweep contract).
+        let again = minimal_r_adaptive(&g, 32, 0.9, &cfg, 3, 8);
+        assert_eq!(res, again);
+    }
+
+    #[test]
+    fn adaptive_treach_probability_stops_early_at_extremes() {
+        let clique = generators::clique(12, false);
+        let cfg = AdaptiveConfig::new(0.05)
+            .with_min_trials(16)
+            .with_batch(16)
+            .with_max_trials(2_000);
+        let sure = treach_probability_adaptive(&clique, 12, 1, &cfg, 1, 2);
+        assert_eq!(sure.proportion.estimate, 1.0);
+        assert!(sure.converged);
+        // The path at a borderline budget needs many more trials.
+        let path = generators::path(10);
+        let mid = treach_probability_adaptive(&path, 10, 16, &cfg, 1, 2);
+        assert!(
+            mid.proportion.trials >= sure.proportion.trials,
+            "mid {} sure {}",
+            mid.proportion.trials,
+            sure.proportion.trials
+        );
     }
 
     #[test]

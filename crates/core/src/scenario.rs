@@ -1,0 +1,601 @@
+//! Declarative scenarios: graph family × label model × lifetime rule ×
+//! metric, evaluated by the adaptive Monte Carlo engine.
+//!
+//! The paper proves its temporal-diameter and connectivity results for the
+//! uniform random temporal **clique** (and stars), but the machinery —
+//! [`LabelModel`] over any graph, the
+//! bit-parallel engine, CI-driven stopping — generalizes. Follow-up work
+//! studies exactly that generalization (sparse random availability on
+//! general graphs; dynamic random geometric graphs). A [`Scenario`] names
+//! one such cell; [`Scenario::evaluate`] measures it with trials allocated
+//! adaptively, deterministic in `(scenario, seed)` regardless of the
+//! thread count. The sweep engine in `ephemeral-bench` expands grids of
+//! these cells and streams resumable JSON-lines results.
+
+use crate::models::{GeometricArrivals, LabelModel, UniformMulti, UniformSingle, ZipfMulti};
+use crate::urtn::placeholder_network;
+use ephemeral_graph::{generators, Graph};
+use ephemeral_parallel::adaptive::{
+    run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator, ProportionAccumulator,
+};
+use ephemeral_rng::{DefaultRng, RandomSource, SeedSequence};
+use ephemeral_temporal::distance::instance_temporal_diameter_reusing;
+use ephemeral_temporal::engine::BatchSweeper;
+use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
+
+/// Seed stream tag for the (possibly random) substrate graph.
+const GRAPH_STREAM: u64 = 1;
+/// Seed stream tag for the per-trial label draws.
+const TRIAL_STREAM: u64 = 2;
+
+/// A substrate graph family, parameterized by the target vertex count `n`.
+///
+/// `Clique` is the paper's §3 object; the rest are the generalization
+/// follow-up work studies: `Gnp` at a multiple of the connectivity
+/// threshold, sparse regular graphs, geometric-flavoured tori/grids, and
+/// the paper's own star / complete-bipartite lower-bound witnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphFamily {
+    /// Complete graph `K_n` (directed per §3's main theorem, or undirected
+    /// per Remark 1).
+    Clique {
+        /// Use ordered arcs.
+        directed: bool,
+    },
+    /// Erdős–Rényi `G(n, p)` with `p = c·ln n / n` — `c` positions the
+    /// family relative to the connectivity threshold at `c = 1`.
+    Gnp {
+        /// Threshold multiplier.
+        c: f64,
+    },
+    /// Random `degree`-regular graph (configuration model). When `n·degree`
+    /// is odd the degree is bumped by one to keep the model well-defined.
+    RandomRegular {
+        /// Target degree.
+        degree: usize,
+    },
+    /// `side × side` torus with `side = round(√n)` (so the actual vertex
+    /// count is the nearest square, never below 9).
+    Torus,
+    /// `side × side` grid with `side = round(√n)`.
+    Grid,
+    /// Star `K_{1,n−1}` — the §4 lower-bound witness.
+    Star,
+    /// Balanced complete bipartite `K_{⌈n/2⌉,⌊n/2⌋}`.
+    CompleteBipartite,
+}
+
+impl GraphFamily {
+    /// Short stable identifier (part of a sweep cell's id — changing these
+    /// strings invalidates `--resume` files).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            Self::Clique { directed: true } => "clique".to_owned(),
+            Self::Clique { directed: false } => "uclique".to_owned(),
+            Self::Gnp { c } => format!("gnp{c:.2}"),
+            Self::RandomRegular { degree } => format!("reg{degree}"),
+            Self::Torus => "torus".to_owned(),
+            Self::Grid => "grid".to_owned(),
+            Self::Star => "star".to_owned(),
+            Self::CompleteBipartite => "bipartite".to_owned(),
+        }
+    }
+
+    /// Does building the substrate consume randomness? (Deterministic
+    /// families ignore the generator.)
+    #[must_use]
+    pub const fn is_random(&self) -> bool {
+        matches!(self, Self::Gnp { .. } | Self::RandomRegular { .. })
+    }
+
+    /// Build an instance targeting `n` vertices (`Torus`/`Grid` snap to the
+    /// nearest square; everything else hits `n` exactly).
+    ///
+    /// # Panics
+    /// If `n < 2`.
+    #[must_use]
+    pub fn build(&self, n: usize, rng: &mut impl RandomSource) -> Graph {
+        assert!(n >= 2, "scenario families need at least two vertices");
+        match *self {
+            Self::Clique { directed } => generators::clique(n, directed),
+            Self::Gnp { c } => {
+                let p = (c * (n as f64).ln() / n as f64).clamp(0.0, 1.0);
+                generators::gnp(n, p, false, rng)
+            }
+            Self::RandomRegular { degree } => {
+                let mut d = degree.min(n - 1);
+                if n % 2 == 1 && d % 2 == 1 {
+                    d += 1; // n odd ⇒ n−1 even ⇒ d+1 ≤ n−1 stays valid
+                }
+                generators::random_regular(n, d, rng)
+            }
+            Self::Torus => {
+                let side = ((n as f64).sqrt().round() as usize).max(3);
+                generators::torus(side, side)
+            }
+            Self::Grid => {
+                let side = ((n as f64).sqrt().round() as usize).max(2);
+                generators::grid(side, side)
+            }
+            Self::Star => generators::star(n),
+            Self::CompleteBipartite => generators::complete_bipartite(n.div_ceil(2), n / 2),
+        }
+    }
+
+    /// The default scenario catalog: the paper's clique next to the sparse
+    /// and structured substrates the follow-up literature studies.
+    #[must_use]
+    pub fn catalog() -> Vec<Self> {
+        vec![
+            Self::Clique { directed: true },
+            Self::Gnp { c: 1.5 },
+            Self::RandomRegular { degree: 3 },
+            Self::Torus,
+            Self::Star,
+            Self::CompleteBipartite,
+        ]
+    }
+}
+
+/// A label model up to the lifetime (which the scenario supplies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelModelSpec {
+    /// UNI-CASE: one uniform label per edge.
+    UniformSingle,
+    /// `r` i.i.d. uniform labels per edge (§4).
+    UniformMulti {
+        /// Draws per edge.
+        r: usize,
+    },
+    /// F-CASE, Zipf-skewed towards early labels.
+    Zipf {
+        /// Draws per edge.
+        r: usize,
+        /// Skew exponent.
+        s: f64,
+    },
+    /// F-CASE, geometric inter-availability gaps.
+    Geometric {
+        /// Per-step activation probability.
+        p: f64,
+    },
+}
+
+impl LabelModelSpec {
+    /// Short stable identifier (part of a sweep cell's id).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            Self::UniformSingle => "uni1".to_owned(),
+            Self::UniformMulti { r } => format!("uni{r}"),
+            Self::Zipf { r, s } => format!("zipf{r}s{s:.1}"),
+            Self::Geometric { p } => format!("geom{p:.2}"),
+        }
+    }
+
+    /// Instantiate the model at a concrete lifetime.
+    #[must_use]
+    pub fn instantiate(&self, lifetime: Time) -> Box<dyn LabelModel + Send + Sync> {
+        match *self {
+            Self::UniformSingle => Box::new(UniformSingle { lifetime }),
+            Self::UniformMulti { r } => Box::new(UniformMulti { lifetime, r }),
+            Self::Zipf { r, s } => Box::new(ZipfMulti::new(lifetime, r, s)),
+            Self::Geometric { p } => Box::new(GeometricArrivals { lifetime, p }),
+        }
+    }
+}
+
+/// How the lifetime `a` is derived from the instance's vertex count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeRule {
+    /// `a = n` — the normalized regime of §3.
+    EqualsN,
+    /// `a = k·n` — the Theorem 5 regime when `k ≫ 1`.
+    MultipleOfN(u32),
+    /// A fixed lifetime, independent of `n`.
+    Fixed(Time),
+}
+
+impl LifetimeRule {
+    /// Short stable identifier (part of a sweep cell's id).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            Self::EqualsN => "a=n".to_owned(),
+            Self::MultipleOfN(k) => format!("a={k}n"),
+            Self::Fixed(a) => format!("a={a}"),
+        }
+    }
+
+    /// The lifetime for an instance with `nodes` vertices.
+    #[must_use]
+    pub fn lifetime(&self, nodes: usize) -> Time {
+        match *self {
+            Self::EqualsN => (nodes.max(1)) as Time,
+            Self::MultipleOfN(k) => ((nodes.max(1)) as Time).saturating_mul(k.max(1)),
+            Self::Fixed(a) => a.max(1),
+        }
+    }
+}
+
+/// What is measured per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Instance temporal diameter (Definition 5's inner quantity); trials
+    /// with an unreachable pair are counted as failures.
+    TemporalDiameter,
+    /// `P[T_reach]` — does the assignment preserve static reachability
+    /// (Definition 6)?
+    TreachProbability,
+    /// Broadcast time of the §3.5 flooding protocol from vertex 0; trials
+    /// that fail to inform everyone are counted as failures.
+    FloodTime,
+}
+
+impl Metric {
+    /// Short stable identifier (part of a sweep cell's id).
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Self::TemporalDiameter => "td",
+            Self::TreachProbability => "treach",
+            Self::FloodTime => "flood",
+        }
+    }
+}
+
+/// One fully specified experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Substrate family.
+    pub family: GraphFamily,
+    /// Label model.
+    pub model: LabelModelSpec,
+    /// Lifetime rule.
+    pub lifetime: LifetimeRule,
+    /// Measured quantity.
+    pub metric: Metric,
+    /// Target vertex count.
+    pub n: usize,
+}
+
+/// The measured result of one scenario cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Actual vertex count of the built substrate.
+    pub nodes: usize,
+    /// Edge (or arc) count of the built substrate.
+    pub edges: usize,
+    /// Lifetime used.
+    pub lifetime: Time,
+    /// Point estimate: mean finite diameter / success probability / mean
+    /// complete-flood time, per the metric.
+    pub estimate: f64,
+    /// CI half-width at the adaptive config's confidence level
+    /// (`f64::INFINITY` when no trial produced a usable sample).
+    pub half_width: f64,
+    /// Trials executed.
+    pub trials: usize,
+    /// Did the half-width reach the target before the cap?
+    pub converged: bool,
+    /// Fraction of trials excluded from the estimate (infinite diameters /
+    /// incomplete floods; always 0 for probability metrics).
+    pub failures: f64,
+}
+
+/// Per-worker trial scratch: an owned network whose labels are redrawn in
+/// place, the spare assignment the draw writes into, and the engine
+/// sweeper (same zero-allocation warm loop as `diameter::td_montecarlo`).
+struct Scratch {
+    tn: TemporalNetwork,
+    spare: LabelAssignment,
+    sweeper: BatchSweeper,
+}
+
+impl Scratch {
+    fn new(graph: &Graph, lifetime: Time) -> Self {
+        Self {
+            tn: placeholder_network(graph, lifetime),
+            spare: LabelAssignment::default(),
+            sweeper: BatchSweeper::new(),
+        }
+    }
+
+    /// Swap a fresh draw from `model` into the network.
+    fn redraw(&mut self, model: &(dyn LabelModel + Send + Sync), rng: &mut DefaultRng) {
+        model.assign_into(self.tn.graph().num_edges(), rng, &mut self.spare);
+        let drawn = std::mem::take(&mut self.spare);
+        self.spare = self
+            .tn
+            .replace_assignment(drawn)
+            .expect("model labels fit the lifetime");
+    }
+}
+
+impl Scenario {
+    /// Stable cell identifier — the key of sweep resume files. Format:
+    /// `family/n=<n>/model/lifetime/metric`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{}/n={}/{}/{}/{}",
+            self.family.name(),
+            self.n,
+            self.model.name(),
+            self.lifetime.name(),
+            self.metric.name()
+        )
+    }
+
+    /// Build this scenario's substrate exactly as [`Scenario::evaluate`]
+    /// does (random families draw from the seed's graph stream).
+    #[must_use]
+    pub fn build_graph(&self, seed: u64) -> Graph {
+        let mut rng = SeedSequence::new(seed).child(GRAPH_STREAM).rng(0);
+        self.family.build(self.n, &mut rng)
+    }
+
+    /// Measure the scenario: build the substrate once, then run adaptive
+    /// Monte Carlo over fresh label draws until the CI half-width reaches
+    /// the config's target (or its trial cap).
+    ///
+    /// Deterministic: the result depends only on `(self, cfg, seed)` —
+    /// never on `threads` — so sweep cells can be scheduled anywhere and
+    /// resumed byte-identically.
+    #[must_use]
+    pub fn evaluate(&self, cfg: &AdaptiveConfig, seed: u64, threads: usize) -> ScenarioOutcome {
+        let graph = self.build_graph(seed);
+        let nodes = graph.num_nodes();
+        let edges = graph.num_edges();
+        let lifetime = self.lifetime.lifetime(nodes);
+        let model = self.model.instantiate(lifetime);
+        let model = model.as_ref();
+        let trial_seed = SeedSequence::new(seed).child(TRIAL_STREAM).base();
+        let init = || Scratch::new(&graph, lifetime);
+
+        let (estimate, half_width, trials, converged, failures) = match self.metric {
+            Metric::TemporalDiameter => {
+                let run: AdaptiveRun<FilteredMeanAccumulator> =
+                    run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
+                        s.redraw(model, rng);
+                        let d = instance_temporal_diameter_reusing(&s.tn, &mut s.sweeper);
+                        match d.value() {
+                            Some(v) => (f64::from(v), true),
+                            None => (0.0, false),
+                        }
+                    });
+                finite_mean_outcome(&run)
+            }
+            Metric::FloodTime => {
+                let run: AdaptiveRun<FilteredMeanAccumulator> =
+                    run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
+                        s.redraw(model, rng);
+                        match crate::dissemination::flood(&s.tn, 0).broadcast_time {
+                            Some(t) => (f64::from(t), true),
+                            None => (0.0, false),
+                        }
+                    });
+                finite_mean_outcome(&run)
+            }
+            Metric::TreachProbability => {
+                let run: AdaptiveRun<ProportionAccumulator> =
+                    run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
+                        s.redraw(model, rng);
+                        treach_holds(&s.tn, 1)
+                    });
+                let p = run.accumulator.successes as f64 / run.accumulator.count.max(1) as f64;
+                (p, run.half_width, run.trials, run.converged, 0.0)
+            }
+        };
+
+        ScenarioOutcome {
+            nodes,
+            edges,
+            lifetime,
+            estimate,
+            half_width,
+            trials,
+            converged,
+            failures,
+        }
+    }
+}
+
+fn finite_mean_outcome(run: &AdaptiveRun<FilteredMeanAccumulator>) -> (f64, f64, usize, bool, f64) {
+    (
+        run.accumulator.accepted.mean(),
+        run.half_width,
+        run.trials,
+        run.converged,
+        run.accumulator.rejected_fraction(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> AdaptiveConfig {
+        AdaptiveConfig::new(1.0)
+            .with_min_trials(8)
+            .with_batch(8)
+            .with_max_trials(64)
+    }
+
+    #[test]
+    fn catalog_families_build_and_name_uniquely() {
+        let mut rng = ephemeral_rng::default_rng(1);
+        let mut names = std::collections::HashSet::new();
+        for fam in GraphFamily::catalog() {
+            let g = fam.build(36, &mut rng);
+            assert!(g.num_nodes() >= 2, "{}", fam.name());
+            assert!(g.num_edges() > 0, "{}", fam.name());
+            assert!(names.insert(fam.name()), "duplicate name {}", fam.name());
+        }
+    }
+
+    #[test]
+    fn regular_family_fixes_odd_parity() {
+        let mut rng = ephemeral_rng::default_rng(2);
+        // n = 15 odd, degree 3 odd ⇒ bumped to 4.
+        let g = GraphFamily::RandomRegular { degree: 3 }.build(15, &mut rng);
+        assert_eq!(g.num_nodes(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+        // Even n keeps the requested degree.
+        let g = GraphFamily::RandomRegular { degree: 3 }.build(16, &mut rng);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn torus_and_grid_snap_to_squares() {
+        let mut rng = ephemeral_rng::default_rng(3);
+        assert_eq!(GraphFamily::Torus.build(36, &mut rng).num_nodes(), 36);
+        assert_eq!(GraphFamily::Torus.build(40, &mut rng).num_nodes(), 36);
+        assert_eq!(GraphFamily::Grid.build(50, &mut rng).num_nodes(), 49);
+    }
+
+    #[test]
+    fn clique_td_scenario_matches_the_paper_shape() {
+        let sc = Scenario {
+            family: GraphFamily::Clique { directed: true },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TemporalDiameter,
+            n: 64,
+        };
+        let out = sc.evaluate(&quick_cfg(), 1, 2);
+        assert_eq!(out.nodes, 64);
+        assert_eq!(out.edges, 64 * 63);
+        assert_eq!(out.lifetime, 64);
+        assert_eq!(out.failures, 0.0, "the clique always has the direct arc");
+        let ln_n = 64f64.ln();
+        assert!(
+            out.estimate > 0.5 * 64f64.log2() && out.estimate < 8.0 * ln_n,
+            "TD {} out of the Θ(log n) band",
+            out.estimate
+        );
+        assert!(out.trials >= 8);
+    }
+
+    #[test]
+    fn sparse_families_break_the_clique_only_picture() {
+        // One uniform label per edge: the clique is always temporally
+        // connected, a near-threshold G(n,p) essentially never is — the
+        // confrontation E11 tabulates.
+        let cfg = quick_cfg();
+        let clique = Scenario {
+            family: GraphFamily::Clique { directed: true },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TemporalDiameter,
+            n: 32,
+        }
+        .evaluate(&cfg, 2, 2);
+        let gnp = Scenario {
+            family: GraphFamily::Gnp { c: 1.5 },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TemporalDiameter,
+            n: 32,
+        }
+        .evaluate(&cfg, 2, 2);
+        assert_eq!(clique.failures, 0.0);
+        assert!(gnp.failures > 0.5, "gnp failures {}", gnp.failures);
+    }
+
+    #[test]
+    fn treach_metric_reports_probabilities() {
+        let sure = Scenario {
+            family: GraphFamily::Clique { directed: false },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachProbability,
+            n: 16,
+        }
+        .evaluate(&quick_cfg(), 3, 1);
+        assert_eq!(sure.estimate, 1.0, "K_n satisfies T_reach with one label");
+        let star = Scenario {
+            family: GraphFamily::Star,
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachProbability,
+            n: 16,
+        }
+        .evaluate(&quick_cfg(), 3, 1);
+        assert!(star.estimate < 0.5, "one label cannot serve a star");
+    }
+
+    #[test]
+    fn flood_metric_tracks_log_n_on_the_clique() {
+        let out = Scenario {
+            family: GraphFamily::Clique { directed: true },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::FloodTime,
+            n: 64,
+        }
+        .evaluate(&quick_cfg(), 4, 2);
+        assert_eq!(out.failures, 0.0);
+        assert!(out.estimate >= 2.0 && out.estimate <= 8.0 * 64f64.ln());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_thread_invariant() {
+        let sc = Scenario {
+            family: GraphFamily::Gnp { c: 2.0 },
+            model: LabelModelSpec::UniformMulti { r: 4 },
+            lifetime: LifetimeRule::MultipleOfN(2),
+            metric: Metric::TreachProbability,
+            n: 24,
+        };
+        let base = sc.evaluate(&quick_cfg(), 7, 1);
+        for threads in [2, 8] {
+            assert_eq!(sc.evaluate(&quick_cfg(), 7, threads), base, "t={threads}");
+        }
+        // A different seed draws a different substrate stream.
+        assert_ne!(sc.evaluate(&quick_cfg(), 8, 2), base);
+    }
+
+    #[test]
+    fn ids_are_unique_across_a_grid() {
+        let mut ids = std::collections::HashSet::new();
+        for fam in GraphFamily::catalog() {
+            for model in [
+                LabelModelSpec::UniformSingle,
+                LabelModelSpec::UniformMulti { r: 3 },
+                LabelModelSpec::Zipf { r: 3, s: 1.0 },
+                LabelModelSpec::Geometric { p: 0.1 },
+            ] {
+                for rule in [
+                    LifetimeRule::EqualsN,
+                    LifetimeRule::MultipleOfN(4),
+                    LifetimeRule::Fixed(100),
+                ] {
+                    for metric in [
+                        Metric::TemporalDiameter,
+                        Metric::TreachProbability,
+                        Metric::FloodTime,
+                    ] {
+                        for n in [16, 32] {
+                            let sc = Scenario {
+                                family: fam,
+                                model,
+                                lifetime: rule,
+                                metric,
+                                n,
+                            };
+                            assert!(ids.insert(sc.id()), "duplicate id {}", sc.id());
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(ids.len(), 6 * 4 * 3 * 3 * 2);
+    }
+}

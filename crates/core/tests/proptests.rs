@@ -4,11 +4,13 @@ use ephemeral_core::expansion::{expansion_process, ExpansionParams};
 use ephemeral_core::models::{GeometricArrivals, LabelModel, UniformMulti, ZipfMulti};
 use ephemeral_core::opt::{box_scheme, spanning_tree_scheme};
 use ephemeral_core::star::{star_treach, star_treach_bruteforce, EdgeExtremes};
-use ephemeral_core::urtn::sample_normalized_urt_clique;
+use ephemeral_core::urtn::{
+    resample_single, resample_single_in_place, sample_normalized_urt_clique, sample_urtn,
+};
 use ephemeral_graph::generators;
 use ephemeral_rng::SeedSequence;
 use ephemeral_temporal::reachability::treach_holds;
-use ephemeral_temporal::TemporalNetwork;
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
 use proptest::prelude::*;
 
 proptest! {
@@ -71,6 +73,43 @@ proptest! {
             prop_assert_eq!(j.target(), 1);
             prop_assert!(j.arrival() <= out.arrival_bound);
         }
+    }
+
+    #[test]
+    fn resample_in_place_is_bit_identical_to_the_allocating_path(
+        seed: u64,
+        n in 2usize..40,
+        density in 0.05f64..0.9,
+        lifetime in 1u32..96,
+        rounds in 1usize..5,
+    ) {
+        // The scratch-reuse resampling behind every warm Monte Carlo loop
+        // must be indistinguishable from the allocating path — same rng
+        // consumption, same assignment, same time-edge buckets — across
+        // random graphs, lifetimes and seeds.
+        let mut graph_rng = SeedSequence::new(seed).rng(4);
+        let g = generators::gnp(n, density, false, &mut graph_rng);
+        let mut rng_a = SeedSequence::new(seed).rng(5);
+        let mut rng_b = SeedSequence::new(seed).rng(5);
+        let base = sample_urtn(g.clone(), lifetime, &mut rng_a);
+        let mut in_place = sample_urtn(g, lifetime, &mut rng_b);
+        let mut spare = LabelAssignment::default();
+        let mut fresh = base;
+        for round in 0..rounds {
+            fresh = resample_single(&fresh, &mut rng_a);
+            resample_single_in_place(&mut in_place, &mut spare, &mut rng_b);
+            prop_assert_eq!(fresh.assignment(), in_place.assignment(), "round {}", round);
+            for t in 0..=lifetime {
+                let mut x = fresh.edges_at(t).to_vec();
+                let mut y = in_place.edges_at(t).to_vec();
+                x.sort_unstable();
+                y.sort_unstable();
+                prop_assert_eq!(x, y, "round {} time {}", round, t);
+            }
+        }
+        // The two generators consumed identical streams.
+        use ephemeral_rng::RandomSource;
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]

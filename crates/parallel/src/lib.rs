@@ -18,6 +18,10 @@
 //!   receives the generator derived from `(experiment seed, i)`, so results
 //!   are **bit-identical no matter how many threads run the experiment** —
 //!   the property every number in EXPERIMENTS.md relies on.
+//! * [`adaptive`]: CI-driven trial allocation on top of the same contract —
+//!   batches run until the normal/Wilson interval half-width hits a target
+//!   (or a cap), so trials are spent only where variance demands them. The
+//!   executed trial count itself is deterministic and thread-invariant.
 //! * [`stats`]: Welford online moments (mergeable, so parallel reductions
 //!   are exact), summaries with quantiles, normal & Wilson confidence
 //!   intervals, least-squares fits (used to fit `TD ≈ γ·log n`), histograms.
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod montecarlo;
 mod pool;
 pub mod stats;

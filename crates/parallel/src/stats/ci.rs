@@ -32,6 +32,36 @@ pub fn normal_interval(mean: f64, sem: f64, level: f64) -> (f64, f64) {
 /// Wilson score interval for a binomial proportion — well-behaved at the
 /// extremes (`p̂ = 0` or `1`), which success-probability experiments such as
 /// E06/E08 hit routinely.
+///
+/// Zero successes pin the lower end at 0 but keep a positive width — the
+/// interval never collapses to a point on extreme data:
+///
+/// ```
+/// use ephemeral_parallel::stats::wilson_interval;
+/// let (lo, hi) = wilson_interval(0, 50, 0.95);
+/// assert_eq!(lo, 0.0);
+/// assert!(hi > 0.0 && hi < 0.15);
+/// ```
+///
+/// All successes mirror that exactly (`[1 − hi₀, 1]`):
+///
+/// ```
+/// use ephemeral_parallel::stats::wilson_interval;
+/// let (lo0, hi0) = wilson_interval(0, 50, 0.95);
+/// let (lo1, hi1) = wilson_interval(50, 50, 0.95);
+/// assert!((lo1 - (1.0 - hi0)).abs() < 1e-12);
+/// assert!((hi1 - 1.0).abs() < 1e-12);
+/// ```
+///
+/// A single trial stays honest — the interval covers most of `[0, 1]`
+/// rather than claiming certainty from one observation:
+///
+/// ```
+/// use ephemeral_parallel::stats::wilson_interval;
+/// let (lo, hi) = wilson_interval(1, 1, 0.95);
+/// assert!((hi - 1.0).abs() < 1e-12);
+/// assert!(lo < 0.3, "one success can't pin the proportion: lo = {lo}");
+/// ```
 #[must_use]
 pub fn wilson_interval(successes: usize, trials: usize, level: f64) -> (f64, f64) {
     if trials == 0 {
@@ -45,6 +75,24 @@ pub fn wilson_interval(successes: usize, trials: usize, level: f64) -> (f64, f64
     let centre = (p + z2 / (2.0 * n)) / denom;
     let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
     ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Half the width of the Wilson interval — the stopping quantity of the
+/// adaptive proportion estimator. `f64::INFINITY` with no trials (an empty
+/// experiment has no estimate to bound).
+///
+/// ```
+/// use ephemeral_parallel::stats::wilson_half_width;
+/// assert_eq!(wilson_half_width(0, 0, 0.95), f64::INFINITY);
+/// assert!(wilson_half_width(500, 1000, 0.95) < wilson_half_width(5, 10, 0.95));
+/// ```
+#[must_use]
+pub fn wilson_half_width(successes: usize, trials: usize, level: f64) -> f64 {
+    if trials == 0 {
+        return f64::INFINITY;
+    }
+    let (lo, hi) = wilson_interval(successes, trials, level);
+    (hi - lo) / 2.0
 }
 
 #[cfg(test)]
@@ -104,5 +152,24 @@ mod tests {
         let (lo1, hi1) = wilson_interval(5, 10, 0.95);
         let (lo2, hi2) = wilson_interval(500, 1000, 0.95);
         assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn wilson_single_trial_edge_cases() {
+        let (lo, hi) = wilson_interval(0, 1, 0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.7, "one failure can't rule p out: hi = {hi}");
+        let (lo1, hi1) = wilson_interval(1, 1, 0.95);
+        assert!((lo1 - (1.0 - hi)).abs() < 1e-12);
+        assert!((hi1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_width_is_half_the_interval() {
+        for &(s, n) in &[(0usize, 20usize), (7, 20), (20, 20), (1, 1)] {
+            let (lo, hi) = wilson_interval(s, n, 0.95);
+            assert!((wilson_half_width(s, n, 0.95) - (hi - lo) / 2.0).abs() < 1e-15);
+        }
+        assert_eq!(wilson_half_width(0, 0, 0.99), f64::INFINITY);
     }
 }

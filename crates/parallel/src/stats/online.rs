@@ -1,5 +1,7 @@
 //! Welford online moments with exact parallel merging (Chan et al.).
 
+use super::ci::z_for_confidence;
+
 /// Streaming mean/variance/extrema accumulator.
 ///
 /// `merge` implements the numerically stable pairwise-combination formula,
@@ -106,6 +108,31 @@ impl OnlineStats {
         }
     }
 
+    /// Half-width of the normal-approximation CI for the mean at the given
+    /// confidence level: `z·sem`. Returns `f64::INFINITY` for fewer than
+    /// two samples — the variance (and hence any honest interval) is
+    /// undefined, which is exactly what an adaptive stopping rule should
+    /// see so it keeps sampling.
+    ///
+    /// ```
+    /// use ephemeral_parallel::stats::OnlineStats;
+    /// let mut s = OnlineStats::new();
+    /// assert_eq!(s.half_width(0.95), f64::INFINITY);
+    /// s.push(1.0);
+    /// assert_eq!(s.half_width(0.95), f64::INFINITY); // one sample: still undefined
+    /// s.push(3.0);
+    /// // two samples: sd = √2, sem = 1, z(95%) ≈ 1.96.
+    /// assert!((s.half_width(0.95) - 1.959_964).abs() < 1e-5);
+    /// ```
+    #[must_use]
+    pub fn half_width(&self, confidence: f64) -> f64 {
+        if self.count < 2 {
+            f64::INFINITY
+        } else {
+            z_for_confidence(confidence) * self.sem()
+        }
+    }
+
     /// Smallest sample (`+inf` when empty).
     #[must_use]
     pub const fn min(&self) -> f64 {
@@ -154,6 +181,24 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.min(), 3.5);
         assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn half_width_tracks_sample_count() {
+        let mut s = OnlineStats::new();
+        for i in 0..100 {
+            s.push(f64::from(i % 10));
+        }
+        let wide = s.half_width(0.95);
+        for i in 0..900 {
+            s.push(f64::from(i % 10));
+        }
+        let narrow = s.half_width(0.95);
+        assert!(narrow < wide, "{narrow} vs {wide}");
+        // 10× the samples ⇒ ~√10 narrower.
+        assert!((wide / narrow - 10f64.sqrt()).abs() < 0.2);
+        // Higher confidence widens the interval.
+        assert!(s.half_width(0.99) > s.half_width(0.95));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! execute, never what those trials see. This is what makes every number in
 //! the experiment tables reproducible on any machine.
 
+use ephemeral_parallel::adaptive::{adaptive_mean, adaptive_proportion, AdaptiveConfig};
 use ephemeral_parallel::{available_threads, MonteCarlo};
 use ephemeral_rng::{RandomSource, SeedSequence};
 
@@ -59,6 +60,38 @@ fn raw_trial_outputs_are_identical_across_thread_counts() {
             .with_threads(threads)
             .run(|i, rng| (i as u64).wrapping_add(rng.next_u64()));
         assert_eq!(one, many, "threads={threads}");
+    }
+}
+
+/// The adaptive estimator's whole point is to choose its own trial count —
+/// which must still be a pure function of `(config, seed)`. Running on 1, 2
+/// and 8 workers has to yield the same trial count, the same moments (to
+/// the bit: samples are folded in trial order on one thread) and the same
+/// convergence verdict.
+#[test]
+fn adaptive_estimates_are_identical_across_1_2_and_8_threads() {
+    let cfg = AdaptiveConfig::new(0.04)
+        .with_min_trials(16)
+        .with_batch(16)
+        .with_max_trials(5_000);
+    let mean_base = adaptive_mean(&cfg, 0xADA7, 1, walk);
+    let prop_base = adaptive_proportion(&cfg, 0xADA7, 1, |i, rng| walk(i, rng) > i as f64);
+    for threads in [2, 8] {
+        let mean = adaptive_mean(&cfg, 0xADA7, threads, walk);
+        assert_eq!(mean.trials, mean_base.trials, "threads={threads}");
+        assert_eq!(mean.converged, mean_base.converged, "threads={threads}");
+        assert_eq!(
+            mean.stats.mean().to_bits(),
+            mean_base.stats.mean().to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            mean.half_width.to_bits(),
+            mean_base.half_width.to_bits(),
+            "threads={threads}"
+        );
+        let prop = adaptive_proportion(&cfg, 0xADA7, threads, |i, rng| walk(i, rng) > i as f64);
+        assert_eq!(prop, prop_base, "threads={threads}");
     }
 }
 
