@@ -1,0 +1,227 @@
+//! Ablation: the single-pass wide-frontier engine vs per-batch sweeping
+//! for the **all-pairs closure / instance diameter**, on the two workloads
+//! the issue tracker's perf acceptance names — the dense normalized U-RT
+//! clique (n = 1024 / 4096, where saturation early-exit cuts the pass to
+//! `O(diameter)` buckets and the single index walk amortises the
+//! per-edge-visit overhead ≈64×) and a sparse `G(n, p)` at lifetime
+//! `a = 4n` (mostly-empty buckets, where the occupied-times skip list
+//! replaces 64 cold walks of a long index with one walk of its non-empty
+//! entries).
+//!
+//! Beyond the criterion timings, a full run dumps the headline numbers —
+//! batch ns, wide ns, speedup, and the early-exit observability
+//! (`buckets_visited ≪ a` on the dense family) — to `BENCH_PR4.json` at
+//! the workspace root, so the repo carries a machine-readable perf
+//! trajectory (`--save-baseline` in spirit; the vendored criterion has no
+//! baselines). `-- --test` runs a reduced smoke configuration (small
+//! sizes, two samples, no JSON) — the CI gate that keeps this bench
+//! compiling and running.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::{sample_normalized_urt_clique, sample_urtn};
+use ephemeral_graph::generators;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::distance::InstanceDiameter;
+use ephemeral_temporal::engine::{batch_count, batch_range, BatchSweeper};
+use ephemeral_temporal::wide::{cache_block_count, source_blocks, WideStats, WideSweeper};
+use ephemeral_temporal::{TemporalNetwork, Time};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-batch reference: the pre-wide all-pairs closure loop — one 64-lane
+/// engine sweep per batch of sources, re-walking the bucket index per
+/// batch (with the engine's own per-batch saturation exit).
+fn batch_all_pairs(tn: &TemporalNetwork, sweeper: &mut BatchSweeper) -> InstanceDiameter {
+    let n = tn.num_nodes();
+    let mut sources = [0u32; 64];
+    let mut max_finite: Time = 0;
+    let mut unreachable_pairs = 0usize;
+    for b in 0..batch_count(n) {
+        let mut lanes = 0;
+        for s in batch_range(n, b) {
+            sources[lanes] = s;
+            lanes += 1;
+        }
+        let stats = sweeper.sweep(tn, &sources[..lanes], 0, |_, _, _| {});
+        max_finite = max_finite.max(stats.last_arrival);
+        unreachable_pairs += stats.unreached_pairs(n);
+    }
+    InstanceDiameter {
+        max_finite,
+        unreachable_pairs,
+    }
+}
+
+/// The wide engine as the entry points drive it: one single-pass sweep
+/// per cache-sized column block (`⌈n/1024⌉` passes; a single pass up to
+/// n = 1024), each walking only the occupied buckets with saturation
+/// early-exit. Exactly `instance_temporal_diameter_scratch`'s wide path,
+/// with the sweep stats kept for the early-exit observability.
+fn wide_all_pairs(
+    tn: &TemporalNetwork,
+    sweeper: &mut WideSweeper,
+) -> (InstanceDiameter, WideStats) {
+    let n = tn.num_nodes();
+    let mut max_finite: Time = 0;
+    let mut unreachable_pairs = 0usize;
+    let mut folded = WideStats {
+        lanes: 0,
+        reached_bits: 0,
+        last_arrival: 0,
+        buckets_visited: 0,
+    };
+    for block in source_blocks(n, cache_block_count(n)) {
+        let stats = sweeper.sweep(tn, block, 0, |_, _, _, _| {});
+        max_finite = max_finite.max(stats.last_arrival);
+        unreachable_pairs += stats.unreached_pairs(n);
+        folded.lanes += stats.lanes;
+        folded.reached_bits += stats.reached_bits;
+        folded.last_arrival = folded.last_arrival.max(stats.last_arrival);
+        folded.buckets_visited = folded.buckets_visited.max(stats.buckets_visited);
+    }
+    (
+        InstanceDiameter {
+            max_finite,
+            unreachable_pairs,
+        },
+        folded,
+    )
+}
+
+/// Median wall-clock of `reps` runs after one warm-up call.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    black_box(f());
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Workload {
+    name: &'static str,
+    tn: TemporalNetwork,
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let (clique_sizes, gnp_n): (&[usize], usize) = if smoke {
+        (&[256], 512)
+    } else {
+        (&[1024, 4096], 4096)
+    };
+    let mut out = Vec::new();
+    for &n in clique_sizes {
+        let mut rng = default_rng(1);
+        out.push(Workload {
+            name: match n {
+                256 => "clique_n256",
+                1024 => "clique_n1024",
+                _ => "clique_n4096",
+            },
+            tn: sample_normalized_urt_clique(n, true, &mut rng),
+        });
+    }
+    // Sparse availability: G(n, p) at average degree 4, one uniform label
+    // per edge over lifetime a = 4n — most buckets empty, the
+    // Akrida–Spirakis-style sparse regime.
+    let mut rng = default_rng(2);
+    let g = generators::gnp(gnp_n, 4.0 / gnp_n as f64, false, &mut rng);
+    out.push(Workload {
+        name: if smoke {
+            "gnp_n512_a4n"
+        } else {
+            "gnp_n4096_a4n"
+        },
+        tn: sample_urtn(g, 4 * gnp_n as Time, &mut rng),
+    });
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let loads = workloads(smoke);
+
+    // Sanity before timing: both engines agree on every workload.
+    for w in &loads {
+        let batch = batch_all_pairs(&w.tn, &mut BatchSweeper::new());
+        let (wide, _) = wide_all_pairs(&w.tn, &mut WideSweeper::new());
+        assert_eq!(batch, wide, "{}", w.name);
+    }
+
+    let mut group = c.benchmark_group("wide_vs_batch");
+    group.sample_size(if smoke { 2 } else { 10 });
+    for w in &loads {
+        // The 4096-clique takes ~1 s per batched run; leave it to the JSON
+        // headline pass below and keep criterion on the smaller sizes.
+        if w.name == "clique_n4096" {
+            continue;
+        }
+        let mut sweeper = BatchSweeper::new();
+        group.bench_function(format!("{}_batch", w.name), |b| {
+            b.iter(|| black_box(batch_all_pairs(&w.tn, &mut sweeper)))
+        });
+        let mut sweeper = WideSweeper::new();
+        group.bench_function(format!("{}_wide", w.name), |b| {
+            b.iter(|| black_box(wide_all_pairs(&w.tn, &mut sweeper)))
+        });
+    }
+    group.finish();
+
+    if smoke {
+        return;
+    }
+
+    // Headline pass: median-of-3 timings for every workload (the 4096s
+    // included), dumped as the machine-readable perf trajectory.
+    let reps = 3;
+    let mut rows = Vec::new();
+    for w in &loads {
+        let mut batch_sweeper = BatchSweeper::new();
+        let batch_ns = time_median(reps, || batch_all_pairs(&w.tn, &mut batch_sweeper)).as_nanos();
+        let mut wide_sweeper = WideSweeper::new();
+        let wide_ns = time_median(reps, || wide_all_pairs(&w.tn, &mut wide_sweeper)).as_nanos();
+        let (_, stats) = wide_all_pairs(&w.tn, &mut wide_sweeper);
+        let speedup = batch_ns as f64 / wide_ns as f64;
+        println!(
+            "wide_vs_batch/{}: batch {:.3} ms, wide {:.3} ms, speedup {:.2}x, \
+             buckets visited {}/{} (lifetime {}, occupied {})",
+            w.name,
+            batch_ns as f64 / 1e6,
+            wide_ns as f64 / 1e6,
+            speedup,
+            stats.buckets_visited,
+            w.tn.lifetime(),
+            w.tn.lifetime(),
+            w.tn.occupied_times().len(),
+        );
+        rows.push(format!(
+            "    {{\"workload\":\"{}\",\"n\":{},\"edges\":{},\"lifetime\":{},\"occupied\":{},\"batch_ns\":{},\"wide_ns\":{},\"speedup\":{:.2},\"wide_buckets_visited\":{},\"all_reached\":{}}}",
+            w.name,
+            w.tn.num_nodes(),
+            w.tn.graph().num_edges(),
+            w.tn.lifetime(),
+            w.tn.occupied_times().len(),
+            batch_ns,
+            wide_ns,
+            speedup,
+            stats.buckets_visited,
+            stats.all_reached(w.tn.num_nodes()),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\":\"wide_vs_batch\",\n  \"pr\":4,\n  \"op\":\"all_pairs_closure_diameter\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("headline numbers written to BENCH_PR4.json"),
+        Err(e) => eprintln!("could not write BENCH_PR4.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,7 +25,12 @@
 //! reproduces the uninterrupted output byte-for-byte).
 //! The Criterion benches (`cargo bench`) time the computational kernels
 //! behind each experiment at a fixed size; `adaptive_vs_fixed` measures
-//! what CI-driven stopping buys over the old hard-coded trial counts.
+//! what CI-driven stopping buys over the old hard-coded trial counts, and
+//! `wide_vs_batch` measures the single-pass wide-frontier engine against
+//! per-batch sweeping (dumping headline numbers to `BENCH_PR4.json`; its
+//! `-- --test` mode is the CI smoke gate). Sweep rows carry an `"engine"`
+//! field (`wide`/`batch`/`scalar`) naming the journey engine that served
+//! each cell.
 //!
 //! E02/E03/E04/E08 allocate their trials adaptively (see
 //! [`ExpConfig::adaptive`]); the remaining tables keep fixed counts where

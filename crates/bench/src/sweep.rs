@@ -131,16 +131,17 @@ impl SweepSpec {
             .derive(index as u64)
     }
 
-    /// A fingerprint of everything that determines a cell's numbers: the
-    /// seed, the adaptive stopping knobs, and the full grid. Stamped into
-    /// every row so `--resume` can tell rows of *this* sweep apart from a
-    /// file produced with a different seed, mode or grid — mismatched rows
-    /// are recomputed instead of silently corrupting the output.
+    /// A fingerprint of everything that determines a cell's row bytes:
+    /// the row format version, the seed, the adaptive stopping knobs, and
+    /// the full grid. Stamped into every row so `--resume` can tell rows
+    /// of *this* sweep apart from a file produced with a different seed,
+    /// mode, grid or row schema — mismatched rows are recomputed instead
+    /// of silently corrupting the output (splicing old-format rows in
+    /// would break the byte-identical resume contract).
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        // FNV-1a over a canonical description; stability across runs is all
-        // that matters (the value is never compared across versions — a
-        // format change invalidates resume files anyway).
+        // FNV-1a over a canonical description; stability across runs of
+        // one version is all that matters.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -148,6 +149,9 @@ impl SweepSpec {
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
         };
+        // Bumped whenever render_row's schema changes, so rows written by
+        // an older binary are recomputed rather than spliced in verbatim.
+        eat(b"rowfmt:2");
         eat(&self.seed.to_le_bytes());
         eat(&self.adaptive.target_half_width.to_bits().to_le_bytes());
         eat(&self.adaptive.confidence.to_bits().to_le_bytes());
@@ -164,7 +168,10 @@ impl SweepSpec {
 
 /// Render one completed cell as a JSON-lines row. All numeric fields use
 /// fixed formatting, so re-rendering the same outcome is byte-stable.
-/// `fingerprint` is the owning spec's [`SweepSpec::fingerprint`].
+/// `fingerprint` is the owning spec's [`SweepSpec::fingerprint`]. The
+/// `engine` field names the journey engine that served the cell
+/// (`"wide"` / `"batch"` / `"scalar"`), so a perf regression in the sweep
+/// path is attributable to the engine that produced it.
 #[must_use]
 pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> String {
     let half_width = if out.half_width.is_finite() {
@@ -173,7 +180,7 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         "null".to_owned()
     };
     format!(
-        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4}}}",
+        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"engine\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4}}}",
         json_string(&cell.id()),
         json_string(&cell.family.name()),
         json_string(&cell.model.name()),
@@ -183,6 +190,7 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         out.nodes,
         out.edges,
         out.lifetime,
+        json_string(out.engine),
         out.trials,
         out.converged,
         out.estimate,

@@ -4,10 +4,11 @@
 //! `TD(G) = E[max_{s,t} δ(s,t)]` over the random labelling. Per trial we
 //! draw a fresh UNI-CASE assignment into per-worker scratch buffers over a
 //! shared graph CSR, rebuild the time-edge index in place, and compute the
-//! instance diameter exactly through the bit-parallel engine (one sweep per
-//! batch of 64 sources instead of `n` scalar sweeps), then summarise across
-//! trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p. for the directed
-//! normalized U-RT clique; experiment E02 fits `γ`.
+//! instance diameter exactly through whichever journey engine the size
+//! selects — the single-pass wide-frontier sweep at
+//! `n ≥ WIDE_CROSSOVER`, the 64-lane batched engine below — then
+//! summarise across trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p. for
+//! the directed normalized U-RT clique; experiment E02 fits `γ`.
 
 use ephemeral_graph::{generators, Graph};
 use ephemeral_parallel::adaptive::{
@@ -17,9 +18,9 @@ use ephemeral_parallel::stats::{OnlineStats, Summary};
 use ephemeral_parallel::{available_threads, par_for_with};
 use ephemeral_rng::SeedSequence;
 use ephemeral_temporal::distance::{
-    instance_temporal_diameter, instance_temporal_diameter_reusing,
+    instance_temporal_diameter, instance_temporal_diameter_scratch,
 };
-use ephemeral_temporal::engine::BatchSweeper;
+use ephemeral_temporal::wide::SweepScratch;
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
 
 /// Monte Carlo estimate of the temporal diameter of a random temporal
@@ -40,13 +41,13 @@ pub struct TemporalDiameterEstimate {
 
 /// Per-worker trial scratch: one owned copy of the network whose labels are
 /// redrawn in place each trial, the spare assignment the draw writes into,
-/// and the engine sweeper — so a full Monte Carlo run performs no
+/// and both journey-engine sweepers — so a full Monte Carlo run performs no
 /// per-trial allocation once the buffers are warm (locked in by the
 /// allocation regression test in `tests/alloc_regression.rs`).
 struct TrialScratch {
     tn: TemporalNetwork,
     spare: LabelAssignment,
-    sweeper: BatchSweeper,
+    sweeper: SweepScratch,
 }
 
 impl TrialScratch {
@@ -54,13 +55,16 @@ impl TrialScratch {
         Self {
             tn: crate::urtn::placeholder_network(graph, lifetime),
             spare: LabelAssignment::default(),
-            sweeper: BatchSweeper::new(),
+            sweeper: SweepScratch::new(),
         }
     }
 
     /// Draw trial `trial`'s labels into the spare buffers, swap them into
-    /// the network, and return the instance diameter (engine batches run on
-    /// `inner_threads`; 1 reuses this scratch's sweeper).
+    /// the network, and return the instance diameter. The engine is picked
+    /// by size (wide at `n ≥ WIDE_CROSSOVER`, batched below);
+    /// `inner_threads > 1` additionally shards the instance across
+    /// workers, 1 reuses this scratch's sweepers. Both paths report
+    /// identical numbers.
     fn run_trial(
         &mut self,
         seq: &SeedSequence,
@@ -70,7 +74,7 @@ impl TrialScratch {
         let mut rng = seq.rng(trial as u64);
         crate::urtn::resample_single_in_place(&mut self.tn, &mut self.spare, &mut rng);
         let d = if inner_threads <= 1 {
-            instance_temporal_diameter_reusing(&self.tn, &mut self.sweeper)
+            instance_temporal_diameter_scratch(&self.tn, &mut self.sweeper)
         } else {
             instance_temporal_diameter(&self.tn, inner_threads)
         };

@@ -110,7 +110,9 @@ pub struct FloodEstimate {
 /// labels are redrawn into scratch buffers and the time-edge index is
 /// rebuilt in place, so the loop does not reallocate the network (the
 /// batch-scheduled sibling of `diameter::td_montecarlo` — flooding itself
-/// is inherently single-source, so the per-trial sweep stays scalar).
+/// is inherently single-source, so the per-trial sweep stays scalar at
+/// every size: sweep rows attribute it as engine `"scalar"`, never
+/// `"wide"`).
 ///
 /// # Panics
 /// If `trials == 0`, `lifetime == 0`, or `source` is out of range.

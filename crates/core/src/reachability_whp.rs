@@ -7,14 +7,17 @@ use ephemeral_graph::Graph;
 use ephemeral_parallel::adaptive::{adaptive_proportion_with, AdaptiveConfig, AdaptiveProportion};
 use ephemeral_parallel::{MonteCarlo, Proportion};
 use ephemeral_rng::SeedSequence;
-use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::reachability::treach_holds_scratch;
+use ephemeral_temporal::wide::SweepScratch;
 use ephemeral_temporal::{LabelAssignment, Time};
 
 /// Monte Carlo estimate of `P[T_reach]` for `r` i.i.d. uniform labels per
 /// edge over `graph` with the given lifetime. Each worker owns one copy of
 /// the graph CSR and redraws labels into scratch buffers per trial; the
-/// `T_reach` check itself runs 64 sources per pass through the batch
-/// engine.
+/// `T_reach` check itself dispatches by size — 64 sources per pass
+/// through the batch engine below the wide crossover, a probe-first
+/// single-pass wide sweep above it (see
+/// `ephemeral_temporal::wide::WIDE_CROSSOVER`).
 ///
 /// # Panics
 /// If `r == 0`, `lifetime == 0` or `trials == 0`.
@@ -36,15 +39,16 @@ pub fn treach_probability(
                 (
                     crate::urtn::placeholder_network(graph, lifetime),
                     LabelAssignment::default(),
+                    SweepScratch::new(),
                 )
             },
-            |(tn, spare), _, rng| {
+            |(tn, spare, sweep), _, rng| {
                 model.assign_into(tn.graph().num_edges(), rng, spare);
                 let drawn = std::mem::take(spare);
                 *spare = tn
                     .replace_assignment(drawn)
                     .expect("model labels fit the lifetime");
-                treach_holds(tn, 1)
+                treach_holds_scratch(tn, sweep)
             },
         )
 }
@@ -76,15 +80,16 @@ pub fn treach_probability_adaptive(
             (
                 crate::urtn::placeholder_network(graph, lifetime),
                 LabelAssignment::default(),
+                SweepScratch::new(),
             )
         },
-        |(tn, spare), _, rng| {
+        |(tn, spare, sweep), _, rng| {
             model.assign_into(tn.graph().num_edges(), rng, spare);
             let drawn = std::mem::take(spare);
             *spare = tn
                 .replace_assignment(drawn)
                 .expect("model labels fit the lifetime");
-            treach_holds(tn, 1)
+            treach_holds_scratch(tn, sweep)
         },
     )
 }

@@ -19,9 +19,9 @@ use ephemeral_parallel::adaptive::{
     run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator, ProportionAccumulator,
 };
 use ephemeral_rng::{DefaultRng, RandomSource, SeedSequence};
-use ephemeral_temporal::distance::instance_temporal_diameter_reusing;
-use ephemeral_temporal::engine::BatchSweeper;
-use ephemeral_temporal::reachability::treach_holds;
+use ephemeral_temporal::distance::instance_temporal_diameter_scratch;
+use ephemeral_temporal::reachability::treach_holds_scratch;
+use ephemeral_temporal::wide::{engine_for, EngineKind, SweepScratch};
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
 
 /// Seed stream tag for the (possibly random) substrate graph.
@@ -244,6 +244,19 @@ impl Metric {
             Self::FloodTime => "flood",
         }
     }
+
+    /// The journey engine that serves this metric on an instance with
+    /// `nodes` vertices — the attribution `experiments sweep` rows carry
+    /// so perf regressions in the sweep path are traceable. Flooding is
+    /// inherently single-source and stays on the scalar sweep; the
+    /// all-pairs metrics dispatch on the wide-engine crossover.
+    #[must_use]
+    pub const fn engine(&self, nodes: usize) -> EngineKind {
+        match self {
+            Self::FloodTime => EngineKind::Scalar,
+            Self::TemporalDiameter | Self::TreachProbability => engine_for(nodes),
+        }
+    }
 }
 
 /// One fully specified experiment cell.
@@ -283,15 +296,22 @@ pub struct ScenarioOutcome {
     /// Fraction of trials excluded from the estimate (infinite diameters /
     /// incomplete floods; always 0 for probability metrics).
     pub failures: f64,
+    /// Short name of the journey engine that served every trial
+    /// (`"wide"` / `"batch"` / `"scalar"`, see [`Metric::engine`]) — the
+    /// attribution sweep rows report so perf regressions are traceable.
+    pub engine: &'static str,
 }
 
 /// Per-worker trial scratch: an owned network whose labels are redrawn in
-/// place, the spare assignment the draw writes into, and the engine
-/// sweeper (same zero-allocation warm loop as `diameter::td_montecarlo`).
+/// place, the spare assignment the draw writes into, and both journey
+/// engines' sweepers (the crossover picks which engine runs). The
+/// diameter metric reuses every buffer like `diameter::td_montecarlo`
+/// (zero warm-trial allocations); `T_reach` reuses the heavy sweep
+/// frontiers but still runs its small static-components pass per trial.
 struct Scratch {
     tn: TemporalNetwork,
     spare: LabelAssignment,
-    sweeper: BatchSweeper,
+    sweeper: SweepScratch,
 }
 
 impl Scratch {
@@ -299,7 +319,7 @@ impl Scratch {
         Self {
             tn: placeholder_network(graph, lifetime),
             spare: LabelAssignment::default(),
-            sweeper: BatchSweeper::new(),
+            sweeper: SweepScratch::new(),
         }
     }
 
@@ -360,7 +380,7 @@ impl Scenario {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
                         s.redraw(model, rng);
-                        let d = instance_temporal_diameter_reusing(&s.tn, &mut s.sweeper);
+                        let d = instance_temporal_diameter_scratch(&s.tn, &mut s.sweeper);
                         match d.value() {
                             Some(v) => (f64::from(v), true),
                             None => (0.0, false),
@@ -383,7 +403,7 @@ impl Scenario {
                 let run: AdaptiveRun<ProportionAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
                         s.redraw(model, rng);
-                        treach_holds(&s.tn, 1)
+                        treach_holds_scratch(&s.tn, &mut s.sweeper)
                     });
                 let p = run.accumulator.successes as f64 / run.accumulator.count.max(1) as f64;
                 (p, run.half_width, run.trials, run.converged, 0.0)
@@ -399,6 +419,7 @@ impl Scenario {
             trials,
             converged,
             failures,
+            engine: self.metric.engine(nodes).name(),
         }
     }
 }
@@ -543,6 +564,42 @@ mod tests {
         .evaluate(&quick_cfg(), 4, 2);
         assert_eq!(out.failures, 0.0);
         assert!(out.estimate >= 2.0 && out.estimate <= 8.0 * 64f64.ln());
+    }
+
+    #[test]
+    fn outcomes_attribute_the_serving_engine() {
+        use ephemeral_temporal::wide::WIDE_CROSSOVER;
+        let mk = |metric, n| Scenario {
+            family: GraphFamily::Clique { directed: true },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric,
+            n,
+        };
+        let small = mk(Metric::TemporalDiameter, 32).evaluate(&quick_cfg(), 1, 1);
+        assert_eq!(small.engine, "batch");
+        let flood = mk(Metric::FloodTime, 32).evaluate(&quick_cfg(), 1, 1);
+        assert_eq!(flood.engine, "scalar");
+        // Above the crossover the all-pairs metrics ride the wide engine.
+        assert_eq!(
+            Metric::TemporalDiameter.engine(WIDE_CROSSOVER).name(),
+            "wide"
+        );
+        assert_eq!(
+            Metric::TreachProbability.engine(WIDE_CROSSOVER).name(),
+            "wide"
+        );
+        assert_eq!(Metric::FloodTime.engine(WIDE_CROSSOVER).name(), "scalar");
+        let wide = mk(Metric::TemporalDiameter, WIDE_CROSSOVER + 8).evaluate(
+            &AdaptiveConfig::new(5.0)
+                .with_min_trials(2)
+                .with_batch(2)
+                .with_max_trials(4),
+            1,
+            1,
+        );
+        assert_eq!(wide.engine, "wide");
+        assert_eq!(wide.failures, 0.0, "the clique always has the direct arc");
     }
 
     #[test]

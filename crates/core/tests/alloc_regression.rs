@@ -1,10 +1,11 @@
 //! Allocation-count regression test for the Monte Carlo hot loop.
 //!
 //! The per-trial path — draw a UNI-CASE assignment into scratch, swap it
-//! into the network with an in-place bucket rebuild, run the batch engine —
-//! is designed to allocate **nothing** once its buffers are warm. A
-//! counting global allocator pins that down; a regression here means a
-//! `Vec` started being reborn per trial somewhere in the loop.
+//! into the network with an in-place bucket rebuild (occupied-times skip
+//! list included), run the batch or wide engine — is designed to allocate
+//! **nothing** once its buffers are warm. A counting global allocator
+//! pins that down; a regression here means a `Vec` started being reborn
+//! per trial somewhere in the loop.
 //!
 //! This file deliberately holds a single `#[test]`: the counter is global
 //! to the test binary, so concurrent tests would pollute the count.
@@ -15,6 +16,7 @@ use ephemeral_graph::generators;
 use ephemeral_rng::default_rng;
 use ephemeral_temporal::distance::instance_temporal_diameter_reusing;
 use ephemeral_temporal::engine::BatchSweeper;
+use ephemeral_temporal::wide::WideSweeper;
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,5 +102,68 @@ fn warm_montecarlo_trials_do_not_allocate() {
     assert_eq!(
         during, 0,
         "assign_into must reuse the scratch assignment's buffers"
+    );
+
+    // The wide-engine trial path: same draw-and-swap loop, but the sweep
+    // is a single wide pass over the occupied-times index. Covers both
+    // the sweeper's n×W frontier matrices and the occupied skip list's
+    // in-place rebuild inside replace_assignment.
+    let mut wide = WideSweeper::new();
+    let n_nodes = tn.num_nodes() as u32;
+    let mut warm = 0u64;
+    for _ in 0..3 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let stats = wide.sweep(&tn, 0..n_nodes, 0, |_, _, _, _| {});
+        warm += u64::from(stats.last_arrival);
+    }
+    assert!(warm > 0, "clique trials produce arrivals");
+
+    let before = allocations();
+    let mut acc = 0u64;
+    let mut occupied_seen = 0usize;
+    for _ in 0..20 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        occupied_seen += tn.occupied_times().len();
+        let stats = wide.sweep(&tn, 0..n_nodes, 0, |_, _, _, _| {});
+        acc += u64::from(stats.last_arrival) + stats.reached_bits as u64;
+    }
+    let during = allocations() - before;
+    assert!(acc > 0 && occupied_seen > 0, "keep the loop observable");
+    assert_eq!(
+        during, 0,
+        "warm wide-engine trials (occupied-index rebuild included) must \
+         not allocate (saw {during} allocations in 20 trials)"
+    );
+
+    // The dispatching scratch path above the crossover — what
+    // `td_montecarlo` and `Scenario::evaluate` actually run per trial at
+    // large n: resample in place, then `instance_temporal_diameter_scratch`
+    // (wide engine, cache-blocked schedule via the allocation-free
+    // `cache_blocks` iterator).
+    use ephemeral_core::urtn::placeholder_network;
+    use ephemeral_temporal::distance::instance_temporal_diameter_scratch;
+    use ephemeral_temporal::wide::{engine_for, EngineKind, SweepScratch, WIDE_CROSSOVER};
+    let n_wide = WIDE_CROSSOVER + 64;
+    assert_eq!(engine_for(n_wide), EngineKind::Wide);
+    let graph = generators::clique(n_wide, true);
+    let mut tn = placeholder_network(&graph, n_wide as u32);
+    let mut scratch = SweepScratch::new();
+    for _ in 0..3 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let _ = instance_temporal_diameter_scratch(&tn, &mut scratch);
+    }
+    let before = allocations();
+    let mut acc = 0u64;
+    for _ in 0..10 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let d = instance_temporal_diameter_scratch(&tn, &mut scratch);
+        acc += u64::from(d.max_finite) + d.unreachable_pairs as u64;
+    }
+    let during = allocations() - before;
+    assert!(acc > 0, "keep the loop observable");
+    assert_eq!(
+        during, 0,
+        "warm wide-dispatch trials above the crossover must not allocate \
+         (saw {during} allocations in 10 trials)"
     );
 }

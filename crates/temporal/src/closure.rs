@@ -5,16 +5,19 @@
 //! asked. [`ReachabilityMatrix`] packs the closure into `n²/8` bytes of
 //! `u64` words and answers pair queries, per-source counts, and the
 //! pair-deficit (how many ordered pairs lack a journey) with word-parallel
-//! popcounts. The closure is computed by the bit-parallel
-//! [`engine`](crate::engine) — one sweep per batch of 64 sources instead of
-//! one per source — and the per-source scalar sweep remains the
-//! differential oracle (see this module's tests and
-//! `tests/engine_proptests.rs`).
+//! popcounts. The closure is computed by whichever engine the size
+//! selects: the single-pass [`wide`](crate::wide) engine at
+//! `n ≥ WIDE_CROSSOVER` (with saturation early-exit and empty-bucket
+//! skipping), one [`engine`](crate::engine) sweep per batch of 64 sources
+//! below — and the per-source scalar sweep remains the differential
+//! oracle (see this module's tests, `tests/engine_proptests.rs` and
+//! `tests/wide_proptests.rs`).
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::network::TemporalNetwork;
+use crate::wide::{cache_block_count, engine_for, source_blocks, EngineKind, WideSweeper};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for_with;
+use ephemeral_parallel::{par_for_with, par_map_with};
 
 /// Bit-packed `n × n` temporal reachability closure (row = source).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,29 +29,51 @@ pub struct ReachabilityMatrix {
 
 impl ReachabilityMatrix {
     /// Compute the closure: bit `(s, t)` is set iff a journey `s → t`
-    /// exists (diagonal bits are set — a vertex reaches itself). One engine
-    /// sweep per batch of 64 sources, batches fanned out over `threads`.
+    /// exists (diagonal bits are set — a vertex reaches itself). At
+    /// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
+    /// (blocks fanned out over `threads`); below, one engine sweep per
+    /// batch of 64 sources. Both paths produce identical bits.
     #[must_use]
     pub fn compute(tn: &TemporalNetwork, threads: usize) -> Self {
         let n = tn.num_nodes();
         let words_per_row = n.div_ceil(64);
-        let chunks = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-            let batch = batch_range(n, b);
-            let sources: Vec<NodeId> = batch.collect();
-            sweeper.sweep(tn, &sources, 0, |_, _, _| {});
-            // Transpose the sweeper's per-vertex lane words into per-source
-            // rows of target bits: O(reached pairs) single-bit sets.
-            let mut rows = vec![0u64; sources.len() * words_per_row];
-            for v in 0..n {
-                let mut lanes = sweeper.lanes_reaching(v as NodeId);
-                while lanes != 0 {
-                    let lane = lanes.trailing_zeros() as usize;
-                    rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
-                    lanes &= lanes - 1;
+        let chunks = if engine_for(n) == EngineKind::Wide {
+            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+            par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
+                sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
+                // Transpose the sweeper's per-vertex lane words into
+                // per-source rows of target bits: O(reached pairs)
+                // single-bit sets.
+                let mut rows = vec![0u64; block.len() * words_per_row];
+                for v in 0..n {
+                    for w in 0..sweeper.words_per_row() {
+                        let mut lanes = sweeper.reach_word(v as NodeId, w);
+                        while lanes != 0 {
+                            let lane = w * 64 + lanes.trailing_zeros() as usize;
+                            rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                            lanes &= lanes - 1;
+                        }
+                    }
                 }
-            }
-            rows
-        });
+                rows
+            })
+        } else {
+            par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+                let batch = batch_range(n, b);
+                let sources: Vec<NodeId> = batch.collect();
+                sweeper.sweep(tn, &sources, 0, |_, _, _| {});
+                let mut rows = vec![0u64; sources.len() * words_per_row];
+                for v in 0..n {
+                    let mut lanes = sweeper.lanes_reaching(v as NodeId);
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                        lanes &= lanes - 1;
+                    }
+                }
+                rows
+            })
+        };
         let mut bits = Vec::with_capacity(n * words_per_row);
         for chunk in chunks {
             bits.extend(chunk);
@@ -191,5 +216,22 @@ mod tests {
             ReachabilityMatrix::compute(&tn, 1),
             ReachabilityMatrix::compute(&tn, 4)
         );
+    }
+
+    #[test]
+    fn wide_path_matches_per_source_reach() {
+        // Above the crossover the wide engine serves the closure; pin it
+        // against the scalar oracle and the thread-count invariance.
+        let n = crate::wide::WIDE_CROSSOVER + 13;
+        let tn = random_network(21, n);
+        let m = ReachabilityMatrix::compute(&tn, 1);
+        assert_eq!(m, ReachabilityMatrix::compute(&tn, 4));
+        let mut brute_missing = 0;
+        for s in 0..n as u32 {
+            let reach = temporal_reach(&tn, s);
+            assert_eq!(m.out_count(s), reach.iter().filter(|&&b| b).count());
+            brute_missing += reach.iter().filter(|&&b| !b).count();
+        }
+        assert_eq!(m.missing_pairs(), brute_missing);
     }
 }

@@ -2,20 +2,26 @@
 //!
 //! The paper's Temporal Diameter (Definition 5) is the **expectation over
 //! random instances** of `max_{s,t} δ(s,t)`; this module computes the inner
-//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly,
-//! through the bit-parallel [`engine`](crate::engine): one sweep per batch
-//! of 64 sources (batches fanned out over threads) instead of one scalar
-//! sweep per source. The instance diameter needs no arrival matrix at all —
-//! it is the last time any (source, vertex) bit newly sets. The Monte Carlo
+//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly. At
+//! `n ≥` [`WIDE_CROSSOVER`](crate::wide::WIDE_CROSSOVER) it runs through
+//! the single-pass [`wide`](crate::wide) engine (all sources at once, with
+//! saturation early-exit and empty-bucket skipping); below, through the
+//! bit-parallel [`engine`](crate::engine), one sweep per batch of 64
+//! sources. The instance diameter needs no arrival matrix at all — it is
+//! the last time any (source, vertex) bit newly sets. The Monte Carlo
 //! expectation lives in `ephemeral-core::diameter`; the scalar `foremost`
 //! sweep remains the differential oracle for all of this.
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
+use crate::wide::{
+    cache_block_count, cache_blocks, engine_for, source_blocks, EngineKind, SweepScratch,
+    WideSweeper,
+};
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for_with;
+use ephemeral_parallel::{par_for_with, par_map_with};
 
 /// Temporal distances `δ(source, ·)` (earliest arrivals from start time 0);
 /// [`NEVER`] marks unreachable vertices, and `δ(s, s) = 0`.
@@ -61,18 +67,29 @@ impl DistanceMatrix {
     }
 }
 
-/// All-pairs temporal distances: one engine sweep per batch of 64 sources,
-/// parallel over batches. `O(⌈n/64⌉ · (M + a) + n²)` work, and every entry
-/// bit-identical to a per-source scalar sweep.
+/// All-pairs temporal distances, engine-dispatched by size: at
+/// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
+/// (`O(M·⌈n/64⌉ + occupied + n²)` work, parallel over blocks); below, one
+/// engine sweep per batch of 64 sources, parallel over batches. Every
+/// entry bit-identical to a per-source scalar sweep on either path.
 #[must_use]
 pub fn all_pairs_temporal_distances(tn: &TemporalNetwork, threads: usize) -> DistanceMatrix {
     let n = tn.num_nodes();
-    let chunks = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-        let sources: Vec<NodeId> = batch_range(n, b).collect();
-        let mut rows = vec![NEVER; sources.len() * n];
-        sweeper.arrivals_into(tn, &sources, 0, &mut rows);
-        rows
-    });
+    let chunks = if engine_for(n) == EngineKind::Wide {
+        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+        par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
+            let mut rows = vec![NEVER; block.len() * n];
+            sweeper.arrivals_into(tn, block.clone(), 0, &mut rows);
+            rows
+        })
+    } else {
+        par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+            let sources: Vec<NodeId> = batch_range(n, b).collect();
+            let mut rows = vec![NEVER; sources.len() * n];
+            sweeper.arrivals_into(tn, &sources, 0, &mut rows);
+            rows
+        })
+    };
     let mut data = Vec::with_capacity(n * n);
     for chunk in chunks {
         data.extend(chunk);
@@ -117,22 +134,36 @@ impl InstanceDiameter {
     }
 }
 
-/// Compute the instance temporal diameter: one engine sweep per batch of 64
-/// sources, parallel over batches. No arrival matrix is materialised — per
-/// batch, the diameter contribution is simply the last time any bit newly
-/// set ([`crate::engine::SweepStats::last_arrival`]).
+/// Compute the instance temporal diameter, engine-dispatched by size: at
+/// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
+/// (parallel over blocks, with saturation early-exit and empty-bucket
+/// skipping); below, one engine sweep per batch of 64 sources, parallel
+/// over batches. No arrival matrix is materialised — the diameter
+/// contribution is simply the last time any bit newly set.
 #[must_use]
 pub fn instance_temporal_diameter(tn: &TemporalNetwork, threads: usize) -> InstanceDiameter {
     let n = tn.num_nodes();
-    let per_batch = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-        diameter_batch(tn, sweeper, b)
-    });
-    reduce_batches(per_batch)
+    if engine_for(n) == EngineKind::Wide {
+        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+        let per_block = par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
+            let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
+            (stats.last_arrival, stats.unreached_pairs(n))
+        });
+        reduce_batches(per_block)
+    } else {
+        let per_batch = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+            diameter_batch(tn, sweeper, b)
+        });
+        reduce_batches(per_batch)
+    }
 }
 
 /// Sequential [`instance_temporal_diameter`] reusing a caller-owned sweeper
 /// — the zero-allocation inner loop of the Monte Carlo estimators in
 /// `ephemeral-core`, which keep one sweeper per worker across trials.
+/// Always runs the batched engine; use
+/// [`instance_temporal_diameter_scratch`] to dispatch to the wide engine
+/// above the crossover.
 #[must_use]
 pub fn instance_temporal_diameter_reusing(
     tn: &TemporalNetwork,
@@ -140,6 +171,30 @@ pub fn instance_temporal_diameter_reusing(
 ) -> InstanceDiameter {
     let n = tn.num_nodes();
     reduce_batches((0..batch_count(n)).map(|b| diameter_batch(tn, sweeper, b)))
+}
+
+/// Sequential instance temporal diameter picking the engine by size — the
+/// zero-allocation per-trial path of the Monte Carlo estimators in
+/// `ephemeral-core` (locked in by `crates/core/tests/alloc_regression.rs`
+/// on both sides of the crossover): at `n ≥ WIDE_CROSSOVER` one
+/// single-pass wide sweep per cache-sized column block out of
+/// `scratch.wide` ([`cache_blocks`] iterates the schedule without
+/// allocating), below `⌈n/64⌉` batched sweeps out of `scratch.batch`.
+/// Both paths report identical numbers.
+#[must_use]
+pub fn instance_temporal_diameter_scratch(
+    tn: &TemporalNetwork,
+    scratch: &mut SweepScratch,
+) -> InstanceDiameter {
+    let n = tn.num_nodes();
+    if engine_for(n) == EngineKind::Wide {
+        reduce_batches(cache_blocks(n).map(|block| {
+            let stats = scratch.wide.sweep(tn, block, 0, |_, _, _, _| {});
+            (stats.last_arrival, stats.unreached_pairs(n))
+        }))
+    } else {
+        instance_temporal_diameter_reusing(tn, &mut scratch.batch)
+    }
 }
 
 fn diameter_batch(tn: &TemporalNetwork, sweeper: &mut BatchSweeper, b: usize) -> (Time, usize) {
@@ -290,6 +345,40 @@ mod tests {
         }
         assert_eq!(d.max_finite, max);
         assert_eq!(d.unreachable_pairs, missing);
+    }
+
+    #[test]
+    fn wide_path_matches_scalar_above_the_crossover() {
+        // Above WIDE_CROSSOVER the wide engine serves all-pairs distances
+        // and the instance diameter; pin both against the scalar oracle,
+        // the batched reference, and across thread counts.
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let n = crate::wide::WIDE_CROSSOVER + 21;
+        let mut rng = SeedSequence::new(5).rng(3);
+        let g = generators::gnp(n, 0.04, false, &mut rng);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 96)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 96).unwrap();
+        let m = all_pairs_temporal_distances(&tn, 1);
+        assert_eq!(m, all_pairs_temporal_distances(&tn, 4));
+        for s in (0..n as u32).step_by(17) {
+            assert_eq!(m.row(s), temporal_distances(&tn, s).as_slice(), "row {s}");
+        }
+        let d = instance_temporal_diameter(&tn, 3);
+        let mut batch = crate::engine::BatchSweeper::new();
+        assert_eq!(d, instance_temporal_diameter_reusing(&tn, &mut batch));
+        let mut scratch = crate::wide::SweepScratch::new();
+        assert_eq!(d, instance_temporal_diameter_scratch(&tn, &mut scratch));
+    }
+
+    #[test]
+    fn scratch_dispatch_matches_below_the_crossover() {
+        let tn = cycle_network();
+        let mut scratch = crate::wide::SweepScratch::new();
+        assert_eq!(
+            instance_temporal_diameter_scratch(&tn, &mut scratch),
+            instance_temporal_diameter(&tn, 1)
+        );
     }
 
     #[test]

@@ -33,10 +33,14 @@
 //! [`ReachabilityMatrix`](crate::closure::ReachabilityMatrix), the
 //! all-pairs [`DistanceMatrix`](crate::distance::DistanceMatrix),
 //! [`instance_temporal_diameter`](crate::distance::instance_temporal_diameter)
-//! and the `T_reach` checks in [`reachability`](crate::reachability) are
-//! thin wrappers over this kernel (≈64× fewer index passes than their old
-//! source-at-a-time loops); the scalar `foremost` stays as the
-//! differential-testing oracle.
+//! and the `T_reach` checks in [`reachability`](crate::reachability) run
+//! through this kernel below
+//! [`WIDE_CROSSOVER`](crate::wide::WIDE_CROSSOVER) (≈64× fewer index
+//! passes than their old source-at-a-time loops) and through the
+//! single-pass [`wide`](crate::wide) engine above it; the batched sweeper
+//! remains the engine of choice for **few-source** queries at any size,
+//! and the scalar `foremost` stays as the differential-testing oracle for
+//! both.
 
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};

@@ -28,15 +28,24 @@
 //!   **bit-identical** to per-source scalar `foremost` sweeps (property
 //!   tests in `tests/engine_proptests.rs` enforce this; the scalar sweep
 //!   stays as the differential-testing oracle).
+//! * [`wide`]: the wide-frontier closure engine — **all `n` sources in a
+//!   single time-ordered pass** (`⌈n/64⌉` frontier words per vertex), with
+//!   saturation early-exit, empty-bucket skipping over
+//!   [`TemporalNetwork::occupied_times`], and deterministic column-block
+//!   sharding for intra-instance parallelism; arrivals bit-identical to
+//!   both the batched engine and the scalar oracle
+//!   (`tests/wide_proptests.rs`).
 //! * [`distance`]: all-pairs temporal distances, temporal eccentricity and
-//!   the instance temporal diameter (batched through the engine, parallel
-//!   over batches of 64 sources).
+//!   the instance temporal diameter — served by the wide engine at
+//!   `n ≥` [`wide::WIDE_CROSSOVER`] and the batched engine below.
 //! * [`reachability`]: temporal reach sets and the paper's `T_reach`
 //!   property ("every static path is matched by a journey", Definition 6) —
-//!   batch-engine checks with per-batch early exit.
-//! * [`closure`]: bit-packed all-pairs reachability computed by the engine;
-//!   [`metrics`]: whole-network summary statistics (temporal efficiency
-//!   etc.).
+//!   engine-dispatched checks with early exit (per batch below the
+//!   crossover, probe-block-first above it).
+//! * [`closure`]: bit-packed all-pairs reachability computed by whichever
+//!   engine the size selects; [`metrics`]: whole-network summary
+//!   statistics (temporal efficiency etc.), engine-dispatched the same
+//!   way.
 //! * [`expanded`]: the Kempe–Kleinberg–Kumar time-expanded graph with
 //!   max-flow counting of time-edge-disjoint journeys.
 //! * In-place reuse: [`LabelAssignment::refill_single`] /
@@ -80,6 +89,7 @@ mod network;
 pub mod reachability;
 pub mod reference;
 pub mod reverse;
+pub mod wide;
 
 pub use assignment::LabelAssignment;
 pub use journey::{Journey, JourneyError, TimeEdge};

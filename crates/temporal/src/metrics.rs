@@ -1,18 +1,23 @@
 //! Whole-network temporal metrics.
 //!
-//! Summary statistics over all ordered pairs, computed from one foremost
-//! sweep per source (parallel over sources): reachability ratio, average
+//! Summary statistics over all ordered pairs: reachability ratio, average
 //! temporal distance, and global **temporal efficiency** — the temporal
 //! analogue of static network efficiency,
 //! `E = (1/(n(n−1))) · Σ_{s≠t} 1/δ(s,t)` with `1/∞ = 0`, as used in the
 //! temporal small-world literature the paper's related-work section
-//! surveys.
+//! surveys. Below the crossover the metrics run one scalar foremost sweep
+//! per source (parallel over sources); at `n ≥ WIDE_CROSSOVER` they run
+//! through the single-pass [`wide`](crate::wide) engine, accumulating
+//! each source's row in vertex order so every number — including the
+//! floating-point sums — is bit-identical to the scalar path and
+//! invariant under the thread count.
 
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::NEVER;
+use crate::wide::{cache_block_count, engine_for, source_blocks, EngineKind, WideSweeper};
+use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for;
+use ephemeral_parallel::{par_for, par_map_with};
 
 /// All-pairs summary metrics of one temporal network instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +38,29 @@ pub struct TemporalMetrics {
     pub temporal_efficiency: f64,
 }
 
-/// Compute the metrics with one parallel foremost sweep per source.
+/// Per-source accumulation of one arrival row, in vertex order — shared
+/// by the scalar and wide paths so their floating-point sums agree bit
+/// for bit.
+fn accumulate_row(s: usize, arrivals: &[Time]) -> (usize, u64, u32, f64) {
+    let mut reach = 0usize;
+    let mut sum = 0u64;
+    let mut max = 0u32;
+    let mut eff = 0.0f64;
+    for (v, &a) in arrivals.iter().enumerate() {
+        if v == s || a == NEVER {
+            continue;
+        }
+        reach += 1;
+        sum += u64::from(a);
+        max = max.max(a);
+        // δ(s,t) ≥ 1 always (labels start at 1), so 1/δ ≤ 1.
+        eff += 1.0 / f64::from(a.max(1));
+    }
+    (reach, sum, max, eff)
+}
+
+/// Compute the metrics: one parallel foremost sweep per source below the
+/// crossover, single-pass wide sweeps (one per column block) above it.
 #[must_use]
 pub fn temporal_metrics(tn: &TemporalNetwork, threads: usize) -> TemporalMetrics {
     let n = tn.num_nodes();
@@ -47,24 +74,27 @@ pub fn temporal_metrics(tn: &TemporalNetwork, threads: usize) -> TemporalMetrics
             temporal_efficiency: 0.0,
         };
     }
-    let per_source = par_for(n, threads, |s| {
-        let run = foremost(tn, s as NodeId, 0);
-        let mut reach = 0usize;
-        let mut sum = 0u64;
-        let mut max = 0u32;
-        let mut eff = 0.0f64;
-        for (v, &a) in run.arrivals().iter().enumerate() {
-            if v == s || a == NEVER {
-                continue;
-            }
-            reach += 1;
-            sum += u64::from(a);
-            max = max.max(a);
-            // δ(s,t) ≥ 1 always (labels start at 1), so 1/δ ≤ 1.
-            eff += 1.0 / f64::from(a.max(1));
-        }
-        (reach, sum, max, eff)
-    });
+    let per_source: Vec<(usize, u64, u32, f64)> = if engine_for(n) == EngineKind::Wide {
+        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+        let init = || (WideSweeper::new(), Vec::new());
+        par_map_with(&blocks, threads, init, |(sweeper, rows), _, block| {
+            rows.clear();
+            rows.resize(block.len() * n, NEVER);
+            sweeper.arrivals_into(tn, block.clone(), 0, rows);
+            block
+                .clone()
+                .enumerate()
+                .map(|(lane, s)| accumulate_row(s as usize, &rows[lane * n..(lane + 1) * n]))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        par_for(n, threads, |s| {
+            accumulate_row(s, foremost(tn, s as NodeId, 0).arrivals())
+        })
+    };
     let mut reachable_pairs = 0usize;
     let mut sum = 0u64;
     let mut max = 0u32;
@@ -155,5 +185,44 @@ mod tests {
         let labels = LabelAssignment::from_fn(g.num_edges(), |e| vec![1 + e % 7]).unwrap();
         let tn = TemporalNetwork::new(g, labels, 7).unwrap();
         assert_eq!(temporal_metrics(&tn, 1), temporal_metrics(&tn, 4));
+    }
+
+    #[test]
+    fn wide_path_is_bit_identical_to_the_scalar_fold() {
+        // Above the crossover the wide engine serves the metrics; every
+        // number — floating-point sums included — must match a scalar
+        // per-source fold exactly, for any thread count.
+        use crate::foremost::foremost;
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let n = crate::wide::WIDE_CROSSOVER + 8;
+        let mut rng = SeedSequence::new(3).rng(1);
+        let g = generators::gnp(n, 0.05, false, &mut rng);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 50)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 50).unwrap();
+        let wide = temporal_metrics(&tn, 1);
+        assert_eq!(wide, temporal_metrics(&tn, 4));
+        let mut reach = 0usize;
+        let mut sum = 0u64;
+        let mut max = 0u32;
+        let mut eff = 0.0f64;
+        for s in 0..n {
+            let (r, su, m, e) = {
+                let run = foremost(&tn, s as u32, 0);
+                super::accumulate_row(s, run.arrivals())
+            };
+            reach += r;
+            sum += su;
+            max = max.max(m);
+            eff += e;
+        }
+        assert_eq!(wide.reachable_pairs, reach);
+        assert_eq!(wide.max_temporal_distance, max);
+        let pairs = (n * (n - 1)) as f64;
+        assert_eq!(wide.temporal_efficiency.to_bits(), (eff / pairs).to_bits());
+        assert_eq!(
+            wide.avg_temporal_distance.to_bits(),
+            (sum as f64 / reach as f64).to_bits()
+        );
     }
 }

@@ -68,6 +68,10 @@ pub struct TemporalNetwork {
     /// are `bucket_edges[bucket_offsets[t] .. bucket_offsets[t+1]]`.
     bucket_offsets: Vec<u32>,
     bucket_edges: Vec<u32>,
+    /// Sorted times with a non-empty bucket — the skip list sparse sweeps
+    /// iterate instead of probing all `a` buckets (at most
+    /// `min(a, M)` entries).
+    occupied: Vec<Time>,
 }
 
 impl TemporalNetwork {
@@ -87,6 +91,7 @@ impl TemporalNetwork {
             lifetime,
             bucket_offsets: Vec::new(),
             bucket_edges: Vec::new(),
+            occupied: Vec::new(),
         };
         tn.rebuild_buckets();
         Ok(tn)
@@ -112,13 +117,17 @@ impl TemporalNetwork {
     }
 
     /// Counting sort of (label, edge) pairs into the bucket index, reusing
-    /// the index vectors' capacity (no allocation once warm).
+    /// the index vectors' capacity (no allocation once warm). Also rebuilds
+    /// the occupied-times skip list: `occupied` can never exceed
+    /// `min(lifetime, total_labels)` entries, so one up-front reserve makes
+    /// every later rebuild allocation-free.
     fn rebuild_buckets(&mut self) {
         let Self {
             assignment,
             lifetime,
             bucket_offsets,
             bucket_edges,
+            occupied,
             ..
         } = self;
         let total = assignment.total_labels();
@@ -143,6 +152,13 @@ impl TemporalNetwork {
         let len = bucket_offsets.len();
         bucket_offsets.copy_within(0..len - 1, 1);
         bucket_offsets[0] = 0;
+        occupied.clear();
+        occupied.reserve(total.min(*lifetime as usize));
+        for t in 1..=*lifetime as usize {
+            if bucket_offsets[t + 1] > bucket_offsets[t] {
+                occupied.push(t as Time);
+            }
+        }
     }
 
     /// Convenience: lifetime defaults to the maximum label present (or 1
@@ -208,6 +224,28 @@ impl TemporalNetwork {
         let lo = self.bucket_offsets[t as usize] as usize;
         let hi = self.bucket_offsets[t as usize + 1] as usize;
         &self.bucket_edges[lo..hi]
+    }
+
+    /// Sorted times `t` with at least one edge available at `t` — the skip
+    /// list that lets sparse sweeps visit `O(occupied)` buckets instead of
+    /// probing all `a` of them (see [`crate::wide::WideSweeper`]). Rebuilt
+    /// in place by [`TemporalNetwork::replace_assignment`] without
+    /// allocating once warm.
+    #[inline]
+    #[must_use]
+    pub fn occupied_times(&self) -> &[Time] {
+        &self.occupied
+    }
+
+    /// The occupied times in `(after, upto]` (clamped to the lifetime;
+    /// empty when the window is) — the window a sweep with start time
+    /// `after` and horizon `upto` visits.
+    #[must_use]
+    pub fn occupied_between(&self, after: Time, upto: Time) -> &[Time] {
+        let upto = upto.min(self.lifetime);
+        let lo = self.occupied.partition_point(|&t| t <= after);
+        let hi = self.occupied.partition_point(|&t| t <= upto);
+        &self.occupied[lo.min(hi)..hi]
     }
 
     /// Deconstruct into graph and assignment.
@@ -406,6 +444,41 @@ mod tests {
             tn.replace_assignment(short).unwrap_err(),
             TemporalError::EdgeCountMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn occupied_times_match_nonempty_buckets() {
+        let tn = tiny(); // labels {1,3}, {2}, {3}; lifetime 4
+        assert_eq!(tn.occupied_times(), &[1, 2, 3]);
+        let brute: Vec<Time> = (1..=tn.lifetime())
+            .filter(|&t| !tn.edges_at(t).is_empty())
+            .collect();
+        assert_eq!(tn.occupied_times(), brute.as_slice());
+    }
+
+    #[test]
+    fn occupied_between_windows() {
+        let tn = tiny();
+        assert_eq!(tn.occupied_between(0, 4), &[1, 2, 3]);
+        assert_eq!(tn.occupied_between(1, 4), &[2, 3]);
+        assert_eq!(tn.occupied_between(0, 2), &[1, 2]);
+        assert_eq!(tn.occupied_between(2, 2), &[] as &[Time]);
+        // The horizon clamps to the lifetime.
+        assert_eq!(tn.occupied_between(0, 99), &[1, 2, 3]);
+        assert_eq!(tn.occupied_between(3, 99), &[] as &[Time]);
+    }
+
+    #[test]
+    fn replace_assignment_rebuilds_the_occupied_index() {
+        let mut tn = tiny();
+        let fresh = LabelAssignment::from_vecs(vec![vec![4], vec![1, 4], vec![2]]).unwrap();
+        tn.replace_assignment(fresh).unwrap();
+        assert_eq!(tn.occupied_times(), &[1, 2, 4]);
+        // An unlabelled replacement empties the index.
+        let empty = LabelAssignment::from_vecs(vec![vec![], vec![], vec![]]).unwrap();
+        tn.replace_assignment(empty).unwrap();
+        assert_eq!(tn.occupied_times(), &[] as &[Time]);
+        assert_eq!(tn.occupied_between(0, 4), &[] as &[Time]);
     }
 
     #[test]

@@ -5,17 +5,24 @@
 //! `(u, v)`-journey exists in `(G, L)`. Journeys are paths, so only the
 //! forward implication can fail; the check therefore compares per-source
 //! reach *counts* of static BFS and the temporal sweep. The whole-network
-//! checks run 64 sources per pass through the bit-parallel
-//! [`engine`](crate::engine), with early exit at batch granularity; the
-//! single-source helpers stay on the scalar `foremost` oracle.
+//! checks dispatch by size: below the crossover they run 64 sources per
+//! pass through the bit-parallel [`engine`](crate::engine) with early
+//! exit at batch granularity; at `n ≥ WIDE_CROSSOVER` they probe the
+//! first [`wide`](crate::wide) column block (failing instances almost
+//! always fail there, as cheaply as one batch) and only then sweep the
+//! remaining blocks in a single wide pass each. The single-source helpers
+//! stay on the scalar `foremost` oracle.
 
 use crate::engine::{batch_count, batch_range, BatchSweeper, MAX_LANES};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
+use crate::wide::{
+    cache_block_count, engine_for, probe_blocks, EngineKind, SweepScratch, WideSweeper,
+};
 use crate::{Time, NEVER};
 use ephemeral_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
 use ephemeral_graph::NodeId;
-use ephemeral_parallel::par_for_with;
+use ephemeral_parallel::{par_for_with, par_map_with};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which vertices admit a journey from `source` (the source included).
@@ -36,13 +43,35 @@ pub fn temporal_reach_count(tn: &TemporalNetwork, source: NodeId) -> usize {
 
 /// Is every ordered pair `(s, t)` connected by a journey? (The clique with
 /// one label per edge trivially satisfies this; most sparse networks do
-/// not.) One engine sweep per batch of 64 sources, with early exit at batch
-/// granularity.
+/// not.) Below the crossover: one engine sweep per batch of 64 sources,
+/// with early exit at batch granularity. Above it: a wide sweep of the
+/// first column block probes for failure (a disconnected instance almost
+/// always has an unreached pair among any 64+ sources), then the
+/// remaining blocks sweep in parallel.
 #[must_use]
 pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
     if n <= 1 {
         return true;
+    }
+    if engine_for(n) == EngineKind::Wide {
+        let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
+        let mut sweeper = WideSweeper::new();
+        let stats = sweeper.sweep(tn, probe, 0, |_, _, _, _| {});
+        if !stats.all_reached(n) {
+            return false;
+        }
+        let failed = AtomicBool::new(false);
+        par_map_with(&rest, threads, WideSweeper::new, |sweeper, _, block| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
+            if !stats.all_reached(n) {
+                failed.store(true, Ordering::Relaxed);
+            }
+        });
+        return !failed.load(Ordering::Relaxed);
     }
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
@@ -78,31 +107,91 @@ fn batch_reach_counts(
     counts
 }
 
+/// Per-lane temporal reach counts of one wide block: each source counts
+/// itself plus one per newly-reached vertex (integer accumulation, so the
+/// commit order cannot affect the result).
+fn wide_reach_counts(
+    tn: &TemporalNetwork,
+    sweeper: &mut WideSweeper,
+    block: std::ops::Range<NodeId>,
+) -> Vec<usize> {
+    let mut counts = vec![1usize; block.len()];
+    sweeper.sweep(tn, block, 0, |_, w, mut fresh, _: Time| {
+        while fresh != 0 {
+            counts[w * 64 + fresh.trailing_zeros() as usize] += 1;
+            fresh &= fresh - 1;
+        }
+    });
+    counts
+}
+
+/// The static-reachability oracle `T_reach` compares against: component
+/// sizes from a single union–find pass when the graph is undirected
+/// (`O(M)` total — component size = reach count), one BFS per queried
+/// source for directed graphs.
+fn static_reach_oracle(tn: &TemporalNetwork) -> impl Fn(NodeId) -> usize + Sync + '_ {
+    let components = (!tn.graph().is_directed()).then(|| connected_components(tn.graph()));
+    move |s: NodeId| match &components {
+        Some(c) => c.sizes[c.labels[s as usize] as usize] as usize,
+        None => bfs_distances(tn.graph(), s)
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .count(),
+    }
+}
+
+/// Do the temporal reach counts of lanes `base..base + counts.len()`
+/// match the static oracle?
+fn lanes_match(
+    static_reach: &(impl Fn(NodeId) -> usize + Sync),
+    base: NodeId,
+    counts: &[usize],
+) -> bool {
+    counts.iter().enumerate().all(|(lane, &count)| {
+        let expected = static_reach(base + lane as NodeId);
+        debug_assert!(count <= expected, "journeys are paths");
+        count == expected
+    })
+}
+
 /// Does the assignment preserve reachability (`T_reach`, Definition 6)?
 ///
 /// Per source `s`, the set of temporally reachable vertices must equal the
 /// set of statically reachable vertices; since journeys are paths, equality
-/// of counts suffices. Temporal counts come from engine batches of 64
-/// sources, parallel over batches with early exit; static counts come from
-/// a single union–find components pass when the graph is undirected
-/// (`O(M)` total — component size = reach count), or one BFS per source
-/// for directed graphs.
+/// of counts suffices (static counts from one union–find components pass
+/// when undirected, per-source BFS when directed).
+/// Temporal counts dispatch by size: engine batches of 64 sources with
+/// early exit below the crossover; above it, a wide probe block first (a
+/// violating instance almost always exposes a short-counted source among
+/// any 64), then the remaining column blocks in parallel.
 #[must_use]
 pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
     if n <= 1 {
         return true;
     }
-    let components = (!tn.graph().is_directed()).then(|| connected_components(tn.graph()));
-    let static_reach = |s: NodeId| -> usize {
-        match &components {
-            Some(c) => c.sizes[c.labels[s as usize] as usize] as usize,
-            None => bfs_distances(tn.graph(), s)
-                .iter()
-                .filter(|&&d| d != UNREACHABLE)
-                .count(),
+    let static_reach = static_reach_oracle(tn);
+    let lanes_ok =
+        |base: NodeId, counts: &[usize]| -> bool { lanes_match(&static_reach, base, counts) };
+    if engine_for(n) == EngineKind::Wide {
+        let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
+        let mut sweeper = WideSweeper::new();
+        let counts = wide_reach_counts(tn, &mut sweeper, probe.clone());
+        if !lanes_ok(probe.start, &counts) {
+            return false;
         }
-    };
+        let failed = AtomicBool::new(false);
+        par_map_with(&rest, threads, WideSweeper::new, |sweeper, _, block| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let counts = wide_reach_counts(tn, sweeper, block.clone());
+            if !lanes_ok(block.start, &counts) {
+                failed.store(true, Ordering::Relaxed);
+            }
+        });
+        return !failed.load(Ordering::Relaxed);
+    }
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
         if failed.load(Ordering::Relaxed) {
@@ -110,16 +199,51 @@ pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
         }
         let sources: Vec<NodeId> = batch_range(n, b).collect();
         let temporal = batch_reach_counts(tn, sweeper, &sources);
-        for (lane, &s) in sources.iter().enumerate() {
-            let expected = static_reach(s);
-            debug_assert!(temporal[lane] <= expected, "journeys are paths");
-            if temporal[lane] != expected {
-                failed.store(true, Ordering::Relaxed);
-                return;
-            }
+        if !lanes_ok(sources[0], &temporal[..sources.len()]) {
+            failed.store(true, Ordering::Relaxed);
         }
     });
     !failed.load(Ordering::Relaxed)
+}
+
+/// Sequential [`treach_holds`] reusing a caller-owned [`SweepScratch`] —
+/// the per-trial path of the Monte Carlo estimators, which would
+/// otherwise rebuild the wide engine's `n × ⌈n/64⌉` frontier matrices on
+/// every trial above the crossover (the static-reach side still runs its
+/// components pass per call; it is the heavy sweep buffers that are
+/// reused). Same dispatch and early exits as `treach_holds(tn, 1)`, same
+/// answer.
+#[must_use]
+pub fn treach_holds_scratch(tn: &TemporalNetwork, scratch: &mut SweepScratch) -> bool {
+    let n = tn.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    let static_reach = static_reach_oracle(tn);
+    if engine_for(n) == EngineKind::Wide {
+        let (probe, rest) = probe_blocks(n, cache_block_count(n));
+        let base = probe.start;
+        let counts = wide_reach_counts(tn, &mut scratch.wide, probe);
+        if !lanes_match(&static_reach, base, &counts) {
+            return false;
+        }
+        for block in rest {
+            let base = block.start;
+            let counts = wide_reach_counts(tn, &mut scratch.wide, block);
+            if !lanes_match(&static_reach, base, &counts) {
+                return false;
+            }
+        }
+        return true;
+    }
+    for b in 0..batch_count(n) {
+        let sources: Vec<NodeId> = batch_range(n, b).collect();
+        let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
+        if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -215,6 +339,72 @@ mod tests {
                 foremost(&tn, s, 0).reached_count() == stat
             });
             assert_eq!(treach_holds(&tn, 2), scalar_treach, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wide_checks_match_scalar_loops_above_the_crossover() {
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let n = crate::wide::WIDE_CROSSOVER + 30;
+        for (seed, r) in [(1u64, 1usize), (2, 24)] {
+            // r = 1 essentially never preserves reachability; r = 24 over a
+            // dense-ish gnp usually does — both branches of the probe.
+            let mut rng = SeedSequence::new(seed).rng(5);
+            let g = generators::gnp(n, 0.08, false, &mut rng);
+            let lifetime = n as u32;
+            let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+                (0..r).map(|_| rng.range_u32(1, lifetime)).collect()
+            })
+            .unwrap();
+            let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
+            let scalar_connected =
+                (0..n as NodeId).all(|s| foremost(&tn, s, 0).reached_count() == n);
+            let scalar_treach = (0..n as NodeId).all(|s| {
+                let stat = bfs_distances(tn.graph(), s)
+                    .iter()
+                    .filter(|&&d| d != UNREACHABLE)
+                    .count();
+                foremost(&tn, s, 0).reached_count() == stat
+            });
+            for threads in [1, 3] {
+                assert_eq!(
+                    is_temporally_connected(&tn, threads),
+                    scalar_connected,
+                    "seed {seed} threads {threads}"
+                );
+                assert_eq!(
+                    treach_holds(&tn, threads),
+                    scalar_treach,
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_treach_matches_the_parallel_check_in_both_regimes() {
+        use crate::wide::{SweepScratch, WIDE_CROSSOVER};
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let mut scratch = SweepScratch::new();
+        for (seed, n, r) in [
+            (1u64, 48usize, 1usize),     // batch regime, usually failing
+            (2, 48, 32),                 // batch regime, usually holding
+            (3, WIDE_CROSSOVER + 5, 1),  // wide regime, failing
+            (4, WIDE_CROSSOVER + 5, 32), // wide regime, holding
+        ] {
+            let mut rng = SeedSequence::new(seed).rng(2);
+            let g = generators::gnp(n, 0.1, false, &mut rng);
+            let lifetime = n as u32;
+            let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+                (0..r).map(|_| rng.range_u32(1, lifetime)).collect()
+            })
+            .unwrap();
+            let tn = TemporalNetwork::new(g, labels, lifetime).unwrap();
+            assert_eq!(
+                treach_holds_scratch(&tn, &mut scratch),
+                treach_holds(&tn, 2),
+                "seed {seed} n {n} r {r}"
+            );
         }
     }
 

@@ -10,8 +10,11 @@
 //! * [`graph`] — CSR (di)graph substrate, generators, classical algorithms.
 //! * [`temporal`] — labels, journeys, foremost / latest-departure / fastest
 //!   journey algorithms, temporal distances and `T_reach`; the
-//!   `engine` module batches 64 sources per sweep behind the all-pairs
-//!   closure, distance and diameter entry points.
+//!   `engine` module batches 64 sources per sweep and the `wide` module
+//!   answers **all** sources in one pass (saturation early-exit,
+//!   empty-bucket skipping, column-block sharding) — the all-pairs
+//!   closure, distance, diameter and connectivity entry points pick
+//!   between them by size.
 //! * [`core`] — the paper's contribution: U-RTN models, the Expansion
 //!   Process (Algorithm 1), the §3.5 dissemination protocol, temporal
 //!   diameter estimation, star-graph machinery, deterministic OPT schemes
