@@ -1,0 +1,262 @@
+//! Ablation: the event-driven sparse-frontier engine vs the wide engine
+//! for the **all-pairs closure / instance diameter**, on the workloads
+//! the paper's connectivity results live on — sparse `G(n, p)` at average
+//! degree 4 with lifetime `a = 4n` (mostly-empty buckets, no saturation
+//! exit possible on disconnected instances: `BENCH_PR4.json` shows the
+//! wide engine visiting all 6,328 occupied buckets there) and `G(n, p)`
+//! at the `c·ln n / n` connectivity threshold. A dense clique workload
+//! rides along as the control: the density-aware dispatch keeps *that*
+//! on the wide engine, and the numbers show why.
+//!
+//! Beyond the criterion timings, a full run dumps the headline numbers —
+//! wide ns, sparse ns, speedup — to `BENCH_PR5.json` at the workspace
+//! root, including the scaling rows at n = 16384 and n = 65536 where the
+//! wide engine's `W = ⌈n/64⌉` per-edge cost takes over and the
+//! event-driven engine's advantage crosses and then dwarfs the 3×
+//! acceptance bar (at n = 65536 the wide frontier matrices alone are
+//! ~1 GiB; the sparse arena holds a few MiB of reached pairs). `-- --test`
+//! runs a reduced smoke configuration (small sizes, two samples, no
+//! JSON) — the CI gate that keeps this bench compiling and running.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::{sample_normalized_urt_clique, sample_urtn};
+use ephemeral_graph::generators;
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::distance::InstanceDiameter;
+use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper};
+use ephemeral_temporal::wide::{
+    cache_block_count, source_blocks, EngineKind, FrontierEngine, WideStats, WideSweeper,
+};
+use ephemeral_temporal::{TemporalNetwork, Time};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// All-pairs closure / instance diameter through a full-width engine,
+/// exactly as the entry points drive it single-threaded: the wide engine
+/// sweeps cache-sized column blocks, the event-driven sparse engine one
+/// full-width pass (its arena is cache-light; blocking would only
+/// multiply the bucket walk).
+fn all_pairs<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    sweeper: &mut S,
+    blocks: usize,
+) -> (InstanceDiameter, WideStats) {
+    let n = tn.num_nodes();
+    let mut max_finite: Time = 0;
+    let mut unreachable_pairs = 0usize;
+    let mut folded = WideStats {
+        lanes: 0,
+        reached_bits: 0,
+        last_arrival: 0,
+        buckets_visited: 0,
+    };
+    for block in source_blocks(n, blocks) {
+        let stats = sweeper.sweep(tn, block, 0, |_, _, _, _| {});
+        max_finite = max_finite.max(stats.last_arrival);
+        unreachable_pairs += stats.unreached_pairs(n);
+        folded.lanes += stats.lanes;
+        folded.reached_bits += stats.reached_bits;
+        folded.last_arrival = folded.last_arrival.max(stats.last_arrival);
+        folded.buckets_visited = folded.buckets_visited.max(stats.buckets_visited);
+    }
+    (
+        InstanceDiameter {
+            max_finite,
+            unreachable_pairs,
+        },
+        folded,
+    )
+}
+
+/// Median wall-clock of `reps` runs after one warm-up call.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    black_box(f());
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Workload {
+    name: &'static str,
+    tn: TemporalNetwork,
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let mut out = Vec::new();
+    // Sparse availability: G(n, p) at average degree 4, one uniform label
+    // per edge over lifetime a = 4n — the PR4 headline workload the wide
+    // engine could not save (no saturation exit on disconnected
+    // instances).
+    let gnp_n = if smoke { 512 } else { 4096 };
+    let mut rng = default_rng(2);
+    let g = generators::gnp(gnp_n, 4.0 / gnp_n as f64, false, &mut rng);
+    out.push(Workload {
+        name: if smoke {
+            "gnp_n512_a4n"
+        } else {
+            "gnp_n4096_a4n"
+        },
+        tn: sample_urtn(g, 4 * gnp_n as Time, &mut rng),
+    });
+    // The connectivity-threshold regime: G(n, p) at p = 1.5·ln n / n,
+    // normalized lifetime a = n — diffuse buckets but high average
+    // degree: the dispatch keeps the wide engine here (reach sets grow
+    // towards n and reacher-list merges lose; the timing rows record
+    // exactly that).
+    let mut rng = default_rng(3);
+    let p = 1.5 * (gnp_n as f64).ln() / gnp_n as f64;
+    let g = generators::gnp(gnp_n, p, false, &mut rng);
+    out.push(Workload {
+        name: if smoke {
+            "gnp_crit_n512"
+        } else {
+            "gnp_crit_n4096"
+        },
+        tn: sample_urtn(g, gnp_n as Time, &mut rng),
+    });
+    // Dense control: the normalized U-RT clique, where the dispatch keeps
+    // the wide engine.
+    let clique_n = if smoke { 256 } else { 1024 };
+    let mut rng = default_rng(1);
+    out.push(Workload {
+        name: if smoke { "clique_n256" } else { "clique_n1024" },
+        tn: sample_normalized_urt_clique(clique_n, true, &mut rng),
+    });
+    if !smoke {
+        // The scaling rows: the wide engine's per-edge cost grows with
+        // W = ceil(n/64) while the event-driven engine's merge cost tracks
+        // the (n-independent) reacher-list sizes, so the speedup widens
+        // with n — past the 3x acceptance bar from n = 16384 up, and to
+        // feasibility-defining factors at n = 65536.
+        for (name, n) in [("gnp_n16384_a4n", 16384usize), ("gnp_n65536_a4n", 65536)] {
+            let mut rng = default_rng(4);
+            let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
+            out.push(Workload {
+                name,
+                tn: sample_urtn(g, 4 * n as Time, &mut rng),
+            });
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let loads = workloads(smoke);
+
+    // Sanity before timing: the engines agree, and the dispatch model
+    // sends the constant-degree workloads event-driven while the clique
+    // (dense buckets) and the near-threshold G(n,p) (high degree, long
+    // reach lists) keep the wide engine.
+    for w in &loads {
+        let expected = if w.name.starts_with("clique") || w.name.starts_with("gnp_crit") {
+            EngineKind::Wide
+        } else {
+            EngineKind::Sparse
+        };
+        assert_eq!(EngineChoice::pick_for(&w.tn), expected, "{}", w.name);
+        let n = w.tn.num_nodes();
+        if n <= 4096 {
+            let (wide, _) =
+                all_pairs::<WideSweeper>(&w.tn, &mut WideSweeper::new(), cache_block_count(n));
+            let (sparse, _) = all_pairs::<SparseSweeper>(&w.tn, &mut SparseSweeper::new(), 1);
+            assert_eq!(wide, sparse, "{}", w.name);
+        }
+    }
+
+    let mut group = c.benchmark_group("sparse_vs_wide");
+    group.sample_size(if smoke { 2 } else { 10 });
+    for w in &loads {
+        let n = w.tn.num_nodes();
+        if n > 4096 {
+            continue; // the scaling rows are headline-only
+        }
+        let mut sweeper = WideSweeper::new();
+        group.bench_function(format!("{}_wide", w.name), |b| {
+            b.iter(|| {
+                black_box(all_pairs::<WideSweeper>(
+                    &w.tn,
+                    &mut sweeper,
+                    cache_block_count(n),
+                ))
+            })
+        });
+        let mut sweeper = SparseSweeper::new();
+        group.bench_function(format!("{}_sparse", w.name), |b| {
+            b.iter(|| black_box(all_pairs::<SparseSweeper>(&w.tn, &mut sweeper, 1)))
+        });
+    }
+    group.finish();
+
+    if smoke {
+        return;
+    }
+
+    // Headline pass: median timings (the big scaling rows included),
+    // dumped as the machine-readable perf trajectory.
+    let reps = 5;
+    let mut rows = Vec::new();
+    for w in &loads {
+        let n = w.tn.num_nodes();
+        let wide_ns = {
+            let mut sweeper = WideSweeper::new();
+            // One rep is plenty for the big scaling rows (seconds each).
+            let wide_reps = if n > 16384 { 1 } else { reps };
+            time_median(wide_reps, || {
+                all_pairs::<WideSweeper>(&w.tn, &mut sweeper, cache_block_count(n))
+            })
+            .as_nanos()
+        };
+        let mut sparse_sweeper = SparseSweeper::new();
+        let sparse_ns = time_median(reps, || {
+            all_pairs::<SparseSweeper>(&w.tn, &mut sparse_sweeper, 1)
+        })
+        .as_nanos();
+        let (_, stats) = all_pairs::<SparseSweeper>(&w.tn, &mut sparse_sweeper, 1);
+        let speedup = wide_ns as f64 / sparse_ns as f64;
+        println!(
+            "sparse_vs_wide/{}: wide {:.3} ms, sparse {:.3} ms, speedup {:.2}x, engine {}, \
+             buckets visited {} (occupied {}, lifetime {})",
+            w.name,
+            wide_ns as f64 / 1e6,
+            sparse_ns as f64 / 1e6,
+            speedup,
+            EngineChoice::pick_for(&w.tn).name(),
+            stats.buckets_visited,
+            w.tn.occupied_times().len(),
+            w.tn.lifetime(),
+        );
+        rows.push(format!(
+            "    {{\"workload\":\"{}\",\"n\":{},\"edges\":{},\"lifetime\":{},\"occupied\":{},\"dispatch\":\"{}\",\"wide_ns\":{},\"sparse_ns\":{},\"speedup\":{},\"sparse_buckets_visited\":{},\"all_reached\":{}}}",
+            w.name,
+            n,
+            w.tn.graph().num_edges(),
+            w.tn.lifetime(),
+            w.tn.occupied_times().len(),
+            EngineChoice::pick_for(&w.tn).name(),
+            wide_ns,
+            sparse_ns,
+            format_args!("{speedup:.2}"),
+            stats.buckets_visited,
+            stats.all_reached(n),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\":\"sparse_vs_wide\",\n  \"pr\":5,\n  \"op\":\"all_pairs_closure_diameter\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("headline numbers written to BENCH_PR5.json"),
+        Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

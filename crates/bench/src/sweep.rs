@@ -71,7 +71,12 @@ impl SweepSpec {
         }
     }
 
-    /// A small smoke grid (the `--quick` preset and the CI gate).
+    /// A small smoke grid (the `--quick` preset and the CI gate). The
+    /// sizes straddle the batch crossover so the quick grid exercises —
+    /// and its rows report — all three sweep engines: `batch` at n = 36,
+    /// `wide` on the n = 224 clique and near-threshold G(n,p) (whose
+    /// high degree keeps it off the event-driven engine), `sparse` on
+    /// the n = 224 star.
     #[must_use]
     pub fn quick(seed: u64) -> Self {
         Self {
@@ -86,7 +91,7 @@ impl SweepSpec {
             ],
             lifetimes: vec![LifetimeRule::EqualsN],
             metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
-            sizes: vec![36, 64],
+            sizes: vec![36, 224],
             adaptive: AdaptiveConfig::new(1.0)
                 .with_min_trials(8)
                 .with_batch(8)
@@ -149,9 +154,13 @@ impl SweepSpec {
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
         };
-        // Bumped whenever render_row's schema changes, so rows written by
-        // an older binary are recomputed rather than spliced in verbatim.
-        eat(b"rowfmt:2");
+        // Bumped whenever render_row's schema changes — or the meaning of
+        // a field: rowfmt 3 switched the `engine` value from the n-only
+        // dispatch prediction to the engine that actually answered the
+        // cell (probe-served T_reach cells now say "batch", sparse
+        // instances "sparse"). Rows written by an older binary are
+        // recomputed rather than spliced in verbatim.
+        eat(b"rowfmt:3");
         eat(&self.seed.to_le_bytes());
         eat(&self.adaptive.target_half_width.to_bits().to_le_bytes());
         eat(&self.adaptive.confidence.to_bits().to_le_bytes());
@@ -169,8 +178,11 @@ impl SweepSpec {
 /// Render one completed cell as a JSON-lines row. All numeric fields use
 /// fixed formatting, so re-rendering the same outcome is byte-stable.
 /// `fingerprint` is the owning spec's [`SweepSpec::fingerprint`]. The
-/// `engine` field names the journey engine that served the cell
-/// (`"wide"` / `"batch"` / `"scalar"`), so a perf regression in the sweep
+/// `engine` field names the journey engine that **actually answered**
+/// the cell (`"wide"` / `"sparse"` / `"batch"` / `"scalar"`, the
+/// heaviest path across its trials — a `T_reach` cell decided entirely
+/// by the 64-lane probe block reports `"batch"` whatever the density
+/// dispatch would have predicted), so a perf regression in the sweep
 /// path is attributable to the engine that produced it.
 #[must_use]
 pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> String {

@@ -164,6 +164,52 @@ fn cli_quick_sweep_emits_one_json_row_per_cell() {
     for (line, cell) in lines.iter().zip(&expected) {
         assert_eq!(parse_cell_id(line), Some(cell.id().as_str()), "{line}");
     }
+    // The quick grid straddles the batch crossover and mixes dense and
+    // sparse substrates, so all three sweep engines must appear in its
+    // rows (the CI gate greps for the same three tags).
+    for tag in [
+        "\"engine\":\"batch\"",
+        "\"engine\":\"wide\"",
+        "\"engine\":\"sparse\"",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(tag)),
+            "quick grid rows miss {tag}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn all_filtered_cells_terminate_at_the_cap_with_null_half_width() {
+    // A single-label star *always* has an infinite instance diameter (the
+    // leaf behind the maximum label cannot reach any other leaf), so every
+    // trial of this cell is filtered: the adaptive loop must still stop at
+    // the trial cap, the half-width must render as null (never NaN), and
+    // the row must record the full excluded fraction.
+    let spec = SweepSpec {
+        families: vec![GraphFamily::Star],
+        models: vec![LabelModelSpec::UniformSingle],
+        lifetimes: vec![LifetimeRule::EqualsN],
+        metrics: vec![Metric::TemporalDiameter],
+        sizes: vec![224],
+        adaptive: AdaptiveConfig::new(0.5)
+            .with_min_trials(4)
+            .with_batch(4)
+            .with_max_trials(12),
+        seed: 21,
+    };
+    let rows = collect(&spec, 2, &[]);
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert!(row.contains("\"trials\":12"), "{row}");
+    assert!(row.contains("\"converged\":false"), "{row}");
+    assert!(row.contains("\"half_width\":null"), "{row}");
+    assert!(row.contains("\"failures\":1.0000"), "{row}");
+    assert!(row.contains("\"estimate\":0.0000"), "{row}");
+    assert!(
+        row.contains("\"engine\":\"sparse\""),
+        "a 224-star dispatches event-driven: {row}"
+    );
 }
 
 #[test]

@@ -4,9 +4,10 @@
 //! `TD(G) = E[max_{s,t} δ(s,t)]` over the random labelling. Per trial we
 //! draw a fresh UNI-CASE assignment into per-worker scratch buffers over a
 //! shared graph CSR, rebuild the time-edge index in place, and compute the
-//! instance diameter exactly through whichever journey engine the size
-//! selects — the single-pass wide-frontier sweep at
-//! `n ≥ WIDE_CROSSOVER`, the 64-lane batched engine below — then
+//! instance diameter exactly through whichever journey engine the
+//! density-aware `EngineChoice` selects — the single-pass wide-frontier
+//! sweep on dense instances above the batch crossover, the event-driven
+//! sparse sweep on sparse ones, the 64-lane batched engine below — then
 //! summarise across trials. Theorem 4 predicts `TD ≤ γ·log n` w.h.p. for
 //! the directed normalized U-RT clique; experiment E02 fits `γ`.
 
@@ -60,10 +61,11 @@ impl TrialScratch {
     }
 
     /// Draw trial `trial`'s labels into the spare buffers, swap them into
-    /// the network, and return the instance diameter. The engine is picked
-    /// by size (wide at `n ≥ WIDE_CROSSOVER`, batched below);
+    /// the network, and return the instance diameter. The engine is
+    /// picked per instance by the density-aware dispatch (batched below
+    /// the crossover, wide/sparse by occupied-bucket fill above it);
     /// `inner_threads > 1` additionally shards the instance across
-    /// workers, 1 reuses this scratch's sweepers. Both paths report
+    /// workers, 1 reuses this scratch's sweepers. All paths report
     /// identical numbers.
     fn run_trial(
         &mut self,

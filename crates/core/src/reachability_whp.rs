@@ -14,10 +14,10 @@ use ephemeral_temporal::{LabelAssignment, Time};
 /// Monte Carlo estimate of `P[T_reach]` for `r` i.i.d. uniform labels per
 /// edge over `graph` with the given lifetime. Each worker owns one copy of
 /// the graph CSR and redraws labels into scratch buffers per trial; the
-/// `T_reach` check itself dispatches by size — 64 sources per pass
-/// through the batch engine below the wide crossover, a probe-first
-/// single-pass wide sweep above it (see
-/// `ephemeral_temporal::wide::WIDE_CROSSOVER`).
+/// `T_reach` check itself dispatches density-aware — 64 sources per pass
+/// through the batch engine below the crossover, a probe-first full-width
+/// sweep (wide or event-driven sparse by occupied-bucket fill) above it
+/// (see `ephemeral_temporal::sparse::EngineChoice`).
 ///
 /// # Panics
 /// If `r == 0`, `lifetime == 0` or `trials == 0`.

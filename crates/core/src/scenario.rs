@@ -19,10 +19,12 @@ use ephemeral_parallel::adaptive::{
     run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator, ProportionAccumulator,
 };
 use ephemeral_rng::{DefaultRng, RandomSource, SeedSequence};
-use ephemeral_temporal::distance::instance_temporal_diameter_scratch;
-use ephemeral_temporal::reachability::treach_holds_scratch;
-use ephemeral_temporal::wide::{engine_for, EngineKind, SweepScratch};
+use ephemeral_temporal::distance::instance_temporal_diameter_scratch_traced;
+use ephemeral_temporal::reachability::treach_holds_scratch_traced;
+use ephemeral_temporal::sparse::EngineChoice;
+use ephemeral_temporal::wide::{EngineKind, SweepScratch};
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Seed stream tag for the (possibly random) substrate graph.
 const GRAPH_STREAM: u64 = 1;
@@ -245,17 +247,52 @@ impl Metric {
         }
     }
 
-    /// The journey engine that serves this metric on an instance with
-    /// `nodes` vertices — the attribution `experiments sweep` rows carry
-    /// so perf regressions in the sweep path are traceable. Flooding is
-    /// inherently single-source and stays on the scalar sweep; the
-    /// all-pairs metrics dispatch on the wide-engine crossover.
+    /// The journey engine the density-aware dispatch *predicts* for this
+    /// metric on an instance with `nodes` vertices, `occupied_buckets`
+    /// non-empty time buckets and `time_edges` labels (see
+    /// [`EngineChoice::pick`]). Flooding is inherently single-source and
+    /// stays on the scalar sweep; the all-pairs metrics dispatch on the
+    /// batch crossover and the occupied-bucket density.
+    ///
+    /// This is a prediction only — sweep rows report the engine that
+    /// **actually answered** each cell ([`ScenarioOutcome::engine`]),
+    /// which can differ: a `T_reach` cell whose every trial fails at the
+    /// 64-lane probe block was served end-to-end by batch-sized work,
+    /// whatever the density dispatch would have picked for a full sweep.
     #[must_use]
-    pub const fn engine(&self, nodes: usize) -> EngineKind {
+    pub const fn engine(
+        &self,
+        nodes: usize,
+        occupied_buckets: usize,
+        time_edges: usize,
+    ) -> EngineKind {
         match self {
             Self::FloodTime => EngineKind::Scalar,
-            Self::TemporalDiameter | Self::TreachProbability => engine_for(nodes),
+            Self::TemporalDiameter | Self::TreachProbability => {
+                EngineChoice::pick(nodes, occupied_buckets, time_edges)
+            }
         }
+    }
+}
+
+/// Total order on engines by the weight of the path they represent — the
+/// fold `Scenario::evaluate` applies across trials so one cell reports
+/// the heaviest engine that actually served any of its trials.
+const fn engine_rank(kind: EngineKind) -> u8 {
+    match kind {
+        EngineKind::Scalar => 1,
+        EngineKind::Batch => 2,
+        EngineKind::Sparse => 3,
+        EngineKind::Wide => 4,
+    }
+}
+
+const fn engine_from_rank(rank: u8) -> EngineKind {
+    match rank {
+        1 => EngineKind::Scalar,
+        3 => EngineKind::Sparse,
+        4 => EngineKind::Wide,
+        _ => EngineKind::Batch,
     }
 }
 
@@ -296,9 +333,13 @@ pub struct ScenarioOutcome {
     /// Fraction of trials excluded from the estimate (infinite diameters /
     /// incomplete floods; always 0 for probability metrics).
     pub failures: f64,
-    /// Short name of the journey engine that served every trial
-    /// (`"wide"` / `"batch"` / `"scalar"`, see [`Metric::engine`]) — the
-    /// attribution sweep rows report so perf regressions are traceable.
+    /// Short name of the heaviest journey engine that **actually
+    /// answered** a trial of this cell (`"wide"` / `"sparse"` /
+    /// `"batch"` / `"scalar"`) — the attribution sweep rows report so
+    /// perf regressions are traceable. A `T_reach` cell whose every trial
+    /// failed at the 64-lane probe block reports `"batch"` even above the
+    /// crossover: the full-width engine never ran (see
+    /// [`Metric::engine`] for the dispatch prediction).
     pub engine: &'static str,
 }
 
@@ -374,13 +415,22 @@ impl Scenario {
         let model = model.as_ref();
         let trial_seed = SeedSequence::new(seed).child(TRIAL_STREAM).base();
         let init = || Scratch::new(&graph, lifetime);
+        // Fold of the engine that actually answered each trial: a max
+        // over a fixed trial set, so the result is independent of thread
+        // scheduling (the adaptive trial count itself is deterministic).
+        let served = AtomicU8::new(0);
+        let serve = |kind: EngineKind| {
+            served.fetch_max(engine_rank(kind), Ordering::Relaxed);
+        };
 
         let (estimate, half_width, trials, converged, failures) = match self.metric {
             Metric::TemporalDiameter => {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
                         s.redraw(model, rng);
-                        let d = instance_temporal_diameter_scratch(&s.tn, &mut s.sweeper);
+                        let (d, engine) =
+                            instance_temporal_diameter_scratch_traced(&s.tn, &mut s.sweeper);
+                        serve(engine);
                         match d.value() {
                             Some(v) => (f64::from(v), true),
                             None => (0.0, false),
@@ -392,6 +442,7 @@ impl Scenario {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
                         s.redraw(model, rng);
+                        serve(EngineKind::Scalar);
                         match crate::dissemination::flood(&s.tn, 0).broadcast_time {
                             Some(t) => (f64::from(t), true),
                             None => (0.0, false),
@@ -403,7 +454,9 @@ impl Scenario {
                 let run: AdaptiveRun<ProportionAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
                         s.redraw(model, rng);
-                        treach_holds_scratch(&s.tn, &mut s.sweeper)
+                        let (holds, engine) = treach_holds_scratch_traced(&s.tn, &mut s.sweeper);
+                        serve(engine);
+                        holds
                     });
                 let p = run.accumulator.successes as f64 / run.accumulator.count.max(1) as f64;
                 (p, run.half_width, run.trials, run.converged, 0.0)
@@ -419,7 +472,7 @@ impl Scenario {
             trials,
             converged,
             failures,
-            engine: self.metric.engine(nodes).name(),
+            engine: engine_from_rank(served.load(Ordering::Relaxed)).name(),
         }
     }
 }
@@ -567,39 +620,134 @@ mod tests {
     }
 
     #[test]
-    fn outcomes_attribute_the_serving_engine() {
+    fn outcomes_attribute_the_engine_that_actually_answered() {
         use ephemeral_temporal::wide::WIDE_CROSSOVER;
-        let mk = |metric, n| Scenario {
-            family: GraphFamily::Clique { directed: true },
+        let mk = |family, metric, n| Scenario {
+            family,
             model: LabelModelSpec::UniformSingle,
             lifetime: LifetimeRule::EqualsN,
             metric,
             n,
         };
-        let small = mk(Metric::TemporalDiameter, 32).evaluate(&quick_cfg(), 1, 1);
+        let clique = GraphFamily::Clique { directed: true };
+        let small = mk(clique, Metric::TemporalDiameter, 32).evaluate(&quick_cfg(), 1, 1);
         assert_eq!(small.engine, "batch");
-        let flood = mk(Metric::FloodTime, 32).evaluate(&quick_cfg(), 1, 1);
+        let flood = mk(clique, Metric::FloodTime, 32).evaluate(&quick_cfg(), 1, 1);
         assert_eq!(flood.engine, "scalar");
-        // Above the crossover the all-pairs metrics ride the wide engine.
+        // The prediction: dense instances ride wide, sparse ones the
+        // event-driven engine, flooding the scalar sweep.
+        let n = WIDE_CROSSOVER + 8;
+        assert_eq!(Metric::TemporalDiameter.engine(n, n, n * n).name(), "wide");
         assert_eq!(
-            Metric::TemporalDiameter.engine(WIDE_CROSSOVER).name(),
-            "wide"
+            Metric::TemporalDiameter.engine(n, n, 2 * n).name(),
+            "sparse"
         );
+        assert_eq!(Metric::FloodTime.engine(n, n, n * n).name(), "scalar");
+        let light = AdaptiveConfig::new(5.0)
+            .with_min_trials(2)
+            .with_batch(2)
+            .with_max_trials(4);
+        // Dense clique above the crossover: full wide sweeps every trial.
+        let wide = mk(clique, Metric::TemporalDiameter, n).evaluate(&light, 1, 1);
+        assert_eq!(wide.engine, "wide");
+        assert_eq!(wide.failures, 0.0, "the clique always has the direct arc");
+        // A constant-degree substrate above the crossover: event-driven
+        // sweeps (near-threshold G(n,p) stays wide — its reach sets grow
+        // towards n and reacher-list merges would lose).
+        let sparse = mk(
+            GraphFamily::RandomRegular { degree: 3 },
+            Metric::TemporalDiameter,
+            n,
+        )
+        .evaluate(&light, 1, 1);
+        assert_eq!(sparse.engine, "sparse");
+    }
+
+    #[test]
+    fn treach_cells_answered_by_the_probe_report_batch() {
+        // The engine-attribution regression: above the crossover the
+        // density dispatch *predicts* the sparse engine for a star, but a
+        // single-label star essentially never preserves reachability and
+        // every trial fails at the 64-lane probe block — batch-sized work
+        // end to end, and the row must say so.
+        use ephemeral_temporal::wide::WIDE_CROSSOVER;
+        let n = WIDE_CROSSOVER + 8;
+        let sc = Scenario {
+            family: GraphFamily::Star,
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachProbability,
+            n,
+        };
+        // The dispatch prediction at a drawn star's shape: n − 1 single
+        // labels spread over ~(1 − 1/e)·n occupied buckets is far below
+        // the dense-fill threshold.
         assert_eq!(
-            Metric::TreachProbability.engine(WIDE_CROSSOVER).name(),
-            "wide"
+            sc.metric.engine(n, 2 * n / 3, n - 1).name(),
+            "sparse",
+            "the dispatch prediction for a sparse star"
         );
-        assert_eq!(Metric::FloodTime.engine(WIDE_CROSSOVER).name(), "scalar");
-        let wide = mk(Metric::TemporalDiameter, WIDE_CROSSOVER + 8).evaluate(
+        let out = sc.evaluate(&quick_cfg(), 5, 2);
+        assert_eq!(out.estimate, 0.0, "one label cannot serve a star");
+        assert_eq!(
+            out.engine, "batch",
+            "every trial was answered by the probe block alone"
+        );
+        // A holding instance, by contrast, must sweep full-width: the
+        // undirected clique satisfies T_reach with any single labelling.
+        let sure = Scenario {
+            family: GraphFamily::Clique { directed: false },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachProbability,
+            n,
+        }
+        .evaluate(
             &AdaptiveConfig::new(5.0)
                 .with_min_trials(2)
                 .with_batch(2)
                 .with_max_trials(4),
-            1,
+            5,
             1,
         );
-        assert_eq!(wide.engine, "wide");
-        assert_eq!(wide.failures, 0.0, "the clique always has the direct arc");
+        assert_eq!(sure.estimate, 1.0);
+        assert_eq!(sure.engine, "wide", "holding trials sweep every block");
+    }
+
+    #[test]
+    fn all_filtered_cells_terminate_at_the_cap_without_nan() {
+        // A single-label star always has an infinite instance diameter
+        // (the leaf behind the maximum label can reach no other leaf), so
+        // every trial is filtered. The filtered-mean accumulator must
+        // drive the adaptive loop to the trial cap — an undefined interval
+        // reads as +∞, never NaN (NaN would compare false against the
+        // target and also stop at the cap, but would then poison the
+        // reported row) — and the outcome must record the full excluded
+        // fraction.
+        use ephemeral_temporal::wide::WIDE_CROSSOVER;
+        let cfg = AdaptiveConfig::new(0.5)
+            .with_min_trials(4)
+            .with_batch(4)
+            .with_max_trials(12);
+        let out = Scenario {
+            family: GraphFamily::Star,
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TemporalDiameter,
+            n: WIDE_CROSSOVER + 32,
+        }
+        .evaluate(&cfg, 3, 2);
+        assert_eq!(out.trials, 12, "the loop must stop exactly at the cap");
+        assert!(!out.converged);
+        assert!(
+            out.half_width.is_infinite() && out.half_width > 0.0,
+            "undefined interval reads +inf, got {}",
+            out.half_width
+        );
+        assert!(!out.half_width.is_nan());
+        assert_eq!(out.failures, 1.0, "every trial excluded");
+        assert_eq!(out.estimate, 0.0, "empty accepted set has mean 0");
+        assert_eq!(out.engine, "sparse", "a big star dispatches event-driven");
     }
 
     #[test]

@@ -166,4 +166,48 @@ fn warm_montecarlo_trials_do_not_allocate() {
         "warm wide-dispatch trials above the crossover must not allocate \
          (saw {during} allocations in 10 trials)"
     );
+
+    // The sparse-dispatch scratch path: a near-threshold G(n, p) at
+    // lifetime 4n keeps the occupied buckets far below the dense-fill
+    // threshold, so `instance_temporal_diameter_scratch` routes every
+    // trial through the event-driven engine — frontier matrices,
+    // non-zero-word summaries, version memo and per-bucket slab all
+    // reused across trials.
+    use ephemeral_temporal::sparse::EngineChoice;
+    let n_sparse = WIDE_CROSSOVER + 64;
+    let mut rng2 = default_rng(11);
+    let graph = ephemeral_graph::generators::gnp(n_sparse, 4.0 / n_sparse as f64, false, &mut rng2);
+    let mut tn = placeholder_network(&graph, 4 * n_sparse as u32);
+    let mut scratch = SweepScratch::new();
+    for _ in 0..3 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        assert_eq!(EngineChoice::pick_for(&tn), EngineKind::Sparse);
+        let _ = instance_temporal_diameter_scratch(&tn, &mut scratch);
+    }
+    let before = allocations();
+    let mut acc = 0u64;
+    for _ in 0..10 {
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let d = instance_temporal_diameter_scratch(&tn, &mut scratch);
+        acc += u64::from(d.max_finite) + d.unreachable_pairs as u64;
+    }
+    let during = allocations() - before;
+    assert!(acc > 0, "keep the loop observable");
+    assert_eq!(
+        during, 0,
+        "warm sparse-dispatch trials above the crossover must not allocate \
+         (saw {during} allocations in 10 trials)"
+    );
+
+    // The traced T_reach check on the same sparse instances (its
+    // static-components pass allocates by design, so no allocation count
+    // here): the attribution must stay on the probe/batch-sized path or
+    // the sparse engine — never the wide engine the old n-only dispatch
+    // would have picked.
+    use ephemeral_temporal::reachability::treach_holds_scratch_traced;
+    let (_, engine) = treach_holds_scratch_traced(&tn, &mut scratch);
+    assert!(
+        matches!(engine, EngineKind::Batch | EngineKind::Sparse),
+        "sparse instances answer at the probe or the sparse engine, got {engine:?}"
+    );
 }

@@ -5,19 +5,23 @@
 //! asked. [`ReachabilityMatrix`] packs the closure into `n²/8` bytes of
 //! `u64` words and answers pair queries, per-source counts, and the
 //! pair-deficit (how many ordered pairs lack a journey) with word-parallel
-//! popcounts. The closure is computed by whichever engine the size
-//! selects: the single-pass [`wide`](crate::wide) engine at
-//! `n ≥ WIDE_CROSSOVER` (with saturation early-exit and empty-bucket
-//! skipping), one [`engine`](crate::engine) sweep per batch of 64 sources
-//! below — and the per-source scalar sweep remains the differential
-//! oracle (see this module's tests, `tests/engine_proptests.rs` and
-//! `tests/wide_proptests.rs`).
+//! popcounts. The closure is computed by whichever engine the
+//! density-aware [`EngineChoice`] selects:
+//! the single-pass [`wide`](crate::wide) engine on dense instances above
+//! the batch crossover (saturation early-exit, empty-bucket skipping),
+//! the event-driven [`sparse`](crate::sparse) engine on sparse ones, and
+//! one [`engine`](crate::engine) sweep per batch of 64 sources below the
+//! crossover — the per-source scalar sweep remains the differential
+//! oracle (see this module's tests, `tests/engine_proptests.rs`,
+//! `tests/wide_proptests.rs` and `tests/sparse_proptests.rs`).
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::network::TemporalNetwork;
-use crate::wide::{cache_block_count, engine_for, source_blocks, EngineKind, WideSweeper};
+use crate::sparse::{EngineChoice, SparseSweeper};
+use crate::wide::{cache_block_count, source_blocks, EngineKind, FrontierEngine, WideSweeper};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for_with, par_map_with};
+use std::ops::Range;
 
 /// Bit-packed `n × n` temporal reachability closure (row = source).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,36 +33,27 @@ pub struct ReachabilityMatrix {
 
 impl ReachabilityMatrix {
     /// Compute the closure: bit `(s, t)` is set iff a journey `s → t`
-    /// exists (diagonal bits are set — a vertex reaches itself). At
-    /// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
-    /// (blocks fanned out over `threads`); below, one engine sweep per
-    /// batch of 64 sources. Both paths produce identical bits.
+    /// exists (diagonal bits are set — a vertex reaches itself). Above
+    /// the batch crossover, one full-width sweep per column block (blocks
+    /// fanned out over `threads`) through whichever frontier engine the
+    /// density-aware [`EngineChoice::pick`] selects; below, one engine
+    /// sweep per batch of 64 sources. Every path produces identical bits.
     #[must_use]
     pub fn compute(tn: &TemporalNetwork, threads: usize) -> Self {
         let n = tn.num_nodes();
         let words_per_row = n.div_ceil(64);
-        let chunks = if engine_for(n) == EngineKind::Wide {
-            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-            par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
-                sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
-                // Transpose the sweeper's per-vertex lane words into
-                // per-source rows of target bits: O(reached pairs)
-                // single-bit sets.
-                let mut rows = vec![0u64; block.len() * words_per_row];
-                for v in 0..n {
-                    for w in 0..sweeper.words_per_row() {
-                        let mut lanes = sweeper.reach_word(v as NodeId, w);
-                        while lanes != 0 {
-                            let lane = w * 64 + lanes.trailing_zeros() as usize;
-                            rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
-                            lanes &= lanes - 1;
-                        }
-                    }
-                }
-                rows
-            })
-        } else {
-            par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+        let chunks = match EngineChoice::pick_for(tn) {
+            EngineKind::Wide => {
+                // Extra blocks keep each slab cache-resident for the
+                // wide engine's dense, branch-free word loop.
+                let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+                closure_blocks::<WideSweeper>(tn, threads, &blocks)
+            }
+            EngineKind::Sparse => {
+                let blocks = source_blocks(n, threads);
+                closure_blocks::<SparseSweeper>(tn, threads, &blocks)
+            }
+            _ => par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
                 let batch = batch_range(n, b);
                 let sources: Vec<NodeId> = batch.collect();
                 sweeper.sweep(tn, &sources, 0, |_, _, _| {});
@@ -72,7 +67,7 @@ impl ReachabilityMatrix {
                     }
                 }
                 rows
-            })
+            }),
         };
         let mut bits = Vec::with_capacity(n * words_per_row);
         for chunk in chunks {
@@ -128,6 +123,33 @@ impl ReachabilityMatrix {
     pub fn is_temporally_connected(&self) -> bool {
         self.missing_pairs() == 0
     }
+}
+
+/// One full-width sweep per column block through engine `S`, transposing
+/// each sweeper's per-vertex lane words into per-source rows of target
+/// bits (`O(reached pairs)` single-bit sets).
+fn closure_blocks<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    blocks: &[Range<NodeId>],
+) -> Vec<Vec<u64>> {
+    let n = tn.num_nodes();
+    let words_per_row = n.div_ceil(64);
+    par_map_with(blocks, threads, S::default, |sweeper, _, block| {
+        sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
+        let mut rows = vec![0u64; block.len() * words_per_row];
+        for v in 0..n {
+            for w in 0..sweeper.words_per_row() {
+                let mut lanes = sweeper.reach_word(v as NodeId, w);
+                while lanes != 0 {
+                    let lane = w * 64 + lanes.trailing_zeros() as usize;
+                    rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                    lanes &= lanes - 1;
+                }
+            }
+        }
+        rows
+    })
 }
 
 #[cfg(test)]

@@ -2,26 +2,31 @@
 //!
 //! The paper's Temporal Diameter (Definition 5) is the **expectation over
 //! random instances** of `max_{s,t} δ(s,t)`; this module computes the inner
-//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly. At
-//! `n ≥` [`WIDE_CROSSOVER`](crate::wide::WIDE_CROSSOVER) it runs through
-//! the single-pass [`wide`](crate::wide) engine (all sources at once, with
-//! saturation early-exit and empty-bucket skipping); below, through the
-//! bit-parallel [`engine`](crate::engine), one sweep per batch of 64
-//! sources. The instance diameter needs no arrival matrix at all — it is
-//! the last time any (source, vertex) bit newly sets. The Monte Carlo
-//! expectation lives in `ephemeral-core::diameter`; the scalar `foremost`
-//! sweep remains the differential oracle for all of this.
+//! quantity — `max_{s,t} δ(s,t)` of one concrete instance — exactly,
+//! through whichever engine the density-aware
+//! [`EngineChoice`] selects: the single-pass
+//! [`wide`](crate::wide) engine on dense instances above the batch
+//! crossover (all sources at once, saturation early-exit, empty-bucket
+//! skipping), the event-driven [`sparse`](crate::sparse) engine on sparse
+//! ones, and the bit-parallel [`engine`](crate::engine) — one sweep per
+//! batch of 64 sources — below. The instance diameter needs no arrival
+//! matrix at all — it is the last time any (source, vertex) bit newly
+//! sets. The Monte Carlo expectation lives in `ephemeral-core::diameter`;
+//! the scalar `foremost` sweep remains the differential oracle for all of
+//! this.
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
+use crate::sparse::{EngineChoice, SparseSweeper};
 use crate::wide::{
-    cache_block_count, cache_blocks, engine_for, source_blocks, EngineKind, SweepScratch,
+    cache_block_count, cache_blocks, source_blocks, EngineKind, FrontierEngine, SweepScratch,
     WideSweeper,
 };
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for_with, par_map_with};
+use std::ops::Range;
 
 /// Temporal distances `δ(source, ·)` (earliest arrivals from start time 0);
 /// [`NEVER`] marks unreachable vertices, and `δ(s, s) = 0`.
@@ -67,34 +72,52 @@ impl DistanceMatrix {
     }
 }
 
-/// All-pairs temporal distances, engine-dispatched by size: at
-/// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
-/// (`O(M·⌈n/64⌉ + occupied + n²)` work, parallel over blocks); below, one
-/// engine sweep per batch of 64 sources, parallel over batches. Every
-/// entry bit-identical to a per-source scalar sweep on either path.
+/// All-pairs temporal distances, dispatched through the density-aware
+/// [`EngineChoice`]: above the batch crossover one full-width sweep per
+/// column block — wide on dense instances, event-driven sparse on sparse
+/// ones — parallel over blocks; below, one engine sweep per batch of 64
+/// sources, parallel over batches. Every entry bit-identical to a
+/// per-source scalar sweep on every path.
 #[must_use]
 pub fn all_pairs_temporal_distances(tn: &TemporalNetwork, threads: usize) -> DistanceMatrix {
     let n = tn.num_nodes();
-    let chunks = if engine_for(n) == EngineKind::Wide {
-        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-        par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
-            let mut rows = vec![NEVER; block.len() * n];
-            sweeper.arrivals_into(tn, block.clone(), 0, &mut rows);
-            rows
-        })
-    } else {
-        par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+    let chunks = match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+            arrival_blocks::<WideSweeper>(tn, threads, &blocks)
+        }
+        EngineKind::Sparse => {
+            // The list engine pays the occupied-bucket walk per block and
+            // its lists are cache-light: shard only as far as the workers.
+            let blocks = source_blocks(n, threads);
+            arrival_blocks::<SparseSweeper>(tn, threads, &blocks)
+        }
+        _ => par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
             let sources: Vec<NodeId> = batch_range(n, b).collect();
             let mut rows = vec![NEVER; sources.len() * n];
             sweeper.arrivals_into(tn, &sources, 0, &mut rows);
             rows
-        })
+        }),
     };
     let mut data = Vec::with_capacity(n * n);
     for chunk in chunks {
         data.extend(chunk);
     }
     DistanceMatrix { n, data }
+}
+
+/// One full-width `arrivals_into` per column block through engine `S`.
+fn arrival_blocks<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    blocks: &[Range<NodeId>],
+) -> Vec<Vec<Time>> {
+    let n = tn.num_nodes();
+    par_map_with(blocks, threads, S::default, |sweeper, _, block| {
+        let mut rows = vec![NEVER; block.len() * n];
+        sweeper.arrivals_into(tn, block.clone(), 0, &mut rows);
+        rows
+    })
 }
 
 /// Temporal eccentricity of `source`: `max_t δ(source, t)`, or `None` when
@@ -134,36 +157,54 @@ impl InstanceDiameter {
     }
 }
 
-/// Compute the instance temporal diameter, engine-dispatched by size: at
-/// `n ≥ WIDE_CROSSOVER` one single-pass wide sweep per column block
-/// (parallel over blocks, with saturation early-exit and empty-bucket
-/// skipping); below, one engine sweep per batch of 64 sources, parallel
-/// over batches. No arrival matrix is materialised — the diameter
-/// contribution is simply the last time any bit newly set.
+/// Compute the instance temporal diameter, dispatched through the
+/// density-aware [`EngineChoice`]: above the batch crossover one
+/// full-width sweep per column block (parallel over blocks; wide on
+/// dense instances, event-driven sparse on sparse ones); below, one
+/// engine sweep per batch of 64 sources, parallel over batches. No
+/// arrival matrix is materialised — the diameter contribution is simply
+/// the last time any bit newly set.
 #[must_use]
 pub fn instance_temporal_diameter(tn: &TemporalNetwork, threads: usize) -> InstanceDiameter {
     let n = tn.num_nodes();
-    if engine_for(n) == EngineKind::Wide {
-        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-        let per_block = par_map_with(&blocks, threads, WideSweeper::new, |sweeper, _, block| {
-            let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
-            (stats.last_arrival, stats.unreached_pairs(n))
-        });
-        reduce_batches(per_block)
-    } else {
-        let per_batch = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-            diameter_batch(tn, sweeper, b)
-        });
-        reduce_batches(per_batch)
+    match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+            reduce_batches(diameter_blocks::<WideSweeper>(tn, threads, &blocks))
+        }
+        EngineKind::Sparse => {
+            let blocks = source_blocks(n, threads);
+            reduce_batches(diameter_blocks::<SparseSweeper>(tn, threads, &blocks))
+        }
+        _ => {
+            let per_batch =
+                par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+                    diameter_batch(tn, sweeper, b)
+                });
+            reduce_batches(per_batch)
+        }
     }
+}
+
+/// One full-width stats-only sweep per column block through engine `S`.
+fn diameter_blocks<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    blocks: &[Range<NodeId>],
+) -> Vec<(Time, usize)> {
+    let n = tn.num_nodes();
+    par_map_with(blocks, threads, S::default, |sweeper, _, block| {
+        let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
+        (stats.last_arrival, stats.unreached_pairs(n))
+    })
 }
 
 /// Sequential [`instance_temporal_diameter`] reusing a caller-owned sweeper
 /// — the zero-allocation inner loop of the Monte Carlo estimators in
 /// `ephemeral-core`, which keep one sweeper per worker across trials.
 /// Always runs the batched engine; use
-/// [`instance_temporal_diameter_scratch`] to dispatch to the wide engine
-/// above the crossover.
+/// [`instance_temporal_diameter_scratch`] to dispatch density-aware
+/// between the batched, wide and sparse engines.
 #[must_use]
 pub fn instance_temporal_diameter_reusing(
     tn: &TemporalNetwork,
@@ -173,27 +214,60 @@ pub fn instance_temporal_diameter_reusing(
     reduce_batches((0..batch_count(n)).map(|b| diameter_batch(tn, sweeper, b)))
 }
 
-/// Sequential instance temporal diameter picking the engine by size — the
-/// zero-allocation per-trial path of the Monte Carlo estimators in
-/// `ephemeral-core` (locked in by `crates/core/tests/alloc_regression.rs`
-/// on both sides of the crossover): at `n ≥ WIDE_CROSSOVER` one
-/// single-pass wide sweep per cache-sized column block out of
-/// `scratch.wide` ([`cache_blocks`] iterates the schedule without
-/// allocating), below `⌈n/64⌉` batched sweeps out of `scratch.batch`.
-/// Both paths report identical numbers.
+/// Sequential instance temporal diameter dispatched through the
+/// density-aware [`EngineChoice`] — the zero-allocation per-trial path of
+/// the Monte Carlo estimators in `ephemeral-core` (locked in by
+/// `crates/core/tests/alloc_regression.rs` on all three paths): on dense
+/// instances above the batch crossover one single-pass wide sweep per
+/// cache-sized column block out of `scratch.wide` ([`cache_blocks`]
+/// iterates the schedule without allocating), on sparse ones a single
+/// full-width event-driven sweep out of `scratch.sparse`, below the
+/// crossover `⌈n/64⌉` batched sweeps out of `scratch.batch`. All paths
+/// report identical numbers.
 #[must_use]
 pub fn instance_temporal_diameter_scratch(
     tn: &TemporalNetwork,
     scratch: &mut SweepScratch,
 ) -> InstanceDiameter {
+    instance_temporal_diameter_scratch_traced(tn, scratch).0
+}
+
+/// [`instance_temporal_diameter_scratch`] that also reports which engine
+/// served the instance — the attribution `experiments sweep` rows carry
+/// (see `ephemeral-core`'s `Metric`): [`EngineKind::Wide`],
+/// [`EngineKind::Sparse`] or [`EngineKind::Batch`] exactly as the
+/// dispatch ran.
+#[must_use]
+pub fn instance_temporal_diameter_scratch_traced(
+    tn: &TemporalNetwork,
+    scratch: &mut SweepScratch,
+) -> (InstanceDiameter, EngineKind) {
     let n = tn.num_nodes();
-    if engine_for(n) == EngineKind::Wide {
-        reduce_batches(cache_blocks(n).map(|block| {
-            let stats = scratch.wide.sweep(tn, block, 0, |_, _, _, _| {});
-            (stats.last_arrival, stats.unreached_pairs(n))
-        }))
-    } else {
-        instance_temporal_diameter_reusing(tn, &mut scratch.batch)
+    match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let d = reduce_batches(cache_blocks(n).map(|block| {
+                let stats = scratch.wide.sweep(tn, block, 0, |_, _, _, _| {});
+                (stats.last_arrival, stats.unreached_pairs(n))
+            }));
+            (d, EngineKind::Wide)
+        }
+        EngineKind::Sparse => {
+            // One full-width event-driven pass: the list engine walks the
+            // occupied index once and its arena is cache-light, so column
+            // blocking would only multiply the bucket walk.
+            let stats = scratch.sparse.sweep(tn, 0..n as NodeId, 0, |_, _, _, _| {});
+            (
+                InstanceDiameter {
+                    max_finite: stats.last_arrival,
+                    unreachable_pairs: stats.unreached_pairs(n),
+                },
+                EngineKind::Sparse,
+            )
+        }
+        _ => (
+            instance_temporal_diameter_reusing(tn, &mut scratch.batch),
+            EngineKind::Batch,
+        ),
     }
 }
 

@@ -36,11 +36,13 @@
 //! and the `T_reach` checks in [`reachability`](crate::reachability) run
 //! through this kernel below
 //! [`WIDE_CROSSOVER`](crate::wide::WIDE_CROSSOVER) (≈64× fewer index
-//! passes than their old source-at-a-time loops) and through the
-//! single-pass [`wide`](crate::wide) engine above it; the batched sweeper
-//! remains the engine of choice for **few-source** queries at any size,
-//! and the scalar `foremost` stays as the differential-testing oracle for
-//! both.
+//! passes than their old source-at-a-time loops); above it the
+//! density-aware [`EngineChoice`](crate::sparse::EngineChoice) picks
+//! between the single-pass [`wide`](crate::wide) engine (dense occupied
+//! buckets) and the event-driven [`sparse`](crate::sparse) engine
+//! (everything else). The batched sweeper remains the engine of choice
+//! for **few-source** queries at any size, and the scalar `foremost`
+//! stays as the differential-testing oracle for all of them.
 
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};

@@ -35,9 +35,18 @@
 //!   sharding for intra-instance parallelism; arrivals bit-identical to
 //!   both the batched engine and the scalar oracle
 //!   (`tests/wide_proptests.rs`).
+//! * [`sparse`]: the event-driven sparse-frontier engine — sorted
+//!   reacher-lists in an append-only arena with region sharing, so the
+//!   per-bucket cost tracks the frontiers that actually changed instead
+//!   of `n × ⌈n/64⌉`; arrivals bit-identical to the wide engine, the
+//!   batched engine and the scalar oracle (`tests/sparse_proptests.rs`).
+//!   [`sparse::EngineChoice`] is the density-aware dispatch every
+//!   all-source entry point runs through: batched below
+//!   [`wide::WIDE_CROSSOVER`], then wide for dense/high-degree instances
+//!   and event-driven for genuinely sparse ones.
 //! * [`distance`]: all-pairs temporal distances, temporal eccentricity and
-//!   the instance temporal diameter — served by the wide engine at
-//!   `n ≥` [`wide::WIDE_CROSSOVER`] and the batched engine below.
+//!   the instance temporal diameter — engine-dispatched through
+//!   [`sparse::EngineChoice`].
 //! * [`reachability`]: temporal reach sets and the paper's `T_reach`
 //!   property ("every static path is matched by a journey", Definition 6) —
 //!   engine-dispatched checks with early exit (per batch below the
@@ -89,6 +98,7 @@ mod network;
 pub mod reachability;
 pub mod reference;
 pub mod reverse;
+pub mod sparse;
 pub mod wide;
 
 pub use assignment::LabelAssignment;

@@ -5,19 +5,24 @@
 //! analogue of static network efficiency,
 //! `E = (1/(n(n−1))) · Σ_{s≠t} 1/δ(s,t)` with `1/∞ = 0`, as used in the
 //! temporal small-world literature the paper's related-work section
-//! surveys. Below the crossover the metrics run one scalar foremost sweep
-//! per source (parallel over sources); at `n ≥ WIDE_CROSSOVER` they run
-//! through the single-pass [`wide`](crate::wide) engine, accumulating
-//! each source's row in vertex order so every number — including the
-//! floating-point sums — is bit-identical to the scalar path and
-//! invariant under the thread count.
+//! surveys. Below the batch crossover the metrics run one scalar foremost
+//! sweep per source (parallel over sources); above it they run through
+//! the full-width engine the density-aware
+//! [`EngineChoice`] selects —
+//! [`wide`](crate::wide) on dense instances, event-driven
+//! [`sparse`](crate::sparse) on sparse ones — accumulating each source's
+//! row in vertex order so every number — including the floating-point
+//! sums — is bit-identical to the scalar path and invariant under the
+//! thread count.
 
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::wide::{cache_block_count, engine_for, source_blocks, EngineKind, WideSweeper};
+use crate::sparse::{EngineChoice, SparseSweeper};
+use crate::wide::{cache_block_count, source_blocks, EngineKind, FrontierEngine, WideSweeper};
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for, par_map_with};
+use std::ops::Range;
 
 /// All-pairs summary metrics of one temporal network instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,9 +43,34 @@ pub struct TemporalMetrics {
     pub temporal_efficiency: f64,
 }
 
+/// One full-width `arrivals_into` per column block through engine `S`,
+/// each source's row accumulated in vertex order (bit-identical to the
+/// scalar fold).
+fn metric_blocks<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    blocks: &[Range<NodeId>],
+) -> Vec<(usize, u64, u32, f64)> {
+    let n = tn.num_nodes();
+    let init = || (S::default(), Vec::new());
+    par_map_with(blocks, threads, init, |(sweeper, rows), _, block| {
+        rows.clear();
+        rows.resize(block.len() * n, NEVER);
+        sweeper.arrivals_into(tn, block.clone(), 0, rows);
+        block
+            .clone()
+            .enumerate()
+            .map(|(lane, s)| accumulate_row(s as usize, &rows[lane * n..(lane + 1) * n]))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Per-source accumulation of one arrival row, in vertex order — shared
-/// by the scalar and wide paths so their floating-point sums agree bit
-/// for bit.
+/// by the scalar and full-width paths so their floating-point sums agree
+/// bit for bit.
 fn accumulate_row(s: usize, arrivals: &[Time]) -> (usize, u64, u32, f64) {
     let mut reach = 0usize;
     let mut sum = 0u64;
@@ -60,7 +90,8 @@ fn accumulate_row(s: usize, arrivals: &[Time]) -> (usize, u64, u32, f64) {
 }
 
 /// Compute the metrics: one parallel foremost sweep per source below the
-/// crossover, single-pass wide sweeps (one per column block) above it.
+/// batch crossover, full-width sweeps (one per column block, wide or
+/// sparse per the density dispatch) above it.
 #[must_use]
 pub fn temporal_metrics(tn: &TemporalNetwork, threads: usize) -> TemporalMetrics {
     let n = tn.num_nodes();
@@ -74,26 +105,18 @@ pub fn temporal_metrics(tn: &TemporalNetwork, threads: usize) -> TemporalMetrics
             temporal_efficiency: 0.0,
         };
     }
-    let per_source: Vec<(usize, u64, u32, f64)> = if engine_for(n) == EngineKind::Wide {
-        let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-        let init = || (WideSweeper::new(), Vec::new());
-        par_map_with(&blocks, threads, init, |(sweeper, rows), _, block| {
-            rows.clear();
-            rows.resize(block.len() * n, NEVER);
-            sweeper.arrivals_into(tn, block.clone(), 0, rows);
-            block
-                .clone()
-                .enumerate()
-                .map(|(lane, s)| accumulate_row(s as usize, &rows[lane * n..(lane + 1) * n]))
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
-    } else {
-        par_for(n, threads, |s| {
+    let per_source: Vec<(usize, u64, u32, f64)> = match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
+            metric_blocks::<WideSweeper>(tn, threads, &blocks)
+        }
+        EngineKind::Sparse => {
+            let blocks = source_blocks(n, threads);
+            metric_blocks::<SparseSweeper>(tn, threads, &blocks)
+        }
+        _ => par_for(n, threads, |s| {
             accumulate_row(s, foremost(tn, s as NodeId, 0).arrivals())
-        })
+        }),
     };
     let mut reachable_pairs = 0usize;
     let mut sum = 0u64;

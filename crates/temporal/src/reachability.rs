@@ -5,19 +5,23 @@
 //! `(u, v)`-journey exists in `(G, L)`. Journeys are paths, so only the
 //! forward implication can fail; the check therefore compares per-source
 //! reach *counts* of static BFS and the temporal sweep. The whole-network
-//! checks dispatch by size: below the crossover they run 64 sources per
-//! pass through the bit-parallel [`engine`](crate::engine) with early
-//! exit at batch granularity; at `n ≥ WIDE_CROSSOVER` they probe the
-//! first [`wide`](crate::wide) column block (failing instances almost
+//! checks dispatch through the density-aware
+//! [`EngineChoice`]: below the batch
+//! crossover they run 64 sources per pass through the bit-parallel
+//! [`engine`](crate::engine) with early exit at batch granularity; above
+//! it they probe the first 64-lane column block (failing instances almost
 //! always fail there, as cheaply as one batch) and only then sweep the
-//! remaining blocks in a single wide pass each. The single-source helpers
+//! remaining blocks through the full-width engine the density selected —
+//! [`wide`](crate::wide) on dense instances, event-driven
+//! [`sparse`](crate::sparse) on sparse ones. The single-source helpers
 //! stay on the scalar `foremost` oracle.
 
 use crate::engine::{batch_count, batch_range, BatchSweeper, MAX_LANES};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
+use crate::sparse::{EngineChoice, SparseSweeper};
 use crate::wide::{
-    cache_block_count, engine_for, probe_blocks, EngineKind, SweepScratch, WideSweeper,
+    cache_block_count, probe_blocks, EngineKind, FrontierEngine, SweepScratch, WideSweeper,
 };
 use crate::{Time, NEVER};
 use ephemeral_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
@@ -43,35 +47,28 @@ pub fn temporal_reach_count(tn: &TemporalNetwork, source: NodeId) -> usize {
 
 /// Is every ordered pair `(s, t)` connected by a journey? (The clique with
 /// one label per edge trivially satisfies this; most sparse networks do
-/// not.) Below the crossover: one engine sweep per batch of 64 sources,
-/// with early exit at batch granularity. Above it: a wide sweep of the
-/// first column block probes for failure (a disconnected instance almost
+/// not.) Below the batch crossover: one engine sweep per batch of 64
+/// sources, with early exit at batch granularity. Above it: a probe sweep
+/// of the first 64-lane column block (a disconnected instance almost
 /// always has an unreached pair among any 64+ sources), then the
-/// remaining blocks sweep in parallel.
+/// remaining blocks sweep in parallel through the density-selected
+/// full-width engine.
 #[must_use]
 pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
     if n <= 1 {
         return true;
     }
-    if engine_for(n) == EngineKind::Wide {
-        let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
-        let mut sweeper = WideSweeper::new();
-        let stats = sweeper.sweep(tn, probe, 0, |_, _, _, _| {});
-        if !stats.all_reached(n) {
-            return false;
+    match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
+            return frontier_connected::<WideSweeper>(tn, threads, probe, &rest);
         }
-        let failed = AtomicBool::new(false);
-        par_map_with(&rest, threads, WideSweeper::new, |sweeper, _, block| {
-            if failed.load(Ordering::Relaxed) {
-                return;
-            }
-            let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
-            if !stats.all_reached(n) {
-                failed.store(true, Ordering::Relaxed);
-            }
-        });
-        return !failed.load(Ordering::Relaxed);
+        EngineKind::Sparse => {
+            let (probe, rest) = probe_blocks(n, threads);
+            return frontier_connected::<SparseSweeper>(tn, threads, probe, &rest);
+        }
+        _ => {}
     }
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
@@ -80,6 +77,32 @@ pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
         }
         let sources: Vec<NodeId> = batch_range(n, b).collect();
         let stats = sweeper.sweep(tn, &sources, 0, |_, _, _| {});
+        if !stats.all_reached(n) {
+            failed.store(true, Ordering::Relaxed);
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// Probe-first whole-network connectivity over engine `S`.
+fn frontier_connected<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    probe: std::ops::Range<NodeId>,
+    rest: &[std::ops::Range<NodeId>],
+) -> bool {
+    let n = tn.num_nodes();
+    let mut sweeper = S::default();
+    let stats = sweeper.sweep(tn, probe, 0, |_, _, _, _| {});
+    if !stats.all_reached(n) {
+        return false;
+    }
+    let failed = AtomicBool::new(false);
+    par_map_with(rest, threads, S::default, |sweeper, _, block| {
+        if failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let stats = sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
         if !stats.all_reached(n) {
             failed.store(true, Ordering::Relaxed);
         }
@@ -107,12 +130,12 @@ fn batch_reach_counts(
     counts
 }
 
-/// Per-lane temporal reach counts of one wide block: each source counts
-/// itself plus one per newly-reached vertex (integer accumulation, so the
-/// commit order cannot affect the result).
-fn wide_reach_counts(
+/// Per-lane temporal reach counts of one full-width block: each source
+/// counts itself plus one per newly-reached vertex (integer accumulation,
+/// so the commit order cannot affect the result).
+fn wide_reach_counts<S: FrontierEngine>(
     tn: &TemporalNetwork,
-    sweeper: &mut WideSweeper,
+    sweeper: &mut S,
     block: std::ops::Range<NodeId>,
 ) -> Vec<usize> {
     let mut counts = vec![1usize; block.len()];
@@ -160,10 +183,12 @@ fn lanes_match(
 /// set of statically reachable vertices; since journeys are paths, equality
 /// of counts suffices (static counts from one union–find components pass
 /// when undirected, per-source BFS when directed).
-/// Temporal counts dispatch by size: engine batches of 64 sources with
-/// early exit below the crossover; above it, a wide probe block first (a
-/// violating instance almost always exposes a short-counted source among
-/// any 64), then the remaining column blocks in parallel.
+/// Temporal counts dispatch through the density-aware [`EngineChoice`]:
+/// engine batches of 64 sources with early exit below the crossover;
+/// above it, a 64-lane probe block first (a violating instance almost
+/// always exposes a short-counted source among any 64), then the
+/// remaining column blocks in parallel through the full-width engine the
+/// density selected.
 #[must_use]
 pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
     let n = tn.num_nodes();
@@ -171,27 +196,19 @@ pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
         return true;
     }
     let static_reach = static_reach_oracle(tn);
+    match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
+            return frontier_treach::<WideSweeper>(tn, threads, &static_reach, probe, &rest);
+        }
+        EngineKind::Sparse => {
+            let (probe, rest) = probe_blocks(n, threads);
+            return frontier_treach::<SparseSweeper>(tn, threads, &static_reach, probe, &rest);
+        }
+        _ => {}
+    }
     let lanes_ok =
         |base: NodeId, counts: &[usize]| -> bool { lanes_match(&static_reach, base, counts) };
-    if engine_for(n) == EngineKind::Wide {
-        let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
-        let mut sweeper = WideSweeper::new();
-        let counts = wide_reach_counts(tn, &mut sweeper, probe.clone());
-        if !lanes_ok(probe.start, &counts) {
-            return false;
-        }
-        let failed = AtomicBool::new(false);
-        par_map_with(&rest, threads, WideSweeper::new, |sweeper, _, block| {
-            if failed.load(Ordering::Relaxed) {
-                return;
-            }
-            let counts = wide_reach_counts(tn, sweeper, block.clone());
-            if !lanes_ok(block.start, &counts) {
-                failed.store(true, Ordering::Relaxed);
-            }
-        });
-        return !failed.load(Ordering::Relaxed);
-    }
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
         if failed.load(Ordering::Relaxed) {
@@ -206,44 +223,110 @@ pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
     !failed.load(Ordering::Relaxed)
 }
 
+/// Probe-first whole-network `T_reach` over engine `S`.
+fn frontier_treach<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    threads: usize,
+    static_reach: &(impl Fn(NodeId) -> usize + Sync),
+    probe: std::ops::Range<NodeId>,
+    rest: &[std::ops::Range<NodeId>],
+) -> bool {
+    let mut sweeper = S::default();
+    let base = probe.start;
+    let counts = wide_reach_counts(tn, &mut sweeper, probe);
+    if !lanes_match(static_reach, base, &counts) {
+        return false;
+    }
+    let failed = AtomicBool::new(false);
+    par_map_with(rest, threads, S::default, |sweeper, _, block| {
+        if failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let counts = wide_reach_counts(tn, sweeper, block.clone());
+        if !lanes_match(static_reach, block.start, &counts) {
+            failed.store(true, Ordering::Relaxed);
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
 /// Sequential [`treach_holds`] reusing a caller-owned [`SweepScratch`] —
 /// the per-trial path of the Monte Carlo estimators, which would
-/// otherwise rebuild the wide engine's `n × ⌈n/64⌉` frontier matrices on
-/// every trial above the crossover (the static-reach side still runs its
-/// components pass per call; it is the heavy sweep buffers that are
+/// otherwise rebuild a full-width engine's `n × ⌈n/64⌉` frontier matrices
+/// on every trial above the crossover (the static-reach side still runs
+/// its components pass per call; it is the heavy sweep buffers that are
 /// reused). Same dispatch and early exits as `treach_holds(tn, 1)`, same
 /// answer.
 #[must_use]
 pub fn treach_holds_scratch(tn: &TemporalNetwork, scratch: &mut SweepScratch) -> bool {
+    treach_holds_scratch_traced(tn, scratch).0
+}
+
+/// [`treach_holds_scratch`] that also reports the engine that **actually
+/// answered** — the attribution `experiments sweep` rows carry. Above the
+/// batch crossover the check probes the first 64-lane column block
+/// before committing to a full-width sweep; when that probe alone decides
+/// the answer (the overwhelmingly common case on failing instances), the
+/// work done was one single-word sweep — exactly a batched pass — and the
+/// attribution is [`EngineKind::Batch`], not the engine the density
+/// dispatch *would* have used for the remaining blocks. Only runs that
+/// sweep a full-width block report [`EngineKind::Wide`] /
+/// [`EngineKind::Sparse`].
+#[must_use]
+pub fn treach_holds_scratch_traced(
+    tn: &TemporalNetwork,
+    scratch: &mut SweepScratch,
+) -> (bool, EngineKind) {
     let n = tn.num_nodes();
     if n <= 1 {
-        return true;
+        return (true, EngineKind::Batch);
     }
     let static_reach = static_reach_oracle(tn);
-    if engine_for(n) == EngineKind::Wide {
-        let (probe, rest) = probe_blocks(n, cache_block_count(n));
-        let base = probe.start;
-        let counts = wide_reach_counts(tn, &mut scratch.wide, probe);
-        if !lanes_match(&static_reach, base, &counts) {
-            return false;
+    match EngineChoice::pick_for(tn) {
+        EngineKind::Wide => {
+            let (probe, rest) = probe_blocks(n, cache_block_count(n));
+            frontier_treach_scratch(tn, &mut scratch.wide, &static_reach, probe, rest)
         }
-        for block in rest {
-            let base = block.start;
-            let counts = wide_reach_counts(tn, &mut scratch.wide, block);
-            if !lanes_match(&static_reach, base, &counts) {
-                return false;
+        EngineKind::Sparse => {
+            let (probe, rest) = probe_blocks(n, 1);
+            frontier_treach_scratch(tn, &mut scratch.sparse, &static_reach, probe, rest)
+        }
+        _ => {
+            for b in 0..batch_count(n) {
+                let sources: Vec<NodeId> = batch_range(n, b).collect();
+                let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
+                if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
+                    return (false, EngineKind::Batch);
+                }
             }
-        }
-        return true;
-    }
-    for b in 0..batch_count(n) {
-        let sources: Vec<NodeId> = batch_range(n, b).collect();
-        let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
-        if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
-            return false;
+            (true, EngineKind::Batch)
         }
     }
-    true
+}
+
+/// Sequential probe-first `T_reach` over engine `S`, reporting whether the
+/// 64-lane probe alone answered (attributed as a batched pass) or a
+/// full-width block had to sweep.
+fn frontier_treach_scratch<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    sweeper: &mut S,
+    static_reach: &(impl Fn(NodeId) -> usize + Sync),
+    probe: std::ops::Range<NodeId>,
+    rest: Vec<std::ops::Range<NodeId>>,
+) -> (bool, EngineKind) {
+    let base = probe.start;
+    let counts = wide_reach_counts(tn, sweeper, probe);
+    if !lanes_match(static_reach, base, &counts) {
+        return (false, EngineKind::Batch);
+    }
+    for block in rest {
+        let base = block.start;
+        let counts = wide_reach_counts(tn, sweeper, block);
+        if !lanes_match(static_reach, base, &counts) {
+            return (false, S::kind());
+        }
+    }
+    (true, S::kind())
 }
 
 #[cfg(test)]

@@ -1,0 +1,1057 @@
+//! Event-driven sparse-frontier sweep engine: the closure engine for the
+//! regime where nothing saturates.
+//!
+//! [`WideSweeper`](crate::wide::WideSweeper) already skips empty buckets
+//! and stops at saturation, but on *sparse, disconnected* instances —
+//! `G(n, p)` at the `c·ln n / n` threshold, random regular graphs, tori,
+//! the substrates the paper's connectivity results live on — neither
+//! rescue applies: every occupied bucket is visited and every one of the
+//! bucket's edges walks `W = ⌈n/64⌉` frontier words per direction, even
+//! though a typical frontier holds a few dozen set bits for the whole
+//! sweep (temporal reachability sets stay small below the connectivity
+//! threshold). [`SparseSweeper`] preserves the exact "reached strictly
+//! before `t`" per-bucket semantics but stores each vertex's frontier as
+//! a **sorted list of reaching lanes** in an append-only arena, so the
+//! per-bucket cost scales with the frontiers that actually **changed**,
+//! never with `n × W`:
+//!
+//! * **Merge propagation.** An edge `(u, v)` at time `t` merges two
+//!   sorted lane lists — `O(|L_u| + |L_v|)` sequential word-stream work;
+//!   the elements unique to the source side are exactly the fresh
+//!   arrivals. Nothing proportional to `n` or `W` is ever touched.
+//! * **Region sharing.** List regions are immutable (updates append a
+//!   new region and re-point), so after an undirected exchange both
+//!   endpoints *share* the union region: a later edge between equally
+//!   reachable vertices is recognised by a pointer compare and costs
+//!   `O(1)`. An edge into a still-empty frontier (the common case in
+//!   column-block sweeps) adopts the source's region — also `O(1)`, no
+//!   copy.
+//! * **Version-memoised relabels.** Every vertex has a change counter;
+//!   each (edge, direction) remembers the source's counter from its last
+//!   application, so a relabel of the same edge whose source has not
+//!   changed since is skipped outright — sound because the previous
+//!   application already transferred everything missing, frontiers only
+//!   grow, and labels along a journey strictly increase (Definition 2).
+//!   Under single-label assignments the memo (and its `O(m)` reset) is
+//!   skipped entirely.
+//! * **Conflict-scanned buckets.** Endpoint-disjoint buckets (virtually
+//!   all buckets at sparse fill) commit in place edge by edge. A bucket
+//!   with a shared endpoint falls back to a snapshot discipline: every
+//!   endpoint's `(start, len)` is recorded before the bucket runs,
+//!   sources read the snapshot, targets merge live — reproducing the
+//!   frozen-`before` bucket commit of the scalar sweep exactly.
+//! * The wide engine's **saturation early-exit** and **empty-bucket
+//!   skipping** (via [`TemporalNetwork::occupied_times`]) are kept.
+//!
+//! The `n × ⌈n/64⌉` closure matrix consumers read through
+//! [`SparseSweeper::reach_word`] is **materialised lazily** from the
+//! lists after the sweep (`O(reached bits)`); sweeps that only need
+//! stats or arrival callbacks never build it — which is also what makes
+//! an `n = 65536` closure feasible: the arena holds the reached pairs
+//! (a few MiB), not a gigabyte of mostly-zero frontier words.
+//!
+//! Per-(source, target) arrival times are **bit-identical** to the wide
+//! engine, the batched engine and `n` scalar
+//! [`foremost`](crate::foremost::foremost) sweeps
+//! (`tests/sparse_proptests.rs` pins all three, plus horizons, start
+//! times, ragged `n` and block sharding).
+//!
+//! ## Engine choice
+//!
+//! [`EngineChoice::pick`] replaces the old `n`-only `WIDE_CROSSOVER`
+//! dispatch at every all-source entry point: below the crossover the
+//! 64-lane batched engine still wins; above it the *density* of the
+//! occupied buckets decides — instances whose occupied buckets carry at
+//! least `n / 16` time-edges on average (cliques, complete bipartite
+//! substrates: saturation plausible, branch-free inner loop worth it)
+//! keep the wide engine, everything sparser goes event-driven.
+
+use crate::network::TemporalNetwork;
+use crate::wide::{EngineKind, FrontierEngine, WideStats, WIDE_CROSSOVER};
+use crate::Time;
+use ephemeral_graph::NodeId;
+use std::ops::Range;
+
+/// Average time-edges per occupied bucket, as a fraction of `n`, above
+/// which the all-source entry points prefer the branch-free
+/// [`WideSweeper`](crate::wide::WideSweeper) over the event-driven
+/// [`SparseSweeper`]: `M / occupied ≥ n / DENSE_BUCKET_DIVISOR` reads
+/// "each visited bucket touches a constant fraction of the vertices", the
+/// regime where the closure saturates within a few buckets and the wide
+/// engine's early-exit dominates.
+pub const DENSE_BUCKET_DIVISOR: usize = 16;
+
+/// Time-edges per vertex above which the event-driven engine loses even
+/// when the buckets are diffuse: past `M > SPARSE_EDGE_FACTOR · n` the
+/// temporal reach sets grow towards `Θ(n)` (the static average degree is
+/// high enough for a well-connected giant cluster), every reacher-list
+/// merge streams a long list, and the wide engine's fixed `W`-word rows
+/// win back. Near-threshold `G(n, p = c·ln n / n)` instances sit above
+/// this bound; the genuinely sparse substrates (constant average degree,
+/// stars, paths, tori, random regular graphs) sit below it.
+pub const SPARSE_EDGE_FACTOR: usize = 3;
+
+/// The density-aware engine dispatch used uniformly by the all-source
+/// entry points (closure, distances, diameter, connectivity, `T_reach`,
+/// metrics) and the Monte Carlo scratch loops.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineChoice;
+
+impl EngineChoice {
+    /// Pick the engine for an `n`-vertex instance with
+    /// `occupied_buckets` non-empty time buckets and `time_edges` labels:
+    /// [`EngineKind::Batch`] below [`WIDE_CROSSOVER`] (the wide matrix is
+    /// a few words per vertex there and the batched frontier wins
+    /// regardless of density); above it [`EngineKind::Sparse`] only for
+    /// genuinely sparse instances — diffuse buckets (average fill below
+    /// `n /` [`DENSE_BUCKET_DIVISOR`]) *and* constant-ish average degree
+    /// (at most [`SPARSE_EDGE_FACTOR`] time-edges per vertex, keeping the
+    /// reacher lists short) — and [`EngineKind::Wide`] otherwise.
+    ///
+    /// ```
+    /// use ephemeral_temporal::sparse::EngineChoice;
+    /// use ephemeral_temporal::wide::EngineKind;
+    ///
+    /// // Small n: always batched.
+    /// assert_eq!(EngineChoice::pick(64, 64, 2016), EngineKind::Batch);
+    /// // Dense clique at a = n: every bucket floods a constant fraction.
+    /// assert_eq!(EngineChoice::pick(4096, 4096, 16_773_120), EngineKind::Wide);
+    /// // Near-threshold G(n, p = 1.5·ln n / n): diffuse buckets but high
+    /// // degree — reach sets grow towards n, the wide engine keeps it.
+    /// assert_eq!(EngineChoice::pick(4096, 4093, 25_562), EngineKind::Wide);
+    /// // Sparse G(n, p) at average degree 4, lifetime 4n: event-driven.
+    /// assert_eq!(EngineChoice::pick(4096, 6328, 8066), EngineKind::Sparse);
+    /// ```
+    #[must_use]
+    pub const fn pick(n: usize, occupied_buckets: usize, time_edges: usize) -> EngineKind {
+        if n < WIDE_CROSSOVER {
+            return EngineKind::Batch;
+        }
+        let occupied = if occupied_buckets == 0 {
+            1
+        } else {
+            occupied_buckets
+        };
+        if time_edges.saturating_mul(DENSE_BUCKET_DIVISOR) >= occupied.saturating_mul(n)
+            || time_edges > SPARSE_EDGE_FACTOR.saturating_mul(n)
+        {
+            EngineKind::Wide
+        } else {
+            EngineKind::Sparse
+        }
+    }
+
+    /// [`EngineChoice::pick`] fed from a network's own counts
+    /// (`num_nodes`, `occupied_times().len()`, `num_time_edges`).
+    #[must_use]
+    pub fn pick_for(tn: &TemporalNetwork) -> EngineKind {
+        Self::pick(
+            tn.num_nodes(),
+            tn.occupied_times().len(),
+            tn.num_time_edges(),
+        )
+    }
+}
+
+/// Sentinel for "this (edge, direction) has never propagated".
+const NEVER_APPLIED: u64 = u64::MAX;
+
+/// The arena is addressed by `u32` region offsets; growing past that is
+/// astronomically far outside any dispatched workload (the arena holds
+/// reached pairs), but a direct caller on an adversarial instance must
+/// get a panic, not silently wrapped offsets.
+#[inline]
+fn arena_offset(arena: &[u32]) -> u32 {
+    u32::try_from(arena.len()).expect("sparse arena exceeds u32 region offsets")
+}
+
+/// A vertex's frontier region: `arena[start .. start + len]`, one 8-byte
+/// slot so an application touches a single metadata cache line per
+/// endpoint. `u32` offsets bound the arena at 4 Gi entries — far beyond
+/// any dispatched workload (the arena holds the reached pairs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Region {
+    start: u32,
+    len: u32,
+}
+
+/// A word-grouped callback accumulator: collects consecutive fresh lanes
+/// of one 64-lane word into a mask and flushes one `on_reach` per word —
+/// the wide engine's callback granularity, produced inline during a
+/// merge (fresh lanes are discovered in ascending order).
+struct MaskEmitter {
+    word: usize,
+    mask: u64,
+    fresh: u32,
+}
+
+impl MaskEmitter {
+    #[inline]
+    const fn new() -> Self {
+        Self {
+            word: usize::MAX,
+            mask: 0,
+            fresh: 0,
+        }
+    }
+
+    #[inline]
+    fn push(
+        &mut self,
+        lane: u32,
+        v: NodeId,
+        t: Time,
+        on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+    ) {
+        let w = (lane / 64) as usize;
+        if w != self.word {
+            if self.mask != 0 {
+                on_reach(v, self.word, self.mask, t);
+            }
+            self.word = w;
+            self.mask = 0;
+        }
+        self.mask |= 1u64 << (lane % 64);
+        self.fresh += 1;
+    }
+
+    #[inline]
+    fn finish(
+        self,
+        v: NodeId,
+        t: Time,
+        on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+    ) -> u32 {
+        if self.mask != 0 {
+            on_reach(v, self.word, self.mask, t);
+        }
+        self.fresh
+    }
+}
+
+/// Fire `on_reach` for a sorted slice of fresh lanes, grouped per word.
+#[inline]
+fn emit(news: &[u32], v: NodeId, t: Time, on_reach: &mut impl FnMut(NodeId, usize, u64, Time)) {
+    let mut em = MaskEmitter::new();
+    for &lane in news {
+        em.push(lane, v, t, on_reach);
+    }
+    let _ = em.finish(v, t, on_reach);
+}
+
+/// Union-merge the sorted lists of `u` and `v` into `out` (cleared
+/// first), emitting each side's exclusives as the other side's fresh
+/// arrivals inline. Returns `(fresh_u, fresh_v)`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn merge_dual_emitting(
+    a: &[u32],
+    b: &[u32],
+    out: &mut Vec<u32>,
+    u: NodeId,
+    v: NodeId,
+    t: Time,
+    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+) -> (u32, u32) {
+    out.clear();
+    let mut em_u = MaskEmitter::new(); // b-exclusives reach u
+    let mut em_v = MaskEmitter::new(); // a-exclusives reach v
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        out.push(x.min(y));
+        if x < y {
+            em_v.push(x, v, t, on_reach);
+            i += 1;
+        } else if y < x {
+            em_u.push(y, u, t, on_reach);
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for &x in &a[i..] {
+        em_v.push(x, v, t, on_reach);
+    }
+    out.extend_from_slice(&b[j..]);
+    for &y in &b[j..] {
+        em_u.push(y, u, t, on_reach);
+    }
+    (em_u.finish(u, t, on_reach), em_v.finish(v, t, on_reach))
+}
+
+/// Union-merge the frozen source list `src` into the live dst list `d`,
+/// writing the union into `out` (cleared first) and emitting the
+/// src-exclusives as fresh arrivals of `dst`. Returns the fresh count.
+#[inline]
+fn merge_into_emitting(
+    d: &[u32],
+    src: &[u32],
+    out: &mut Vec<u32>,
+    dst: NodeId,
+    t: Time,
+    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+) -> u32 {
+    out.clear();
+    let mut em = MaskEmitter::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < d.len() && j < src.len() {
+        let x = d[i];
+        let y = src[j];
+        out.push(x.min(y));
+        if x < y {
+            i += 1;
+        } else if y < x {
+            em.push(y, dst, t, on_reach);
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&d[i..]);
+    out.extend_from_slice(&src[j..]);
+    for &y in &src[j..] {
+        em.push(y, dst, t, on_reach);
+    }
+    em.finish(dst, t, on_reach)
+}
+
+/// Reusable scratch state of the event-driven sparse-frontier sweep.
+///
+/// Construction is free; the first sweep sizes the per-vertex region
+/// tables and the arena, and subsequent sweeps of same-shaped networks
+/// reuse them, so a Monte Carlo loop that keeps one sweeper per worker
+/// performs no per-trial allocation once warm (covered by
+/// `ephemeral-core`'s allocation regression test).
+///
+/// ```
+/// use ephemeral_graph::generators;
+/// use ephemeral_temporal::sparse::SparseSweeper;
+/// use ephemeral_temporal::wide::FrontierEngine;
+/// use ephemeral_temporal::{LabelAssignment, TemporalNetwork, NEVER};
+///
+/// // 0—1 @1, 1—2 @2: all three sources answered in one pass.
+/// let tn = TemporalNetwork::new(
+///     generators::path(3),
+///     LabelAssignment::from_vecs(vec![vec![1], vec![2]]).unwrap(),
+///     2,
+/// )
+/// .unwrap();
+/// let mut sweeper = SparseSweeper::new();
+/// let mut arrivals = vec![NEVER; 3 * 3];
+/// let stats = sweeper.arrivals_into(&tn, 0..3, 0, &mut arrivals);
+/// assert_eq!(arrivals, vec![0, 1, 2, 1, 0, 2, NEVER, 2, 0]);
+/// assert_eq!(stats.unreached_pairs(3), 1); // 2 never reaches 0
+/// assert_eq!(stats.buckets_visited, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseSweeper {
+    /// Append-only storage of the sorted lane lists; regions are
+    /// immutable once written (updates append and re-point), which is
+    /// what makes region sharing sound.
+    arena: Vec<u32>,
+    /// Per-vertex frontier region (`len == lanes` ⇔ saturated).
+    meta: Vec<Region>,
+    /// Pre-bucket region + version snapshots for conflicted buckets
+    /// (valid where `stamp[v] == epoch`).
+    snap_meta: Vec<Region>,
+    snap_ver: Vec<u64>,
+    /// Per-vertex change counter, bumped whenever the frontier grows.
+    version: Vec<u64>,
+    /// `version[src]` at the last application of each (edge, direction):
+    /// slot `2e` for `u → v`, `2e + 1` for `v → u`. Unused (and never
+    /// reset) under single-label assignments.
+    edge_version: Vec<u64>,
+    /// `stamp[v] == epoch` marks `v` as an endpoint already seen in the
+    /// current bucket's conflict scan.
+    stamp: Vec<u64>,
+    /// Merge scratch: the union under construction.
+    out_buf: Vec<u32>,
+    /// The `n × ⌈lanes/64⌉` closure matrix, materialised lazily from the
+    /// lists on the first [`SparseSweeper::reach_word`] call.
+    before: Vec<u64>,
+    materialized: bool,
+    /// Words per row of the most recent sweep.
+    width: usize,
+    /// Vertices of the most recent sweep.
+    n: usize,
+}
+
+impl SparseSweeper {
+    /// A sweeper with empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Words per frontier row of the most recent sweep (`⌈lanes/64⌉`).
+    #[must_use]
+    pub const fn words_per_row(&self) -> usize {
+        self.width
+    }
+
+    /// Word `w` of the closure row of `v` after the most recent sweep:
+    /// bit `i` set iff source `sources.start + 64w + i` reached `v`
+    /// (sources count themselves). The bit matrix is materialised from
+    /// the reacher lists on the first call after a sweep
+    /// (`O(reached bits)`); stats-only sweeps never pay for it.
+    ///
+    /// # Panics
+    /// If `v` or `w` is out of range for the last swept network.
+    #[must_use]
+    pub fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
+        assert!(w < self.width, "word {w} out of range");
+        if !self.materialized {
+            self.before.clear();
+            self.before.resize(self.n * self.width, 0);
+            for x in 0..self.n {
+                let m = self.meta[x];
+                let s = m.start as usize;
+                for &lane in &self.arena[s..s + m.len as usize] {
+                    self.before[x * self.width + lane as usize / 64] |= 1 << (lane % 64);
+                }
+            }
+            self.materialized = true;
+        }
+        self.before[v as usize * self.width + w]
+    }
+
+    /// One event-driven sweep from the contiguous source range `sources`
+    /// (lane `i` ↔ vertex `sources.start + i`), using labels strictly
+    /// greater than `start_time`. `on_reach(v, w, fresh, t)` fires with
+    /// the lanes of word `w` that first reached `v` at time `t`, in
+    /// non-decreasing order of `t` — the wide engine's callback contract.
+    ///
+    /// # Panics
+    /// If any source is out of range.
+    pub fn sweep(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats {
+        self.sweep_with_horizon(tn, sources, start_time, tn.lifetime(), on_reach)
+    }
+
+    /// [`SparseSweeper::sweep`] ignoring every label greater than
+    /// `horizon` (matching `foremost_with_horizon` lane for lane).
+    ///
+    /// # Panics
+    /// If any source is out of range.
+    #[allow(clippy::too_many_lines)]
+    pub fn sweep_with_horizon(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        horizon: Time,
+        mut on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats {
+        let n = tn.num_nodes();
+        let lanes = sources.len();
+        let width = lanes.div_ceil(64);
+        self.width = width;
+        self.n = n;
+        self.materialized = false;
+        self.arena.clear();
+        // Warm headroom: same-shaped redraws produce arenas of similar
+        // size, so carrying the previous high-water (plus the seeds)
+        // keeps warm trials allocation-free.
+        self.arena.reserve(lanes);
+        self.meta.clear();
+        self.meta.resize(n, Region::default());
+        self.snap_meta.clear();
+        self.snap_meta.resize(n, Region::default());
+        // The version counters exist only to feed the relabel memo;
+        // under single-label assignments both they and the memo are idle
+        // and skip their O(n)/O(m) resets and per-application traffic.
+        let use_memo = tn.num_time_edges() > tn.graph().num_edges();
+        self.snap_ver.clear();
+        self.version.clear();
+        if use_memo {
+            self.snap_ver.resize(n, 0);
+            self.version.resize(n, 0);
+        }
+        self.stamp.clear();
+        self.stamp.resize(n, 0);
+        self.out_buf.clear();
+        self.out_buf.reserve(lanes);
+        self.edge_version.clear();
+        if use_memo {
+            self.edge_version
+                .resize(2 * tn.graph().num_edges(), NEVER_APPLIED);
+        }
+        for (lane, s) in sources.clone().enumerate() {
+            assert!((s as usize) < n, "source {s} out of range");
+            self.meta[s as usize] = Region {
+                start: arena_offset(&self.arena),
+                len: 1,
+            };
+            self.arena.push(lane as u32);
+        }
+        let target = lanes * n;
+        let lane_count = lanes as u32;
+        let mut reached = lanes;
+        let mut last_arrival: Time = 0;
+        let mut buckets_visited = 0usize;
+        let mut epoch = 0u64;
+        let directed = tn.graph().is_directed();
+        let Self {
+            arena,
+            meta,
+            snap_meta,
+            snap_ver,
+            version,
+            edge_version,
+            stamp,
+            out_buf,
+            ..
+        } = self;
+        for &t in tn.occupied_between(start_time, horizon) {
+            if reached >= target {
+                break; // saturated: no later bucket can set a fresh bit
+            }
+            buckets_visited += 1;
+            let edges = tn.edges_at(t);
+            // Conflict scan: sparse buckets almost never carry two edges
+            // sharing an endpoint. Endpoint-disjoint buckets commit in
+            // place edge by edge (each edge's reads and writes touch rows
+            // no other edge of the bucket touches). A conflicted bucket
+            // snapshots every endpoint's region first; sources then read
+            // the snapshot while targets merge live — the frozen-`before`
+            // discipline of the scalar sweep, list-shaped. Single-edge
+            // buckets (the common case at sparse fill) skip the scan.
+            epoch += 1;
+            let mut conflict = false;
+            if edges.len() > 1 {
+                for &e in edges {
+                    let (u, v) = tn.graph().endpoints(e);
+                    for w in [u, v] {
+                        let wi = w as usize;
+                        if stamp[wi] == epoch {
+                            conflict = true;
+                        } else {
+                            stamp[wi] = epoch;
+                            snap_meta[wi] = meta[wi];
+                            if use_memo {
+                                snap_ver[wi] = version[wi];
+                            }
+                        }
+                    }
+                }
+            }
+            let mut bucket_fresh = 0usize;
+            for &e in edges {
+                let (u, v) = tn.graph().endpoints(e);
+                if u == v {
+                    continue; // a self-loop can never extend a journey
+                }
+                let (ui, vi) = (u as usize, v as usize);
+                // Frozen sources: live regions in a disjoint bucket, the
+                // pre-bucket snapshot in a conflicted one.
+                let mu = if conflict { snap_meta[ui] } else { meta[ui] };
+                let mv = if conflict { snap_meta[vi] } else { meta[vi] };
+                let (su, sul) = (mu.start as usize, mu.len as usize);
+                let (sv, svl) = (mv.start as usize, mv.len as usize);
+                // The event-driven short-circuits, all one-word checks: a
+                // direction is dead when its (frozen) source is empty,
+                // its target is saturated, or its source has not changed
+                // since this arc last propagated (a relabel).
+                let fwd = sul != 0
+                    && meta[vi].len != lane_count
+                    && (!use_memo || edge_version[2 * e as usize] != version[ui]);
+                let bwd = !directed
+                    && svl != 0
+                    && meta[ui].len != lane_count
+                    && (!use_memo || edge_version[2 * e as usize + 1] != version[vi]);
+                if !fwd && !bwd {
+                    continue;
+                }
+                let mut fresh_u = 0u32;
+                let mut fresh_v = 0u32;
+                if fwd && bwd && !conflict {
+                    // Undirected exchange in a disjoint bucket: both rows
+                    // become the union, so they can *share* one region.
+                    if su == sv && sul == svl {
+                        // Identical shared region: nothing can flow.
+                    } else if sul == 1 && svl == 1 {
+                        // Singleton exchange — the dominant early shape.
+                        let a = arena[su];
+                        let b = arena[sv];
+                        if a != b {
+                            let out = arena_offset(arena);
+                            arena.push(a.min(b));
+                            arena.push(a.max(b));
+                            meta[ui] = Region { start: out, len: 2 };
+                            meta[vi] = Region { start: out, len: 2 };
+                            fresh_u = 1;
+                            fresh_v = 1;
+                            on_reach(u, (b / 64) as usize, 1u64 << (b % 64), t);
+                            on_reach(v, (a / 64) as usize, 1u64 << (a % 64), t);
+                        }
+                    } else {
+                        let (fu, fv) = merge_dual_emitting(
+                            &arena[su..su + sul],
+                            &arena[sv..sv + svl],
+                            out_buf,
+                            u,
+                            v,
+                            t,
+                            &mut on_reach,
+                        );
+                        fresh_u = fu;
+                        fresh_v = fv;
+                        if fresh_u == 0 && fresh_v == 0 {
+                            // Equal content in different regions:
+                            // canonicalise so the next meeting is O(1).
+                            meta[ui] = mv;
+                        } else {
+                            let out = arena_offset(arena);
+                            arena.extend_from_slice(out_buf);
+                            let r = Region {
+                                start: out,
+                                len: out_buf.len() as u32,
+                            };
+                            meta[ui] = r;
+                            meta[vi] = r;
+                        }
+                    }
+                } else {
+                    // Single directions (directed edges, one-sided
+                    // eligibility, or a conflicted bucket, where the two
+                    // directions must not share a region because later
+                    // edges may grow either side independently).
+                    if fwd {
+                        fresh_v = propagate(arena, meta, out_buf, su, sul, vi, t, v, &mut on_reach);
+                    }
+                    if bwd {
+                        fresh_u = propagate(arena, meta, out_buf, sv, svl, ui, t, u, &mut on_reach);
+                    }
+                }
+                if use_memo {
+                    if fresh_v > 0 {
+                        version[vi] += 1;
+                    }
+                    if fresh_u > 0 {
+                        version[ui] += 1;
+                    }
+                }
+                // Record the memo *after* the bumps: whatever this
+                // application moved, each target now contains everything
+                // its frozen source held. In a conflicted bucket the
+                // frozen content is the *snapshot*, and the source may
+                // have grown since (as a target of another edge this
+                // bucket) — the memo must record the snapshot's version,
+                // or a later relabel would wrongly skip the newer bits.
+                if use_memo {
+                    if fwd {
+                        edge_version[2 * e as usize] =
+                            if conflict { snap_ver[ui] } else { version[ui] };
+                    }
+                    if bwd {
+                        edge_version[2 * e as usize + 1] =
+                            if conflict { snap_ver[vi] } else { version[vi] };
+                    }
+                }
+                bucket_fresh += (fresh_u + fresh_v) as usize;
+            }
+            if bucket_fresh > 0 {
+                reached += bucket_fresh;
+                last_arrival = t;
+            }
+        }
+        WideStats {
+            lanes,
+            reached_bits: reached,
+            last_arrival,
+            buckets_visited,
+        }
+    }
+
+    /// Sweep and record per-pair arrival times into `out`, laid out
+    /// `out[lane · n + v] = δ(sources.start + lane, v)` with [`NEVER`](crate::NEVER)
+    /// marking unreachable pairs and each source reporting its own
+    /// `start_time` — lane for lane the `arrivals()` array of a scalar
+    /// foremost run.
+    ///
+    /// # Panics
+    /// If `out.len() != sources.len() · n`, or as [`SparseSweeper::sweep`].
+    pub fn arrivals_into(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        out: &mut [Time],
+    ) -> WideStats {
+        FrontierEngine::arrivals_into(self, tn, sources, start_time, out)
+    }
+}
+
+/// One direction of an application: merge the frozen source region
+/// `arena[su..su + sul]` into the live list of `dst`, re-pointing `dst`
+/// at the union and emitting the fresh lanes. Returns the number of
+/// fresh bits. An empty target adopts the source's region outright —
+/// `O(1)`, no copy (regions are immutable).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn propagate(
+    arena: &mut Vec<u32>,
+    meta: &mut [Region],
+    out_buf: &mut Vec<u32>,
+    su: usize,
+    sul: usize,
+    dst: usize,
+    t: Time,
+    dst_id: NodeId,
+    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+) -> u32 {
+    let md = meta[dst];
+    let (sd, dl) = (md.start as usize, md.len as usize);
+    if dl == 0 {
+        meta[dst] = Region {
+            start: su as u32,
+            len: sul as u32,
+        };
+        emit(&arena[su..su + sul], dst_id, t, on_reach);
+        return sul as u32;
+    }
+    if sd == su && dl == sul {
+        return 0; // identical shared region
+    }
+    let fresh = {
+        let (d, src) = (&arena[sd..sd + dl], &arena[su..su + sul]);
+        merge_into_emitting(d, src, out_buf, dst_id, t, on_reach)
+    };
+    if fresh > 0 {
+        let out = arena_offset(arena);
+        arena.extend_from_slice(out_buf);
+        meta[dst] = Region {
+            start: out,
+            len: out_buf.len() as u32,
+        };
+    }
+    fresh
+}
+
+impl FrontierEngine for SparseSweeper {
+    fn sweep_with_horizon(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        horizon: Time,
+        on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats {
+        Self::sweep_with_horizon(self, tn, sources, start_time, horizon, on_reach)
+    }
+
+    fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
+        Self::reach_word(self, v, w)
+    }
+
+    fn words_per_row(&self) -> usize {
+        Self::words_per_row(self)
+    }
+
+    fn kind() -> EngineKind {
+        EngineKind::Sparse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foremost::{foremost, foremost_with_horizon};
+    use crate::wide::WideSweeper;
+    use crate::{LabelAssignment, NEVER};
+    use ephemeral_graph::{generators, GraphBuilder};
+    use ephemeral_rng::{RandomSource, SeedSequence};
+
+    fn random_network(seed: u64, n: usize, directed: bool, lifetime: Time) -> TemporalNetwork {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let g = generators::gnp(n, 0.12, directed, &mut rng);
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            vec![rng.range_u32(1, lifetime), rng.range_u32(1, lifetime)]
+        })
+        .unwrap();
+        TemporalNetwork::new(g, labels, lifetime).unwrap()
+    }
+
+    fn scalar_arrivals(tn: &TemporalNetwork, start: Time) -> Vec<Time> {
+        let n = tn.num_nodes();
+        let mut out = Vec::with_capacity(n * n);
+        for s in 0..n as NodeId {
+            out.extend_from_slice(foremost(tn, s, start).arrivals());
+        }
+        out
+    }
+
+    #[test]
+    fn sparse_matches_scalar_on_a_path() {
+        let g = generators::path(4);
+        let labels = LabelAssignment::from_vecs(vec![vec![1], vec![2], vec![3]]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 3).unwrap();
+        let mut out = vec![0; 16];
+        let stats = SparseSweeper::new().arrivals_into(&tn, 0..4, 0, &mut out);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+        assert_eq!(stats.lanes, 4);
+        assert_eq!(stats.last_arrival, 3);
+        assert_eq!(stats.buckets_visited, 3);
+    }
+
+    #[test]
+    fn sparse_matches_scalar_on_random_networks() {
+        // 70 and 130 vertices: 2- and 3-word rows, ragged last word.
+        for &n in &[70usize, 130] {
+            for directed in [false, true] {
+                let tn = random_network(3, n, directed, n as Time);
+                let mut out = vec![0; n * n];
+                SparseSweeper::new().arrivals_into(&tn, 0..n as NodeId, 0, &mut out);
+                assert_eq!(out, scalar_arrivals(&tn, 0), "n {n} directed {directed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_label_edges_exercise_the_version_memo() {
+        // Many labels per edge on a small graph: the same arc relabels
+        // again and again, the exact shape the version memo short-circuits
+        // — and the arrivals must still equal the scalar oracle.
+        let mut rng = SeedSequence::new(9).rng(4);
+        let g = generators::gnp(40, 0.2, false, &mut rng);
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            (0..12).map(|_| rng.range_u32(1, 200)).collect()
+        })
+        .unwrap();
+        let tn = TemporalNetwork::new(g, labels, 200).unwrap();
+        let mut out = vec![0; 40 * 40];
+        SparseSweeper::new().arrivals_into(&tn, 0..40, 0, &mut out);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+    }
+
+    #[test]
+    fn dense_conflicted_buckets_match_scalar() {
+        // Few buckets, many edges per bucket: shared endpoints everywhere,
+        // so the snapshot slow path carries the sweep.
+        let mut rng = SeedSequence::new(31).rng(7);
+        let g = generators::gnp(50, 0.3, false, &mut rng);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 5)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 5).unwrap();
+        let mut out = vec![0; 50 * 50];
+        SparseSweeper::new().arrivals_into(&tn, 0..50, 0, &mut out);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+    }
+
+    #[test]
+    fn nonzero_start_time_matches_scalar() {
+        let tn = random_network(5, 40, false, 40);
+        for start in [1, 5, 39] {
+            let mut out = vec![0; 40 * 40];
+            SparseSweeper::new().arrivals_into(&tn, 0..40, start, &mut out);
+            assert_eq!(out, scalar_arrivals(&tn, start), "start {start}");
+        }
+    }
+
+    #[test]
+    fn horizon_matches_scalar_horizon() {
+        let tn = random_network(7, 30, false, 30);
+        let horizon = 7;
+        let mut got = vec![NEVER; 30 * 30];
+        for s in 0..30 {
+            got[s * 30 + s] = 0;
+        }
+        SparseSweeper::new().sweep_with_horizon(&tn, 0..30, 0, horizon, |v, w, mut fresh, t| {
+            while fresh != 0 {
+                let lane = w * 64 + fresh.trailing_zeros() as usize;
+                got[lane * 30 + v as usize] = t;
+                fresh &= fresh - 1;
+            }
+        });
+        let mut expected = Vec::new();
+        for s in 0..30 {
+            expected.extend_from_slice(foremost_with_horizon(&tn, s, 0, horizon).arrivals());
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn saturation_early_exit_is_kept() {
+        let g = generators::clique(8, false);
+        let m = g.num_edges();
+        let labels = LabelAssignment::from_vecs(vec![(1..=50).collect(); m]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 50).unwrap();
+        let mut sweeper = SparseSweeper::new();
+        let stats = sweeper.sweep(&tn, 0..8, 0, |_, _, _, _| {});
+        assert!(stats.all_reached(8));
+        assert_eq!(stats.buckets_visited, 1, "saturated after the first bucket");
+        assert_eq!(stats.last_arrival, 1);
+    }
+
+    #[test]
+    fn empty_buckets_are_skipped() {
+        let g = generators::path(3);
+        let labels = LabelAssignment::from_vecs(vec![vec![10], vec![20]]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 1000).unwrap();
+        let mut sweeper = SparseSweeper::new();
+        let mut out = vec![0; 9];
+        let stats = sweeper.arrivals_into(&tn, 0..3, 0, &mut out);
+        assert_eq!(stats.buckets_visited, 2);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+    }
+
+    #[test]
+    fn stats_match_the_wide_engine() {
+        for seed in [1u64, 2, 3] {
+            let tn = random_network(seed, 90, seed == 2, 300);
+            let mut wide = WideSweeper::new();
+            let ws = wide.sweep(&tn, 0..90, 0, |_, _, _, _| {});
+            let mut sparse = SparseSweeper::new();
+            let ss = sparse.sweep(&tn, 0..90, 0, |_, _, _, _| {});
+            assert_eq!(ss.lanes, ws.lanes, "seed {seed}");
+            assert_eq!(ss.reached_bits, ws.reached_bits, "seed {seed}");
+            assert_eq!(ss.last_arrival, ws.last_arrival, "seed {seed}");
+            assert_eq!(ss.buckets_visited, ws.buckets_visited, "seed {seed}");
+            for v in 0..90u32 {
+                for w in 0..FrontierEngine::words_per_row(&sparse) {
+                    assert_eq!(sparse.reach_word(v, w), wide.reach_word(v, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_decomposition_is_bit_identical_to_full_width() {
+        use crate::wide::source_blocks;
+        let n = 150usize;
+        let tn = random_network(11, n, true, 60);
+        let mut full = vec![0; n * n];
+        SparseSweeper::new().arrivals_into(&tn, 0..n as NodeId, 0, &mut full);
+        for threads in [1, 2, 3, 8] {
+            let mut sharded = Vec::new();
+            let mut sweeper = SparseSweeper::new();
+            for block in source_blocks(n, threads) {
+                let mut rows = vec![0; block.len() * n];
+                sweeper.arrivals_into(&tn, block, 0, &mut rows);
+                sharded.extend(rows);
+            }
+            assert_eq!(sharded, full, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn wide_rows_materialise_beyond_64_words() {
+        // > 4096 lanes forces multi-word rows far beyond one summary word;
+        // the lazily materialised closure must match scalar reachability.
+        let n = 4100usize;
+        let g = generators::path(n);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |e| vec![1 + (e % 2) as Time]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 2).unwrap();
+        let mut sweeper = SparseSweeper::new();
+        let stats = sweeper.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        assert!(sweeper.words_per_row() > 64);
+        let mut reached = 0usize;
+        for s in (0..n).step_by(397) {
+            let run = foremost(&tn, s as NodeId, 0);
+            for (v, &a) in run.arrivals().iter().enumerate() {
+                let bit = sweeper.reach_word(v as NodeId, s / 64) >> (s % 64) & 1 == 1;
+                assert_eq!(bit, a != NEVER, "pair ({s},{v})");
+            }
+            reached += run.reached_count();
+        }
+        assert!(reached > 0);
+        assert!(stats.reached_bits >= reached);
+    }
+
+    #[test]
+    fn empty_sources_are_a_no_op() {
+        let tn = random_network(4, 10, false, 10);
+        let mut sweeper = SparseSweeper::new();
+        let stats = sweeper.sweep(&tn, 0..0, 0, |_, _, _, _| panic!("no events"));
+        assert_eq!(stats.lanes, 0);
+        assert_eq!(stats.reached_bits, 0);
+        assert_eq!(
+            stats.buckets_visited, 0,
+            "saturated before the first bucket"
+        );
+        assert!(stats.all_reached(10), "0 lanes trivially cover 0 bits");
+    }
+
+    #[test]
+    fn directed_arcs_are_one_way() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let tn = TemporalNetwork::new(g, LabelAssignment::single(vec![1, 2]).unwrap(), 2).unwrap();
+        let mut out = vec![0; 9];
+        SparseSweeper::new().arrivals_into(&tn, 0..3, 0, &mut out);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+        assert_eq!(out[6..9], [NEVER, NEVER, 0]); // 2 reaches only itself
+    }
+
+    #[test]
+    fn sweeper_reuse_across_networks_is_clean() {
+        let mut sweeper = SparseSweeper::new();
+        let tn1 = random_network(1, 90, false, 90);
+        let mut a1 = vec![0; 90 * 90];
+        sweeper.arrivals_into(&tn1, 0..90, 0, &mut a1);
+        let tn2 = random_network(2, 33, true, 33);
+        let mut a2 = vec![0; 33 * 33];
+        sweeper.arrivals_into(&tn2, 0..33, 0, &mut a2);
+        assert_eq!(a2, scalar_arrivals(&tn2, 0));
+        let mut a1b = vec![0; 90 * 90];
+        sweeper.arrivals_into(&tn1, 0..90, 0, &mut a1b);
+        assert_eq!(a1, a1b);
+    }
+
+    #[test]
+    fn engine_choice_dispatches_by_density() {
+        // Below the crossover: batch, whatever the density.
+        assert_eq!(EngineChoice::pick(100, 1, 1_000_000), EngineKind::Batch);
+        assert_eq!(
+            EngineChoice::pick(WIDE_CROSSOVER - 1, 1, 0),
+            EngineKind::Batch
+        );
+        // At the crossover the density decides.
+        let n = WIDE_CROSSOVER;
+        let dense = n / DENSE_BUCKET_DIVISOR; // per-bucket fill threshold
+        assert_eq!(EngineChoice::pick(n, 10, 10 * dense), EngineKind::Wide);
+        assert_eq!(
+            EngineChoice::pick(n, 10, 10 * dense - 1),
+            EngineKind::Sparse
+        );
+        // Degenerate: no occupied buckets — trivially sparse.
+        assert_eq!(EngineChoice::pick(n, 0, 0), EngineKind::Sparse);
+    }
+
+    #[test]
+    fn engine_choice_for_networks() {
+        // Dense: every edge of K_200 labelled once over lifetime 200.
+        let g = generators::clique(200, false);
+        let m = g.num_edges();
+        let mut rng = SeedSequence::new(1).rng(0);
+        let labels = LabelAssignment::from_fn(m, |_| vec![rng.range_u32(1, 200)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 200).unwrap();
+        assert_eq!(EngineChoice::pick_for(&tn), EngineKind::Wide);
+        // Sparse: a 200-path over lifetime 800.
+        let g = generators::path(200);
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, 800)]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, 800).unwrap();
+        assert_eq!(EngineChoice::pick_for(&tn), EngineKind::Sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let tn = random_network(1, 5, false, 5);
+        let _ = SparseSweeper::new().sweep(&tn, 3..9, 0, |_, _, _, _| {});
+    }
+}

@@ -48,11 +48,16 @@
 //! stopping is lossless. Skipping empty buckets is trivially lossless:
 //! an empty bucket applies no edges and commits nothing.
 //!
-//! Callers pick an engine by size: [`engine_for`] returns `Wide` at
-//! `n ≥` [`WIDE_CROSSOVER`] and `Batch` below, and [`SweepScratch`]
-//! bundles both sweepers for Monte Carlo loops that straddle the
-//! crossover. Few-source queries stay on `BatchSweeper`; the scalar
-//! `foremost` remains the differential-testing oracle for both.
+//! Callers dispatch through the density-aware
+//! [`EngineChoice::pick`](crate::sparse::EngineChoice::pick):
+//! `Batch` below [`WIDE_CROSSOVER`], then `Wide` for dense instances
+//! (occupied buckets carrying ≥ `n/16` time-edges on average, where the
+//! saturation exit and the branch-free word loop pay off) and the
+//! event-driven [`sparse`](crate::sparse) engine for everything sparser.
+//! [`SweepScratch`] bundles all three sweepers for Monte Carlo loops
+//! whose trials straddle the boundaries. Few-source queries stay on
+//! `BatchSweeper`; the scalar `foremost` remains the differential-testing
+//! oracle for every engine.
 
 use crate::engine::BatchSweeper;
 use crate::network::TemporalNetwork;
@@ -62,10 +67,14 @@ use std::ops::Range;
 
 /// Vertex count at which the all-source entry points (closure, all-pairs
 /// distances, instance diameter, connectivity, metrics) switch from the
-/// 64-lane [`BatchSweeper`] to the
-/// single-pass [`WideSweeper`]. Below this the wide matrix is at most a
-/// few words per vertex and the batched engine's smaller frontier wins;
-/// above it the single pass amortises the index walk over every source.
+/// 64-lane [`BatchSweeper`] to a full-width engine. Below this the wide
+/// matrix is at most a few words per vertex and the batched engine's
+/// smaller frontier wins; above it a single pass amortises the index walk
+/// over every source, and the density-aware
+/// [`EngineChoice::pick`](crate::sparse::EngineChoice::pick) decides
+/// *which* full-width engine — [`WideSweeper`] for dense instances, the
+/// event-driven [`SparseSweeper`](crate::sparse::SparseSweeper) for
+/// sparse ones.
 pub const WIDE_CROSSOVER: usize = 192;
 
 /// Which journey engine served a computation — the attribution that
@@ -81,28 +90,136 @@ pub enum EngineKind {
     Batch,
     /// Single-pass [`WideSweeper`].
     Wide,
+    /// Event-driven [`SparseSweeper`](crate::sparse::SparseSweeper).
+    Sparse,
 }
 
 impl EngineKind {
-    /// Short stable identifier (`"scalar"` / `"batch"` / `"wide"`).
+    /// Short stable identifier
+    /// (`"scalar"` / `"batch"` / `"wide"` / `"sparse"`).
     #[must_use]
     pub const fn name(self) -> &'static str {
         match self {
             Self::Scalar => "scalar",
             Self::Batch => "batch",
             Self::Wide => "wide",
+            Self::Sparse => "sparse",
         }
     }
 }
 
-/// The engine the all-source entry points pick for an `n`-vertex network:
-/// `Wide` at `n ≥` [`WIDE_CROSSOVER`], `Batch` below.
+/// The `n`-only dispatch floor: `Wide` at `n ≥` [`WIDE_CROSSOVER`],
+/// `Batch` below. The all-source entry points no longer call this
+/// directly — they dispatch through the density-aware
+/// [`EngineChoice::pick`](crate::sparse::EngineChoice::pick), which keeps
+/// this batch/full-width boundary but splits the full-width side between
+/// the wide and sparse engines by occupied-bucket fill.
 #[must_use]
 pub const fn engine_for(n: usize) -> EngineKind {
     if n >= WIDE_CROSSOVER {
         EngineKind::Wide
     } else {
         EngineKind::Batch
+    }
+}
+
+/// The interface shared by the full-width frontier engines —
+/// [`WideSweeper`] and the event-driven
+/// [`SparseSweeper`](crate::sparse::SparseSweeper) — so the all-source
+/// entry points (closure, distances, diameter, connectivity, metrics)
+/// implement each code path once, generically over the engine the
+/// density-aware dispatch picked. Both implementations uphold the same
+/// contract: exact "reached strictly before `t`" + per-bucket-delta
+/// semantics, arrivals bit-identical to per-source scalar sweeps.
+pub trait FrontierEngine: Default + Send {
+    /// Sweep `sources` ignoring labels `> horizon` (see
+    /// [`WideSweeper::sweep_with_horizon`]).
+    fn sweep_with_horizon(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        horizon: Time,
+        on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats;
+
+    /// Sweep `sources` over the full lifetime (see [`WideSweeper::sweep`]).
+    fn sweep(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats {
+        self.sweep_with_horizon(tn, sources, start_time, tn.lifetime(), on_reach)
+    }
+
+    /// Sweep and fill a per-pair arrival matrix (see
+    /// [`WideSweeper::arrivals_into`]).
+    ///
+    /// # Panics
+    /// If `out.len() != sources.len() · tn.num_nodes()`.
+    fn arrivals_into(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        out: &mut [Time],
+    ) -> WideStats {
+        let n = tn.num_nodes();
+        assert_eq!(
+            out.len(),
+            sources.len() * n,
+            "arrival buffer must hold sources × vertices entries"
+        );
+        out.fill(NEVER);
+        for (lane, s) in sources.clone().enumerate() {
+            out[lane * n + s as usize] = start_time;
+        }
+        self.sweep(tn, sources, start_time, |v, w, mut fresh, t| {
+            while fresh != 0 {
+                let lane = w * 64 + fresh.trailing_zeros() as usize;
+                out[lane * n + v as usize] = t;
+                fresh &= fresh - 1;
+            }
+        })
+    }
+
+    /// Word `w` of the closure row of `v` after the most recent sweep
+    /// (see [`WideSweeper::reach_word`]). Takes `&mut self` because the
+    /// sparse engine materialises its closure matrix lazily on the first
+    /// call.
+    fn reach_word(&mut self, v: NodeId, w: usize) -> u64;
+
+    /// Words per frontier row of the most recent sweep.
+    fn words_per_row(&self) -> usize;
+
+    /// The [`EngineKind`] this engine reports as its attribution.
+    fn kind() -> EngineKind;
+}
+
+impl FrontierEngine for WideSweeper {
+    fn sweep_with_horizon(
+        &mut self,
+        tn: &TemporalNetwork,
+        sources: Range<NodeId>,
+        start_time: Time,
+        horizon: Time,
+        on_reach: impl FnMut(NodeId, usize, u64, Time),
+    ) -> WideStats {
+        Self::sweep_with_horizon(self, tn, sources, start_time, horizon, on_reach)
+    }
+
+    fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
+        Self::reach_word(self, v, w)
+    }
+
+    fn words_per_row(&self) -> usize {
+        Self::words_per_row(self)
+    }
+
+    fn kind() -> EngineKind {
+        EngineKind::Wide
     }
 }
 
@@ -526,17 +643,22 @@ impl WideSweeper {
     }
 }
 
-/// Both journey engines in one reusable bundle — the per-worker scratch
-/// of Monte Carlo loops whose instance sizes straddle [`WIDE_CROSSOVER`]
-/// (e.g. `ephemeral-core`'s diameter estimators and scenario sweeps).
-/// Whichever engine the dispatch picks, the other's buffers stay warm and
-/// unused; both are allocation-free across same-shaped trials.
+/// All three journey engines in one reusable bundle — the per-worker
+/// scratch of Monte Carlo loops whose instances straddle the dispatch
+/// boundaries (e.g. `ephemeral-core`'s diameter estimators and scenario
+/// sweeps). Whichever engine
+/// [`EngineChoice::pick`](crate::sparse::EngineChoice::pick) selects per
+/// trial, the others' buffers stay warm and unused; all three are
+/// allocation-free across same-shaped trials.
 #[derive(Debug, Clone, Default)]
 pub struct SweepScratch {
     /// The 64-lane batched engine (below the crossover).
     pub batch: BatchSweeper,
-    /// The single-pass wide engine (at or above the crossover).
+    /// The single-pass wide engine (dense instances above the crossover).
     pub wide: WideSweeper,
+    /// The event-driven sparse engine (sparse instances above the
+    /// crossover).
+    pub sparse: crate::sparse::SparseSweeper,
 }
 
 impl SweepScratch {
@@ -817,6 +939,7 @@ mod tests {
         assert_eq!(EngineKind::Scalar.name(), "scalar");
         assert_eq!(EngineKind::Batch.name(), "batch");
         assert_eq!(EngineKind::Wide.name(), "wide");
+        assert_eq!(EngineKind::Sparse.name(), "sparse");
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! * [`graph`] — CSR (di)graph substrate, generators, classical algorithms.
 //! * [`temporal`] — labels, journeys, foremost / latest-departure / fastest
 //!   journey algorithms, temporal distances and `T_reach`; the
-//!   `engine` module batches 64 sources per sweep and the `wide` module
+//!   `engine` module batches 64 sources per sweep, the `wide` module
 //!   answers **all** sources in one pass (saturation early-exit,
-//!   empty-bucket skipping, column-block sharding) — the all-pairs
-//!   closure, distance, diameter and connectivity entry points pick
-//!   between them by size.
+//!   empty-bucket skipping, column-block sharding), and the `sparse`
+//!   module drives the same closure event-style from sorted reacher
+//!   lists for the sparse regime — the all-pairs closure, distance,
+//!   diameter and connectivity entry points dispatch between all three
+//!   through the density-aware `sparse::EngineChoice`.
 //! * [`core`] — the paper's contribution: U-RTN models, the Expansion
 //!   Process (Algorithm 1), the §3.5 dissemination protocol, temporal
 //!   diameter estimation, star-graph machinery, deterministic OPT schemes
