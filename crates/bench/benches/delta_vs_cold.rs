@@ -1,0 +1,267 @@
+//! The tentpole ablation of the differential cursor: maintaining the
+//! all-pairs temporal closure across single-label moves via
+//! [`DeltaCursor::apply_label_move`] vs recomputing it cold after every
+//! move — on the workload the correlated what-if chains actually run,
+//! sparse `G(n, p)` at average degree 4 with one uniform label per edge
+//! over lifetime `a = 4n`. Each driver walks the same move+revert pairs
+//! (so the network returns to its start state every iteration and both
+//! drivers pay the same per-move label surgery); the cold driver then
+//! re-sweeps with the event-driven engine — the *fastest* cold baseline
+//! for this regime per `BENCH_PR5.json` — while the delta driver replays
+//! only the buckets the move perturbed.
+//!
+//! A full run dumps the headline per-move numbers to `BENCH_PR6.json` at
+//! the workspace root and asserts the n = 4096 acceptance bar (≥ 10×).
+//! `-- --test` runs a reduced smoke configuration (n = 512, two samples,
+//! no JSON) — the CI gate that keeps this bench compiling, running, and
+//! bit-identical to the cold oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::{propose_label_move, sample_urtn};
+use ephemeral_graph::{generators, EdgeId};
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::delta::DeltaCursor;
+use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper};
+use ephemeral_temporal::wide::{EngineKind, WideSweeper};
+use ephemeral_temporal::{TemporalNetwork, Time};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Median wall-clock of `reps` runs after one warm-up call.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    black_box(f());
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Workload {
+    name: &'static str,
+    tn: TemporalNetwork,
+    /// Valid single-label moves against the *initial* state. Every drive
+    /// applies each as a move+revert pair, so the pre-state of every
+    /// proposal is always the initial network and the drive is a closed
+    /// loop both drivers can repeat.
+    proposals: Vec<(EdgeId, Time, Time)>,
+}
+
+/// The number of move+revert pairs per drive; per-move figures divide by
+/// `2 × PAIRS`.
+const PAIRS: usize = 24;
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let sizes: &[(&str, usize)] = if smoke {
+        &[("gnp_n512_a4n", 512)]
+    } else {
+        &[("gnp_n1024_a4n", 1024), ("gnp_n4096_a4n", 4096)]
+    };
+    sizes
+        .iter()
+        .map(|&(name, n)| {
+            let mut rng = default_rng(2);
+            let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
+            let tn = sample_urtn(g, 4 * n as Time, &mut rng);
+            // Keep only proposals `move_label` accepts (a draw landing on
+            // a label the edge already carries is a rejected Gibbs step,
+            // not a move).
+            let mut rng = default_rng(13);
+            let mut proposals = Vec::with_capacity(PAIRS);
+            while proposals.len() < PAIRS {
+                let (e, from, to) = propose_label_move(&tn, &mut rng);
+                if from != to && !tn.labels(e).contains(&to) {
+                    proposals.push((e, from, to));
+                }
+            }
+            Workload {
+                name,
+                tn,
+                proposals,
+            }
+        })
+        .collect()
+}
+
+/// One cold pass: apply each move, recompute the full closure with the
+/// event-driven engine, revert, recompute again. Returns the folded
+/// reach total so the loop stays observable.
+fn cold_drive(w: &mut Workload, sweeper: &mut SparseSweeper) -> usize {
+    let n = w.tn.num_nodes() as u32;
+    let mut reached = 0usize;
+    for i in 0..w.proposals.len() {
+        let (e, from, to) = w.proposals[i];
+        w.tn.move_label(e, from, to).expect("proposal is valid");
+        reached += sweeper.sweep(&w.tn, 0..n, 0, |_, _, _, _| {}).reached_bits;
+        w.tn.move_label(e, to, from).expect("revert is valid");
+        reached += sweeper.sweep(&w.tn, 0..n, 0, |_, _, _, _| {}).reached_bits;
+    }
+    reached
+}
+
+/// One differential pass over the same pairs: the cursor replays only
+/// the perturbed buckets per move. Returns `(folded reach, buckets
+/// replayed, moves applied)`.
+fn delta_drive(w: &mut Workload, cursor: &mut DeltaCursor) -> (usize, usize, usize) {
+    let (mut reached, mut replayed, mut applied) = (0usize, 0usize, 0usize);
+    for i in 0..w.proposals.len() {
+        let (e, from, to) = w.proposals[i];
+        for &(a, b) in &[(from, to), (to, from)] {
+            let delta = cursor
+                .apply_label_move(&mut w.tn, e, a, b)
+                .expect("proposal and revert are valid");
+            reached += cursor.stats().reached_bits;
+            replayed += delta.replayed_buckets;
+            applied += 1;
+        }
+    }
+    (reached, replayed, applied)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut loads = workloads(smoke);
+
+    // Sanity before timing: the dispatch sends this regime event-driven,
+    // and the maintained closure is bit-identical to a cold sweep at
+    // every step of a move sequence (applied forward, no reverts — the
+    // stronger check), then restored exactly by the reverts.
+    for w in &mut loads {
+        assert_eq!(
+            EngineChoice::pick_for(&w.tn),
+            EngineKind::Sparse,
+            "{}",
+            w.name
+        );
+        let n = w.tn.num_nodes();
+        let mut cursor = DeltaCursor::new();
+        let recorded = cursor.record_from(&w.tn, &mut SparseSweeper::new());
+        let proposals = w.proposals.clone();
+        for &(e, from, to) in &proposals {
+            cursor.apply_label_move(&mut w.tn, e, from, to).unwrap();
+        }
+        let mut cold = WideSweeper::new();
+        let stats = cold.sweep(&w.tn, 0..n as u32, 0, |_, _, _, _| {});
+        assert_eq!(
+            cursor.stats().reached_bits,
+            stats.reached_bits,
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            cursor.stats().last_arrival,
+            stats.last_arrival,
+            "{}",
+            w.name
+        );
+        for v in 0..n as u32 {
+            for word in 0..cursor.words_per_row() {
+                assert_eq!(
+                    cursor.reach_word(v, word),
+                    cold.reach_word(v, word),
+                    "{} row {v} word {word}",
+                    w.name
+                );
+            }
+        }
+        for &(e, from, to) in proposals.iter().rev() {
+            cursor.apply_label_move(&mut w.tn, e, to, from).unwrap();
+        }
+        assert_eq!(
+            cursor.stats().reached_bits,
+            recorded.reached_bits,
+            "{}",
+            w.name
+        );
+    }
+
+    let mut group = c.benchmark_group("delta_vs_cold");
+    group.sample_size(if smoke { 2 } else { 10 });
+    for w in &mut loads {
+        if w.tn.num_nodes() > 1024 {
+            continue; // the n = 4096 acceptance row is headline-only
+        }
+        let mut sweeper = SparseSweeper::new();
+        group.bench_function(format!("{}_cold", w.name), |b| {
+            b.iter(|| black_box(cold_drive(w, &mut sweeper)))
+        });
+        let mut cursor = DeltaCursor::new();
+        cursor.record_from(&w.tn, &mut SparseSweeper::new());
+        group.bench_function(format!("{}_delta", w.name), |b| {
+            b.iter(|| black_box(delta_drive(w, &mut cursor)))
+        });
+    }
+    group.finish();
+
+    if smoke {
+        return;
+    }
+
+    // Headline pass: median per-move timings, dumped as the
+    // machine-readable perf trajectory (same shape as BENCH_PR4/5).
+    let reps = 5;
+    let moves_per_drive = 2 * PAIRS;
+    let mut rows = Vec::new();
+    for w in &mut loads {
+        let n = w.tn.num_nodes();
+        let cold_ns = {
+            let mut sweeper = SparseSweeper::new();
+            time_median(reps, || cold_drive(w, &mut sweeper)).as_nanos() as f64
+                / moves_per_drive as f64
+        };
+        let mut cursor = DeltaCursor::new();
+        cursor.record_from(&w.tn, &mut SparseSweeper::new());
+        let delta_ns = time_median(reps, || delta_drive(w, &mut cursor)).as_nanos() as f64
+            / moves_per_drive as f64;
+        let (_, replayed, applied) = delta_drive(w, &mut cursor);
+        let speedup = cold_ns / delta_ns;
+        println!(
+            "delta_vs_cold/{}: cold {:.1} µs/move, delta {:.1} µs/move, speedup {:.1}x, \
+             {:.1} buckets replayed/move (occupied {}, lifetime {})",
+            w.name,
+            cold_ns / 1e3,
+            delta_ns / 1e3,
+            speedup,
+            replayed as f64 / applied as f64,
+            w.tn.occupied_times().len(),
+            w.tn.lifetime(),
+        );
+        if n == 4096 {
+            assert!(
+                speedup >= 10.0,
+                "acceptance bar: differential maintenance must be ≥ 10× at \
+                 n = 4096 (measured {speedup:.1}×)"
+            );
+        }
+        rows.push(format!(
+            "    {{\"workload\":\"{}\",\"n\":{},\"edges\":{},\"lifetime\":{},\"occupied\":{},\"dispatch\":\"{}\",\"cold_ns_per_move\":{},\"delta_ns_per_move\":{},\"speedup\":{},\"replayed_buckets_per_move\":{},\"applied_moves\":{}}}",
+            w.name,
+            n,
+            w.tn.graph().num_edges(),
+            w.tn.lifetime(),
+            w.tn.occupied_times().len(),
+            EngineChoice::pick_for(&w.tn).name(),
+            format_args!("{cold_ns:.0}"),
+            format_args!("{delta_ns:.0}"),
+            format_args!("{speedup:.2}"),
+            format_args!("{:.2}", replayed as f64 / applied as f64),
+            applied,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\":\"delta_vs_cold\",\n  \"pr\":6,\n  \"op\":\"closure_maintenance_per_label_move\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("headline numbers written to BENCH_PR6.json"),
+        Err(e) => eprintln!("could not write BENCH_PR6.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

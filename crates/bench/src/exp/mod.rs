@@ -11,5 +11,6 @@ pub mod e08_general;
 pub mod e09_por;
 pub mod e10_phonecall;
 pub mod e11_families;
+pub mod e12_whatif;
 pub mod x01_design;
 pub mod x02_fcase;

@@ -16,6 +16,7 @@
 //! | E09 | Thm 6/8: Price of Randomness, measured vs bound |
 //! | E10 | §1.1: temporal flood vs push / push–pull baselines |
 //! | E11 | Generalization: TD + connectivity across graph families (the clique's Θ(log n) vs sparse substrates) |
+//! | E12 | Correlated what-if chains: Gibbs resampling with the closure maintained differentially (`delta` cursor) vs cold redraws |
 //!
 //! Run everything: `cargo run --release -p ephemeral-bench --bin experiments`
 //! (add `--quick` for a fast smoke pass, or experiment ids to filter).
@@ -187,6 +188,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             title:
                 "E11 · Temporal diameter and connectivity across graph families (scenario engine)",
             run: exp::e11_families::run,
+        },
+        Experiment {
+            id: "e12",
+            title:
+                "E12 · Correlated what-if chains: differential closure maintenance as an estimator",
+            run: exp::e12_whatif::run,
         },
         Experiment {
             id: "x01",

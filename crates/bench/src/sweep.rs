@@ -51,7 +51,8 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// The full-fidelity default grid: the whole scenario catalog, single
-    /// and multi-label UNI-CASE, temporal diameter + `T_reach`, three sizes.
+    /// and multi-label UNI-CASE, temporal diameter + `T_reach` (cold
+    /// trials and differentially maintained Gibbs chains), three sizes.
     #[must_use]
     pub fn full(seed: u64) -> Self {
         Self {
@@ -61,7 +62,11 @@ impl SweepSpec {
                 LabelModelSpec::UniformMulti { r: 4 },
             ],
             lifetimes: vec![LifetimeRule::EqualsN],
-            metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
+            metrics: vec![
+                Metric::TemporalDiameter,
+                Metric::TreachProbability,
+                Metric::TreachCorrelated,
+            ],
             sizes: vec![64, 144, 256],
             adaptive: AdaptiveConfig::new(0.25)
                 .with_min_trials(24)
@@ -90,7 +95,11 @@ impl SweepSpec {
                 LabelModelSpec::UniformMulti { r: 4 },
             ],
             lifetimes: vec![LifetimeRule::EqualsN],
-            metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
+            metrics: vec![
+                Metric::TemporalDiameter,
+                Metric::TreachProbability,
+                Metric::TreachCorrelated,
+            ],
             sizes: vec![36, 224],
             adaptive: AdaptiveConfig::new(1.0)
                 .with_min_trials(8)
@@ -158,9 +167,11 @@ impl SweepSpec {
         // a field: rowfmt 3 switched the `engine` value from the n-only
         // dispatch prediction to the engine that actually answered the
         // cell (probe-served T_reach cells now say "batch", sparse
-        // instances "sparse"). Rows written by an older binary are
-        // recomputed rather than spliced in verbatim.
-        eat(b"rowfmt:3");
+        // instances "sparse"); rowfmt 4 added the `treachd` correlated
+        // metric and the `delta_replayed_buckets` field attributing the
+        // differential cursor's replay work. Rows written by an older
+        // binary are recomputed rather than spliced in verbatim.
+        eat(b"rowfmt:4");
         eat(&self.seed.to_le_bytes());
         eat(&self.adaptive.target_half_width.to_bits().to_le_bytes());
         eat(&self.adaptive.confidence.to_bits().to_le_bytes());
@@ -192,7 +203,7 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         "null".to_owned()
     };
     format!(
-        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"engine\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4}}}",
+        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"engine\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4},\"delta_replayed_buckets\":{}}}",
         json_string(&cell.id()),
         json_string(&cell.family.name()),
         json_string(&cell.model.name()),
@@ -208,6 +219,7 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         out.estimate,
         half_width,
         out.failures,
+        out.delta_replayed_buckets,
     )
 }
 

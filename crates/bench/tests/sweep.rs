@@ -21,7 +21,11 @@ fn tiny_spec(seed: u64) -> SweepSpec {
             LabelModelSpec::UniformMulti { r: 4 },
         ],
         lifetimes: vec![LifetimeRule::EqualsN],
-        metrics: vec![Metric::TemporalDiameter, Metric::TreachProbability],
+        metrics: vec![
+            Metric::TemporalDiameter,
+            Metric::TreachProbability,
+            Metric::TreachCorrelated,
+        ],
         sizes: vec![16, 24],
         adaptive: AdaptiveConfig::new(0.5)
             .with_min_trials(4)
@@ -47,6 +51,30 @@ fn rows_come_out_in_canonical_grid_order() {
     for (row, cell) in rows.iter().zip(&cells) {
         assert_eq!(parse_cell_id(row), Some(cell.id().as_str()), "{row}");
     }
+}
+
+#[test]
+fn correlated_rows_attribute_replay_work_and_cold_rows_report_zero() {
+    let spec = tiny_spec(1);
+    let rows = collect(&spec, 4, &[]);
+    let (mut delta_rows, mut cold_rows) = (0, 0);
+    for row in &rows {
+        assert!(row.contains("\"delta_replayed_buckets\":"), "{row}");
+        if row.contains("/treachd\"") {
+            delta_rows += 1;
+            assert!(
+                !row.contains("\"delta_replayed_buckets\":0}"),
+                "a correlated chain always replays some buckets: {row}"
+            );
+        } else {
+            cold_rows += 1;
+            assert!(
+                row.contains("\"delta_replayed_buckets\":0}"),
+                "cold-trial metrics never touch the cursor: {row}"
+            );
+        }
+    }
+    assert!(delta_rows > 0 && cold_rows > 0);
 }
 
 #[test]

@@ -1,0 +1,274 @@
+//! Correlated what-if estimation of `P[T_reach]` through the
+//! differential cursor.
+//!
+//! The Monte Carlo estimators in [`reachability_whp`](crate::reachability_whp)
+//! redraw **every** label between trials, so each trial pays a cold
+//! all-source sweep. This module explores the complementary regime the
+//! [`DeltaCursor`](ephemeral_temporal::delta::DeltaCursor) exists for:
+//! single-site Gibbs chains where consecutive assignments differ in one
+//! label, so each step replays only the handful of perturbed buckets
+//! instead of sweeping cold.
+//!
+//! Per step the `T_reach` sample itself is O(1): journeys are paths, so
+//! temporal reach is a subset of static reach source by source, and the
+//! **total** maintained bit count equals the static total iff every
+//! source matches ([`static_reachable_pairs`]). No per-step sweep, no
+//! per-step comparison pass.
+//!
+//! ## Statistics, honestly
+//!
+//! Within a chain consecutive samples are highly correlated (they share
+//! all but one label), so they are *not* independent draws from the
+//! UNI-CASE distribution conditioned on anything useful — but each
+//! chain's *marginal* per-step distribution is exactly UNI-CASE once
+//! the chain starts from a fresh uniform draw, because resampling a
+//! uniformly chosen label of a uniformly chosen edge to a fresh uniform
+//! value maps the product-uniform distribution to itself (the move is a
+//! Gibbs update whose stationary law is the i.i.d. prior, and the
+//! chain *starts* stationary). The estimate is therefore unbiased; only
+//! the *variance* is inflated by autocorrelation. The reported
+//! half-width comes from the spread of the per-chain means across
+//! independent chains — the standard batch-means construction — and
+//! stays honest regardless of the within-chain correlation length. For
+//! the same reason [`minimal_r`](crate::reachability_whp::minimal_r)
+//! keeps its independent cold draws: its bisection wants the tightest
+//! CI per sweep, not the cheapest sample per step.
+
+use crate::urtn::{placeholder_network, propose_label_move, resample_single_in_place};
+use ephemeral_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
+use ephemeral_graph::Graph;
+use ephemeral_parallel::par_map_with;
+use ephemeral_rng::SeedSequence;
+use ephemeral_temporal::wide::SweepScratch;
+use ephemeral_temporal::{LabelAssignment, Time};
+
+/// Seed stream tag for the per-chain rng streams.
+const CHAIN_STREAM: u64 = 0xC0;
+
+/// Ordered static reachability count of `graph`, **including** each
+/// vertex reaching itself — the `reached_bits` total a temporal closure
+/// attains exactly when the assignment satisfies `T_reach`
+/// (Definition 6). Undirected graphs sum squared component sizes;
+/// directed graphs run one BFS per source.
+#[must_use]
+pub fn static_reachable_pairs(graph: &Graph) -> usize {
+    if graph.is_directed() {
+        (0..graph.num_nodes() as u32)
+            .map(|s| {
+                bfs_distances(graph, s)
+                    .iter()
+                    .filter(|&&d| d != UNREACHABLE)
+                    .count()
+            })
+            .sum()
+    } else {
+        connected_components(graph)
+            .sizes
+            .iter()
+            .map(|&s| (s as usize) * (s as usize))
+            .sum()
+    }
+}
+
+/// The result of [`treach_probability_correlated`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedTreach {
+    /// Mean of the per-chain `T_reach` frequencies (unbiased for the
+    /// UNI-CASE probability; see the module-level statistics note).
+    pub estimate: f64,
+    /// `1.96 ×` the standard error of the per-chain means — a 95%
+    /// interval built from *independent* chains only, immune to the
+    /// within-chain autocorrelation (`∞` when `chains < 2`).
+    pub half_width: f64,
+    /// Independent chains run.
+    pub chains: usize,
+    /// Gibbs steps proposed per chain (samples per chain is one more:
+    /// the freshly drawn starting state counts).
+    pub steps_per_chain: usize,
+    /// Total `T_reach` samples taken (`chains × (steps_per_chain + 1)`).
+    pub samples: usize,
+    /// Proposals actually applied (no-op and colliding draws are
+    /// rejected by the move semantics and re-sample the same state).
+    pub applied_moves: usize,
+    /// Total buckets the differential cursor replayed across every
+    /// applied move — the work a cold driver would have spent full
+    /// sweeps on.
+    pub replayed_buckets: usize,
+    /// Mean temporally reachable **ordered off-diagonal** pairs per
+    /// sample — the free continuous observable of the maintained
+    /// closure (`reached_bits − n`, read in O(1) per step).
+    pub mean_reachable_pairs: f64,
+    /// `1.96 ×` the between-chain standard error of the per-chain
+    /// reachable-pair means (`∞` when `chains < 2`).
+    pub reach_half_width: f64,
+}
+
+/// Estimate `P[T_reach]` under UNI-CASE labels on `graph` with the
+/// given `lifetime`, using `chains` independent single-site Gibbs
+/// chains of `steps_per_chain` moves each, every chain maintained
+/// differentially by a [`DeltaCursor`](ephemeral_temporal::delta::DeltaCursor)
+/// (one recorded sweep per chain, then one
+/// [`apply_label_move`](ephemeral_temporal::delta::DeltaCursor::apply_label_move)
+/// per step).
+///
+/// Deterministic in `(graph, lifetime, chains, steps_per_chain, seed)`
+/// — never in `threads`: each chain's rng stream is keyed by its index.
+///
+/// # Panics
+/// If `graph` has no edges, `lifetime == 0`, or `chains == 0`.
+#[must_use]
+pub fn treach_probability_correlated(
+    graph: &Graph,
+    lifetime: Time,
+    chains: usize,
+    steps_per_chain: usize,
+    seed: u64,
+    threads: usize,
+) -> CorrelatedTreach {
+    assert!(graph.num_edges() > 0, "chains need at least one edge");
+    assert!(chains > 0, "at least one chain is required");
+    let target = static_reachable_pairs(graph);
+    let ids: Vec<u64> = (0..chains as u64).collect();
+    let init = || {
+        (
+            placeholder_network(graph, lifetime),
+            LabelAssignment::default(),
+            SweepScratch::new(),
+        )
+    };
+    let n = graph.num_nodes();
+    let per_chain = par_map_with(&ids, threads, init, |(tn, spare, scratch), _, &c| {
+        let mut rng = SeedSequence::new(seed).child(CHAIN_STREAM).rng(c);
+        resample_single_in_place(tn, spare, &mut rng);
+        let (stats, _) = scratch.record_delta(tn);
+        let mut hits = usize::from(stats.reached_bits == target);
+        let mut reach_sum = (stats.reached_bits - n) as u64;
+        let mut applied = 0usize;
+        let mut replayed = 0usize;
+        for _ in 0..steps_per_chain {
+            let (e, from, to) = propose_label_move(tn, &mut rng);
+            if let Some(a) = scratch.delta.apply_label_move(tn, e, from, to) {
+                applied += 1;
+                replayed += a.replayed_buckets;
+            }
+            let reached = scratch.delta.stats().reached_bits;
+            hits += usize::from(reached == target);
+            reach_sum += (reached - n) as u64;
+        }
+        (hits, applied, replayed, reach_sum)
+    });
+
+    let samples_per_chain = steps_per_chain + 1;
+    let mean_and_se = |means: &[f64]| {
+        let mean = means.iter().sum::<f64>() / chains as f64;
+        let half = if chains >= 2 {
+            let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (chains - 1) as f64;
+            1.96 * (var / chains as f64).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        (mean, half)
+    };
+    let hit_means: Vec<f64> = per_chain
+        .iter()
+        .map(|&(hits, ..)| hits as f64 / samples_per_chain as f64)
+        .collect();
+    let reach_means: Vec<f64> = per_chain
+        .iter()
+        .map(|&(.., reach)| reach as f64 / samples_per_chain as f64)
+        .collect();
+    let (estimate, half_width) = mean_and_se(&hit_means);
+    let (mean_reachable_pairs, reach_half_width) = mean_and_se(&reach_means);
+    CorrelatedTreach {
+        estimate,
+        half_width,
+        chains,
+        steps_per_chain,
+        samples: chains * samples_per_chain,
+        applied_moves: per_chain.iter().map(|&(_, a, _, _)| a).sum(),
+        replayed_buckets: per_chain.iter().map(|&(_, _, r, _)| r).sum(),
+        mean_reachable_pairs,
+        reach_half_width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_graph::{generators, GraphBuilder};
+    use ephemeral_temporal::reachability::treach_holds;
+
+    #[test]
+    fn static_pairs_count_components_and_directions() {
+        // Two undirected components of sizes 3 and 2: 9 + 4.
+        let mut b = GraphBuilder::new_undirected(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        assert_eq!(static_reachable_pairs(&b.build().unwrap()), 13);
+        // Directed path 0→1→2: sources reach 3, 2, 1 vertices.
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        assert_eq!(static_reachable_pairs(&b.build().unwrap()), 6);
+    }
+
+    #[test]
+    fn clique_chains_always_hold() {
+        // The undirected clique satisfies T_reach under any single
+        // labelling (the direct edge is a one-hop journey), so every
+        // sample in every chain hits.
+        let g = generators::clique(12, false);
+        let out = treach_probability_correlated(&g, 12, 3, 40, 7, 2);
+        assert_eq!(out.estimate, 1.0);
+        assert_eq!(out.samples, 3 * 41);
+        assert!(out.applied_moves > 0);
+        assert_eq!(out.half_width, 0.0);
+        assert_eq!(out.mean_reachable_pairs, (12 * 11) as f64);
+        assert_eq!(out.reach_half_width, 0.0);
+    }
+
+    #[test]
+    fn star_chains_essentially_never_hold() {
+        let g = generators::star(16);
+        let out = treach_probability_correlated(&g, 16, 3, 40, 7, 2);
+        assert!(out.estimate < 0.3, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn differential_samples_match_cold_reevaluation() {
+        // Replay chain 0's exact rng stream with a cold full T_reach
+        // check per step; the differential estimator's hit count must
+        // agree sample for sample.
+        let g = generators::cycle(24);
+        let lifetime = 36;
+        let (seed, steps) = (11, 60);
+        let out = treach_probability_correlated(&g, lifetime, 1, steps, seed, 1);
+        let mut rng = SeedSequence::new(seed).child(CHAIN_STREAM).rng(0);
+        let mut tn = placeholder_network(&g, lifetime);
+        let mut spare = LabelAssignment::default();
+        resample_single_in_place(&mut tn, &mut spare, &mut rng);
+        let mut hits = usize::from(treach_holds(&tn, 1));
+        let mut applied = 0usize;
+        for _ in 0..steps {
+            let (e, from, to) = propose_label_move(&tn, &mut rng);
+            applied += usize::from(tn.move_label(e, from, to).is_some());
+            hits += usize::from(treach_holds(&tn, 1));
+        }
+        assert_eq!(out.applied_moves, applied);
+        assert_eq!(out.estimate, hits as f64 / (steps + 1) as f64);
+    }
+
+    #[test]
+    fn estimation_is_deterministic_and_thread_invariant() {
+        let mut rng = ephemeral_rng::default_rng(3);
+        let g = generators::gnp(48, 0.12, false, &mut rng);
+        let base = treach_probability_correlated(&g, 48, 4, 30, 5, 1);
+        for threads in [2, 8] {
+            let again = treach_probability_correlated(&g, 48, 4, 30, 5, threads);
+            assert_eq!(again, base, "threads {threads}");
+        }
+        assert_ne!(treach_probability_correlated(&g, 48, 4, 30, 6, 2), base);
+        assert!(base.half_width.is_finite());
+    }
+}

@@ -19,6 +19,7 @@
 //! | Closed-form bound curves used by the experiment tables | [`bounds`] |
 //! | §6 further research: designed availability (deterministic backbone + random extras) | [`design`] |
 //! | Generalization: declarative scenarios (graph family × label model × lifetime × metric) with adaptive CI-driven estimation | [`scenario`] |
+//! | Correlated what-if chains: single-label Gibbs resampling maintained by the differential cursor | [`correlated`] |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod correlated;
 pub mod design;
 pub mod diameter;
 pub mod dissemination;

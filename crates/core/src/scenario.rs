@@ -12,12 +12,14 @@
 //! thread count. The sweep engine in `ephemeral-bench` expands grids of
 //! these cells and streams resumable JSON-lines results.
 
+use crate::correlated::static_reachable_pairs;
 use crate::models::{GeometricArrivals, LabelModel, UniformMulti, UniformSingle, ZipfMulti};
 use crate::urtn::placeholder_network;
-use ephemeral_graph::{generators, Graph};
+use ephemeral_graph::{generators, EdgeId, Graph};
 use ephemeral_parallel::adaptive::{
     run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator, ProportionAccumulator,
 };
+use ephemeral_parallel::par_map_with;
 use ephemeral_rng::{DefaultRng, RandomSource, SeedSequence};
 use ephemeral_temporal::distance::instance_temporal_diameter_scratch_traced;
 use ephemeral_temporal::reachability::treach_holds_scratch_traced;
@@ -231,6 +233,19 @@ pub enum Metric {
     /// `P[T_reach]` — does the assignment preserve static reachability
     /// (Definition 6)?
     TreachProbability,
+    /// `P[T_reach]` again, but estimated by correlated single-site Gibbs
+    /// chains maintained differentially (one recorded sweep per chain,
+    /// then one [`DeltaCursor::apply_label_move`](ephemeral_temporal::delta::DeltaCursor::apply_label_move)
+    /// per step instead of a cold sweep per trial). The move kernel
+    /// redraws one uniformly chosen label uniformly over `{1, …, a}`,
+    /// which is stationary for the **uniform** label models (UNI-CASE
+    /// single and multi — resampling one coordinate of a product-uniform
+    /// vector); skewed F-CASE models would need a Metropolis correction
+    /// the chain does not implement, so grids pairing this metric with
+    /// `Zipf`/`Geometric` estimate the uniform law, not the cell's.
+    /// Rows report the total replayed buckets
+    /// ([`ScenarioOutcome::delta_replayed_buckets`]).
+    TreachCorrelated,
     /// Broadcast time of the §3.5 flooding protocol from vertex 0; trials
     /// that fail to inform everyone are counted as failures.
     FloodTime,
@@ -243,6 +258,7 @@ impl Metric {
         match self {
             Self::TemporalDiameter => "td",
             Self::TreachProbability => "treach",
+            Self::TreachCorrelated => "treachd",
             Self::FloodTime => "flood",
         }
     }
@@ -268,7 +284,7 @@ impl Metric {
     ) -> EngineKind {
         match self {
             Self::FloodTime => EngineKind::Scalar,
-            Self::TemporalDiameter | Self::TreachProbability => {
+            Self::TemporalDiameter | Self::TreachProbability | Self::TreachCorrelated => {
                 EngineChoice::pick(nodes, occupied_buckets, time_edges)
             }
         }
@@ -341,6 +357,10 @@ pub struct ScenarioOutcome {
     /// crossover: the full-width engine never ran (see
     /// [`Metric::engine`] for the dispatch prediction).
     pub engine: &'static str,
+    /// Buckets the differential cursor replayed across the cell's Gibbs
+    /// steps — the work attribution of [`Metric::TreachCorrelated`]
+    /// (always 0 for the cold-trial metrics).
+    pub delta_replayed_buckets: usize,
 }
 
 /// Per-worker trial scratch: an owned network whose labels are redrawn in
@@ -423,6 +443,7 @@ impl Scenario {
             served.fetch_max(engine_rank(kind), Ordering::Relaxed);
         };
 
+        let mut delta_replayed_buckets = 0usize;
         let (estimate, half_width, trials, converged, failures) = match self.metric {
             Metric::TemporalDiameter => {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
@@ -461,6 +482,20 @@ impl Scenario {
                 let p = run.accumulator.successes as f64 / run.accumulator.count.max(1) as f64;
                 (p, run.half_width, run.trials, run.converged, 0.0)
             }
+            Metric::TreachCorrelated => {
+                // The trial budget reshaped into chains × steps: the batch
+                // knob caps the chain count (independent restarts are the
+                // expensive part — each records one cold sweep), the trial
+                // cap fixes the total sample count.
+                let chains = cfg.batch.clamp(1, 16);
+                let steps = cfg.max_trials / chains;
+                let out = correlated_cell(
+                    &graph, model, lifetime, trial_seed, chains, steps, threads, &serve,
+                );
+                delta_replayed_buckets = out.replayed;
+                let converged = out.half_width <= cfg.target_half_width;
+                (out.estimate, out.half_width, out.samples, converged, 0.0)
+            }
         };
 
         ScenarioOutcome {
@@ -473,7 +508,97 @@ impl Scenario {
             converged,
             failures,
             engine: engine_from_rank(served.load(Ordering::Relaxed)).name(),
+            delta_replayed_buckets,
         }
+    }
+}
+
+/// The aggregate of one [`Metric::TreachCorrelated`] cell.
+struct CorrelatedCell {
+    estimate: f64,
+    half_width: f64,
+    samples: usize,
+    replayed: usize,
+}
+
+/// Evaluate one correlated cell: `chains` independent Gibbs chains, each
+/// seeded with a fresh draw from the cell's label model, recorded once
+/// into the pooled differential cursor and then driven by single-label
+/// moves — every step's `T_reach` sample is the O(1) comparison of the
+/// maintained reach total against the static target (journeys are
+/// paths, so total equality is per-source equality). Deterministic in
+/// `(graph, model, lifetime, trial_seed, chains, steps)` — never in
+/// `threads`: chain `c`'s rng stream is keyed by `c`.
+#[allow(clippy::too_many_arguments)]
+fn correlated_cell(
+    graph: &Graph,
+    model: &(dyn LabelModel + Send + Sync),
+    lifetime: Time,
+    trial_seed: u64,
+    chains: usize,
+    steps: usize,
+    threads: usize,
+    serve: &(impl Fn(EngineKind) + Sync),
+) -> CorrelatedCell {
+    let m = graph.num_edges();
+    if m == 0 {
+        // Nothing to label: temporal and static reach are both the
+        // diagonal, so T_reach holds vacuously and no chain runs.
+        return CorrelatedCell {
+            estimate: 1.0,
+            half_width: 0.0,
+            samples: 0,
+            replayed: 0,
+        };
+    }
+    let target = static_reachable_pairs(graph);
+    let ids: Vec<u64> = (0..chains as u64).collect();
+    let init = || Scratch::new(graph, lifetime);
+    let per_chain = par_map_with(&ids, threads, init, |s, _, &c| {
+        let mut rng = SeedSequence::new(trial_seed).rng(c);
+        s.redraw(model, &mut rng);
+        let (stats, kind) = s.sweeper.record_delta(&s.tn);
+        serve(kind);
+        let mut hits = usize::from(stats.reached_bits == target);
+        let mut replayed = 0usize;
+        for _ in 0..steps {
+            // One Gibbs proposal: a uniform edge, a uniform label of it,
+            // a fresh uniform replacement. An edge whose model draw left
+            // it unlabelled rejects the proposal (nothing to move) and
+            // the unchanged state is sampled again — exactly like a
+            // colliding draw.
+            let e = rng.index(m) as EdgeId;
+            let labels = s.tn.labels(e);
+            if !labels.is_empty() {
+                let from = labels[rng.index(labels.len())];
+                let to = rng.range_u32(1, lifetime);
+                if let Some(a) = s.sweeper.delta.apply_label_move(&mut s.tn, e, from, to) {
+                    replayed += a.replayed_buckets;
+                }
+            }
+            hits += usize::from(s.sweeper.delta.stats().reached_bits == target);
+        }
+        (hits, replayed)
+    });
+    let samples_per_chain = steps + 1;
+    let means: Vec<f64> = per_chain
+        .iter()
+        .map(|&(h, _)| h as f64 / samples_per_chain as f64)
+        .collect();
+    let estimate = means.iter().sum::<f64>() / chains as f64;
+    // Between-chain standard error: honest under within-chain
+    // autocorrelation, since only independent chains enter the spread.
+    let half_width = if chains >= 2 {
+        let var = means.iter().map(|x| (x - estimate).powi(2)).sum::<f64>() / (chains - 1) as f64;
+        1.96 * (var / chains as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    CorrelatedCell {
+        estimate,
+        half_width,
+        samples: chains * samples_per_chain,
+        replayed: per_chain.iter().map(|&(_, r)| r).sum(),
     }
 }
 
@@ -785,6 +910,7 @@ mod tests {
                     for metric in [
                         Metric::TemporalDiameter,
                         Metric::TreachProbability,
+                        Metric::TreachCorrelated,
                         Metric::FloodTime,
                     ] {
                         for n in [16, 32] {
@@ -801,6 +927,64 @@ mod tests {
                 }
             }
         }
-        assert_eq!(ids.len(), 6 * 4 * 3 * 3 * 2);
+        assert_eq!(ids.len(), 6 * 4 * 3 * 4 * 2);
+    }
+
+    #[test]
+    fn correlated_metric_agrees_with_structure_and_reports_replay_work() {
+        // K_n holds under every single labelling, the star essentially
+        // never does — the correlated chains must say exactly that, and
+        // the star cell must report the buckets its applies replayed.
+        let sure = Scenario {
+            family: GraphFamily::Clique { directed: false },
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachCorrelated,
+            n: 16,
+        }
+        .evaluate(&quick_cfg(), 3, 2);
+        assert_eq!(sure.estimate, 1.0);
+        assert_eq!(sure.half_width, 0.0);
+        assert!(sure.converged);
+        assert!(sure.trials > 0);
+        let star = Scenario {
+            family: GraphFamily::Star,
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachCorrelated,
+            n: 16,
+        }
+        .evaluate(&quick_cfg(), 3, 1);
+        assert!(star.estimate < 0.5, "one label cannot serve a star");
+        assert!(
+            star.delta_replayed_buckets > 0,
+            "applied moves replay buckets"
+        );
+        // The cold-trial metrics never touch the cursor.
+        let cold = Scenario {
+            family: GraphFamily::Star,
+            model: LabelModelSpec::UniformSingle,
+            lifetime: LifetimeRule::EqualsN,
+            metric: Metric::TreachProbability,
+            n: 16,
+        }
+        .evaluate(&quick_cfg(), 3, 1);
+        assert_eq!(cold.delta_replayed_buckets, 0);
+    }
+
+    #[test]
+    fn correlated_metric_is_deterministic_and_thread_invariant() {
+        let sc = Scenario {
+            family: GraphFamily::Gnp { c: 1.5 },
+            model: LabelModelSpec::UniformMulti { r: 3 },
+            lifetime: LifetimeRule::MultipleOfN(2),
+            metric: Metric::TreachCorrelated,
+            n: 24,
+        };
+        let base = sc.evaluate(&quick_cfg(), 9, 1);
+        for threads in [2, 8] {
+            assert_eq!(sc.evaluate(&quick_cfg(), 9, threads), base, "t={threads}");
+        }
+        assert_ne!(sc.evaluate(&quick_cfg(), 10, 2), base);
     }
 }

@@ -63,14 +63,15 @@ pub fn sample_multi_urtn(
 /// Resample only the labels of an existing network (same graph, same
 /// lifetime, fresh UNI-CASE draw) — the cheap per-trial path of the Monte
 /// Carlo estimators, which reuses the graph's CSR across trials.
+///
+/// Delegates to [`resample_single_in_place`] on a fresh clone, so the two
+/// paths cannot diverge: same label stream, same buckets, same closure.
 #[must_use]
 pub fn resample_single(tn: &TemporalNetwork, rng: &mut impl RandomSource) -> TemporalNetwork {
-    let model = UniformSingle {
-        lifetime: tn.lifetime(),
-    };
-    let assignment = model.assign(tn.graph().num_edges(), rng);
-    TemporalNetwork::new(tn.graph().clone(), assignment, tn.lifetime())
-        .expect("model labels fit the lifetime")
+    let mut fresh = placeholder_network(tn.graph(), tn.lifetime());
+    let mut spare = LabelAssignment::default();
+    resample_single_in_place(&mut fresh, &mut spare, rng);
+    fresh
 }
 
 /// A network over `graph` whose every edge carries the placeholder label 1
@@ -106,6 +107,34 @@ pub fn resample_single_in_place(
     *spare = tn
         .replace_assignment(drawn)
         .expect("model labels fit the lifetime");
+}
+
+/// Propose one step of the single-site (Gibbs) resampling chain over an
+/// existing assignment: a uniformly chosen edge, a uniformly chosen label
+/// of that edge, and a fresh uniform draw from `{1, …, lifetime}` to
+/// replace it with. The network is not touched — feed the proposal to
+/// [`TemporalNetwork::move_label`] for a cold application, or to
+/// [`DeltaCursor::apply_label_move`](ephemeral_temporal::delta::DeltaCursor::apply_label_move)
+/// to maintain a recorded closure differentially. Both reject no-op and
+/// colliding draws identically, so the two drivers consume the same rng
+/// stream and walk the same chain; unlike [`resample_single_in_place`]
+/// (which redraws *every* edge), consecutive states differ in at most one
+/// label — the correlated regime the differential cursor exists for.
+///
+/// # Panics
+/// If the graph has no edges.
+#[must_use]
+pub fn propose_label_move(
+    tn: &TemporalNetwork,
+    rng: &mut impl RandomSource,
+) -> (ephemeral_graph::EdgeId, Time, Time) {
+    let m = tn.graph().num_edges();
+    assert!(m > 0, "cannot propose a label move without edges");
+    let e = rng.index(m) as ephemeral_graph::EdgeId;
+    let labels = tn.labels(e);
+    let from = labels[rng.index(labels.len())];
+    let to = rng.range_u32(1, tn.lifetime());
+    (e, from, to)
 }
 
 #[cfg(test)]
@@ -188,7 +217,34 @@ mod tests {
                 y.sort_unstable();
                 assert_eq!(x, y, "round {round} time {t}");
             }
+            // The delegating path must consume exactly the same rng
+            // stream — the next raw draw from both generators agrees.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "round {round}");
         }
+    }
+
+    #[test]
+    fn proposed_moves_walk_the_same_chain_cold_and_differentially() {
+        use ephemeral_temporal::wide::SweepScratch;
+        let mut rng_cold = default_rng(11);
+        let mut rng_delta = default_rng(11);
+        let mut cold = sample_urtn(generators::cycle(40), 60, &mut rng_cold);
+        let mut hot = sample_urtn(generators::cycle(40), 60, &mut rng_delta);
+        let mut scratch = SweepScratch::new();
+        scratch.record_delta(&hot);
+        let mut applied = 0;
+        for step in 0..200 {
+            let (e1, f1, t1) = propose_label_move(&cold, &mut rng_cold);
+            let (e2, f2, t2) = propose_label_move(&hot, &mut rng_delta);
+            assert_eq!((e1, f1, t1), (e2, f2, t2), "step {step}");
+            let a = cold.move_label(e1, f1, t1);
+            let b = scratch.delta.apply_label_move(&mut hot, e2, f2, t2);
+            assert_eq!(a.is_some(), b.is_some(), "step {step}");
+            applied += usize::from(b.is_some());
+            assert_eq!(cold.assignment(), hot.assignment(), "step {step}");
+        }
+        assert!(applied > 100, "the chain should mostly move: {applied}");
+        assert_eq!(rng_cold.next_u64(), rng_delta.next_u64());
     }
 
     #[test]

@@ -210,4 +210,52 @@ fn warm_montecarlo_trials_do_not_allocate() {
         matches!(engine, EngineKind::Batch | EngineKind::Sparse),
         "sparse instances answer at the probe or the sparse engine, got {engine:?}"
     );
+
+    // The differential cursor: record once, then drive warm
+    // `apply_label_move` calls. Each proposal is paired with its revert,
+    // so the network returns to the recorded state and the measured
+    // window replays exactly the buckets the warm-up already sized the
+    // row logs, agenda and shadow buffers for — any allocation here
+    // means cursor state stopped being pooled.
+    use ephemeral_core::urtn::propose_label_move;
+    let mut rng3 = default_rng(13);
+    let proposals: Vec<_> = (0..48)
+        .map(|_| propose_label_move(&tn, &mut rng3))
+        .collect();
+    let (recorded, _) = scratch.record_delta(&tn);
+    let drive = |scratch: &mut SweepScratch, tn: &mut _| {
+        let mut replayed = 0usize;
+        for &(e, from, to) in &proposals {
+            if let Some(a) = scratch.delta.apply_label_move(tn, e, from, to) {
+                replayed += a.replayed_buckets;
+                let back = scratch
+                    .delta
+                    .apply_label_move(tn, e, to, from)
+                    .expect("reverting an applied move is always valid");
+                replayed += back.replayed_buckets;
+            }
+        }
+        replayed
+    };
+    let warm_replayed = drive(&mut scratch, &mut tn);
+    assert!(warm_replayed > 0, "the move pairs must replay buckets");
+    let before = allocations();
+    let replayed = drive(&mut scratch, &mut tn);
+    let during = allocations() - before;
+    assert_eq!(
+        replayed, warm_replayed,
+        "identical pairs replay identically"
+    );
+    assert_eq!(
+        during,
+        0,
+        "warm differential applies must not allocate (saw {during} \
+         allocations over {} move+revert pairs)",
+        proposals.len()
+    );
+    assert_eq!(
+        scratch.delta.stats().reached_bits,
+        recorded.reached_bits,
+        "every pair reverted, so the maintained closure is the recorded one"
+    );
 }

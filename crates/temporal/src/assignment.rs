@@ -161,6 +161,42 @@ impl LabelAssignment {
         self.labels(e).binary_search(&t).is_ok()
     }
 
+    /// Move one label of edge `e` from `from` to `to` in place, keeping
+    /// the edge's label set sorted — the `O(|L_e|)` surgery under a
+    /// single-label resampling step (no other edge's slice moves).
+    /// Returns `false` and leaves the assignment unchanged when `from` is
+    /// absent, `to` is zero, or `to` is already present (replacing a label
+    /// with an existing one would shrink the set; `from == to` is the
+    /// degenerate case).
+    ///
+    /// # Panics
+    /// If `e >= num_edges()`.
+    pub fn move_label(&mut self, e: u32, from: Time, to: Time) -> bool {
+        if to == 0 {
+            return false;
+        }
+        let lo = self.offsets[e as usize] as usize;
+        let hi = self.offsets[e as usize + 1] as usize;
+        let slice = &mut self.labels[lo..hi];
+        let Ok(mut i) = slice.binary_search(&from) else {
+            return false;
+        };
+        if slice.binary_search(&to).is_ok() {
+            return false;
+        }
+        slice[i] = to;
+        // Bubble the replaced entry back to its sorted position.
+        while i + 1 < slice.len() && slice[i] > slice[i + 1] {
+            slice.swap(i, i + 1);
+            i += 1;
+        }
+        while i > 0 && slice[i] < slice[i - 1] {
+            slice.swap(i, i - 1);
+            i -= 1;
+        }
+        true
+    }
+
     /// Iterate `(edge, label)` pairs in edge order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Time)> + '_ {
         (0..self.num_edges() as u32).flat_map(move |e| self.labels(e).iter().map(move |&l| (e, l)))
@@ -249,6 +285,30 @@ mod tests {
         );
         assert!(!a.refill_with(2, &mut buf, |_, b| b.push(0)));
         assert_eq!(a.num_edges(), 0);
+    }
+
+    #[test]
+    fn move_label_keeps_slices_sorted() {
+        let mut a = LabelAssignment::from_vecs(vec![vec![2, 5, 9], vec![4]]).unwrap();
+        assert!(a.move_label(0, 5, 7)); // interior, no reorder
+        assert_eq!(a.labels(0), &[2, 7, 9]);
+        assert!(a.move_label(0, 2, 11)); // bubbles up past both
+        assert_eq!(a.labels(0), &[7, 9, 11]);
+        assert!(a.move_label(0, 11, 1)); // bubbles down past both
+        assert_eq!(a.labels(0), &[1, 7, 9]);
+        assert_eq!(a.labels(1), &[4], "other edges untouched");
+        assert!(a.move_label(1, 4, 6));
+        assert_eq!(a.labels(1), &[6]);
+    }
+
+    #[test]
+    fn move_label_rejects_bad_moves_unchanged() {
+        let mut a = LabelAssignment::from_vecs(vec![vec![2, 5]]).unwrap();
+        assert!(!a.move_label(0, 3, 4), "absent source label");
+        assert!(!a.move_label(0, 2, 5), "collision with existing label");
+        assert!(!a.move_label(0, 2, 2), "degenerate from == to");
+        assert!(!a.move_label(0, 2, 0), "zero label");
+        assert_eq!(a.labels(0), &[2, 5]);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::network::TemporalNetwork;
-use crate::sparse::{EngineChoice, SparseSweeper};
-use crate::wide::{cache_block_count, source_blocks, EngineKind, FrontierEngine, WideSweeper};
+use crate::sparse::{EngineChoice, FrontierRun};
+use crate::wide::{source_blocks, FrontierEngine};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for_with, par_map_with};
 use std::ops::Range;
@@ -42,33 +42,35 @@ impl ReachabilityMatrix {
     pub fn compute(tn: &TemporalNetwork, threads: usize) -> Self {
         let n = tn.num_nodes();
         let words_per_row = n.div_ceil(64);
-        let chunks = match EngineChoice::pick_for(tn) {
-            EngineKind::Wide => {
-                // Extra blocks keep each slab cache-resident for the
-                // wide engine's dense, branch-free word loop.
-                let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-                closure_blocks::<WideSweeper>(tn, threads, &blocks)
+        struct Closure<'a> {
+            tn: &'a TemporalNetwork,
+            threads: usize,
+        }
+        impl FrontierRun for Closure<'_> {
+            type Out = Vec<Vec<u64>>;
+            fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+                let blocks = source_blocks(self.tn.num_nodes(), shards);
+                closure_blocks::<S>(self.tn, self.threads, &blocks)
             }
-            EngineKind::Sparse => {
-                let blocks = source_blocks(n, threads);
-                closure_blocks::<SparseSweeper>(tn, threads, &blocks)
-            }
-            _ => par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-                let batch = batch_range(n, b);
-                let sources: Vec<NodeId> = batch.collect();
-                sweeper.sweep(tn, &sources, 0, |_, _, _| {});
-                let mut rows = vec![0u64; sources.len() * words_per_row];
-                for v in 0..n {
-                    let mut lanes = sweeper.lanes_reaching(v as NodeId);
-                    while lanes != 0 {
-                        let lane = lanes.trailing_zeros() as usize;
-                        rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
-                        lanes &= lanes - 1;
+        }
+        let chunks =
+            EngineChoice::dispatch(tn, threads, Closure { tn, threads }).unwrap_or_else(|| {
+                par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+                    let batch = batch_range(n, b);
+                    let sources: Vec<NodeId> = batch.collect();
+                    sweeper.sweep(tn, &sources, 0, |_, _, _| {});
+                    let mut rows = vec![0u64; sources.len() * words_per_row];
+                    for v in 0..n {
+                        let mut lanes = sweeper.lanes_reaching(v as NodeId);
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                            lanes &= lanes - 1;
+                        }
                     }
-                }
-                rows
-            }),
-        };
+                    rows
+                })
+            });
         let mut bits = Vec::with_capacity(n * words_per_row);
         for chunk in chunks {
             bits.extend(chunk);

@@ -18,11 +18,8 @@
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::sparse::{EngineChoice, SparseSweeper};
-use crate::wide::{
-    cache_block_count, cache_blocks, source_blocks, EngineKind, FrontierEngine, SweepScratch,
-    WideSweeper,
-};
+use crate::sparse::{EngineChoice, FrontierRun};
+use crate::wide::{block_schedule, source_blocks, EngineKind, FrontierEngine, SweepScratch};
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for_with, par_map_with};
@@ -81,24 +78,26 @@ impl DistanceMatrix {
 #[must_use]
 pub fn all_pairs_temporal_distances(tn: &TemporalNetwork, threads: usize) -> DistanceMatrix {
     let n = tn.num_nodes();
-    let chunks = match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-            arrival_blocks::<WideSweeper>(tn, threads, &blocks)
+    struct Arrivals<'a> {
+        tn: &'a TemporalNetwork,
+        threads: usize,
+    }
+    impl FrontierRun for Arrivals<'_> {
+        type Out = Vec<Vec<Time>>;
+        fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+            let blocks = source_blocks(self.tn.num_nodes(), shards);
+            arrival_blocks::<S>(self.tn, self.threads, &blocks)
         }
-        EngineKind::Sparse => {
-            // The list engine pays the occupied-bucket walk per block and
-            // its lists are cache-light: shard only as far as the workers.
-            let blocks = source_blocks(n, threads);
-            arrival_blocks::<SparseSweeper>(tn, threads, &blocks)
-        }
-        _ => par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-            let sources: Vec<NodeId> = batch_range(n, b).collect();
-            let mut rows = vec![NEVER; sources.len() * n];
-            sweeper.arrivals_into(tn, &sources, 0, &mut rows);
-            rows
-        }),
-    };
+    }
+    let chunks =
+        EngineChoice::dispatch(tn, threads, Arrivals { tn, threads }).unwrap_or_else(|| {
+            par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+                let sources: Vec<NodeId> = batch_range(n, b).collect();
+                let mut rows = vec![NEVER; sources.len() * n];
+                sweeper.arrivals_into(tn, &sources, 0, &mut rows);
+                rows
+            })
+        });
     let mut data = Vec::with_capacity(n * n);
     for chunk in chunks {
         data.extend(chunk);
@@ -167,23 +166,23 @@ impl InstanceDiameter {
 #[must_use]
 pub fn instance_temporal_diameter(tn: &TemporalNetwork, threads: usize) -> InstanceDiameter {
     let n = tn.num_nodes();
-    match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-            reduce_batches(diameter_blocks::<WideSweeper>(tn, threads, &blocks))
-        }
-        EngineKind::Sparse => {
-            let blocks = source_blocks(n, threads);
-            reduce_batches(diameter_blocks::<SparseSweeper>(tn, threads, &blocks))
-        }
-        _ => {
-            let per_batch =
-                par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-                    diameter_batch(tn, sweeper, b)
-                });
-            reduce_batches(per_batch)
+    struct Diameter<'a> {
+        tn: &'a TemporalNetwork,
+        threads: usize,
+    }
+    impl FrontierRun for Diameter<'_> {
+        type Out = InstanceDiameter;
+        fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+            let blocks = source_blocks(self.tn.num_nodes(), shards);
+            reduce_batches(diameter_blocks::<S>(self.tn, self.threads, &blocks))
         }
     }
+    EngineChoice::dispatch(tn, threads, Diameter { tn, threads }).unwrap_or_else(|| {
+        let per_batch = par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
+            diameter_batch(tn, sweeper, b)
+        });
+        reduce_batches(per_batch)
+    })
 }
 
 /// One full-width stats-only sweep per column block through engine `S`.
@@ -219,7 +218,7 @@ pub fn instance_temporal_diameter_reusing(
 /// the Monte Carlo estimators in `ephemeral-core` (locked in by
 /// `crates/core/tests/alloc_regression.rs` on all three paths): on dense
 /// instances above the batch crossover one single-pass wide sweep per
-/// cache-sized column block out of `scratch.wide` ([`cache_blocks`]
+/// cache-sized column block out of `scratch.wide` ([`block_schedule`]
 /// iterates the schedule without allocating), on sparse ones a single
 /// full-width event-driven sweep out of `scratch.sparse`, below the
 /// crossover `⌈n/64⌉` batched sweeps out of `scratch.batch`. All paths
@@ -242,33 +241,40 @@ pub fn instance_temporal_diameter_scratch_traced(
     tn: &TemporalNetwork,
     scratch: &mut SweepScratch,
 ) -> (InstanceDiameter, EngineKind) {
-    let n = tn.num_nodes();
-    match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let d = reduce_batches(cache_blocks(n).map(|block| {
-                let stats = scratch.wide.sweep(tn, block, 0, |_, _, _, _| {});
+    struct DiameterScratch<'a> {
+        tn: &'a TemporalNetwork,
+        scratch: &'a mut SweepScratch,
+    }
+    impl FrontierRun for DiameterScratch<'_> {
+        type Out = (InstanceDiameter, EngineKind);
+        fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+            // With `workers = 1` the wide engine shards to exactly its
+            // cache schedule; the sparse engine gets the single block
+            // `0..n` — its lists are cache-light and column blocking
+            // would only multiply the occupied-bucket walk.
+            let n = self.tn.num_nodes();
+            let sweeper = S::from_scratch(self.scratch);
+            let d = reduce_batches(block_schedule(n, shards).map(|block| {
+                let stats = sweeper.sweep(self.tn, block, 0, |_, _, _, _| {});
                 (stats.last_arrival, stats.unreached_pairs(n))
             }));
-            (d, EngineKind::Wide)
+            (d, S::kind())
         }
-        EngineKind::Sparse => {
-            // One full-width event-driven pass: the list engine walks the
-            // occupied index once and its arena is cache-light, so column
-            // blocking would only multiply the bucket walk.
-            let stats = scratch.sparse.sweep(tn, 0..n as NodeId, 0, |_, _, _, _| {});
-            (
-                InstanceDiameter {
-                    max_finite: stats.last_arrival,
-                    unreachable_pairs: stats.unreached_pairs(n),
-                },
-                EngineKind::Sparse,
-            )
-        }
-        _ => (
+    }
+    EngineChoice::dispatch(
+        tn,
+        1,
+        DiameterScratch {
+            tn,
+            scratch: &mut *scratch,
+        },
+    )
+    .unwrap_or_else(|| {
+        (
             instance_temporal_diameter_reusing(tn, &mut scratch.batch),
             EngineKind::Batch,
-        ),
-    }
+        )
+    })
 }
 
 fn diameter_batch(tn: &TemporalNetwork, sweeper: &mut BatchSweeper, b: usize) -> (Time, usize) {

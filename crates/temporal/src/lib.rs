@@ -55,6 +55,16 @@
 //!   engine the size selects; [`metrics`]: whole-network summary
 //!   statistics (temporal efficiency etc.), engine-dispatched the same
 //!   way.
+//! * [`delta`]: differential closure maintenance — [`delta::DeltaCursor`]
+//!   records one all-source sweep (any engine, or dispatched via
+//!   [`wide::SweepScratch::record_delta`]) as per-vertex time-ordered
+//!   frontier-word logs, and answers [`TemporalNetwork::move_label`]
+//!   surgery by retracting only the diverging rows' log suffixes and
+//!   replaying buckets from the earlier label onward through a
+//!   time-keyed agenda with re-convergence gating; results bit-identical
+//!   to cold sweeps after any move sequence, on any recording engine, at
+//!   any thread count (`tests/delta_proptests.rs`), and warm applies
+//!   allocate nothing (`ephemeral-core`'s allocation regression).
 //! * [`expanded`]: the Kempe–Kleinberg–Kumar time-expanded graph with
 //!   max-flow counting of time-edge-disjoint journeys.
 //! * In-place reuse: [`LabelAssignment::refill_single`] /
@@ -85,6 +95,7 @@
 
 mod assignment;
 pub mod closure;
+pub mod delta;
 pub mod distance;
 pub mod engine;
 pub mod expanded;
@@ -103,7 +114,7 @@ pub mod wide;
 
 pub use assignment::LabelAssignment;
 pub use journey::{Journey, JourneyError, TimeEdge};
-pub use network::{TemporalError, TemporalNetwork};
+pub use network::{LabelMove, TemporalError, TemporalNetwork};
 
 /// Discrete time label (`1..=lifetime`).
 pub type Time = u32;

@@ -17,8 +17,8 @@
 
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::sparse::{EngineChoice, SparseSweeper};
-use crate::wide::{cache_block_count, source_blocks, EngineKind, FrontierEngine, WideSweeper};
+use crate::sparse::{EngineChoice, FrontierRun};
+use crate::wide::{source_blocks, FrontierEngine};
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
 use ephemeral_parallel::{par_for, par_map_with};
@@ -105,19 +105,23 @@ pub fn temporal_metrics(tn: &TemporalNetwork, threads: usize) -> TemporalMetrics
             temporal_efficiency: 0.0,
         };
     }
-    let per_source: Vec<(usize, u64, u32, f64)> = match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let blocks = source_blocks(n, threads.max(cache_block_count(n)));
-            metric_blocks::<WideSweeper>(tn, threads, &blocks)
+    struct Metrics<'a> {
+        tn: &'a TemporalNetwork,
+        threads: usize,
+    }
+    impl FrontierRun for Metrics<'_> {
+        type Out = Vec<(usize, u64, u32, f64)>;
+        fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+            let blocks = source_blocks(self.tn.num_nodes(), shards);
+            metric_blocks::<S>(self.tn, self.threads, &blocks)
         }
-        EngineKind::Sparse => {
-            let blocks = source_blocks(n, threads);
-            metric_blocks::<SparseSweeper>(tn, threads, &blocks)
-        }
-        _ => par_for(n, threads, |s| {
-            accumulate_row(s, foremost(tn, s as NodeId, 0).arrivals())
-        }),
-    };
+    }
+    let per_source =
+        EngineChoice::dispatch(tn, threads, Metrics { tn, threads }).unwrap_or_else(|| {
+            par_for(n, threads, |s| {
+                accumulate_row(s, foremost(tn, s as NodeId, 0).arrivals())
+            })
+        });
     let mut reachable_pairs = 0usize;
     let mut sum = 0u64;
     let mut max = 0u32;

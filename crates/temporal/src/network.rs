@@ -54,6 +54,35 @@ impl fmt::Display for TemporalError {
 
 impl std::error::Error for TemporalError {}
 
+/// A single-label move applied by [`TemporalNetwork::move_label`] — the
+/// unit of work the differential cursor
+/// ([`crate::delta::DeltaCursor::apply_label_move`]) retracts and replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelMove {
+    /// The edge whose label moved.
+    pub edge: EdgeId,
+    /// The label that was removed.
+    pub from: Time,
+    /// The label that was added.
+    pub to: Time,
+}
+
+impl LabelMove {
+    /// The earlier of the two affected times — the first bucket whose
+    /// contents change, hence where a differential replay must restart.
+    #[must_use]
+    pub fn earliest(&self) -> Time {
+        self.from.min(self.to)
+    }
+
+    /// The later of the two affected times — past it the bucket sequence
+    /// is identical to the pre-move network again.
+    #[must_use]
+    pub fn latest(&self) -> Time {
+        self.from.max(self.to)
+    }
+}
+
 /// An ephemeral temporal network `(G, L)` with lifetime `a` (Definition 1).
 ///
 /// Owns a bucket index mapping each time `t ∈ {1, …, a}` to the edges
@@ -159,6 +188,78 @@ impl TemporalNetwork {
                 occupied.push(t as Time);
             }
         }
+    }
+
+    /// Move one label of edge `e` from `from` to `to`, repairing the
+    /// bucket index and the occupied-times skip list **in place** — the
+    /// single-label resampling step of the differential closure cursor
+    /// (see [`crate::delta`]). Instead of the `O(M + a)` counting-sort
+    /// rebuild of [`TemporalNetwork::replace_assignment`], the edge is
+    /// pulled to the boundary of its old bucket and the hole is propagated
+    /// across the intermediate buckets (each donates one element to its
+    /// neighbour), so the cost is `O(|bucket(from)| + |from − to|)` and no
+    /// allocation ever happens (`occupied` was reserved to its hard cap at
+    /// rebuild time). Bucket contents are preserved as **sets**; the order
+    /// of edges within a bucket may differ from a fresh rebuild, which no
+    /// sweep result depends on (a whole bucket commits at once).
+    ///
+    /// Returns `None` and leaves the network unchanged when `e` is out of
+    /// range, `to` is zero or beyond the lifetime, edge `e` does not carry
+    /// `from`, or it already carries `to` (including `from == to`).
+    pub fn move_label(&mut self, e: EdgeId, from: Time, to: Time) -> Option<LabelMove> {
+        if to == 0 || to > self.lifetime || (e as usize) >= self.assignment.num_edges() {
+            return None;
+        }
+        if !self.assignment.move_label(e, from, to) {
+            return None;
+        }
+        let lo = self.bucket_offsets[from as usize] as usize;
+        let hi = self.bucket_offsets[from as usize + 1] as usize;
+        let p = lo
+            + self.bucket_edges[lo..hi]
+                .iter()
+                .position(|&x| x == e)
+                .expect("edge is present in its own bucket");
+        if from < to {
+            // Pull `e` to the top of its bucket, then let each bucket in
+            // between donate its last element downward into the hole; the
+            // final hole is the first slot of `to`'s bucket once the
+            // boundaries shift left.
+            let mut hole = hi - 1;
+            self.bucket_edges.swap(p, hole);
+            for t in (from + 1)..to {
+                let last = self.bucket_offsets[t as usize + 1] as usize - 1;
+                self.bucket_edges[hole] = self.bucket_edges[last];
+                hole = last;
+            }
+            self.bucket_edges[hole] = e;
+            for t in (from + 1)..=to {
+                self.bucket_offsets[t as usize] -= 1;
+            }
+        } else {
+            // Mirror image: pull `e` to the bottom of its bucket and
+            // propagate the hole downward, shifting boundaries right.
+            let mut hole = lo;
+            self.bucket_edges.swap(p, hole);
+            for t in ((to + 1)..from).rev() {
+                let first = self.bucket_offsets[t as usize] as usize;
+                self.bucket_edges[hole] = self.bucket_edges[first];
+                hole = first;
+            }
+            self.bucket_edges[hole] = e;
+            for t in (to + 1)..=from {
+                self.bucket_offsets[t as usize] += 1;
+            }
+        }
+        if self.edges_at(from).is_empty() {
+            if let Ok(i) = self.occupied.binary_search(&from) {
+                self.occupied.remove(i);
+            }
+        }
+        if let Err(i) = self.occupied.binary_search(&to) {
+            self.occupied.insert(i, to);
+        }
+        Some(LabelMove { edge: e, from, to })
     }
 
     /// Convenience: lifetime defaults to the maximum label present (or 1
@@ -479,6 +580,95 @@ mod tests {
         tn.replace_assignment(empty).unwrap();
         assert_eq!(tn.occupied_times(), &[] as &[Time]);
         assert_eq!(tn.occupied_between(0, 4), &[] as &[Time]);
+    }
+
+    /// The moved network must be indistinguishable (as bucket *sets* and
+    /// occupied times) from a fresh construction over the moved
+    /// assignment.
+    fn assert_matches_fresh_rebuild(tn: &TemporalNetwork) {
+        let rebuilt =
+            TemporalNetwork::new(tn.graph().clone(), tn.assignment().clone(), tn.lifetime())
+                .unwrap();
+        for t in 0..=tn.lifetime() + 1 {
+            let mut got = tn.edges_at(t).to_vec();
+            let mut want = rebuilt.edges_at(t).to_vec();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "bucket {t}");
+        }
+        assert_eq!(tn.occupied_times(), rebuilt.occupied_times());
+    }
+
+    #[test]
+    fn move_label_up_and_down_matches_fresh_rebuild() {
+        let mut tn = tiny(); // {1,3}, {2}, {3}, lifetime 4
+        let mv = tn.move_label(1, 2, 4).unwrap();
+        assert_eq!(
+            mv,
+            LabelMove {
+                edge: 1,
+                from: 2,
+                to: 4
+            }
+        );
+        assert_eq!((mv.earliest(), mv.latest()), (2, 4));
+        assert_eq!(tn.labels(1), &[4]);
+        assert_matches_fresh_rebuild(&tn);
+        assert_eq!(tn.occupied_times(), &[1, 3, 4], "bucket 2 emptied");
+        // Downward, multi-label edge: move 0's label 3 to 2.
+        let mv = tn.move_label(0, 3, 2).unwrap();
+        assert_eq!((mv.earliest(), mv.latest()), (2, 3));
+        assert_eq!(tn.labels(0), &[1, 2]);
+        assert_matches_fresh_rebuild(&tn);
+        // Long-distance hole propagation across empty buckets.
+        tn.move_label(0, 1, 4).unwrap();
+        assert_matches_fresh_rebuild(&tn);
+        tn.move_label(0, 4, 1).unwrap();
+        assert_matches_fresh_rebuild(&tn);
+    }
+
+    #[test]
+    fn move_label_random_sequences_match_fresh_rebuilds() {
+        use ephemeral_rng::{RandomSource, SeedSequence};
+        let mut rng = SeedSequence::new(99).rng(0);
+        let g = generators::gnp(30, 0.2, false, &mut rng);
+        let m = g.num_edges();
+        let lifetime = 17;
+        let a = LabelAssignment::from_fn(m, |_| {
+            vec![rng.range_u32(1, lifetime), rng.range_u32(1, lifetime)]
+        })
+        .unwrap();
+        let mut tn = TemporalNetwork::new(g, a, lifetime).unwrap();
+        let mut applied = 0;
+        for _ in 0..200 {
+            let e = rng.index(m) as u32;
+            let labels = tn.labels(e);
+            let from = labels[rng.index(labels.len())];
+            let to = rng.range_u32(1, lifetime);
+            if tn.move_label(e, from, to).is_some() {
+                applied += 1;
+                assert!(tn.labels(e).contains(&to));
+            }
+        }
+        assert!(applied > 100, "most random moves should apply");
+        assert_matches_fresh_rebuild(&tn);
+    }
+
+    #[test]
+    fn move_label_rejects_invalid_moves_unchanged() {
+        let mut tn = tiny();
+        let before = tn.clone();
+        assert!(tn.move_label(0, 1, 0).is_none(), "zero label");
+        assert!(tn.move_label(0, 1, 5).is_none(), "beyond lifetime");
+        assert!(tn.move_label(9, 1, 2).is_none(), "edge out of range");
+        assert!(tn.move_label(0, 2, 4).is_none(), "absent source label");
+        assert!(tn.move_label(0, 1, 3).is_none(), "collision");
+        assert!(tn.move_label(0, 1, 1).is_none(), "from == to");
+        assert_eq!(tn.labels(0), before.labels(0));
+        for t in 0..=5 {
+            assert_eq!(tn.edges_at(t), before.edges_at(t), "time {t}");
+        }
+        assert_eq!(tn.occupied_times(), before.occupied_times());
     }
 
     #[test]

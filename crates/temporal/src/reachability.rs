@@ -19,10 +19,8 @@
 use crate::engine::{batch_count, batch_range, BatchSweeper, MAX_LANES};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
-use crate::sparse::{EngineChoice, SparseSweeper};
-use crate::wide::{
-    cache_block_count, probe_blocks, EngineKind, FrontierEngine, SweepScratch, WideSweeper,
-};
+use crate::sparse::{EngineChoice, FrontierRun};
+use crate::wide::{probe_blocks, EngineKind, FrontierEngine, SweepScratch};
 use crate::{Time, NEVER};
 use ephemeral_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
 use ephemeral_graph::NodeId;
@@ -59,16 +57,19 @@ pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
     if n <= 1 {
         return true;
     }
-    match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
-            return frontier_connected::<WideSweeper>(tn, threads, probe, &rest);
+    struct Connected<'a> {
+        tn: &'a TemporalNetwork,
+        threads: usize,
+    }
+    impl FrontierRun for Connected<'_> {
+        type Out = bool;
+        fn run<S: FrontierEngine>(self, shards: usize) -> bool {
+            let (probe, rest) = probe_blocks(self.tn.num_nodes(), shards);
+            frontier_connected::<S>(self.tn, self.threads, probe, &rest)
         }
-        EngineKind::Sparse => {
-            let (probe, rest) = probe_blocks(n, threads);
-            return frontier_connected::<SparseSweeper>(tn, threads, probe, &rest);
-        }
-        _ => {}
+    }
+    if let Some(connected) = EngineChoice::dispatch(tn, threads, Connected { tn, threads }) {
+        return connected;
     }
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
@@ -196,16 +197,25 @@ pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
         return true;
     }
     let static_reach = static_reach_oracle(tn);
-    match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let (probe, rest) = probe_blocks(n, threads.max(cache_block_count(n)));
-            return frontier_treach::<WideSweeper>(tn, threads, &static_reach, probe, &rest);
+    struct Treach<'a, F> {
+        tn: &'a TemporalNetwork,
+        threads: usize,
+        static_reach: &'a F,
+    }
+    impl<F: Fn(NodeId) -> usize + Sync> FrontierRun for Treach<'_, F> {
+        type Out = bool;
+        fn run<S: FrontierEngine>(self, shards: usize) -> bool {
+            let (probe, rest) = probe_blocks(self.tn.num_nodes(), shards);
+            frontier_treach::<S>(self.tn, self.threads, self.static_reach, probe, &rest)
         }
-        EngineKind::Sparse => {
-            let (probe, rest) = probe_blocks(n, threads);
-            return frontier_treach::<SparseSweeper>(tn, threads, &static_reach, probe, &rest);
-        }
-        _ => {}
+    }
+    let run = Treach {
+        tn,
+        threads,
+        static_reach: &static_reach,
+    };
+    if let Some(holds) = EngineChoice::dispatch(tn, threads, run) {
+        return holds;
     }
     let lanes_ok =
         |base: NodeId, counts: &[usize]| -> bool { lanes_match(&static_reach, base, counts) };
@@ -282,26 +292,34 @@ pub fn treach_holds_scratch_traced(
         return (true, EngineKind::Batch);
     }
     let static_reach = static_reach_oracle(tn);
-    match EngineChoice::pick_for(tn) {
-        EngineKind::Wide => {
-            let (probe, rest) = probe_blocks(n, cache_block_count(n));
-            frontier_treach_scratch(tn, &mut scratch.wide, &static_reach, probe, rest)
-        }
-        EngineKind::Sparse => {
-            let (probe, rest) = probe_blocks(n, 1);
-            frontier_treach_scratch(tn, &mut scratch.sparse, &static_reach, probe, rest)
-        }
-        _ => {
-            for b in 0..batch_count(n) {
-                let sources: Vec<NodeId> = batch_range(n, b).collect();
-                let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
-                if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
-                    return (false, EngineKind::Batch);
-                }
-            }
-            (true, EngineKind::Batch)
+    struct TreachScratch<'a, F> {
+        tn: &'a TemporalNetwork,
+        scratch: &'a mut SweepScratch,
+        static_reach: &'a F,
+    }
+    impl<F: Fn(NodeId) -> usize + Sync> FrontierRun for TreachScratch<'_, F> {
+        type Out = (bool, EngineKind);
+        fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
+            let (probe, rest) = probe_blocks(self.tn.num_nodes(), shards);
+            let sweeper = S::from_scratch(self.scratch);
+            frontier_treach_scratch(self.tn, sweeper, self.static_reach, probe, rest)
         }
     }
+    let run = TreachScratch {
+        tn,
+        scratch: &mut *scratch,
+        static_reach: &static_reach,
+    };
+    EngineChoice::dispatch(tn, 1, run).unwrap_or_else(|| {
+        for b in 0..batch_count(n) {
+            let sources: Vec<NodeId> = batch_range(n, b).collect();
+            let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
+            if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
+                return (false, EngineKind::Batch);
+            }
+        }
+        (true, EngineKind::Batch)
+    })
 }
 
 /// Sequential probe-first `T_reach` over engine `S`, reporting whether the

@@ -1,7 +1,7 @@
 //! Event-driven sparse-frontier sweep engine: the closure engine for the
 //! regime where nothing saturates.
 //!
-//! [`WideSweeper`](crate::wide::WideSweeper) already skips empty buckets
+//! [`WideSweeper`] already skips empty buckets
 //! and stops at saturation, but on *sparse, disconnected* instances —
 //! `G(n, p)` at the `c·ln n / n` threshold, random regular graphs, tori,
 //! the substrates the paper's connectivity results live on — neither
@@ -67,14 +67,17 @@
 //! keep the wide engine, everything sparser goes event-driven.
 
 use crate::network::TemporalNetwork;
-use crate::wide::{EngineKind, FrontierEngine, WideStats, WIDE_CROSSOVER};
+use crate::wide::{
+    cache_block_count, EngineKind, FrontierEngine, SweepScratch, WideStats, WideSweeper,
+    WIDE_CROSSOVER,
+};
 use crate::Time;
 use ephemeral_graph::NodeId;
 use std::ops::Range;
 
 /// Average time-edges per occupied bucket, as a fraction of `n`, above
 /// which the all-source entry points prefer the branch-free
-/// [`WideSweeper`](crate::wide::WideSweeper) over the event-driven
+/// [`WideSweeper`] over the event-driven
 /// [`SparseSweeper`]: `M / occupied ≥ n / DENSE_BUCKET_DIVISOR` reads
 /// "each visited bucket touches a constant fraction of the vertices", the
 /// regime where the closure saturates within a few buckets and the wide
@@ -151,6 +154,50 @@ impl EngineChoice {
             tn.num_time_edges(),
         )
     }
+
+    /// The one dispatch wrapper every full-width entry point shares.
+    ///
+    /// Above the batch crossover, runs `r` with the engine type
+    /// [`EngineChoice::pick_for`] selects and that engine's column-shard
+    /// count: the wide engine shards into
+    /// `workers.max(cache_block_count(n))` blocks so its cache blocking
+    /// engages regardless of worker count, the sparse engine only as far
+    /// as the workers (its lists are cache-light and every block re-pays
+    /// the occupied-bucket walk). Below the crossover returns `None` and
+    /// the caller runs its batched path — the 64-lane
+    /// [`BatchSweeper`](crate::engine::BatchSweeper) is not a
+    /// [`FrontierEngine`].
+    ///
+    /// Sequential scratch callers pass `workers = 1` (wide then shards to
+    /// exactly its cache schedule, sparse to the single block `0..n`) and
+    /// fetch their warm engine inside `run` via
+    /// [`FrontierEngine::from_scratch`].
+    pub fn dispatch<R: FrontierRun>(tn: &TemporalNetwork, workers: usize, r: R) -> Option<R::Out> {
+        let n = tn.num_nodes();
+        match Self::pick_for(tn) {
+            EngineKind::Wide => Some(r.run::<WideSweeper>(workers.max(cache_block_count(n)))),
+            EngineKind::Sparse => Some(r.run::<SparseSweeper>(workers)),
+            _ => None,
+        }
+    }
+}
+
+/// A full-width computation generic over the frontier engine: the body
+/// that used to be copied into every `match EngineChoice::pick_for` arm,
+/// written once. The closure, distance, diameter, connectivity,
+/// `T_reach`, metrics and delta entry points each implement this with
+/// their per-block work; [`EngineChoice::dispatch`] instantiates it with
+/// the engine type and shard count the density dispatch selects.
+pub trait FrontierRun {
+    /// What the computation produces.
+    type Out;
+
+    /// Run through engine `S`, sharding the sources into `shards`
+    /// word-aligned column blocks (see
+    /// [`source_blocks`](crate::wide::source_blocks) /
+    /// [`block_schedule`](crate::wide::block_schedule) /
+    /// [`probe_blocks`](crate::wide::probe_blocks)).
+    fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out;
 }
 
 /// Sentinel for "this (edge, direction) has never propagated".
@@ -760,6 +807,10 @@ impl FrontierEngine for SparseSweeper {
 
     fn kind() -> EngineKind {
         EngineKind::Sparse
+    }
+
+    fn from_scratch(scratch: &mut SweepScratch) -> &mut Self {
+        &mut scratch.sparse
     }
 }
 

@@ -196,6 +196,13 @@ pub trait FrontierEngine: Default + Send {
 
     /// The [`EngineKind`] this engine reports as its attribution.
     fn kind() -> EngineKind;
+
+    /// The persistent instance of this engine inside a [`SweepScratch`]
+    /// bundle — what lets the sequential scratch entry points route
+    /// through
+    /// [`EngineChoice::dispatch`](crate::sparse::EngineChoice::dispatch)
+    /// with warm buffers instead of hand-matching on the engine kind.
+    fn from_scratch(scratch: &mut SweepScratch) -> &mut Self;
 }
 
 impl FrontierEngine for WideSweeper {
@@ -220,6 +227,10 @@ impl FrontierEngine for WideSweeper {
 
     fn kind() -> EngineKind {
         EngineKind::Wide
+    }
+
+    fn from_scratch(scratch: &mut SweepScratch) -> &mut Self {
+        &mut scratch.wide
     }
 }
 
@@ -251,8 +262,16 @@ pub fn cache_block_count(n: usize) -> usize {
 /// cache-blocked sweep schedule of the Monte Carlo scratch paths, which
 /// must not heap-allocate per trial.
 pub fn cache_blocks(n: usize) -> impl Iterator<Item = Range<NodeId>> {
+    block_schedule(n, cache_block_count(n))
+}
+
+/// The allocation-free iterator form of [`source_blocks`]`(n, shards)`:
+/// the same word-aligned column-block schedule, yielded lazily — what the
+/// sequential scratch paths iterate so they never heap-allocate per
+/// trial. `shards = 1` degenerates to the single full-width block `0..n`.
+pub fn block_schedule(n: usize, shards: usize) -> impl Iterator<Item = Range<NodeId>> {
     let words = n.div_ceil(64);
-    let parts = cache_block_count(n).min(words.max(1));
+    let parts = shards.clamp(1, words.max(1));
     let base = words / parts;
     let extra = words % parts;
     let mut word = 0usize;
@@ -659,6 +678,13 @@ pub struct SweepScratch {
     /// The event-driven sparse engine (sparse instances above the
     /// crossover).
     pub sparse: crate::sparse::SparseSweeper,
+    /// The pooled differential-maintenance cursor (checkpoint slabs,
+    /// log arenas and dirty-tracking tables), seeded by
+    /// [`SweepScratch::record_delta`](crate::delta) and reused across
+    /// trials so warm
+    /// [`apply_label_move`](crate::delta::DeltaCursor::apply_label_move)
+    /// calls allocate nothing.
+    pub delta: crate::delta::DeltaCursor,
 }
 
 impl SweepScratch {

@@ -1,0 +1,200 @@
+//! Differential property tests for the retract-and-replay cursor: after
+//! any sequence of random single-label moves — up or down in time,
+//! multi-label edges, directed and undirected topologies, ragged
+//! (non-multiple-of-64) vertex counts — the maintained closure must be
+//! **bit-identical** to a cold all-source sweep of the mutated network,
+//! whichever engine recorded it (wide, event-driven sparse, or the
+//! batch-sized dispatch path of [`SweepScratch::record_delta`]), and
+//! must agree with the dispatching [`ReachabilityMatrix`] at any thread
+//! count. A fully reverted move sequence must restore the recorded
+//! closure exactly.
+
+use ephemeral_graph::generators;
+use ephemeral_rng::{RandomSource, SeedSequence};
+use ephemeral_temporal::closure::ReachabilityMatrix;
+use ephemeral_temporal::delta::DeltaCursor;
+use ephemeral_temporal::sparse::SparseSweeper;
+use ephemeral_temporal::wide::{SweepScratch, WideSweeper};
+use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
+use proptest::prelude::*;
+
+/// A random temporal network: `gnp` topology, `1..=max_labels` uniform
+/// labels per edge — multi-label edges exercise the bucket surgery of
+/// [`TemporalNetwork::move_label`] (a move may leave a bucket nonempty
+/// or land next to a sibling label).
+fn random_network(
+    seed: u64,
+    n: usize,
+    p: f64,
+    directed: bool,
+    max_labels: usize,
+    lifetime: Time,
+) -> TemporalNetwork {
+    let mut rng = SeedSequence::new(seed).rng(29);
+    let g = generators::gnp(n, p, directed, &mut rng);
+    let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+        let k = 1 + rng.bounded_u64(max_labels as u64) as usize;
+        (0..k).map(|_| rng.range_u32(1, lifetime)).collect()
+    })
+    .unwrap();
+    TemporalNetwork::new(g, labels, lifetime).unwrap()
+}
+
+/// Draw one random (edge, existing label, fresh label) proposal.
+fn random_move(
+    tn: &TemporalNetwork,
+    rng: &mut impl RandomSource,
+) -> (ephemeral_graph::EdgeId, Time, Time) {
+    let e = rng.index(tn.graph().num_edges()) as ephemeral_graph::EdgeId;
+    let labels = tn.labels(e);
+    let from = labels[rng.index(labels.len())];
+    let to = rng.range_u32(1, tn.lifetime());
+    (e, from, to)
+}
+
+/// The maintained closure must equal a cold wide sweep of `tn`, word
+/// for word, plus the reach total and the last arrival. (Wide-vs-sparse
+/// -vs-batch-vs-scalar equivalence is pinned separately by the engine
+/// proptests, so one cold oracle suffices here.)
+fn assert_matches_cold(cursor: &DeltaCursor, tn: &TemporalNetwork) {
+    let n = tn.num_nodes();
+    let mut cold = WideSweeper::new();
+    let stats = cold.sweep(tn, 0..n as u32, 0, |_, _, _, _| {});
+    let maintained = cursor.stats();
+    prop_assert_eq!(maintained.reached_bits, stats.reached_bits);
+    prop_assert_eq!(maintained.last_arrival, stats.last_arrival);
+    prop_assert_eq!(cursor.words_per_row(), n.div_ceil(64));
+    for v in 0..n as u32 {
+        for w in 0..cursor.words_per_row() {
+            prop_assert_eq!(
+                cursor.reach_word(v, w),
+                cold.reach_word(v, w),
+                "row {} word {}",
+                v,
+                w
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core contract: whatever engine recorded the sweep, a random
+    /// sequence of label moves replayed differentially lands on the
+    /// closure a cold sweep of the mutated network computes.
+    #[test]
+    fn delta_closures_track_random_move_sequences(
+        seed: u64,
+        n in 2usize..150,
+        p in 0.01f64..0.3,
+        directed: bool,
+        max_labels in 1usize..4,
+        lifetime in 2u32..90,
+        engine in 0usize..3,
+        steps in 1usize..40,
+    ) {
+        let mut tn = random_network(seed, n, p, directed, max_labels, lifetime);
+        let mut scratch = SweepScratch::new();
+        match engine {
+            0 => { scratch.delta.record_from(&tn, &mut WideSweeper::new()); }
+            1 => { scratch.delta.record_from(&tn, &mut SparseSweeper::new()); }
+            _ => { scratch.record_delta(&tn); }
+        }
+        let mut rng = SeedSequence::new(seed).rng(31);
+        if tn.graph().num_edges() > 0 {
+            for _ in 0..steps {
+                let (e, from, to) = random_move(&tn, &mut rng);
+                scratch.delta.apply_label_move(&mut tn, e, from, to);
+            }
+        }
+        assert_matches_cold(&scratch.delta, &tn);
+    }
+
+    /// The cursor agrees with the density-dispatching all-pairs closure
+    /// at every thread count (the 1/2/8-worker determinism contract) —
+    /// mind the transposed layouts: matrix rows are sources, cursor
+    /// rows are targets carrying source bits.
+    #[test]
+    fn delta_closures_agree_with_the_dispatching_matrix_across_threads(
+        seed: u64,
+        n in 2usize..100,
+        p in 0.02f64..0.25,
+        directed: bool,
+        lifetime in 2u32..60,
+        steps in 1usize..25,
+    ) {
+        let mut tn = random_network(seed, n, p, directed, 2, lifetime);
+        let mut scratch = SweepScratch::new();
+        scratch.record_delta(&tn);
+        let mut rng = SeedSequence::new(seed).rng(37);
+        if tn.graph().num_edges() > 0 {
+            for _ in 0..steps {
+                let (e, from, to) = random_move(&tn, &mut rng);
+                scratch.delta.apply_label_move(&mut tn, e, from, to);
+            }
+        }
+        for threads in [1usize, 2, 8] {
+            let matrix = ReachabilityMatrix::compute(&tn, threads);
+            for s in 0..n as u32 {
+                for v in 0..n as u32 {
+                    let bit = scratch.delta.reach_word(v, s as usize / 64)
+                        >> (s % 64) & 1 == 1;
+                    prop_assert_eq!(
+                        matrix.reaches(s, v), bit,
+                        "threads {} pair ({}, {})", threads, s, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Applying a move sequence and then reverting it in reverse order
+    /// restores the recorded closure word for word — the log splicing
+    /// loses nothing either direction.
+    #[test]
+    fn reverted_sequences_restore_the_recorded_closure(
+        seed: u64,
+        n in 2usize..120,
+        p in 0.02f64..0.25,
+        directed: bool,
+        max_labels in 1usize..3,
+        lifetime in 2u32..70,
+        steps in 1usize..20,
+    ) {
+        let mut tn = random_network(seed, n, p, directed, max_labels, lifetime);
+        let mut scratch = SweepScratch::new();
+        let (recorded, _) = scratch.record_delta(&tn);
+        let before: Vec<Vec<u64>> = (0..n as u32)
+            .map(|v| (0..scratch.delta.words_per_row())
+                .map(|w| scratch.delta.reach_word(v, w))
+                .collect())
+            .collect();
+        let mut rng = SeedSequence::new(seed).rng(41);
+        let mut applied = Vec::new();
+        if tn.graph().num_edges() > 0 {
+            for _ in 0..steps {
+                let (e, from, to) = random_move(&tn, &mut rng);
+                if scratch.delta.apply_label_move(&mut tn, e, from, to).is_some() {
+                    applied.push((e, from, to));
+                }
+            }
+        }
+        for &(e, from, to) in applied.iter().rev() {
+            prop_assert!(
+                scratch.delta.apply_label_move(&mut tn, e, to, from).is_some(),
+                "reverting an applied move is always valid"
+            );
+        }
+        prop_assert_eq!(scratch.delta.stats().reached_bits, recorded.reached_bits);
+        prop_assert_eq!(scratch.delta.stats().last_arrival, recorded.last_arrival);
+        for v in 0..n as u32 {
+            for (w, &word) in before[v as usize].iter().enumerate() {
+                prop_assert_eq!(
+                    scratch.delta.reach_word(v, w), word,
+                    "row {} word {}", v, w
+                );
+            }
+        }
+    }
+}
