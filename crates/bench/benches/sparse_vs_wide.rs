@@ -2,28 +2,33 @@
 //! for the **all-pairs closure / instance diameter**, on the workloads
 //! the paper's connectivity results live on — sparse `G(n, p)` at average
 //! degree 4 with lifetime `a = 4n` (mostly-empty buckets, no saturation
-//! exit possible on disconnected instances: `BENCH_PR4.json` shows the
-//! wide engine visiting all 6,328 occupied buckets there) and `G(n, p)`
-//! at the `c·ln n / n` connectivity threshold. A dense clique workload
-//! rides along as the control: the density-aware dispatch keeps *that*
-//! on the wide engine, and the numbers show why.
+//! exit possible on disconnected instances) and `G(n, p)` at the
+//! `c·ln n / n` connectivity threshold. A dense clique workload rides
+//! along as the control: the density-aware dispatch keeps *that* on the
+//! wide engine, and the numbers show why.
 //!
-//! Beyond the criterion timings, a full run dumps the headline numbers —
-//! wide ns, sparse ns, speedup — to `BENCH_PR5.json` at the workspace
-//! root, including the scaling rows at n = 16384 and n = 65536 where the
-//! wide engine's `W = ⌈n/64⌉` per-edge cost takes over and the
-//! event-driven engine's advantage crosses and then dwarfs the 3×
-//! acceptance bar (at n = 65536 the wide frontier matrices alone are
-//! ~1 GiB; the sparse arena holds a few MiB of reached pairs). `-- --test`
-//! runs a reduced smoke configuration (small sizes, two samples, no
-//! JSON) — the CI gate that keeps this bench compiling and running.
+//! Beyond the criterion timings, a full run dumps the headline numbers to
+//! `BENCH_PR7.json` at the workspace root: the PR5-compatible
+//! wide-vs-sparse rows (same workloads, same fields — the perf
+//! trajectory the `--test` trend gate checks against the committed
+//! `BENCH_PR5.json`), plus an **n-scaling series** of the avg-degree-4
+//! family from n = 4096 up to n = 1,048,576. Each scaling row times the
+//! single-stream sweep, the sharded event-driven fold at 1/2/8 shards
+//! (contiguous source shards, per-worker arena + agenda over the shared
+//! bucket index, folded in shard order — bit-identical by construction,
+//! asserted here), and the streaming-closure row scan that popcounts the
+//! full reachability under the default byte budget without ever holding
+//! an `n × ⌈n/64⌉` matrix. `-- --test` runs a reduced smoke
+//! configuration (small sizes, two samples, no JSON) extended with the
+//! sharded thread-count-invariance row and the speedup trend gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ephemeral_core::urtn::{sample_normalized_urt_clique, sample_urtn};
 use ephemeral_graph::generators;
+use ephemeral_parallel::par_map_with;
 use ephemeral_rng::default_rng;
 use ephemeral_temporal::distance::InstanceDiameter;
-use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper};
+use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper, DEFAULT_CLOSURE_BUDGET_BYTES};
 use ephemeral_temporal::wide::{
     cache_block_count, source_blocks, EngineKind, FrontierEngine, WideStats, WideSweeper,
 };
@@ -44,20 +49,12 @@ fn all_pairs<S: FrontierEngine>(
     let n = tn.num_nodes();
     let mut max_finite: Time = 0;
     let mut unreachable_pairs = 0usize;
-    let mut folded = WideStats {
-        lanes: 0,
-        reached_bits: 0,
-        last_arrival: 0,
-        buckets_visited: 0,
-    };
+    let mut folded = WideStats::empty();
     for block in source_blocks(n, blocks) {
         let stats = sweeper.sweep(tn, block, 0, |_, _, _, _| {});
         max_finite = max_finite.max(stats.last_arrival);
         unreachable_pairs += stats.unreached_pairs(n);
-        folded.lanes += stats.lanes;
-        folded.reached_bits += stats.reached_bits;
-        folded.last_arrival = folded.last_arrival.max(stats.last_arrival);
-        folded.buckets_visited = folded.buckets_visited.max(stats.buckets_visited);
+        folded.absorb(&stats);
     }
     (
         InstanceDiameter {
@@ -65,6 +62,39 @@ fn all_pairs<S: FrontierEngine>(
             unreachable_pairs,
         },
         folded,
+    )
+}
+
+/// The sharded event-driven fold exactly as `EngineChoice::dispatch`
+/// schedules it for the parallel entry points: contiguous source shards,
+/// one arena + agenda per worker over the shared bucket index, per-shard
+/// stats folded in canonical shard order. Returns the fold plus the
+/// *summed* bucket visits (the folded stats keep the max — the
+/// cross-engine observable; the sum is the sharded work: each shard
+/// visits only its causal cone).
+fn sharded_all_pairs(tn: &TemporalNetwork, shards: usize) -> (InstanceDiameter, WideStats, usize) {
+    let n = tn.num_nodes();
+    let blocks = source_blocks(n, shards);
+    let per_shard = par_map_with(&blocks, shards, SparseSweeper::new, |sweeper, _, block| {
+        sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {})
+    });
+    let mut max_finite: Time = 0;
+    let mut unreachable_pairs = 0usize;
+    let mut folded = WideStats::empty();
+    let mut buckets_total = 0usize;
+    for stats in &per_shard {
+        max_finite = max_finite.max(stats.last_arrival);
+        unreachable_pairs += stats.unreached_pairs(n);
+        buckets_total += stats.buckets_visited;
+        folded.absorb(stats);
+    }
+    (
+        InstanceDiameter {
+            max_finite,
+            unreachable_pairs,
+        },
+        folded,
+        buckets_total,
     )
 }
 
@@ -85,6 +115,14 @@ fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
 struct Workload {
     name: &'static str,
     tn: TemporalNetwork,
+}
+
+/// The avg-degree-4 `G(n, p)` at lifetime `a = 4n` — the scaling family
+/// (the PR5 rows at 16384/65536 drew from the same seed stream).
+fn gnp_a4n(n: usize) -> TemporalNetwork {
+    let mut rng = default_rng(4);
+    let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
+    sample_urtn(g, 4 * n as Time, &mut rng)
 }
 
 fn workloads(smoke: bool) -> Vec<Workload> {
@@ -129,21 +167,102 @@ fn workloads(smoke: bool) -> Vec<Workload> {
         tn: sample_normalized_urt_clique(clique_n, true, &mut rng),
     });
     if !smoke {
-        // The scaling rows: the wide engine's per-edge cost grows with
-        // W = ceil(n/64) while the event-driven engine's merge cost tracks
-        // the (n-independent) reacher-list sizes, so the speedup widens
-        // with n — past the 3x acceptance bar from n = 16384 up, and to
-        // feasibility-defining factors at n = 65536.
+        // The PR5 scaling rows: the wide engine's per-edge cost grows
+        // with W = ceil(n/64) while the event-driven engine's merge cost
+        // tracks the (n-independent) reacher-list sizes, so the speedup
+        // widens with n. Kept with their PR5 names so the `--test` trend
+        // gate can compare shared workloads release over release.
         for (name, n) in [("gnp_n16384_a4n", 16384usize), ("gnp_n65536_a4n", 65536)] {
-            let mut rng = default_rng(4);
-            let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
             out.push(Workload {
                 name,
-                tn: sample_urtn(g, 4 * n as Time, &mut rng),
+                tn: gnp_a4n(n),
             });
         }
     }
     out
+}
+
+/// Extract `(workload, speedup)` pairs from a headline JSON dump by
+/// string scan (rows are one per line; scaling rows with `"speedup":null`
+/// are skipped).
+fn scan_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"workload\":\"") else {
+            continue;
+        };
+        let Some(end) = rest.find('"') else { continue };
+        let name = &rest[..end];
+        let Some(tail) = rest.find("\"speedup\":").map(|i| &rest[i + 10..]) else {
+            continue;
+        };
+        let value: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(s) = value.parse::<f64>() {
+            out.push((name.to_owned(), s));
+        }
+    }
+    out
+}
+
+/// The `-- --test` trend gate: the freshly committed `BENCH_PR7.json`
+/// must not regress the committed `BENCH_PR5.json` speedups at shared
+/// workloads (a 2× slack absorbs timer noise on loaded CI hosts; a real
+/// regression — the event-driven engine losing its asymptotics — shows
+/// up as an order of magnitude), and the PR7 avg-degree-4 family's
+/// speedup must stay monotone non-decreasing in n (slack 0.8).
+fn check_speedup_trend() {
+    let pr5 = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json"));
+    let pr7 = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json"));
+    let (Ok(pr5), Ok(pr7)) = (pr5, pr7) else {
+        println!("speedup trend: committed baselines missing, skipping");
+        return;
+    };
+    let baseline = scan_speedups(&pr5);
+    let current = scan_speedups(&pr7);
+    assert!(
+        !baseline.is_empty() && !current.is_empty(),
+        "both baselines must carry speedup rows"
+    );
+    let mut shared = 0usize;
+    for (name, s5) in &baseline {
+        let Some((_, s7)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        shared += 1;
+        assert!(
+            *s7 >= 0.5 * s5,
+            "speedup regression on {name}: PR5 {s5:.2}x -> PR7 {s7:.2}x"
+        );
+        println!("speedup trend {name}: PR5 {s5:.2}x -> PR7 {s7:.2}x ok");
+    }
+    assert!(shared >= 3, "the shared workload set must survive renames");
+    // Monotone in n within the PR7 a4n family.
+    let mut family: Vec<(usize, f64)> = current
+        .iter()
+        .filter(|(name, _)| name.starts_with("gnp_n") && name.ends_with("_a4n"))
+        .filter_map(|(name, s)| {
+            name["gnp_n".len()..name.len() - "_a4n".len()]
+                .parse::<usize>()
+                .ok()
+                .map(|n| (n, *s))
+        })
+        .collect();
+    family.sort_unstable_by_key(|&(n, _)| n);
+    assert!(family.len() >= 3, "the a4n scaling family must be present");
+    for pair in family.windows(2) {
+        let ((n0, s0), (n1, s1)) = (pair[0], pair[1]);
+        assert!(
+            s1 >= 0.8 * s0,
+            "a4n speedup must widen with n: {s0:.2}x at n={n0} but {s1:.2}x at n={n1}"
+        );
+    }
+    println!(
+        "speedup trend: a4n family monotone over {} sizes",
+        family.len()
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -195,13 +314,36 @@ fn bench(c: &mut Criterion) {
     group.finish();
 
     if smoke {
+        // The sharded smoke row: the 1/2/8-shard event-driven folds must
+        // be bit-identical (same diameter, same reached bits, same last
+        // arrival) — the thread-count-invariance gate CI runs on every
+        // push.
+        let w = loads
+            .iter()
+            .find(|w| w.name.ends_with("_a4n"))
+            .expect("the smoke set carries the sparse gnp row");
+        let (d1, s1, _) = sharded_all_pairs(&w.tn, 1);
+        for shards in [2usize, 8] {
+            let (d, s, _) = sharded_all_pairs(&w.tn, shards);
+            assert_eq!(d, d1, "{} shards", shards);
+            assert_eq!(s.reached_bits, s1.reached_bits, "{} shards", shards);
+            assert_eq!(s.last_arrival, s1.last_arrival, "{} shards", shards);
+        }
+        println!(
+            "sharded smoke: 1/2/8-shard folds bit-identical on {}",
+            w.name
+        );
+        check_speedup_trend();
         return;
     }
 
     // Headline pass: median timings (the big scaling rows included),
-    // dumped as the machine-readable perf trajectory.
+    // dumped as the machine-readable perf trajectory. Kept field- and
+    // workload-compatible with BENCH_PR5.json so the trend gate can
+    // diff releases.
     let reps = 5;
     let mut rows = Vec::new();
+    let mut wide_ns_by_n: Vec<(usize, u128)> = Vec::new();
     for w in &loads {
         let n = w.tn.num_nodes();
         let wide_ns = {
@@ -213,6 +355,9 @@ fn bench(c: &mut Criterion) {
             })
             .as_nanos()
         };
+        if w.name.ends_with("_a4n") {
+            wide_ns_by_n.push((n, wide_ns));
+        }
         let mut sparse_sweeper = SparseSweeper::new();
         let sparse_ns = time_median(reps, || {
             all_pairs::<SparseSweeper>(&w.tn, &mut sparse_sweeper, 1)
@@ -247,14 +392,124 @@ fn bench(c: &mut Criterion) {
             stats.all_reached(n),
         ));
     }
+
+    // The n-scaling series: the avg-degree-4 family from the PR5 sizes
+    // up to a million vertices. Shared sizes reuse the wide timings from
+    // the pass above; beyond n = 65536 the wide engine's
+    // `occupied · ⌈n/64⌉` fill is minutes-to-hours and is not timed
+    // (`"wide_ns":null` — the feasibility gap IS the result). Each row
+    // also times the sharded event-driven fold at 1/2/8 shards and the
+    // streaming-closure row scan under the default byte budget.
+    let mut scaling_rows = Vec::new();
+    for &n in &[4096usize, 16384, 65536, 262_144, 1_048_576] {
+        let built;
+        let tn: &TemporalNetwork = match loads
+            .iter()
+            .find(|w| w.name.ends_with("_a4n") && w.tn.num_nodes() == n)
+        {
+            Some(w) => &w.tn,
+            None => {
+                built = gnp_a4n(n);
+                &built
+            }
+        };
+        // The worker-aware dispatch keeps this family event-driven even
+        // at 8 workers — the sharded fold below is the configuration the
+        // parallel entry points actually run.
+        assert_eq!(
+            EngineChoice::pick_for_parallel(tn, 8),
+            EngineKind::Sparse,
+            "n = {n}"
+        );
+        let scale_reps = if n >= 262_144 { 1 } else { 3 };
+        let mut sweeper = SparseSweeper::new();
+        let sparse_ns = time_median(scale_reps, || {
+            all_pairs::<SparseSweeper>(tn, &mut sweeper, 1)
+        })
+        .as_nanos();
+        let (single_d, stats) = all_pairs::<SparseSweeper>(tn, &mut sweeper, 1);
+        let mut shard_ns = [0u128; 3];
+        let mut sharded_buckets = 0usize;
+        for (i, shards) in [1usize, 2, 8].into_iter().enumerate() {
+            shard_ns[i] = time_median(scale_reps, || sharded_all_pairs(tn, shards)).as_nanos();
+            let (d, s, buckets) = sharded_all_pairs(tn, shards);
+            assert_eq!(d, single_d, "sharded fold at {shards} shards, n = {n}");
+            assert_eq!(s.reached_bits, stats.reached_bits);
+            assert_eq!(s.last_arrival, stats.last_arrival);
+            if shards == 8 {
+                sharded_buckets = buckets;
+            }
+        }
+        // The streaming closure: popcount the full reachability through
+        // the visitor (one pooled row, never an n × ⌈n/64⌉ matrix), and
+        // touch the LRU block cache under the default byte budget.
+        let stream_start = Instant::now();
+        let mut reached_pairs = 0usize;
+        SparseSweeper::for_each_reach_row(&mut sweeper, |_, row| {
+            reached_pairs += row.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        });
+        let stream_rows_ns = stream_start.elapsed().as_nanos();
+        assert_eq!(reached_pairs, stats.reached_bits, "n = {n}");
+        let words = FrontierEngine::words_per_row(&sweeper);
+        let closure_block_bytes = 256 * words * 8; // CLOSURE_BLOCK_ROWS rows
+        let query_start = Instant::now();
+        let mut query_bits = 0u32;
+        for v in [0u32, (n as u32) / 2, n as u32 - 1] {
+            for w in [0usize, words / 2, words - 1] {
+                query_bits |= (sweeper.reach_word(v, w) != 0) as u32;
+            }
+        }
+        let query_ns = query_start.elapsed().as_nanos();
+        black_box(query_bits);
+        let wide_ns = wide_ns_by_n.iter().find(|&&(m, _)| m == n).map(|&(_, t)| t);
+        let (wide_field, speedup_field) = match wide_ns {
+            Some(t) => (t.to_string(), format!("{:.2}", t as f64 / sparse_ns as f64)),
+            None => ("null".to_owned(), "null".to_owned()),
+        };
+        println!(
+            "scaling/n={n}: sparse {:.3} ms, shards 1/2/8 {:.3}/{:.3}/{:.3} ms, \
+             stream {:.3} ms, {} reached pairs, arena hiwater {} words, {} compactions",
+            sparse_ns as f64 / 1e6,
+            shard_ns[0] as f64 / 1e6,
+            shard_ns[1] as f64 / 1e6,
+            shard_ns[2] as f64 / 1e6,
+            stream_rows_ns as f64 / 1e6,
+            reached_pairs,
+            stats.arena_hiwater_words,
+            stats.compactions,
+        );
+        scaling_rows.push(format!(
+            "    {{\"workload\":\"scale_n{n}_a4n\",\"n\":{},\"edges\":{},\"occupied\":{},\"wide_ns\":{},\"sparse_ns\":{},\"speedup\":{},\"shard1_ns\":{},\"shard2_ns\":{},\"shard8_ns\":{},\"shard8_buckets_visited\":{},\"single_buckets_visited\":{},\"reached_pairs\":{},\"stream_rows_ns\":{},\"closure_query_ns\":{},\"closure_budget_bytes\":{},\"closure_block_bytes\":{},\"arena_hiwater_words\":{},\"compactions\":{}}}",
+            n,
+            tn.graph().num_edges(),
+            tn.occupied_times().len(),
+            wide_field,
+            sparse_ns,
+            speedup_field,
+            shard_ns[0],
+            shard_ns[1],
+            shard_ns[2],
+            sharded_buckets,
+            stats.buckets_visited,
+            reached_pairs,
+            stream_rows_ns,
+            query_ns,
+            DEFAULT_CLOSURE_BUDGET_BYTES,
+            closure_block_bytes,
+            stats.arena_hiwater_words,
+            stats.compactions,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\":\"sparse_vs_wide\",\n  \"pr\":5,\n  \"op\":\"all_pairs_closure_diameter\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\":\"sparse_vs_wide\",\n  \"pr\":7,\n  \"op\":\"all_pairs_closure_diameter\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ],\n  \"scaling\":[\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        scaling_rows.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
     match std::fs::write(path, &json) {
-        Ok(()) => println!("headline numbers written to BENCH_PR5.json"),
-        Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+        Ok(()) => println!("headline numbers written to BENCH_PR7.json"),
+        Err(e) => eprintln!("could not write BENCH_PR7.json: {e}"),
     }
 }
 

@@ -64,20 +64,12 @@ fn wide_all_pairs(
     let n = tn.num_nodes();
     let mut max_finite: Time = 0;
     let mut unreachable_pairs = 0usize;
-    let mut folded = WideStats {
-        lanes: 0,
-        reached_bits: 0,
-        last_arrival: 0,
-        buckets_visited: 0,
-    };
+    let mut folded = WideStats::empty();
     for block in source_blocks(n, cache_block_count(n)) {
         let stats = sweeper.sweep(tn, block, 0, |_, _, _, _| {});
         max_finite = max_finite.max(stats.last_arrival);
         unreachable_pairs += stats.unreached_pairs(n);
-        folded.lanes += stats.lanes;
-        folded.reached_bits += stats.reached_bits;
-        folded.last_arrival = folded.last_arrival.max(stats.last_arrival);
-        folded.buckets_visited = folded.buckets_visited.max(stats.buckets_visited);
+        folded.absorb(&stats);
     }
     (
         InstanceDiameter {

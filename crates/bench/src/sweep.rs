@@ -169,9 +169,11 @@ impl SweepSpec {
         // cell (probe-served T_reach cells now say "batch", sparse
         // instances "sparse"); rowfmt 4 added the `treachd` correlated
         // metric and the `delta_replayed_buckets` field attributing the
-        // differential cursor's replay work. Rows written by an older
-        // binary are recomputed rather than spliced in verbatim.
-        eat(b"rowfmt:4");
+        // differential cursor's replay work; rowfmt 5 added the sparse
+        // engine's arena accounting (`arena_hiwater_words`,
+        // `compactions`). Rows written by an older binary are recomputed
+        // rather than spliced in verbatim.
+        eat(b"rowfmt:5");
         eat(&self.seed.to_le_bytes());
         eat(&self.adaptive.target_half_width.to_bits().to_le_bytes());
         eat(&self.adaptive.confidence.to_bits().to_le_bytes());
@@ -203,7 +205,7 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         "null".to_owned()
     };
     format!(
-        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"engine\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4},\"delta_replayed_buckets\":{}}}",
+        "{{\"cell\":{},\"spec\":\"{fingerprint:016x}\",\"family\":{},\"model\":{},\"lifetime\":{},\"metric\":{},\"n\":{},\"nodes\":{},\"edges\":{},\"a\":{},\"engine\":{},\"trials\":{},\"converged\":{},\"estimate\":{:.4},\"half_width\":{},\"failures\":{:.4},\"delta_replayed_buckets\":{},\"arena_hiwater_words\":{},\"compactions\":{}}}",
         json_string(&cell.id()),
         json_string(&cell.family.name()),
         json_string(&cell.model.name()),
@@ -220,6 +222,8 @@ pub fn render_row(fingerprint: u64, cell: &Scenario, out: &ScenarioOutcome) -> S
         half_width,
         out.failures,
         out.delta_replayed_buckets,
+        out.arena_hiwater_words,
+        out.compactions,
     )
 }
 

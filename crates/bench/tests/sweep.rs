@@ -63,16 +63,23 @@ fn correlated_rows_attribute_replay_work_and_cold_rows_report_zero() {
         if row.contains("/treachd\"") {
             delta_rows += 1;
             assert!(
-                !row.contains("\"delta_replayed_buckets\":0}"),
+                !row.contains("\"delta_replayed_buckets\":0,"),
                 "a correlated chain always replays some buckets: {row}"
             );
         } else {
             cold_rows += 1;
             assert!(
-                row.contains("\"delta_replayed_buckets\":0}"),
+                row.contains("\"delta_replayed_buckets\":0,"),
                 "cold-trial metrics never touch the cursor: {row}"
             );
         }
+        // The tiny grid sits below the batch crossover, so the sparse
+        // engine (and its arena) never runs: both accounting fields are
+        // present and zero — pinning the rowfmt 5 schema tail.
+        assert!(
+            row.ends_with("\"arena_hiwater_words\":0,\"compactions\":0}"),
+            "batch-served rows carry zero arena accounting: {row}"
+        );
     }
     assert!(delta_rows > 0 && cold_rows > 0);
 }
@@ -237,6 +244,10 @@ fn all_filtered_cells_terminate_at_the_cap_with_null_half_width() {
     assert!(
         row.contains("\"engine\":\"sparse\""),
         "a 224-star dispatches event-driven: {row}"
+    );
+    assert!(
+        !row.contains("\"arena_hiwater_words\":0,"),
+        "a sparse-served cell reports its arena high-water mark: {row}"
     );
 }
 

@@ -26,7 +26,7 @@ use ephemeral_temporal::reachability::treach_holds_scratch_traced;
 use ephemeral_temporal::sparse::EngineChoice;
 use ephemeral_temporal::wide::{EngineKind, SweepScratch};
 use ephemeral_temporal::{LabelAssignment, TemporalNetwork, Time};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Seed stream tag for the (possibly random) substrate graph.
 const GRAPH_STREAM: u64 = 1;
@@ -361,6 +361,12 @@ pub struct ScenarioOutcome {
     /// steps — the work attribution of [`Metric::TreachCorrelated`]
     /// (always 0 for the cold-trial metrics).
     pub delta_replayed_buckets: usize,
+    /// High-water mark of the sparse engine's region arena across the
+    /// cell's trials, in `u32` words — the memory attribution of the
+    /// event-driven engine (0 when no trial dispatched sparse).
+    pub arena_hiwater_words: usize,
+    /// Sparse-arena compaction cycles summed across the cell's trials.
+    pub compactions: usize,
 }
 
 /// Per-worker trial scratch: an owned network whose labels are redrawn in
@@ -392,6 +398,40 @@ impl Scratch {
             .tn
             .replace_assignment(drawn)
             .expect("model labels fit the lifetime");
+    }
+}
+
+/// Thread-invariant fold of the sparse engine's arena accounting across
+/// a cell's trials. The high-water mark folds by `max` and the per-worker
+/// counters are monotone, so each worker's final reading is the max over
+/// its own (serially executed) trials and the cross-worker max equals the
+/// max over the fixed trial set — independent of which worker ran which
+/// trial. Compaction cycles fold by summing each trial's *delta* of the
+/// monotone per-scratch counter, which is likewise scheduling-invariant.
+struct ArenaAccounting {
+    hiwater: AtomicUsize,
+    compactions: AtomicU64,
+}
+
+impl ArenaAccounting {
+    const fn new() -> Self {
+        Self {
+            hiwater: AtomicUsize::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Run one trial body and absorb the scratch's arena counters.
+    fn track<T>(&self, s: &mut Scratch, f: impl FnOnce(&mut Scratch) -> T) -> T {
+        let before = s.sweeper.sparse.compactions_total();
+        let out = f(s);
+        self.hiwater
+            .fetch_max(s.sweeper.sparse.arena_hiwater_words(), Ordering::Relaxed);
+        self.compactions.fetch_add(
+            s.sweeper.sparse.compactions_total() - before,
+            Ordering::Relaxed,
+        );
+        out
     }
 }
 
@@ -442,20 +482,23 @@ impl Scenario {
         let serve = |kind: EngineKind| {
             served.fetch_max(engine_rank(kind), Ordering::Relaxed);
         };
+        let arena = ArenaAccounting::new();
 
         let mut delta_replayed_buckets = 0usize;
         let (estimate, half_width, trials, converged, failures) = match self.metric {
             Metric::TemporalDiameter => {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
-                        s.redraw(model, rng);
-                        let (d, engine) =
-                            instance_temporal_diameter_scratch_traced(&s.tn, &mut s.sweeper);
-                        serve(engine);
-                        match d.value() {
-                            Some(v) => (f64::from(v), true),
-                            None => (0.0, false),
-                        }
+                        arena.track(s, |s| {
+                            s.redraw(model, rng);
+                            let (d, engine) =
+                                instance_temporal_diameter_scratch_traced(&s.tn, &mut s.sweeper);
+                            serve(engine);
+                            match d.value() {
+                                Some(v) => (f64::from(v), true),
+                                None => (0.0, false),
+                            }
+                        })
                     });
                 finite_mean_outcome(&run)
             }
@@ -474,10 +517,13 @@ impl Scenario {
             Metric::TreachProbability => {
                 let run: AdaptiveRun<ProportionAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
-                        s.redraw(model, rng);
-                        let (holds, engine) = treach_holds_scratch_traced(&s.tn, &mut s.sweeper);
-                        serve(engine);
-                        holds
+                        arena.track(s, |s| {
+                            s.redraw(model, rng);
+                            let (holds, engine) =
+                                treach_holds_scratch_traced(&s.tn, &mut s.sweeper);
+                            serve(engine);
+                            holds
+                        })
                     });
                 let p = run.accumulator.successes as f64 / run.accumulator.count.max(1) as f64;
                 (p, run.half_width, run.trials, run.converged, 0.0)
@@ -490,7 +536,7 @@ impl Scenario {
                 let chains = cfg.batch.clamp(1, 16);
                 let steps = cfg.max_trials / chains;
                 let out = correlated_cell(
-                    &graph, model, lifetime, trial_seed, chains, steps, threads, &serve,
+                    &graph, model, lifetime, trial_seed, chains, steps, threads, &serve, &arena,
                 );
                 delta_replayed_buckets = out.replayed;
                 let converged = out.half_width <= cfg.target_half_width;
@@ -509,6 +555,8 @@ impl Scenario {
             failures,
             engine: engine_from_rank(served.load(Ordering::Relaxed)).name(),
             delta_replayed_buckets,
+            arena_hiwater_words: arena.hiwater.load(Ordering::Relaxed),
+            compactions: arena.compactions.load(Ordering::Relaxed) as usize,
         }
     }
 }
@@ -539,6 +587,7 @@ fn correlated_cell(
     steps: usize,
     threads: usize,
     serve: &(impl Fn(EngineKind) + Sync),
+    arena: &ArenaAccounting,
 ) -> CorrelatedCell {
     let m = graph.num_edges();
     if m == 0 {
@@ -555,30 +604,32 @@ fn correlated_cell(
     let ids: Vec<u64> = (0..chains as u64).collect();
     let init = || Scratch::new(graph, lifetime);
     let per_chain = par_map_with(&ids, threads, init, |s, _, &c| {
-        let mut rng = SeedSequence::new(trial_seed).rng(c);
-        s.redraw(model, &mut rng);
-        let (stats, kind) = s.sweeper.record_delta(&s.tn);
-        serve(kind);
-        let mut hits = usize::from(stats.reached_bits == target);
-        let mut replayed = 0usize;
-        for _ in 0..steps {
-            // One Gibbs proposal: a uniform edge, a uniform label of it,
-            // a fresh uniform replacement. An edge whose model draw left
-            // it unlabelled rejects the proposal (nothing to move) and
-            // the unchanged state is sampled again — exactly like a
-            // colliding draw.
-            let e = rng.index(m) as EdgeId;
-            let labels = s.tn.labels(e);
-            if !labels.is_empty() {
-                let from = labels[rng.index(labels.len())];
-                let to = rng.range_u32(1, lifetime);
-                if let Some(a) = s.sweeper.delta.apply_label_move(&mut s.tn, e, from, to) {
-                    replayed += a.replayed_buckets;
+        arena.track(s, |s| {
+            let mut rng = SeedSequence::new(trial_seed).rng(c);
+            s.redraw(model, &mut rng);
+            let (stats, kind) = s.sweeper.record_delta(&s.tn);
+            serve(kind);
+            let mut hits = usize::from(stats.reached_bits == target);
+            let mut replayed = 0usize;
+            for _ in 0..steps {
+                // One Gibbs proposal: a uniform edge, a uniform label of it,
+                // a fresh uniform replacement. An edge whose model draw left
+                // it unlabelled rejects the proposal (nothing to move) and
+                // the unchanged state is sampled again — exactly like a
+                // colliding draw.
+                let e = rng.index(m) as EdgeId;
+                let labels = s.tn.labels(e);
+                if !labels.is_empty() {
+                    let from = labels[rng.index(labels.len())];
+                    let to = rng.range_u32(1, lifetime);
+                    if let Some(a) = s.sweeper.delta.apply_label_move(&mut s.tn, e, from, to) {
+                        replayed += a.replayed_buckets;
+                    }
                 }
+                hits += usize::from(s.sweeper.delta.stats().reached_bits == target);
             }
-            hits += usize::from(s.sweeper.delta.stats().reached_bits == target);
-        }
-        (hits, replayed)
+            (hits, replayed)
+        })
     });
     let samples_per_chain = steps + 1;
     let means: Vec<f64> = per_chain

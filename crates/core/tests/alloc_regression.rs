@@ -199,6 +199,54 @@ fn warm_montecarlo_trials_do_not_allocate() {
          (saw {during} allocations in 10 trials)"
     );
 
+    // Warm sharded sparse sweeps — the parallel fold's per-worker path:
+    // each shard runs its own arena and agenda over the shared bucket
+    // index. The relabel-heavy multi-label instance churns the region
+    // arena (every relabel supersedes reacher lists), and the one-word
+    // compaction floor makes the garbage check run after every bucket,
+    // so evacuation cycles fire mid-shard — all through pooled scratch:
+    // still zero allocations once warm.
+    use ephemeral_temporal::sparse::SparseSweeper;
+    use ephemeral_temporal::wide::source_blocks;
+    let mut rng4 = default_rng(17);
+    let n_shard = 192usize;
+    let churn_graph = ephemeral_graph::generators::gnp(n_shard, 0.15, false, &mut rng4);
+    use ephemeral_rng::RandomSource;
+    let churn_labels = LabelAssignment::from_fn(churn_graph.num_edges(), |_| {
+        (0..10).map(|_| rng4.range_u32(1, 900)).collect()
+    })
+    .expect("non-zero labels");
+    let churn = TemporalNetwork::new(churn_graph, churn_labels, 900).expect("valid network");
+    let mut sharded = SparseSweeper::new();
+    sharded.set_compaction_floor(1);
+    let blocks = source_blocks(n_shard, 4);
+    let sweep_shards = |sweeper: &mut SparseSweeper| {
+        let mut acc = 0u64;
+        for block in &blocks {
+            let stats = sweeper.sweep(&churn, block.clone(), 0, |_, _, _, _| {});
+            acc += stats.reached_bits as u64 + stats.compactions as u64;
+        }
+        acc
+    };
+    // Compaction swaps the arena with its evacuation buffer, so the two
+    // allocations trade roles every cycle: warm both schedules before
+    // measuring.
+    let warm = sweep_shards(&mut sharded);
+    assert_eq!(sweep_shards(&mut sharded), warm, "sharded folds repeat");
+    assert!(
+        sharded.compactions_total() > 0,
+        "the one-word floor must force compaction cycles"
+    );
+    let before = allocations();
+    let acc = sweep_shards(&mut sharded);
+    let during = allocations() - before;
+    assert_eq!(acc, warm);
+    assert_eq!(
+        during, 0,
+        "warm sharded sweeps with forced compaction must not allocate \
+         (saw {during} allocations across 4 shards)"
+    );
+
     // The traced T_reach check on the same sparse instances (its
     // static-components pass allocates by design, so no allocation count
     // here): the attribution must stay on the probe/batch-sized path or

@@ -129,7 +129,11 @@ impl ReachabilityMatrix {
 
 /// One full-width sweep per column block through engine `S`, transposing
 /// each sweeper's per-vertex lane words into per-source rows of target
-/// bits (`O(reached pairs)` single-bit sets).
+/// bits (`O(reached pairs)` single-bit sets). Rows stream through
+/// [`FrontierEngine::for_each_reach_row`], so neither engine ever
+/// materialises its own `n × ⌈lanes/64⌉` matrix for the transpose — the
+/// wide engine lends frontier slices, the sparse engine streams one
+/// pooled row at a time out of its reacher lists.
 fn closure_blocks<S: FrontierEngine>(
     tn: &TemporalNetwork,
     threads: usize,
@@ -140,16 +144,17 @@ fn closure_blocks<S: FrontierEngine>(
     par_map_with(blocks, threads, S::default, |sweeper, _, block| {
         sweeper.sweep(tn, block.clone(), 0, |_, _, _, _| {});
         let mut rows = vec![0u64; block.len() * words_per_row];
-        for v in 0..n {
-            for w in 0..sweeper.words_per_row() {
-                let mut lanes = sweeper.reach_word(v as NodeId, w);
+        sweeper.for_each_reach_row(|v, row| {
+            let (vw, vb) = (v as usize / 64, v % 64);
+            for (w, &word) in row.iter().enumerate() {
+                let mut lanes = word;
                 while lanes != 0 {
                     let lane = w * 64 + lanes.trailing_zeros() as usize;
-                    rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
+                    rows[lane * words_per_row + vw] |= 1 << vb;
                     lanes &= lanes - 1;
                 }
             }
-        }
+        });
         rows
     })
 }

@@ -281,6 +281,8 @@ impl DeltaCursor {
             reached_bits: self.reached,
             last_arrival: self.last_arrival,
             buckets_visited: self.nonempty_buckets,
+            arena_hiwater_words: 0,
+            compactions: 0,
         }
     }
 

@@ -40,10 +40,18 @@
 //!   per-bucket cost tracks the frontiers that actually changed instead
 //!   of `n × ⌈n/64⌉`; arrivals bit-identical to the wide engine, the
 //!   batched engine and the scalar oracle (`tests/sparse_proptests.rs`).
+//!   The engine shards deterministically over contiguous source blocks
+//!   (per-worker arena + agenda, shard-ordered folds bit-identical for
+//!   any worker count), compacts its arena under relabel churn, and
+//!   serves closure bits through a byte-budgeted streaming block cache
+//!   plus a pooled `for_each_reach_row` visitor — an `n = 10⁶` closure
+//!   never materialises the `n × ⌈n/64⌉` matrix.
 //!   [`sparse::EngineChoice`] is the density-aware dispatch every
 //!   all-source entry point runs through: batched below
 //!   [`wide::WIDE_CROSSOVER`], then wide for dense/high-degree instances
-//!   and event-driven for genuinely sparse ones.
+//!   and event-driven for genuinely sparse ones — with the worker-aware
+//!   `pick_parallel` crediting the wide engine's column-block
+//!   parallelism when entry points fan out.
 //! * [`distance`]: all-pairs temporal distances, temporal eccentricity and
 //!   the instance temporal diameter — engine-dispatched through
 //!   [`sparse::EngineChoice`].

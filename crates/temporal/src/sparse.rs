@@ -43,12 +43,34 @@
 //! * The wide engine's **saturation early-exit** and **empty-bucket
 //!   skipping** (via [`TemporalNetwork::occupied_times`]) are kept.
 //!
+//! * **Arena compaction.** Relabel-heavy multi-label sweeps strand dead
+//!   regions behind re-pointed frontiers; when the arena exceeds 3× the
+//!   live-region footprint (and the
+//!   [`SparseSweeper::set_compaction_floor`] floor), the
+//!   engine **evacuates live regions between buckets** — sorted layout
+//!   and intra-shard sharing preserved, accounted in
+//!   [`WideStats::arena_hiwater_words`] / [`WideStats::compactions`].
+//!
 //! The `n × ⌈n/64⌉` closure matrix consumers read through
-//! [`SparseSweeper::reach_word`] is **materialised lazily** from the
-//! lists after the sweep (`O(reached bits)`); sweeps that only need
-//! stats or arrival callbacks never build it — which is also what makes
-//! an `n = 65536` closure feasible: the arena holds the reached pairs
-//! (a few MiB), not a gigabyte of mostly-zero frontier words.
+//! [`SparseSweeper::reach_word`] is never built whole: a **streaming
+//! closure** materialises 256-row blocks on demand from the lists
+//! (`O(reached bits)` per block) into an LRU bounded by a byte budget
+//! ([`SparseSweeper::set_closure_budget_bytes`], 256 MiB default), and
+//! whole-matrix
+//! consumers stream rows through [`SparseSweeper::for_each_reach_row`]
+//! with one pooled row buffer. Sweeps that only need stats or arrival
+//! callbacks touch neither — which is what makes an `n = 10⁶` closure
+//! feasible: the arena holds the reached pairs (a few MiB at constant
+//! average degree), not the 116 GiB of mostly-zero frontier words.
+//!
+//! Sharded all-source sweeps (`lanes < n` over contiguous source blocks,
+//! one [`SparseSweeper`] per worker walking the shared bucket index)
+//! fold per-shard [`WideStats`] in canonical shard order, so the
+//! parallel entry points are **bit-identical for any worker count**
+//! (`tests/sparse_proptests.rs` pins 1/2/8). Partial-source sweeps run
+//! **agenda-driven**: a time-keyed heap of the windows whose buckets can
+//! matter, so a shard pays only its causal cone, not the full bucket
+//! walk.
 //!
 //! Per-(source, target) arrival times are **bit-identical** to the wide
 //! engine, the batched engine and `n` scalar
@@ -65,6 +87,11 @@
 //! least `n / 16` time-edges on average (cliques, complete bipartite
 //! substrates: saturation plausible, branch-free inner loop worth it)
 //! keep the wide engine, everything sparser goes event-driven.
+//! [`EngineChoice::pick_parallel`] extends the model with the worker
+//! count: the wide engine's column blocks parallelise its `n × W` fill,
+//! while the event-driven shards each repeat the bucket walk, so the
+//! crossover shifts wide-ward as workers grow (pinned by
+//! `parallel_dispatch_crossover_pins_the_worker_count`).
 
 use crate::network::TemporalNetwork;
 use crate::wide::{
@@ -73,6 +100,8 @@ use crate::wide::{
 };
 use crate::Time;
 use ephemeral_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::ops::Range;
 
 /// Average time-edges per occupied bucket, as a fraction of `n`, above
@@ -127,6 +156,46 @@ impl EngineChoice {
     /// ```
     #[must_use]
     pub const fn pick(n: usize, occupied_buckets: usize, time_edges: usize) -> EngineKind {
+        Self::pick_parallel(n, occupied_buckets, time_edges, 1)
+    }
+
+    /// [`EngineChoice::pick`] with the available worker count folded into
+    /// the cost model. The wide engine's dominant cost — streaming
+    /// `M · ⌈n/64⌉` frontier words — splits across workers by column
+    /// blocks with near-perfect efficiency (blocks never interact), so
+    /// `w` workers divide its effective fill cost by `w`. The sparse
+    /// engine's per-shard work is serial inside each shard: every shard
+    /// pays its own agenda walk and bucket commits, and its merge costs
+    /// shrink only mildly with narrower shards. The dense-fill threshold
+    /// therefore drops by the worker count —
+    /// `M ·` [`DENSE_BUCKET_DIVISOR`] `· w ≥ occupied · n` picks
+    /// [`EngineKind::Wide`] — while the degree bound
+    /// ([`SPARSE_EDGE_FACTOR`], a property of reach-set growth, not of
+    /// parallelism) is unchanged. `workers = 0` is treated as 1.
+    ///
+    /// ```
+    /// use ephemeral_temporal::sparse::EngineChoice;
+    /// use ephemeral_temporal::wide::EngineKind;
+    ///
+    /// // A few-occupied-buckets instance right at the 8-worker
+    /// // crossover: sequential dispatch keeps it event-driven, eight
+    /// // workers make the wide engine's divided fill cheaper.
+    /// assert_eq!(
+    ///     EngineChoice::pick_parallel(1024, 256, 2048, 1),
+    ///     EngineKind::Sparse
+    /// );
+    /// assert_eq!(
+    ///     EngineChoice::pick_parallel(1024, 256, 2048, 8),
+    ///     EngineKind::Wide
+    /// );
+    /// ```
+    #[must_use]
+    pub const fn pick_parallel(
+        n: usize,
+        occupied_buckets: usize,
+        time_edges: usize,
+        workers: usize,
+    ) -> EngineKind {
         if n < WIDE_CROSSOVER {
             return EngineKind::Batch;
         }
@@ -135,7 +204,11 @@ impl EngineChoice {
         } else {
             occupied_buckets
         };
-        if time_edges.saturating_mul(DENSE_BUCKET_DIVISOR) >= occupied.saturating_mul(n)
+        let workers = if workers == 0 { 1 } else { workers };
+        if time_edges
+            .saturating_mul(DENSE_BUCKET_DIVISOR)
+            .saturating_mul(workers)
+            >= occupied.saturating_mul(n)
             || time_edges > SPARSE_EDGE_FACTOR.saturating_mul(n)
         {
             EngineKind::Wide
@@ -148,25 +221,33 @@ impl EngineChoice {
     /// (`num_nodes`, `occupied_times().len()`, `num_time_edges`).
     #[must_use]
     pub fn pick_for(tn: &TemporalNetwork) -> EngineKind {
-        Self::pick(
+        Self::pick_for_parallel(tn, 1)
+    }
+
+    /// [`EngineChoice::pick_parallel`] fed from a network's own counts.
+    #[must_use]
+    pub fn pick_for_parallel(tn: &TemporalNetwork, workers: usize) -> EngineKind {
+        Self::pick_parallel(
             tn.num_nodes(),
             tn.occupied_times().len(),
             tn.num_time_edges(),
+            workers,
         )
     }
 
     /// The one dispatch wrapper every full-width entry point shares.
     ///
     /// Above the batch crossover, runs `r` with the engine type
-    /// [`EngineChoice::pick_for`] selects and that engine's column-shard
-    /// count: the wide engine shards into
+    /// [`EngineChoice::pick_for_parallel`] selects (the worker count is
+    /// part of the cost model — see [`EngineChoice::pick_parallel`]) and
+    /// that engine's column-shard count: the wide engine shards into
     /// `workers.max(cache_block_count(n))` blocks so its cache blocking
     /// engages regardless of worker count, the sparse engine only as far
-    /// as the workers (its lists are cache-light and every block re-pays
-    /// the occupied-bucket walk). Below the crossover returns `None` and
-    /// the caller runs its batched path — the 64-lane
-    /// [`BatchSweeper`](crate::engine::BatchSweeper) is not a
-    /// [`FrontierEngine`].
+    /// as the workers — each shard runs its own arena and agenda over
+    /// the shared bucket index and visits only its causal cone. Below
+    /// the crossover returns `None` and the caller runs its batched path
+    /// — the 64-lane [`BatchSweeper`](crate::engine::BatchSweeper) is
+    /// not a [`FrontierEngine`].
     ///
     /// Sequential scratch callers pass `workers = 1` (wide then shards to
     /// exactly its cache schedule, sparse to the single block `0..n`) and
@@ -174,7 +255,7 @@ impl EngineChoice {
     /// [`FrontierEngine::from_scratch`].
     pub fn dispatch<R: FrontierRun>(tn: &TemporalNetwork, workers: usize, r: R) -> Option<R::Out> {
         let n = tn.num_nodes();
-        match Self::pick_for(tn) {
+        match Self::pick_for_parallel(tn, workers) {
             EngineKind::Wide => Some(r.run::<WideSweeper>(workers.max(cache_block_count(n)))),
             EngineKind::Sparse => Some(r.run::<SparseSweeper>(workers)),
             _ => None,
@@ -202,6 +283,42 @@ pub trait FrontierRun {
 
 /// Sentinel for "this (edge, direction) has never propagated".
 const NEVER_APPLIED: u64 = u64::MAX;
+
+/// Default byte budget of the streaming closure's row-block cache
+/// (see [`SparseSweeper::reach_word`]); override per sweeper with
+/// [`SparseSweeper::set_closure_budget_bytes`]. 256 MiB holds the whole
+/// closure up to `n ≈ 46k` and caps the resident footprint far below the
+/// `n²/8`-byte matrix beyond it (125 GB at `n = 10⁶`).
+pub const DEFAULT_CLOSURE_BUDGET_BYTES: usize = 256 << 20;
+
+/// Vertices per materialised closure row block: 256 rows keep a block at
+/// `2 KiB · ⌈lanes/64⌉` — big enough to amortise the list walk, small
+/// enough that even one block stays modest at a million lanes.
+const CLOSURE_BLOCK_ROWS: usize = 256;
+
+/// Arena size, in words, below which compaction is never considered —
+/// evacuating a few-KiB arena costs more than the cache pressure it
+/// relieves. Tests lower it through
+/// [`SparseSweeper::set_compaction_floor`] to force compaction cycles on
+/// small instances.
+const COMPACT_MIN_WORDS: usize = 1 << 15;
+
+/// Garbage multiple that triggers evacuation: compact when the arena
+/// exceeds this many times the summed live region lengths. Live lengths
+/// count shared regions once per sharer, so the bound is conservative —
+/// when it fires, at least `1 − 1/factor` of the arena is dead.
+const COMPACT_GARBAGE_FACTOR: usize = 3;
+
+/// One cached block of [`CLOSURE_BLOCK_ROWS`] materialised closure rows
+/// (`block == u32::MAX` marks a slot invalidated by a new sweep; the
+/// buffer is kept for warm reuse).
+#[derive(Debug, Clone, Default)]
+struct RowBlock {
+    block: u32,
+    /// LRU clock value at the last touch.
+    tick: u64,
+    words: Vec<u64>,
+}
 
 /// The arena is addressed by `u32` region offsets; growing past that is
 /// astronomically far outside any dispatched workload (the arena holds
@@ -418,10 +535,35 @@ pub struct SparseSweeper {
     stamp: Vec<u64>,
     /// Merge scratch: the union under construction.
     out_buf: Vec<u32>,
-    /// The `n × ⌈lanes/64⌉` closure matrix, materialised lazily from the
-    /// lists on the first [`SparseSweeper::reach_word`] call.
-    before: Vec<u64>,
-    materialized: bool,
+    /// Pending-bucket min-heap of occupied-window indices — the agenda of
+    /// event-driven partial-source sweeps. Empty between sweeps.
+    agenda: BinaryHeap<Reverse<u32>>,
+    /// `sched[i] == sched_epoch` marks window bucket `i` as already
+    /// scheduled (pending or processed) this sweep.
+    sched: Vec<u64>,
+    sched_epoch: u64,
+    /// Pooled compaction scratch: the sorted unique live `(start, len)`
+    /// keys, their evacuated starts, and the evacuation buffer (kept to
+    /// ping-pong with `arena`).
+    compact_keys: Vec<(u32, u32)>,
+    compact_starts: Vec<u32>,
+    compact_buf: Vec<u32>,
+    /// Arena words below which compaction is never considered
+    /// (`0` = the `COMPACT_MIN_WORDS` default).
+    compact_floor: usize,
+    /// Lifetime arena high-water mark (words) across every sweep.
+    arena_hiwater: usize,
+    /// Lifetime compaction count across every sweep.
+    compactions_total: u64,
+    /// Streaming-closure row-block cache (see
+    /// [`SparseSweeper::reach_word`]), LRU under `closure_budget` bytes.
+    cache: Vec<RowBlock>,
+    cache_tick: u64,
+    /// Row-block cache byte budget
+    /// (`0` = [`DEFAULT_CLOSURE_BUDGET_BYTES`]).
+    closure_budget: usize,
+    /// Pooled row buffer of [`SparseSweeper::for_each_reach_row`].
+    row_buf: Vec<u64>,
     /// Words per row of the most recent sweep.
     width: usize,
     /// Vertices of the most recent sweep.
@@ -443,28 +585,142 @@ impl SparseSweeper {
 
     /// Word `w` of the closure row of `v` after the most recent sweep:
     /// bit `i` set iff source `sources.start + 64w + i` reached `v`
-    /// (sources count themselves). The bit matrix is materialised from
-    /// the reacher lists on the first call after a sweep
-    /// (`O(reached bits)`); stats-only sweeps never pay for it.
+    /// (sources count themselves). This is the **streaming closure**:
+    /// rows are materialised from the reacher lists per block of
+    /// `CLOSURE_BLOCK_ROWS` vertices, on demand, into an LRU cache
+    /// bounded by the [`SparseSweeper::set_closure_budget_bytes`] byte
+    /// budget — consumers that walk rows in order pay `O(reached bits)`
+    /// list work in total and never hold more than the budget resident,
+    /// whatever `n` is. Stats-only sweeps never materialise anything;
+    /// whole-closure visitors should prefer
+    /// [`SparseSweeper::for_each_reach_row`], which streams through one
+    /// row buffer and skips the cache entirely.
     ///
     /// # Panics
     /// If `v` or `w` is out of range for the last swept network.
     #[must_use]
     pub fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
         assert!(w < self.width, "word {w} out of range");
-        if !self.materialized {
-            self.before.clear();
-            self.before.resize(self.n * self.width, 0);
-            for x in 0..self.n {
-                let m = self.meta[x];
-                let s = m.start as usize;
-                for &lane in &self.arena[s..s + m.len as usize] {
-                    self.before[x * self.width + lane as usize / 64] |= 1 << (lane % 64);
+        let vi = v as usize;
+        assert!(vi < self.n, "vertex {v} out of range");
+        let b = (vi / CLOSURE_BLOCK_ROWS) as u32;
+        let slot = match self.cache.iter().position(|s| s.block == b) {
+            Some(i) => i,
+            None => self.materialise_block(b),
+        };
+        self.cache_tick += 1;
+        self.cache[slot].tick = self.cache_tick;
+        self.cache[slot].words[(vi % CLOSURE_BLOCK_ROWS) * self.width + w]
+    }
+
+    /// Fill the closure row block `b` from the reacher lists into a free
+    /// (or LRU-evicted) cache slot under the byte budget; returns the
+    /// slot index. At least one slot is always kept, so a single
+    /// `reach_word` probe works under any budget.
+    fn materialise_block(&mut self, b: u32) -> usize {
+        let budget = if self.closure_budget == 0 {
+            DEFAULT_CLOSURE_BUDGET_BYTES
+        } else {
+            self.closure_budget
+        };
+        let block_bytes = CLOSURE_BLOCK_ROWS * self.width * 8;
+        let max_slots = (budget / block_bytes.max(1)).max(1);
+        self.cache.truncate(max_slots);
+        let slot = if self.cache.len() < max_slots {
+            self.cache.push(RowBlock::default());
+            self.cache.len() - 1
+        } else {
+            let mut lru = 0;
+            for (i, s) in self.cache.iter().enumerate() {
+                if s.tick < self.cache[lru].tick {
+                    lru = i;
                 }
             }
-            self.materialized = true;
+            lru
+        };
+        let lo = b as usize * CLOSURE_BLOCK_ROWS;
+        let hi = (lo + CLOSURE_BLOCK_ROWS).min(self.n);
+        let width = self.width;
+        let Self {
+            cache, meta, arena, ..
+        } = self;
+        let s = &mut cache[slot];
+        s.block = b;
+        s.words.clear();
+        s.words.resize(CLOSURE_BLOCK_ROWS * width, 0);
+        for (i, m) in meta[lo..hi].iter().enumerate() {
+            let st = m.start as usize;
+            let row = i * width;
+            for &lane in &arena[st..st + m.len as usize] {
+                s.words[row + lane as usize / 64] |= 1 << (lane % 64);
+            }
         }
-        self.before[v as usize * self.width + w]
+        slot
+    }
+
+    /// Visit the closure row of every vertex of the most recent sweep in
+    /// ascending vertex order, streaming each row out of the reacher
+    /// lists through one pooled `words_per_row`-sized buffer — set words
+    /// are written before and cleared after each visit, so a whole-
+    /// closure pass costs `O(n + reached bits)` with `O(⌈lanes/64⌉)`
+    /// resident memory: no matrix, no cache. A no-op when the last sweep
+    /// carried no lanes (matching the wide engine).
+    pub fn for_each_reach_row(&mut self, mut f: impl FnMut(NodeId, &[u64])) {
+        let width = self.width;
+        let n = self.n;
+        if width == 0 {
+            return;
+        }
+        let Self {
+            row_buf,
+            meta,
+            arena,
+            ..
+        } = self;
+        row_buf.clear();
+        row_buf.resize(width, 0);
+        for (x, m) in meta[..n].iter().enumerate() {
+            let st = m.start as usize;
+            let list = &arena[st..st + m.len as usize];
+            for &lane in list {
+                row_buf[lane as usize / 64] |= 1 << (lane % 64);
+            }
+            f(x as NodeId, row_buf);
+            for &lane in list {
+                row_buf[lane as usize / 64] = 0;
+            }
+        }
+    }
+
+    /// Cap the streaming closure's row-block cache at `bytes`
+    /// (`0` restores [`DEFAULT_CLOSURE_BUDGET_BYTES`]). Takes effect on
+    /// the next cache miss; at least one block is always kept.
+    pub fn set_closure_budget_bytes(&mut self, bytes: usize) {
+        self.closure_budget = bytes;
+    }
+
+    /// Override the arena size, in words, below which compaction is
+    /// never considered (`0` restores the `COMPACT_MIN_WORDS` built-in
+    /// floor). Tests lower it to force compaction cycles on small
+    /// instances.
+    pub fn set_compaction_floor(&mut self, words: usize) {
+        self.compact_floor = words;
+    }
+
+    /// Lifetime arena high-water mark, in words, across every sweep this
+    /// sweeper ran (monotone; per-sweep values are on the returned
+    /// [`WideStats::arena_hiwater_words`]).
+    #[must_use]
+    pub const fn arena_hiwater_words(&self) -> usize {
+        self.arena_hiwater
+    }
+
+    /// Lifetime compaction count across every sweep this sweeper ran
+    /// (monotone; per-sweep counts are on the returned
+    /// [`WideStats::compactions`]).
+    #[must_use]
+    pub const fn compactions_total(&self) -> u64 {
+        self.compactions_total
     }
 
     /// One event-driven sweep from the contiguous source range `sources`
@@ -488,6 +744,16 @@ impl SparseSweeper {
     /// [`SparseSweeper::sweep`] ignoring every label greater than
     /// `horizon` (matching `foremost_with_horizon` lane for lane).
     ///
+    /// All-source sweeps walk the occupied window linearly (every bucket
+    /// is causally reachable from *some* source, and the linear walk is
+    /// what the stats contract pins). Partial-source sweeps — the shards
+    /// of a parallel closure, the probe blocks — run **event-driven off
+    /// an agenda**: a bucket enters the pending min-heap only when some
+    /// vertex with an incident label in that bucket has grown, so a
+    /// shard visits exactly its causal cone instead of re-paying the
+    /// whole occupied walk per shard. Arrival times are bit-identical
+    /// either way; only `buckets_visited` (the work observable) shrinks.
+    ///
     /// # Panics
     /// If any source is out of range.
     #[allow(clippy::too_many_lines)]
@@ -504,7 +770,12 @@ impl SparseSweeper {
         let width = lanes.div_ceil(64);
         self.width = width;
         self.n = n;
-        self.materialized = false;
+        // A new sweep invalidates the streaming-closure cache (buffers
+        // are kept for warm reuse; tick 0 makes stale slots evict first).
+        for s in &mut self.cache {
+            s.block = u32::MAX;
+            s.tick = 0;
+        }
         self.arena.clear();
         // Warm headroom: same-shaped redraws produce arenas of similar
         // size, so carrying the previous high-water (plus the seeds)
@@ -548,6 +819,28 @@ impl SparseSweeper {
         let mut buckets_visited = 0usize;
         let mut epoch = 0u64;
         let directed = tn.graph().is_directed();
+        let window = tn.occupied_between(start_time, horizon);
+        // Partial-source sweeps run event-driven off the agenda; the
+        // all-source sweep keeps the linear occupied walk (every bucket
+        // would be scheduled anyway, and the linear order is what the
+        // cross-engine stats contract pins).
+        let event_driven = lanes < n;
+        self.sched_epoch += 1;
+        let sepoch = self.sched_epoch;
+        if event_driven {
+            self.agenda.clear();
+            if self.sched.len() < window.len() {
+                self.sched.resize(window.len(), 0);
+            }
+        }
+        let floor = if self.compact_floor == 0 {
+            COMPACT_MIN_WORDS
+        } else {
+            self.compact_floor
+        };
+        let mut compact_check = floor.max(2 * self.arena.len());
+        let mut hiwater = self.arena.len();
+        let mut compactions = 0usize;
         let Self {
             arena,
             meta,
@@ -557,12 +850,37 @@ impl SparseSweeper {
             edge_version,
             stamp,
             out_buf,
+            agenda,
+            sched,
+            compact_keys,
+            compact_starts,
+            compact_buf,
             ..
         } = self;
-        for &t in tn.occupied_between(start_time, horizon) {
+        if event_driven {
+            for s in sources.clone() {
+                schedule_incident(tn, s, start_time, horizon, window, sched, sepoch, agenda);
+            }
+        }
+        let mut cursor = 0usize;
+        loop {
             if reached >= target {
                 break; // saturated: no later bucket can set a fresh bit
             }
+            let t = if event_driven {
+                match agenda.pop() {
+                    // Pushes are always for strictly later buckets, so
+                    // pops come out in strictly ascending time order —
+                    // the bucket semantics of the linear walk.
+                    Some(Reverse(i)) => window[i as usize],
+                    None => break, // agenda dry: nothing pending can grow
+                }
+            } else if let Some(&t) = window.get(cursor) {
+                cursor += 1;
+                t
+            } else {
+                break;
+            };
             buckets_visited += 1;
             let edges = tn.edges_at(t);
             // Conflict scan: sparse buckets almost never carry two edges
@@ -705,18 +1023,50 @@ impl SparseSweeper {
                             if conflict { snap_ver[vi] } else { version[vi] };
                     }
                 }
+                if event_driven {
+                    // Fresh growth arms every strictly later incident
+                    // label of the grown endpoint.
+                    if fresh_u > 0 {
+                        schedule_incident(tn, u, t, horizon, window, sched, sepoch, agenda);
+                    }
+                    if fresh_v > 0 {
+                        schedule_incident(tn, v, t, horizon, window, sched, sepoch, agenda);
+                    }
+                }
                 bucket_fresh += (fresh_u + fresh_v) as usize;
             }
             if bucket_fresh > 0 {
                 reached += bucket_fresh;
                 last_arrival = t;
             }
+            // Between buckets no snapshot or frozen source region is
+            // live, so the arena can be evacuated. Checks are spaced
+            // geometrically (the live scan is O(n)); an evacuation runs
+            // only once the garbage bound is met.
+            if arena.len() >= compact_check {
+                if arena.len() > hiwater {
+                    hiwater = arena.len();
+                }
+                let live: usize = meta.iter().map(|m| m.len as usize).sum();
+                if arena.len() > live.saturating_mul(COMPACT_GARBAGE_FACTOR) {
+                    compact_arena(arena, meta, compact_keys, compact_starts, compact_buf);
+                    compactions += 1;
+                }
+                compact_check = (2 * arena.len()).max(floor);
+            }
         }
+        if arena.len() > hiwater {
+            hiwater = arena.len();
+        }
+        self.arena_hiwater = self.arena_hiwater.max(hiwater);
+        self.compactions_total += compactions as u64;
         WideStats {
             lanes,
             reached_bits: reached,
             last_arrival,
             buckets_visited,
+            arena_hiwater_words: hiwater,
+            compactions,
         }
     }
 
@@ -785,6 +1135,89 @@ fn propagate(
     fresh
 }
 
+/// Arm every bucket that a growth of `v` at time `after` could feed:
+/// each incident label of `v` in `(after, horizon]` maps (two binary
+/// searches — per-edge labels and the occupied window are both sorted)
+/// to its window index and enters the pending agenda once per sweep
+/// (the `sched` stamps dedup). Completeness: a propagation `u → v` at
+/// label `ℓ` needs `u` non-empty strictly before `ℓ`, i.e. `u` grew at
+/// some `t' < ℓ` — and that growth armed every incident label `> t'`,
+/// `ℓ` included. No bucket that could set a fresh bit is ever skipped;
+/// the skipped ones are provably fruitless.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn schedule_incident(
+    tn: &TemporalNetwork,
+    v: NodeId,
+    after: Time,
+    horizon: Time,
+    window: &[Time],
+    sched: &mut [u64],
+    epoch: u64,
+    agenda: &mut BinaryHeap<Reverse<u32>>,
+) {
+    let (_, edge_ids) = tn.graph().out_adjacency(v);
+    for &e in edge_ids {
+        let labels = tn.labels(e);
+        let from = labels.partition_point(|&l| l <= after);
+        for &l in &labels[from..] {
+            if l > horizon {
+                break;
+            }
+            // Every label in (after, horizon] is an occupied time of
+            // the window, so the search always lands on it.
+            let i = window.partition_point(|&x| x < l);
+            debug_assert!(i < window.len() && window[i] == l);
+            if sched[i] != epoch {
+                sched[i] = epoch;
+                agenda.push(Reverse(i as u32));
+            }
+        }
+    }
+}
+
+/// Evacuate the arena: copy each **unique** live region into `buf` in
+/// ascending old-start order, re-point every non-empty vertex at its
+/// evacuated copy by binary search on the exact `(start, len)` key, and
+/// swap `buf` in as the new arena. Distinct live regions never overlap
+/// (appends only ever write whole regions and re-points copy whole
+/// region descriptors), so keying by `(start, len)` both preserves
+/// sharing — all sharers land on the same evacuated copy — and keeps
+/// each sorted list's layout verbatim. Every scratch vector is pooled
+/// by the caller (`buf` ping-pongs with the arena), so warm compaction
+/// cycles allocate nothing.
+fn compact_arena(
+    arena: &mut Vec<u32>,
+    meta: &mut [Region],
+    keys: &mut Vec<(u32, u32)>,
+    starts: &mut Vec<u32>,
+    buf: &mut Vec<u32>,
+) {
+    keys.clear();
+    for m in meta.iter() {
+        if m.len > 0 {
+            keys.push((m.start, m.len));
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    starts.clear();
+    buf.clear();
+    for &(s, l) in keys.iter() {
+        starts.push(buf.len() as u32);
+        buf.extend_from_slice(&arena[s as usize..(s + l) as usize]);
+    }
+    for m in meta.iter_mut() {
+        if m.len > 0 {
+            let i = keys
+                .binary_search(&(m.start, m.len))
+                .expect("live region must be keyed");
+            m.start = starts[i];
+        }
+    }
+    std::mem::swap(arena, buf);
+}
+
 impl FrontierEngine for SparseSweeper {
     fn sweep_with_horizon(
         &mut self,
@@ -799,6 +1232,10 @@ impl FrontierEngine for SparseSweeper {
 
     fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
         Self::reach_word(self, v, w)
+    }
+
+    fn for_each_reach_row(&mut self, f: impl FnMut(NodeId, &[u64])) {
+        Self::for_each_reach_row(self, f);
     }
 
     fn words_per_row(&self) -> usize {
@@ -1104,5 +1541,148 @@ mod tests {
     fn bad_source_panics() {
         let tn = random_network(1, 5, false, 5);
         let _ = SparseSweeper::new().sweep(&tn, 3..9, 0, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn forced_compaction_preserves_arrivals_and_reports_cycles() {
+        // A tiny compaction floor makes every between-bucket check live,
+        // so the garbage test runs constantly and evacuations actually
+        // fire on the relabel-heavy multi-label network — and the
+        // arrivals must stay bit-identical to the scalar oracle.
+        let mut rng = SeedSequence::new(9).rng(4);
+        let g = generators::gnp(40, 0.2, false, &mut rng);
+        let labels = LabelAssignment::from_fn(g.num_edges(), |_| {
+            (0..12).map(|_| rng.range_u32(1, 200)).collect()
+        })
+        .unwrap();
+        let tn = TemporalNetwork::new(g, labels, 200).unwrap();
+        let mut sweeper = SparseSweeper::new();
+        sweeper.set_compaction_floor(1);
+        let mut out = vec![0; 40 * 40];
+        let stats = sweeper.arrivals_into(&tn, 0..40, 0, &mut out);
+        assert_eq!(out, scalar_arrivals(&tn, 0));
+        assert!(stats.compactions > 0, "the tiny floor must force cycles");
+        assert!(stats.arena_hiwater_words > 0);
+        assert_eq!(sweeper.compactions_total(), stats.compactions as u64);
+        assert_eq!(sweeper.arena_hiwater_words(), stats.arena_hiwater_words);
+        // Warm re-sweep: identical arrivals and identical cycle count.
+        let mut again = vec![0; 40 * 40];
+        let stats2 = sweeper.arrivals_into(&tn, 0..40, 0, &mut again);
+        assert_eq!(again, out);
+        assert_eq!(stats2.compactions, stats.compactions);
+    }
+
+    #[test]
+    fn default_floor_never_compacts_small_instances() {
+        let tn = random_network(3, 70, false, 70);
+        let mut sweeper = SparseSweeper::new();
+        let stats = sweeper.sweep(&tn, 0..70, 0, |_, _, _, _| {});
+        assert_eq!(stats.compactions, 0, "70 vertices sit far below the floor");
+        assert!(stats.arena_hiwater_words > 0);
+    }
+
+    #[test]
+    fn streaming_closure_matches_wide_under_a_tiny_budget() {
+        // n = 300 spans two row blocks; a 1-byte budget clamps the cache
+        // to a single slot, so alternating between the blocks evicts on
+        // every query — the answers must still match the wide engine.
+        let n = 300usize;
+        let tn = random_network(13, n, false, 150);
+        let mut wide = WideSweeper::new();
+        wide.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        let mut sparse = SparseSweeper::new();
+        sparse.set_closure_budget_bytes(1);
+        sparse.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        let words = FrontierEngine::words_per_row(&sparse);
+        for round in 0..2 {
+            for v in [0u32, 255, 256, 299, 17, 270] {
+                for w in 0..words {
+                    assert_eq!(
+                        sparse.reach_word(v, w),
+                        wide.reach_word(v, w),
+                        "round {round} vertex {v} word {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_reach_row_matches_reach_word() {
+        let n = 130usize;
+        let tn = random_network(17, n, true, 80);
+        let mut sweeper = SparseSweeper::new();
+        sweeper.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        let words = FrontierEngine::words_per_row(&sweeper);
+        let mut streamed = vec![0u64; n * words];
+        let mut visited = 0usize;
+        SparseSweeper::for_each_reach_row(&mut sweeper, |v, row| {
+            assert_eq!(row.len(), words);
+            streamed[v as usize * words..(v as usize + 1) * words].copy_from_slice(row);
+            visited += 1;
+        });
+        assert_eq!(visited, n, "every vertex streams exactly once");
+        for v in 0..n as NodeId {
+            for w in 0..words {
+                assert_eq!(streamed[v as usize * words + w], sweeper.reach_word(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn closure_cache_invalidates_across_sweeps() {
+        // Query the streaming closure, re-sweep a different network, and
+        // query again: the second answers must reflect the second sweep,
+        // not a stale cached block.
+        let tn1 = random_network(1, 90, false, 90);
+        let tn2 = random_network(2, 90, true, 90);
+        let mut sweeper = SparseSweeper::new();
+        sweeper.sweep(&tn1, 0..90, 0, |_, _, _, _| {});
+        let _ = sweeper.reach_word(0, 0);
+        sweeper.sweep(&tn2, 0..90, 0, |_, _, _, _| {});
+        let mut wide = WideSweeper::new();
+        wide.sweep(&tn2, 0..90, 0, |_, _, _, _| {});
+        for v in 0..90u32 {
+            for w in 0..FrontierEngine::words_per_row(&sweeper) {
+                assert_eq!(sweeper.reach_word(v, w), wide.reach_word(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_crossover_pins_the_worker_count() {
+        // The satellite regression: at a fixed sparse instance right at
+        // the crossover, one worker keeps the event-driven engine and
+        // eight workers flip to the wide engine (its fill divides by the
+        // worker count; the sparse shards' agenda walks do not).
+        let (n, occupied, m) = (1024usize, 256usize, 2048usize);
+        assert_eq!(
+            EngineChoice::pick_parallel(n, occupied, m, 1),
+            EngineKind::Sparse
+        );
+        assert_eq!(
+            EngineChoice::pick_parallel(n, occupied, m, 2),
+            EngineKind::Sparse
+        );
+        assert_eq!(
+            EngineChoice::pick_parallel(n, occupied, m, 8),
+            EngineKind::Wide
+        );
+        // `pick` is exactly the one-worker model, and the degree bound is
+        // worker-independent: a high-degree instance stays wide at w = 1.
+        assert_eq!(EngineChoice::pick(n, occupied, m), EngineKind::Sparse);
+        assert_eq!(
+            EngineChoice::pick_parallel(1024, 4096, 4 * 1024 + 1, 1),
+            EngineKind::Wide
+        );
+        // Workers never flip an instance *towards* sparse.
+        for w in 1..=16usize {
+            if EngineChoice::pick_parallel(n, occupied, m, w) == EngineKind::Wide {
+                assert_eq!(
+                    EngineChoice::pick_parallel(n, occupied, m, w + 1),
+                    EngineKind::Wide
+                );
+            }
+        }
     }
 }

@@ -187,9 +187,19 @@ pub trait FrontierEngine: Default + Send {
 
     /// Word `w` of the closure row of `v` after the most recent sweep
     /// (see [`WideSweeper::reach_word`]). Takes `&mut self` because the
-    /// sparse engine materialises its closure matrix lazily on the first
-    /// call.
+    /// sparse engine materialises its closure row blocks lazily on
+    /// demand.
     fn reach_word(&mut self, v: NodeId, w: usize) -> u64;
+
+    /// Visit the closure row of every vertex of the most recent sweep in
+    /// ascending vertex order: `row[w]` is [`FrontierEngine::reach_word`]
+    /// word `w` of the visited vertex, `row.len() == words_per_row()`.
+    /// This is the streaming path for whole-closure consumers — the wide
+    /// engine lends slices of its frontier matrix zero-copy, the sparse
+    /// engine streams each row out of its reacher lists through one
+    /// pooled `O(words_per_row)` buffer, so **neither engine ever builds
+    /// an `n × ⌈lanes/64⌉` matrix for a visitor**.
+    fn for_each_reach_row(&mut self, f: impl FnMut(NodeId, &[u64]));
 
     /// Words per frontier row of the most recent sweep.
     fn words_per_row(&self) -> usize;
@@ -219,6 +229,10 @@ impl FrontierEngine for WideSweeper {
 
     fn reach_word(&mut self, v: NodeId, w: usize) -> u64 {
         Self::reach_word(self, v, w)
+    }
+
+    fn for_each_reach_row(&mut self, f: impl FnMut(NodeId, &[u64])) {
+        Self::for_each_reach_row(self, f);
     }
 
     fn words_per_row(&self) -> usize {
@@ -334,9 +348,46 @@ pub struct WideStats {
     /// saturating — `≪ a` on dense instances (the early-exit observable),
     /// `≤ occupied ≤ min(a, M)` always.
     pub buckets_visited: usize,
+    /// High-water mark of the sparse engine's region arena during the
+    /// sweep, in `u32` words (`0` for the wide and batched engines, which
+    /// carry no arena).
+    pub arena_hiwater_words: usize,
+    /// Arena compactions the sparse engine performed during the sweep
+    /// (`0` for the wide and batched engines).
+    pub compactions: usize,
 }
 
 impl WideStats {
+    /// The all-zero stats — the identity of [`WideStats::absorb`], what
+    /// per-shard folds start from.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self {
+            lanes: 0,
+            reached_bits: 0,
+            last_arrival: 0,
+            buckets_visited: 0,
+            arena_hiwater_words: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Fold another shard's stats into this one: counts add
+    /// (`lanes`, `reached_bits`, `compactions`), watermarks max
+    /// (`last_arrival`, `buckets_visited`, `arena_hiwater_words` — each
+    /// shard walks its own bucket subsequence and owns its own arena, so
+    /// the folded values are "the deepest any shard went"). Folding in
+    /// shard order is how the sharded entry points stay bit-identical
+    /// across worker counts.
+    pub fn absorb(&mut self, other: &Self) {
+        self.lanes += other.lanes;
+        self.reached_bits += other.reached_bits;
+        self.last_arrival = self.last_arrival.max(other.last_arrival);
+        self.buckets_visited = self.buckets_visited.max(other.buckets_visited);
+        self.arena_hiwater_words = self.arena_hiwater_words.max(other.arena_hiwater_words);
+        self.compactions += other.compactions;
+    }
+
     /// Did every lane reach every one of the `n` vertices?
     #[must_use]
     pub const fn all_reached(&self, n: usize) -> bool {
@@ -436,6 +487,19 @@ impl WideSweeper {
     pub fn reach_word(&self, v: NodeId, w: usize) -> u64 {
         assert!(w < self.width, "word {w} out of range");
         self.before[v as usize * self.width + w]
+    }
+
+    /// Visit the closure row of every vertex of the most recent sweep in
+    /// ascending vertex order, lending each `width`-word row straight out
+    /// of the frontier matrix — no copies (the
+    /// [`FrontierEngine::for_each_reach_row`] streaming contract).
+    pub fn for_each_reach_row(&self, mut f: impl FnMut(NodeId, &[u64])) {
+        if self.width == 0 {
+            return;
+        }
+        for (v, row) in self.before.chunks_exact(self.width).enumerate() {
+            f(v as NodeId, row);
+        }
     }
 
     /// One single-pass wide sweep from the contiguous source range
@@ -624,6 +688,8 @@ impl WideSweeper {
             reached_bits: reached,
             last_arrival,
             buckets_visited,
+            arena_hiwater_words: 0,
+            compactions: 0,
         }
     }
 

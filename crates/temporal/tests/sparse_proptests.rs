@@ -184,6 +184,106 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
+    /// The sharded fold stays deterministic under horizons and heavy
+    /// relabels: sweeping each worker's column block with the same
+    /// horizon and folding in canonical order equals the single-stream
+    /// pass and the scalar horizon oracle, for 1, 2 and 8 workers on
+    /// ragged n, directed and undirected.
+    #[test]
+    fn sharded_horizon_sweeps_are_bit_identical(
+        seed: u64,
+        n in 2usize..130,
+        p in 0.02f64..0.25,
+        directed: bool,
+        max_labels in 1usize..5,
+        lifetime in 2u32..300,
+        horizon_frac in 0.0f64..1.2,
+    ) {
+        let tn = random_network(seed, n, p, directed, max_labels, lifetime);
+        let horizon = ((f64::from(lifetime) * horizon_frac) as Time).max(1);
+        let record = |sweeper: &mut SparseSweeper, block: std::ops::Range<NodeId>| {
+            let lanes = block.len();
+            let lo = block.start as usize;
+            let mut rows = vec![NEVER; lanes * n];
+            for s in block.clone() {
+                rows[(s as usize - lo) * n + s as usize] = 0;
+            }
+            sweeper.sweep_with_horizon(&tn, block, 0, horizon, |v, w, mut fresh, t| {
+                while fresh != 0 {
+                    let lane = w * 64 + fresh.trailing_zeros() as usize;
+                    rows[lane * n + v as usize] = t;
+                    fresh &= fresh - 1;
+                }
+            });
+            rows
+        };
+        let mut expected = Vec::with_capacity(n * n);
+        for s in 0..n as NodeId {
+            expected.extend_from_slice(foremost_with_horizon(&tn, s, 0, horizon).arrivals());
+        }
+        let full = record(&mut SparseSweeper::new(), 0..n as NodeId);
+        prop_assert_eq!(&full, &expected);
+        for workers in [1usize, 2, 8] {
+            let mut sweeper = SparseSweeper::new();
+            let mut folded = Vec::with_capacity(n * n);
+            for block in source_blocks(n, workers) {
+                folded.extend(record(&mut sweeper, block));
+            }
+            prop_assert_eq!(&folded, &full, "workers {}", workers);
+        }
+    }
+
+    /// Compaction cycles never change a bit: with the floor forced to a
+    /// single word the arena evacuates continuously, sharded or not, and
+    /// every fold still equals the unforced single-stream pass.
+    #[test]
+    fn forced_compaction_keeps_sharded_folds_bit_identical(
+        seed: u64,
+        n in 2usize..120,
+        p in 0.03f64..0.3,
+        directed: bool,
+        max_labels in 2usize..6,
+        lifetime in 2u32..400,
+    ) {
+        let tn = random_network(seed, n, p, directed, max_labels, lifetime);
+        let full = sparse_arrivals(&tn, 0);
+        for workers in [1usize, 2, 8] {
+            let mut sweeper = SparseSweeper::new();
+            sweeper.set_compaction_floor(1);
+            let mut folded = Vec::with_capacity(n * n);
+            for block in source_blocks(n, workers) {
+                let mut rows = vec![0; block.len() * n];
+                sweeper.arrivals_into(&tn, block, 0, &mut rows);
+                folded.extend(rows);
+            }
+            prop_assert_eq!(&folded, &full, "workers {}", workers);
+        }
+    }
+
+    /// The streaming closure answers exactly the reachability the
+    /// arrivals imply, even when a one-byte budget forces an eviction on
+    /// every cross-block query.
+    #[test]
+    fn streaming_closure_matches_arrivals_under_tiny_budget(
+        seed: u64,
+        n in 2usize..120,
+        p in 0.02f64..0.3,
+        directed: bool,
+        lifetime in 1u32..300,
+    ) {
+        let tn = random_network(seed, n, p, directed, 2, lifetime);
+        let arrivals = sparse_arrivals(&tn, 0);
+        let mut sweeper = SparseSweeper::new();
+        sweeper.set_closure_budget_bytes(1);
+        sweeper.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        for v in (0..n).rev() {
+            for s in 0..n {
+                let bit = sweeper.reach_word(v as NodeId, s / 64) >> (s % 64) & 1 == 1;
+                prop_assert_eq!(bit, arrivals[s * n + v] != NEVER, "pair ({}, {})", s, v);
+            }
+        }
+    }
+
     /// In-place label replacement rebuilds the occupied index exactly as
     /// a fresh construction would, as seen by the sparse engine (its
     /// version memo and summaries must not survive across networks).

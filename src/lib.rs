@@ -14,9 +14,12 @@
 //!   answers **all** sources in one pass (saturation early-exit,
 //!   empty-bucket skipping, column-block sharding), and the `sparse`
 //!   module drives the same closure event-style from sorted reacher
-//!   lists for the sparse regime — the all-pairs closure, distance,
+//!   lists for the sparse regime (deterministic source-sharded parallel
+//!   folds, arena compaction, byte-budgeted streaming closure — million-
+//!   vertex capable) — the all-pairs closure, distance,
 //!   diameter and connectivity entry points dispatch between all three
-//!   through the density-aware `sparse::EngineChoice`; the `delta`
+//!   through the density-aware, worker-aware `sparse::EngineChoice`; the
+//!   `delta`
 //!   module maintains a recorded closure **differentially** across
 //!   single-label moves (retract-and-replay, bit-identical to cold
 //!   sweeps, ~15× per move on sparse `G(4096, p)`).
