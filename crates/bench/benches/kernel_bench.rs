@@ -1,0 +1,661 @@
+//! Kernel-layer before/after: the explicit word kernels of
+//! [`ephemeral_temporal::kernels`] against **verbatim copies of the
+//! pre-kernel inner loops** they replaced (the wide engine's zip-based
+//! apply/commit and the sparse engine's branchy sorted-`u32` merges, as
+//! committed before the kernel layer landed) — measured in the same run,
+//! on the same data, so the speedup column is an honest like-for-like.
+//!
+//! Two micro families carry the headline:
+//!
+//! * `clique4096_*` — the wide clique `n = 4096` closure inner-loop
+//!   shape: `W = 64` words per frontier row, 4096 rows, one apply + one
+//!   commit per row per pass over 64-byte-aligned slabs. Both the old
+//!   zip loops and the unrolled kernels autovectorize here, so honest
+//!   parity (≈1×) is the expected result — the row exists to prove the
+//!   refactor did not *cost* anything.
+//! * `a4n_merge_*` — the sparse engine's reacher-list merge throughput
+//!   on a4n-shaped lists: a long-lived frontier absorbing a small
+//!   bucket's worth of sources (the skewed regime, where the kernel's
+//!   galloping path replaces the old element-at-a-time branchy walk)
+//!   plus a balanced dual merge (where the branch-light min/mask walk
+//!   replaces the old three-way `if/else if/else`).
+//!
+//! A full run refreshes the five PR7 end-to-end workload rows
+//! (same fields, same seeds) and dumps everything to `BENCH_PR8.json`
+//! at the workspace root. `-- --test` runs the runtime
+//! kernel-vs-scalar bit-identity smoke plus the PR8-vs-PR7
+//! non-regression gate (≥ 0.9× on the five shared workloads) — the two
+//! greppable CI lines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::{sample_normalized_urt_clique, sample_urtn};
+use ephemeral_graph::{generators, NodeId};
+use ephemeral_rng::default_rng;
+use ephemeral_temporal::distance::InstanceDiameter;
+use ephemeral_temporal::kernels::{self, scalar, AlignedSlab, MaskEmitter};
+use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper};
+use ephemeral_temporal::wide::{cache_block_count, source_blocks, FrontierEngine, WideSweeper};
+use ephemeral_temporal::{TemporalNetwork, Time};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// The pre-kernel baselines: verbatim copies of the loops the kernel layer
+// replaced, kept here as the honest "before" side of every speedup row.
+// ---------------------------------------------------------------------------
+
+/// The wide engine's apply loop as committed before the kernel layer:
+/// word-at-a-time zip over the block slice.
+fn baseline_apply(bf: &[u64], bt: &[u64], dt: &mut [u64]) -> u64 {
+    let mut any = 0u64;
+    for ((&bf, &bt), dt) in bf.iter().zip(bt).zip(dt) {
+        let f = bf & !bt;
+        *dt |= f;
+        any |= f;
+    }
+    any
+}
+
+/// The wide engine's per-row commit loop as committed before the kernel
+/// layer: word-at-a-time, callback guard per word.
+fn baseline_commit(dv: &mut [u64], bv: &mut [u64], mut on_reach: impl FnMut(usize, u64)) -> u32 {
+    let mut row_fresh = 0u32;
+    for (w, (d, b)) in dv.iter_mut().zip(bv.iter_mut()).enumerate() {
+        let fresh = *d & !*b;
+        *d = 0;
+        *b |= fresh;
+        row_fresh += fresh.count_ones();
+        if fresh != 0 {
+            on_reach(w, fresh);
+        }
+    }
+    row_fresh
+}
+
+/// The sparse engine's one-sided merge as committed before the kernel
+/// layer: element-at-a-time three-way branch, no galloping, no reserve.
+fn baseline_merge_into(
+    d: &[u32],
+    src: &[u32],
+    out: &mut Vec<u32>,
+    dst: NodeId,
+    t: Time,
+    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+) -> u32 {
+    out.clear();
+    let mut em = MaskEmitter::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < d.len() && j < src.len() {
+        let x = d[i];
+        let y = src[j];
+        out.push(x.min(y));
+        if x < y {
+            i += 1;
+        } else if y < x {
+            em.push(y, dst, t, on_reach);
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&d[i..]);
+    out.extend_from_slice(&src[j..]);
+    for &y in &src[j..] {
+        em.push(y, dst, t, on_reach);
+    }
+    em.finish(dst, t, on_reach)
+}
+
+/// The sparse engine's dual merge as committed before the kernel layer:
+/// the same three-way branch shape, emitting both sides' exclusives.
+#[allow(clippy::too_many_arguments)]
+fn baseline_merge_dual(
+    a: &[u32],
+    b: &[u32],
+    out: &mut Vec<u32>,
+    u: NodeId,
+    v: NodeId,
+    t: Time,
+    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
+) -> (u32, u32) {
+    out.clear();
+    let mut em_u = MaskEmitter::new();
+    let mut em_v = MaskEmitter::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        out.push(x.min(y));
+        if x < y {
+            em_v.push(x, v, t, on_reach);
+            i += 1;
+        } else if y < x {
+            em_u.push(y, u, t, on_reach);
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for &x in &a[i..] {
+        em_v.push(x, v, t, on_reach);
+    }
+    out.extend_from_slice(&b[j..]);
+    for &y in &b[j..] {
+        em_u.push(y, u, t, on_reach);
+    }
+    (em_u.finish(u, t, on_reach), em_v.finish(v, t, on_reach))
+}
+
+// ---------------------------------------------------------------------------
+// Micro-workload scaffolding
+// ---------------------------------------------------------------------------
+
+/// Median wall-clock of `reps` runs after one warm-up call.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    black_box(f());
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Deterministic word patterns (dense/sparse mix) into a fresh slab.
+fn patterned_slab(seed: u64, len: usize) -> AlignedSlab {
+    let mut s = AlignedSlab::new();
+    s.resize_zeroed(len);
+    let mut state = seed | 1;
+    for (i, w) in s.words_mut().iter_mut().enumerate() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *w = if i % 5 == 0 { 0 } else { state };
+    }
+    s
+}
+
+/// A sorted duplicate-free lane list of `len` lanes spread over `stride`
+/// steps (stride > 1 leaves gaps for the other side's exclusives).
+fn strided_lanes(start: u32, len: usize, stride: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| start + i * stride).collect()
+}
+
+/// The wide clique n=4096 closure inner-loop shape, one full pass:
+/// apply row (v+1) → v then commit row v, for all 4096 rows of W = 64
+/// words. `kernel: true` routes through the kernel layer, `false`
+/// through the verbatim pre-kernel loops. Returns (any-fold, fresh
+/// total, callback count) so both sides stay observable and comparable.
+fn clique_pass(before: &mut AlignedSlab, delta: &mut AlignedSlab, kernel: bool) -> (u64, u32, u32) {
+    let rows = before.len() / CLIQUE_W;
+    let before = before.words_mut();
+    let delta = delta.words_mut();
+    let (mut any, mut fresh, mut calls) = (0u64, 0u32, 0u32);
+    for v in 0..rows {
+        let from = (v + 1) % rows;
+        let (lo, hi) = (v.min(from) * CLIQUE_W, v.max(from) * CLIQUE_W);
+        let (head, tail) = before.split_at_mut(hi);
+        let (bf, bt) = if from > v {
+            (&tail[..CLIQUE_W], &mut head[lo..lo + CLIQUE_W])
+        } else {
+            (&head[lo..lo + CLIQUE_W] as &[u64], &mut tail[..CLIQUE_W])
+        };
+        let dt = &mut delta[v * CLIQUE_W..(v + 1) * CLIQUE_W];
+        if kernel {
+            any |= kernels::ornot_accumulate(dt, bf, bt);
+            fresh += kernels::commit_fresh(dt, bt, |_, _| calls += 1);
+        } else {
+            any |= baseline_apply(bf, bt, dt);
+            fresh += baseline_commit(dt, bt, |_, _| calls += 1);
+        }
+    }
+    (any, fresh, calls)
+}
+
+const CLIQUE_W: usize = 64; // 4096 lanes per frontier row
+
+// ---------------------------------------------------------------------------
+// Runtime bit-identity smoke (kernel vs scalar reference, this binary)
+// ---------------------------------------------------------------------------
+
+/// Assert every kernel agrees with its scalar reference on a spread of
+/// ragged lengths and patterns — the runtime cousin of the
+/// `kernel_proptests` differential suite, run by CI on every push.
+fn kernel_identity_smoke() {
+    for seed in 1..5u64 {
+        for len in [0usize, 1, 7, 8, 63, 64, 65, 200, 257] {
+            let a = patterned_slab(seed ^ 0x11, len);
+            let b = patterned_slab(seed ^ 0x22, len);
+            let mut d1 = patterned_slab(seed ^ 0x33, len);
+            let mut d2 = d1.words().to_vec();
+            let any1 = kernels::ornot_accumulate(d1.words_mut(), a.words(), b.words());
+            let any2 = scalar::ornot_accumulate(&mut d2, a.words(), b.words());
+            assert_eq!(d1.words(), &d2[..], "ornot seed {seed} len {len}");
+            assert_eq!(any1, any2);
+
+            let mut dk = patterned_slab(seed ^ 0x44, len);
+            let mut bk = patterned_slab(seed ^ 0x55, len);
+            let (mut ds, mut bs) = (dk.words().to_vec(), bk.words().to_vec());
+            let (mut e1, mut e2) = (Vec::new(), Vec::new());
+            let t1 = kernels::commit_fresh(dk.words_mut(), bk.words_mut(), |w, f| e1.push((w, f)));
+            let t2 = scalar::commit_fresh(&mut ds, &mut bs, |w, f| e2.push((w, f)));
+            assert_eq!(
+                (dk.words(), bk.words(), &e1, t1),
+                (&ds[..], &bs[..], &e2, t2),
+                "commit seed {seed} len {len}"
+            );
+            assert_eq!(
+                kernels::popcount_words(bk.words()),
+                scalar::popcount_words(&bs)
+            );
+        }
+    }
+    // Merge kernels vs references, both skew regimes.
+    let long = strided_lanes(0, 5000, 3);
+    let short = strided_lanes(1, 40, 301);
+    let mut out = Vec::new();
+    for (d, s) in [(&long, &short), (&short, &long), (&long, &long)] {
+        let mut got = Vec::new();
+        let fresh = kernels::merge_into_emitting(d, s, &mut out, 1, 2, &mut |_, w, m, _| {
+            got.push((w, m));
+        });
+        let excl = scalar::exclusives(d, s);
+        assert_eq!(out, scalar::merge_union(d, s));
+        assert_eq!(fresh as usize, excl.len());
+        assert_eq!(got, scalar::grouped_masks(&excl));
+    }
+    let (mut gu, mut gv) = (Vec::new(), Vec::new());
+    let (fu, fv) =
+        kernels::merge_dual_emitting(&long, &short, &mut out, 1, 2, 3, &mut |v, w, m, _| {
+            if v == 1 {
+                gu.push((w, m));
+            } else {
+                gv.push((w, m));
+            }
+        });
+    assert_eq!(out, scalar::merge_union(&long, &short));
+    assert_eq!(fu as usize, scalar::exclusives(&long, &short).len());
+    assert_eq!(fv as usize, scalar::exclusives(&short, &long).len());
+    assert_eq!(
+        gu,
+        scalar::grouped_masks(&scalar::exclusives(&long, &short))
+    );
+    assert_eq!(
+        gv,
+        scalar::grouped_masks(&scalar::exclusives(&short, &long))
+    );
+    println!("kernel smoke: kernels bit-identical to scalar reference");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end rows: the five PR7 workloads, same seeds, same fields
+// ---------------------------------------------------------------------------
+
+struct Workload {
+    name: &'static str,
+    tn: TemporalNetwork,
+}
+
+/// The avg-degree-4 `G(n, p)` at lifetime `a = 4n` (the PR5/PR7 seed
+/// stream).
+fn gnp_a4n(n: usize) -> TemporalNetwork {
+    let mut rng = default_rng(4);
+    let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
+    sample_urtn(g, 4 * n as Time, &mut rng)
+}
+
+/// The five PR7 headline workloads, identical seeds and names, so the
+/// PR8 rows diff cleanly against `BENCH_PR7.json`.
+fn end_to_end_workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let mut rng = default_rng(2);
+    let g = generators::gnp(4096, 4.0 / 4096.0, false, &mut rng);
+    out.push(Workload {
+        name: "gnp_n4096_a4n",
+        tn: sample_urtn(g, 4 * 4096, &mut rng),
+    });
+    let mut rng = default_rng(3);
+    let p = 1.5 * 4096f64.ln() / 4096.0;
+    let g = generators::gnp(4096, p, false, &mut rng);
+    out.push(Workload {
+        name: "gnp_crit_n4096",
+        tn: sample_urtn(g, 4096, &mut rng),
+    });
+    let mut rng = default_rng(1);
+    out.push(Workload {
+        name: "clique_n1024",
+        tn: sample_normalized_urt_clique(1024, true, &mut rng),
+    });
+    for (name, n) in [("gnp_n16384_a4n", 16384usize), ("gnp_n65536_a4n", 65536)] {
+        out.push(Workload {
+            name,
+            tn: gnp_a4n(n),
+        });
+    }
+    out
+}
+
+/// All-pairs closure / instance diameter, single-threaded, exactly as
+/// `sparse_vs_wide` times it.
+fn all_pairs<S: FrontierEngine>(
+    tn: &TemporalNetwork,
+    sweeper: &mut S,
+    blocks: usize,
+) -> (InstanceDiameter, usize, bool) {
+    let n = tn.num_nodes();
+    let mut max_finite: Time = 0;
+    let mut unreachable_pairs = 0usize;
+    let mut buckets = 0usize;
+    let mut reached = 0usize;
+    for block in source_blocks(n, blocks) {
+        let stats = sweeper.sweep(tn, block, 0, |_, _, _, _| {});
+        max_finite = max_finite.max(stats.last_arrival);
+        unreachable_pairs += stats.unreached_pairs(n);
+        buckets = buckets.max(stats.buckets_visited);
+        reached += stats.reached_bits;
+    }
+    (
+        InstanceDiameter {
+            max_finite,
+            unreachable_pairs,
+        },
+        buckets,
+        reached == n * n,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Trend gate: PR8 vs PR7 on the five shared end-to-end workloads
+// ---------------------------------------------------------------------------
+
+/// Extract `(workload, speedup)` pairs from a headline JSON dump by
+/// string scan (same format as `sparse_vs_wide`).
+fn scan_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"workload\":\"") else {
+            continue;
+        };
+        let Some(end) = rest.find('"') else { continue };
+        let name = &rest[..end];
+        let Some(tail) = rest.find("\"speedup\":").map(|i| &rest[i + 10..]) else {
+            continue;
+        };
+        let value: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(s) = value.parse::<f64>() {
+            out.push((name.to_owned(), s));
+        }
+    }
+    out
+}
+
+/// The `-- --test` non-regression gate: the committed `BENCH_PR8.json`
+/// end-to-end speedups must stay within 0.9× of the committed
+/// `BENCH_PR7.json` at every one of the five shared workloads — the
+/// kernel layer must not have cost either engine its standing.
+fn check_pr8_trend() {
+    let pr7 = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json"));
+    let pr8 = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json"));
+    let (Ok(pr7), Ok(pr8)) = (pr7, pr8) else {
+        println!("kernel trend: committed baselines missing, skipping");
+        return;
+    };
+    let baseline = scan_speedups(&pr7);
+    let current = scan_speedups(&pr8);
+    assert!(
+        !baseline.is_empty() && !current.is_empty(),
+        "both baselines must carry speedup rows"
+    );
+    let mut shared = 0usize;
+    for (name, s7) in &baseline {
+        let Some((_, s8)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        shared += 1;
+        assert!(
+            *s8 >= 0.9 * s7,
+            "speedup regression on {name}: PR7 {s7:.2}x -> PR8 {s8:.2}x"
+        );
+        println!("kernel trend {name}: PR7 {s7:.2}x -> PR8 {s8:.2}x ok");
+    }
+    assert!(
+        shared >= 5,
+        "the five shared workloads must survive renames"
+    );
+    println!("kernel trend: PR8 within 0.9x of PR7 on {shared} shared workloads");
+}
+
+// ---------------------------------------------------------------------------
+// The benchmark
+// ---------------------------------------------------------------------------
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    kernel_identity_smoke();
+
+    // Bit-identity of the clique pass itself: baseline and kernel runs
+    // from identical seeds must land on identical slabs, callback
+    // counts and fresh totals.
+    {
+        let rows = if smoke { 64 } else { 512 };
+        let mut b1 = patterned_slab(9, rows * CLIQUE_W);
+        let mut d1 = AlignedSlab::new();
+        d1.resize_zeroed(rows * CLIQUE_W);
+        let mut b2 = patterned_slab(9, rows * CLIQUE_W);
+        let mut d2 = AlignedSlab::new();
+        d2.resize_zeroed(rows * CLIQUE_W);
+        for _ in 0..3 {
+            let r1 = clique_pass(&mut b1, &mut d1, true);
+            let r2 = clique_pass(&mut b2, &mut d2, false);
+            assert_eq!(r1, r2, "clique pass diverged");
+            assert_eq!(b1.words(), b2.words());
+            assert_eq!(d1.words(), d2.words());
+        }
+        println!("kernel smoke: apply/commit passes bit-identical to pre-kernel loops");
+    }
+
+    // Criterion group: the micro kernels under the statistical harness.
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(if smoke { 2 } else { 10 });
+    let rows = if smoke { 64 } else { 4096 };
+    let mut before = patterned_slab(1, rows * CLIQUE_W);
+    let mut delta = AlignedSlab::new();
+    delta.resize_zeroed(rows * CLIQUE_W);
+    group.bench_function("clique4096_apply_commit_kernel", |b| {
+        b.iter(|| black_box(clique_pass(&mut before, &mut delta, true)))
+    });
+    group.bench_function("clique4096_apply_commit_baseline", |b| {
+        b.iter(|| black_box(clique_pass(&mut before, &mut delta, false)))
+    });
+    let d_len = if smoke { 2000 } else { 50_000 };
+    let long = strided_lanes(0, d_len, 3);
+    let short = strided_lanes(1, 64, (d_len / 32) as u32 | 1);
+    let mut out = Vec::new();
+    group.bench_function("a4n_merge_skew_kernel", |b| {
+        b.iter(|| {
+            black_box(kernels::merge_into_emitting(
+                &long,
+                &short,
+                &mut out,
+                0,
+                1,
+                &mut |_, _, _, _| {},
+            ))
+        })
+    });
+    group.bench_function("a4n_merge_skew_baseline", |b| {
+        b.iter(|| {
+            black_box(baseline_merge_into(
+                &long,
+                &short,
+                &mut out,
+                0,
+                1,
+                &mut |_, _, _, _| {},
+            ))
+        })
+    });
+    group.finish();
+
+    if smoke {
+        check_pr8_trend();
+        return;
+    }
+
+    // Micro rows: median timings, kernel vs verbatim pre-kernel loops on
+    // the same data, same run.
+    let reps = 9;
+    let mut kernel_rows = Vec::new();
+    let mut record = |name: &str, baseline_ns: u128, kernel_ns: u128| {
+        let speedup = baseline_ns as f64 / kernel_ns as f64;
+        println!(
+            "kernels/{name}: baseline {:.3} ms, kernel {:.3} ms, speedup {:.2}x",
+            baseline_ns as f64 / 1e6,
+            kernel_ns as f64 / 1e6,
+            speedup,
+        );
+        kernel_rows.push(format!(
+            "    {{\"workload\":\"{name}\",\"baseline_ns\":{baseline_ns},\"kernel_ns\":{kernel_ns},\"speedup\":{}}}",
+            format_args!("{speedup:.2}"),
+        ));
+        speedup
+    };
+
+    // The wide clique n=4096 closure shape: 4096 rows × 64 words.
+    let kernel_ns = time_median(reps, || clique_pass(&mut before, &mut delta, true)).as_nanos();
+    let baseline_ns = time_median(reps, || clique_pass(&mut before, &mut delta, false)).as_nanos();
+    record("clique4096_apply_commit", baseline_ns, kernel_ns);
+
+    // Popcount over the clique-sized closure matrix.
+    let bits = patterned_slab(7, rows * CLIQUE_W);
+    let kernel_ns = time_median(reps, || kernels::popcount_words(bits.words())).as_nanos();
+    let baseline_ns = time_median(reps, || scalar::popcount_words(bits.words())).as_nanos();
+    record("clique4096_popcount", baseline_ns, kernel_ns);
+
+    // The a4n merge throughput rows: a long-lived frontier (50k lanes)
+    // absorbing one small bucket's sources — the galloping regime — and
+    // a balanced dual merge. Each timed call performs `m` merges.
+    let m = 200usize;
+    let mut sink = 0u64;
+    let kernel_ns = time_median(reps, || {
+        for _ in 0..m {
+            sink += u64::from(kernels::merge_into_emitting(
+                &long,
+                &short,
+                &mut out,
+                0,
+                1,
+                &mut |_, _, _, _| {},
+            ));
+        }
+        sink
+    })
+    .as_nanos();
+    let baseline_ns = time_median(reps, || {
+        for _ in 0..m {
+            sink += u64::from(baseline_merge_into(
+                &long,
+                &short,
+                &mut out,
+                0,
+                1,
+                &mut |_, _, _, _| {},
+            ));
+        }
+        sink
+    })
+    .as_nanos();
+    let headline = record("a4n_merge_skew", baseline_ns, kernel_ns);
+
+    let a = strided_lanes(0, 600, 3);
+    let b = strided_lanes(1, 600, 3);
+    let kernel_ns = time_median(reps, || {
+        for _ in 0..m {
+            let (fu, fv) =
+                kernels::merge_dual_emitting(&a, &b, &mut out, 0, 1, 2, &mut |_, _, _, _| {});
+            sink += u64::from(fu) + u64::from(fv);
+        }
+        sink
+    })
+    .as_nanos();
+    let baseline_ns = time_median(reps, || {
+        for _ in 0..m {
+            let (fu, fv) = baseline_merge_dual(&a, &b, &mut out, 0, 1, 2, &mut |_, _, _, _| {});
+            sink += u64::from(fu) + u64::from(fv);
+        }
+        sink
+    })
+    .as_nanos();
+    record("a4n_merge_balanced", baseline_ns, kernel_ns);
+    black_box(sink);
+    assert!(
+        headline >= 1.3,
+        "the galloping merge must clear 1.3x over the pre-kernel walk (got {headline:.2}x)"
+    );
+
+    // End-to-end refresh: the five PR7 workloads, same fields, so the
+    // committed trajectory diffs release over release.
+    let mut rows_json = Vec::new();
+    for w in &end_to_end_workloads() {
+        let n = w.tn.num_nodes();
+        let wide_reps = if n > 16384 { 1 } else { 5 };
+        let mut sweeper = WideSweeper::new();
+        let wide_ns = time_median(wide_reps, || {
+            all_pairs::<WideSweeper>(&w.tn, &mut sweeper, cache_block_count(n))
+        })
+        .as_nanos();
+        let mut sparse_sweeper = SparseSweeper::new();
+        let sparse_ns = time_median(5, || {
+            all_pairs::<SparseSweeper>(&w.tn, &mut sparse_sweeper, 1)
+        })
+        .as_nanos();
+        let (_, buckets, all_reached) = all_pairs::<SparseSweeper>(&w.tn, &mut sparse_sweeper, 1);
+        let speedup = wide_ns as f64 / sparse_ns as f64;
+        println!(
+            "kernel_bench/{}: wide {:.3} ms, sparse {:.3} ms, speedup {:.2}x, engine {}",
+            w.name,
+            wide_ns as f64 / 1e6,
+            sparse_ns as f64 / 1e6,
+            speedup,
+            EngineChoice::pick_for(&w.tn).name(),
+        );
+        rows_json.push(format!(
+            "    {{\"workload\":\"{}\",\"n\":{},\"edges\":{},\"lifetime\":{},\"occupied\":{},\"dispatch\":\"{}\",\"wide_ns\":{},\"sparse_ns\":{},\"speedup\":{},\"sparse_buckets_visited\":{},\"all_reached\":{}}}",
+            w.name,
+            n,
+            w.tn.graph().num_edges(),
+            w.tn.lifetime(),
+            w.tn.occupied_times().len(),
+            EngineChoice::pick_for(&w.tn).name(),
+            wide_ns,
+            sparse_ns,
+            format_args!("{speedup:.2}"),
+            buckets,
+            all_reached,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\":\"kernel_bench\",\n  \"pr\":8,\n  \"op\":\"all_pairs_closure_diameter\",\n  \"threads\":1,\n  \"reps\":{reps},\n  \"results\":[\n{}\n  ],\n  \"kernels\":[\n{}\n  ]\n}}\n",
+        rows_json.join(",\n"),
+        kernel_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("headline numbers written to BENCH_PR8.json"),
+        Err(e) => eprintln!("could not write BENCH_PR8.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

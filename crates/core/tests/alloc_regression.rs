@@ -306,4 +306,38 @@ fn warm_montecarlo_trials_do_not_allocate() {
         recorded.reached_bits,
         "every pair reverted, so the maintained closure is the recorded one"
     );
+
+    // The aligned kernel slabs directly: every engine above already runs
+    // on `AlignedSlab` rows and the `AlignedLanes` arena, but pin the
+    // primitives too — allocation happens at first sizing only; warm
+    // resizes within capacity re-zero and re-derive the aligned offset
+    // without touching the allocator, and warm arena refills likewise.
+    use ephemeral_temporal::kernels::{AlignedLanes, AlignedSlab, SLAB_ALIGN_BYTES};
+    let mut slab = AlignedSlab::new();
+    slab.resize_zeroed(4096);
+    let mut lanes = AlignedLanes::new();
+    lanes.clear();
+    lanes.reserve(4096);
+    let before = allocations();
+    let mut acc = 0usize;
+    for round in 0..50 {
+        slab.resize_zeroed(4096 - round % 7);
+        slab.words_mut()[round] = !0;
+        acc += slab.words()[round].count_ones() as usize;
+        lanes.clear();
+        for lane in 0..1000u32 {
+            lanes.push(lane);
+        }
+        lanes.extend_from_slice(&[7; 64]);
+        acc += lanes.len();
+        assert_eq!(slab.words().as_ptr() as usize % SLAB_ALIGN_BYTES, 0);
+        assert_eq!(lanes.as_ptr() as usize % SLAB_ALIGN_BYTES, 0);
+    }
+    let during = allocations() - before;
+    assert!(acc > 0, "keep the loop observable");
+    assert_eq!(
+        during, 0,
+        "warm aligned-slab resizes and arena refills must not allocate \
+         (saw {during} allocations in 50 rounds)"
+    );
 }

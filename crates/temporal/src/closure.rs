@@ -16,6 +16,7 @@
 //! `tests/wide_proptests.rs` and `tests/sparse_proptests.rs`).
 
 use crate::engine::{batch_count, batch_range, BatchSweeper};
+use crate::kernels;
 use crate::network::TemporalNetwork;
 use crate::sparse::{EngineChoice, FrontierRun};
 use crate::wide::{source_blocks, FrontierEngine};
@@ -61,12 +62,10 @@ impl ReachabilityMatrix {
                     sweeper.sweep(tn, &sources, 0, |_, _, _| {});
                     let mut rows = vec![0u64; sources.len() * words_per_row];
                     for v in 0..n {
-                        let mut lanes = sweeper.lanes_reaching(v as NodeId);
-                        while lanes != 0 {
-                            let lane = lanes.trailing_zeros() as usize;
+                        let lanes = sweeper.lanes_reaching(v as NodeId);
+                        kernels::for_each_set_lane(std::slice::from_ref(&lanes), |lane| {
                             rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
-                            lanes &= lanes - 1;
-                        }
+                        });
                     }
                     rows
                 })
@@ -100,7 +99,7 @@ impl ReachabilityMatrix {
     #[must_use]
     pub fn out_count(&self, s: NodeId) -> usize {
         let row = &self.bits[s as usize * self.words_per_row..][..self.words_per_row];
-        row.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount_words(row)
     }
 
     /// Number of vertices that reach `t` (including `t`).
@@ -114,7 +113,7 @@ impl ReachabilityMatrix {
     /// Ordered pairs `(s, t)`, `s ≠ t`, **without** a journey.
     #[must_use]
     pub fn missing_pairs(&self) -> usize {
-        let total_set: usize = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+        let total_set = kernels::popcount_words(&self.bits);
         // Every diagonal bit is set, so reachable ordered off-diagonal pairs
         // are total_set − n.
         self.n * self.n - total_set
@@ -146,14 +145,9 @@ fn closure_blocks<S: FrontierEngine>(
         let mut rows = vec![0u64; block.len() * words_per_row];
         sweeper.for_each_reach_row(|v, row| {
             let (vw, vb) = (v as usize / 64, v % 64);
-            for (w, &word) in row.iter().enumerate() {
-                let mut lanes = word;
-                while lanes != 0 {
-                    let lane = w * 64 + lanes.trailing_zeros() as usize;
-                    rows[lane * words_per_row + vw] |= 1 << vb;
-                    lanes &= lanes - 1;
-                }
-            }
+            kernels::for_each_set_lane(row, |lane| {
+                rows[lane * words_per_row + vw] |= 1 << vb;
+            });
         });
         rows
     })

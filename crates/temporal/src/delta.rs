@@ -112,6 +112,7 @@
 //! assert!(delta.replayed_buckets >= 1);
 //! ```
 
+use crate::kernels::{self, AlignedSlab};
 use crate::network::{LabelMove, TemporalNetwork};
 use crate::sparse::{EngineChoice, FrontierRun, SparseSweeper};
 use crate::wide::{EngineKind, FrontierEngine, SweepScratch, WideStats, WideSweeper};
@@ -190,10 +191,10 @@ pub struct DeltaApply {
 pub struct DeltaCursor {
     n: usize,
     width: usize,
-    /// Row-major `n × width` closure matrix (diagonal seeded), held at
-    /// the **final** state between applies; only opened rows are ever
-    /// rewound mid-apply.
-    rows: Vec<u64>,
+    /// Row-major `n × width` closure matrix (diagonal seeded) in a
+    /// 64-byte-aligned slab, held at the **final** state between
+    /// applies; only opened rows are ever rewound mid-apply.
+    rows: AlignedSlab,
     /// Word-occupancy summary: bit `w` of `occupancy[v·sw + w/64]` is
     /// set iff word `w` of row `v` is nonzero (`sw = ⌈width/64⌉`) —
     /// lets the frozen accumulation walk only the populated words of a
@@ -269,7 +270,7 @@ impl DeltaCursor {
     #[must_use]
     pub fn reach_word(&self, v: NodeId, w: usize) -> u64 {
         assert!(w < self.width, "word {w} out of range");
-        self.rows[v as usize * self.width + w]
+        self.rows.words()[v as usize * self.width + w]
     }
 
     /// Sweep statistics of the maintained closure; see the type-level
@@ -300,8 +301,7 @@ impl DeltaCursor {
         self.n = n;
         self.width = width;
         self.sw = width.div_ceil(64);
-        self.rows.clear();
-        self.rows.resize(n * width, 0);
+        self.rows.resize_zeroed(n * width);
         self.occupancy.clear();
         self.occupancy.resize(n * self.sw, 0);
         for log in &mut self.rowlog {
@@ -333,8 +333,11 @@ impl DeltaCursor {
         self.hstamp.clear();
         self.hstamp.resize(n, 0);
         self.apply_gen = 0;
-        for v in 0..n {
-            self.rows[v * width + v / 64] |= 1 << (v % 64);
+        {
+            let rows = self.rows.words_mut();
+            for v in 0..n {
+                rows[v * width + v / 64] |= 1 << (v % 64);
+            }
         }
         let mut reached = n;
         let Self {
@@ -345,6 +348,7 @@ impl DeltaCursor {
             last_arrival,
             ..
         } = self;
+        let rows = rows.words_mut();
         let stats = engine.sweep(tn, 0..n as NodeId, 0, |v, w, fresh, t| {
             let idx = v as usize * width + w;
             debug_assert_eq!(rows[idx] & fresh, 0, "a reach bit set twice");
@@ -366,12 +370,12 @@ impl DeltaCursor {
         });
         debug_assert_eq!(reached, stats.reached_bits);
         self.reached = reached;
+        let rows = self.rows.words();
         for v in 0..n {
-            for w in 0..width {
-                if self.rows[v * width + w] != 0 {
-                    self.occupancy[v * self.sw + w / 64] |= 1 << (w % 64);
-                }
-            }
+            kernels::nonzero_word_mask(
+                &rows[v * width..(v + 1) * width],
+                &mut self.occupancy[v * self.sw..(v + 1) * self.sw],
+            );
         }
         stats
     }
@@ -436,6 +440,7 @@ impl DeltaCursor {
             apply_gen,
             ..
         } = self;
+        let rows = rows.words_mut();
 
         // Seed the agenda with the two moved buckets — `from` must be
         // visited even when the move emptied its bucket (its lingering
@@ -705,7 +710,7 @@ fn open_to(
         for e in &log[pos..] {
             let idx = base + e.word as usize;
             debug_assert_eq!(rows[idx] & e.mask, e.mask);
-            rows[idx] &= !e.mask;
+            rows[idx] = kernels::ornot_word(rows[idx], e.mask);
             occ_update(occupancy, sw, width, idx, rows[idx]);
             *reached -= e.mask.count_ones() as usize;
         }
@@ -773,7 +778,7 @@ fn accumulate(
         while summary != 0 {
             let w = (swi << 6) + summary.trailing_zeros() as usize;
             summary &= summary - 1;
-            let fresh = rows[fbase + w] & !rows[tbase + w];
+            let fresh = kernels::ornot_word(rows[fbase + w], rows[tbase + w]);
             if fresh != 0 {
                 let idx = tbase + w;
                 if pstamp[idx] != epoch {

@@ -44,6 +44,7 @@
 //! for **few-source** queries at any size, and the scalar `foremost`
 //! stays as the differential-testing oracle for all of them.
 
+use crate::kernels::ornot_word;
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
@@ -196,7 +197,7 @@ impl BatchSweeper {
                 let bu = self.before[u as usize];
                 let bv = self.before[v as usize];
                 // u -> v: lanes that left u before t and have not seen v.
-                let forward = bu & !bv;
+                let forward = ornot_word(bu, bv);
                 if forward != 0 {
                     if self.delta[v as usize] == 0 {
                         self.touched.push(v);
@@ -205,7 +206,7 @@ impl BatchSweeper {
                 }
                 // v -> u for undirected edges.
                 if !directed {
-                    let backward = bv & !bu;
+                    let backward = ornot_word(bv, bu);
                     if backward != 0 {
                         if self.delta[u as usize] == 0 {
                             self.touched.push(u);
@@ -219,7 +220,7 @@ impl BatchSweeper {
             // while the bucket is scanned.
             let mut touched = std::mem::take(&mut self.touched);
             for &v in &touched {
-                let fresh = self.delta[v as usize] & !self.before[v as usize];
+                let fresh = ornot_word(self.delta[v as usize], self.before[v as usize]);
                 self.delta[v as usize] = 0;
                 if fresh != 0 {
                     self.before[v as usize] |= fresh;

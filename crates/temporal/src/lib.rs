@@ -80,6 +80,14 @@
 //!   and [`TemporalNetwork::replace_assignment`] rebuilds the time-edge
 //!   index without reallocating — the zero-allocation per-trial path of the
 //!   Monte Carlo estimators in `ephemeral-core`.
+//! * [`kernels`]: the single explicit word-kernel layer all three sweep
+//!   engines route their inner loops through — unrolled-chunk OR/ANDN
+//!   accumulate/commit, popcounts, branch-light (and galloping)
+//!   sorted-`u32` merges, and the 64-byte-aligned slab types backing
+//!   frontier rows and the sparse arena — each kernel pinned
+//!   bit-identical to a naive scalar reference
+//!   (`tests/kernel_proptests.rs`). The seam a future GPU/ISPC backend
+//!   would replace.
 //! * [`interval`]: continuous (window) availability with a Dijkstra-style
 //!   foremost; [`reference`](mod@reference): the sort-based foremost used
 //!   for differential testing and ablation benchmarking.
@@ -112,6 +120,7 @@ pub mod foremost;
 pub mod hops;
 pub mod interval;
 mod journey;
+pub mod kernels;
 pub mod metrics;
 mod network;
 pub mod reachability;

@@ -93,6 +93,9 @@
 //! crossover shifts wide-ward as workers grow (pinned by
 //! `parallel_dispatch_crossover_pins_the_worker_count`).
 
+use crate::kernels::{
+    self, emit, merge_dual_emitting, merge_into_emitting, AlignedLanes, AlignedSlab,
+};
 use crate::network::TemporalNetwork;
 use crate::wide::{
     cache_block_count, EngineKind, FrontierEngine, SweepScratch, WideStats, WideSweeper,
@@ -317,7 +320,7 @@ struct RowBlock {
     block: u32,
     /// LRU clock value at the last touch.
     tick: u64,
-    words: Vec<u64>,
+    words: AlignedSlab,
 }
 
 /// The arena is addressed by `u32` region offsets; growing past that is
@@ -339,150 +342,11 @@ struct Region {
     len: u32,
 }
 
-/// A word-grouped callback accumulator: collects consecutive fresh lanes
-/// of one 64-lane word into a mask and flushes one `on_reach` per word —
-/// the wide engine's callback granularity, produced inline during a
-/// merge (fresh lanes are discovered in ascending order).
-struct MaskEmitter {
-    word: usize,
-    mask: u64,
-    fresh: u32,
-}
-
-impl MaskEmitter {
-    #[inline]
-    const fn new() -> Self {
-        Self {
-            word: usize::MAX,
-            mask: 0,
-            fresh: 0,
-        }
-    }
-
-    #[inline]
-    fn push(
-        &mut self,
-        lane: u32,
-        v: NodeId,
-        t: Time,
-        on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
-    ) {
-        let w = (lane / 64) as usize;
-        if w != self.word {
-            if self.mask != 0 {
-                on_reach(v, self.word, self.mask, t);
-            }
-            self.word = w;
-            self.mask = 0;
-        }
-        self.mask |= 1u64 << (lane % 64);
-        self.fresh += 1;
-    }
-
-    #[inline]
-    fn finish(
-        self,
-        v: NodeId,
-        t: Time,
-        on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
-    ) -> u32 {
-        if self.mask != 0 {
-            on_reach(v, self.word, self.mask, t);
-        }
-        self.fresh
-    }
-}
-
-/// Fire `on_reach` for a sorted slice of fresh lanes, grouped per word.
-#[inline]
-fn emit(news: &[u32], v: NodeId, t: Time, on_reach: &mut impl FnMut(NodeId, usize, u64, Time)) {
-    let mut em = MaskEmitter::new();
-    for &lane in news {
-        em.push(lane, v, t, on_reach);
-    }
-    let _ = em.finish(v, t, on_reach);
-}
-
-/// Union-merge the sorted lists of `u` and `v` into `out` (cleared
-/// first), emitting each side's exclusives as the other side's fresh
-/// arrivals inline. Returns `(fresh_u, fresh_v)`.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn merge_dual_emitting(
-    a: &[u32],
-    b: &[u32],
-    out: &mut Vec<u32>,
-    u: NodeId,
-    v: NodeId,
-    t: Time,
-    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
-) -> (u32, u32) {
-    out.clear();
-    let mut em_u = MaskEmitter::new(); // b-exclusives reach u
-    let mut em_v = MaskEmitter::new(); // a-exclusives reach v
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        let x = a[i];
-        let y = b[j];
-        out.push(x.min(y));
-        if x < y {
-            em_v.push(x, v, t, on_reach);
-            i += 1;
-        } else if y < x {
-            em_u.push(y, u, t, on_reach);
-            j += 1;
-        } else {
-            i += 1;
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    for &x in &a[i..] {
-        em_v.push(x, v, t, on_reach);
-    }
-    out.extend_from_slice(&b[j..]);
-    for &y in &b[j..] {
-        em_u.push(y, u, t, on_reach);
-    }
-    (em_u.finish(u, t, on_reach), em_v.finish(v, t, on_reach))
-}
-
-/// Union-merge the frozen source list `src` into the live dst list `d`,
-/// writing the union into `out` (cleared first) and emitting the
-/// src-exclusives as fresh arrivals of `dst`. Returns the fresh count.
-#[inline]
-fn merge_into_emitting(
-    d: &[u32],
-    src: &[u32],
-    out: &mut Vec<u32>,
-    dst: NodeId,
-    t: Time,
-    on_reach: &mut impl FnMut(NodeId, usize, u64, Time),
-) -> u32 {
-    out.clear();
-    let mut em = MaskEmitter::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < d.len() && j < src.len() {
-        let x = d[i];
-        let y = src[j];
-        out.push(x.min(y));
-        if x < y {
-            i += 1;
-        } else if y < x {
-            em.push(y, dst, t, on_reach);
-            j += 1;
-        } else {
-            i += 1;
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&d[i..]);
-    out.extend_from_slice(&src[j..]);
-    for &y in &src[j..] {
-        em.push(y, dst, t, on_reach);
-    }
-    em.finish(dst, t, on_reach)
-}
+// The merge inner loops — `kernels::merge_dual_emitting`,
+// `kernels::merge_into_emitting` (branch-light, with a galloping path for
+// skewed list sizes) and the word-grouped `kernels::emit` — live in
+// [`crate::kernels`] with the rest of the hot word kernels, pinned
+// bit-identical to scalar references there.
 
 /// Reusable scratch state of the event-driven sparse-frontier sweep.
 ///
@@ -514,10 +378,10 @@ fn merge_into_emitting(
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseSweeper {
-    /// Append-only storage of the sorted lane lists; regions are
-    /// immutable once written (updates append and re-point), which is
-    /// what makes region sharing sound.
-    arena: Vec<u32>,
+    /// Append-only storage of the sorted lane lists in a 64-byte-aligned
+    /// lane buffer; regions are immutable once written (updates append
+    /// and re-point), which is what makes region sharing sound.
+    arena: AlignedLanes,
     /// Per-vertex frontier region (`len == lanes` ⇔ saturated).
     meta: Vec<Region>,
     /// Pre-bucket region + version snapshots for conflicted buckets
@@ -547,7 +411,7 @@ pub struct SparseSweeper {
     /// ping-pong with `arena`).
     compact_keys: Vec<(u32, u32)>,
     compact_starts: Vec<u32>,
-    compact_buf: Vec<u32>,
+    compact_buf: AlignedLanes,
     /// Arena words below which compaction is never considered
     /// (`0` = the `COMPACT_MIN_WORDS` default).
     compact_floor: usize,
@@ -563,7 +427,7 @@ pub struct SparseSweeper {
     /// (`0` = [`DEFAULT_CLOSURE_BUDGET_BYTES`]).
     closure_budget: usize,
     /// Pooled row buffer of [`SparseSweeper::for_each_reach_row`].
-    row_buf: Vec<u64>,
+    row_buf: AlignedSlab,
     /// Words per row of the most recent sweep.
     width: usize,
     /// Vertices of the most recent sweep.
@@ -610,7 +474,7 @@ impl SparseSweeper {
         };
         self.cache_tick += 1;
         self.cache[slot].tick = self.cache_tick;
-        self.cache[slot].words[(vi % CLOSURE_BLOCK_ROWS) * self.width + w]
+        self.cache[slot].words.words()[(vi % CLOSURE_BLOCK_ROWS) * self.width + w]
     }
 
     /// Fill the closure row block `b` from the reacher lists into a free
@@ -646,14 +510,15 @@ impl SparseSweeper {
         } = self;
         let s = &mut cache[slot];
         s.block = b;
-        s.words.clear();
-        s.words.resize(CLOSURE_BLOCK_ROWS * width, 0);
+        s.words.resize_zeroed(CLOSURE_BLOCK_ROWS * width);
+        let words = s.words.words_mut();
         for (i, m) in meta[lo..hi].iter().enumerate() {
             let st = m.start as usize;
             let row = i * width;
-            for &lane in &arena[st..st + m.len as usize] {
-                s.words[row + lane as usize / 64] |= 1 << (lane % 64);
-            }
+            kernels::set_lane_bits(
+                &mut words[row..row + width],
+                &arena[st..st + m.len as usize],
+            );
         }
         slot
     }
@@ -677,18 +542,14 @@ impl SparseSweeper {
             arena,
             ..
         } = self;
-        row_buf.clear();
-        row_buf.resize(width, 0);
+        row_buf.resize_zeroed(width);
+        let row = row_buf.words_mut();
         for (x, m) in meta[..n].iter().enumerate() {
             let st = m.start as usize;
             let list = &arena[st..st + m.len as usize];
-            for &lane in list {
-                row_buf[lane as usize / 64] |= 1 << (lane % 64);
-            }
-            f(x as NodeId, row_buf);
-            for &lane in list {
-                row_buf[lane as usize / 64] = 0;
-            }
+            kernels::set_lane_bits(row, list);
+            f(x as NodeId, row);
+            kernels::clear_lane_bits(row, list);
         }
     }
 
@@ -1097,7 +958,7 @@ impl SparseSweeper {
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn propagate(
-    arena: &mut Vec<u32>,
+    arena: &mut AlignedLanes,
     meta: &mut [Region],
     out_buf: &mut Vec<u32>,
     su: usize,
@@ -1187,11 +1048,11 @@ fn schedule_incident(
 /// by the caller (`buf` ping-pongs with the arena), so warm compaction
 /// cycles allocate nothing.
 fn compact_arena(
-    arena: &mut Vec<u32>,
+    arena: &mut AlignedLanes,
     meta: &mut [Region],
     keys: &mut Vec<(u32, u32)>,
     starts: &mut Vec<u32>,
-    buf: &mut Vec<u32>,
+    buf: &mut AlignedLanes,
 ) {
     keys.clear();
     for m in meta.iter() {

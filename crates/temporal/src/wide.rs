@@ -60,6 +60,7 @@
 //! oracle for every engine.
 
 use crate::engine::BatchSweeper;
+use crate::kernels::{self, AlignedSlab, CHUNK_WORDS};
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
@@ -285,13 +286,14 @@ pub fn cache_blocks(n: usize) -> impl Iterator<Item = Range<NodeId>> {
 /// trial. `shards = 1` degenerates to the single full-width block `0..n`.
 pub fn block_schedule(n: usize, shards: usize) -> impl Iterator<Item = Range<NodeId>> {
     let words = n.div_ceil(64);
-    let parts = shards.clamp(1, words.max(1));
-    let base = words / parts;
-    let extra = words % parts;
+    let chunks = words.div_ceil(CHUNK_WORDS);
+    let parts = shards.clamp(1, chunks.max(1));
+    let base = chunks / parts;
+    let extra = chunks % parts;
     let mut word = 0usize;
     (0..parts).map(move |b| {
         let lo = (word * 64).min(n) as NodeId;
-        word += base + usize::from(b < extra);
+        word += ((base + usize::from(b < extra)) * CHUNK_WORDS).min(words - word);
         lo..(word * 64).min(n) as NodeId
     })
 }
@@ -313,19 +315,24 @@ pub fn probe_blocks(n: usize, threads: usize) -> (Range<NodeId>, Vec<Range<NodeI
 }
 
 /// Word-aligned blocks covering sources `64·lo_word .. n`, split into at
-/// most `threads` near-equal contiguous word ranges.
+/// most `threads` near-equal contiguous word ranges whose interior edges
+/// are rounded to whole [`CHUNK_WORDS`] kernel chunks — every block but
+/// the last spans a multiple of `64 · CHUNK_WORDS` lanes, so each shard's
+/// slice of a chunk-aligned frontier slab is itself whole aligned chunks
+/// (only the final tail is ragged).
 fn word_blocks(lo_word: usize, words: usize, threads: usize, n: usize) -> Vec<Range<NodeId>> {
     if words <= lo_word {
         return Vec::new();
     }
     let span = words - lo_word;
-    let blocks = threads.clamp(1, span);
-    let base = span / blocks;
-    let extra = span % blocks;
+    let chunks = span.div_ceil(CHUNK_WORDS);
+    let blocks = threads.clamp(1, chunks);
+    let base = chunks / blocks;
+    let extra = chunks % blocks;
     let mut out = Vec::with_capacity(blocks);
     let mut word = lo_word;
     for b in 0..blocks {
-        let take = base + usize::from(b < extra);
+        let take = ((base + usize::from(b < extra)) * CHUNK_WORDS).min(lo_word + span - word);
         let lo = (word * 64).min(n) as NodeId;
         let hi = ((word + take) * 64).min(n) as NodeId;
         out.push(lo..hi);
@@ -430,11 +437,15 @@ impl WideStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WideSweeper {
-    /// Row-major `n × width` matrix: lanes that reached `v` strictly
-    /// before the time being processed.
-    before: Vec<u64>,
-    /// Lanes newly arriving at `v` at the time being processed.
-    delta: Vec<u64>,
+    /// Row-major `n × stride` matrix in a 64-byte-aligned slab: lanes
+    /// that reached `v` strictly before the time being processed. Rows
+    /// start every `stride` words (`width` rounded up to a whole
+    /// [`CHUNK_WORDS`] kernel chunk), so every row base is itself
+    /// chunk-aligned; words `width..stride` of each row are dead padding.
+    before: AlignedSlab,
+    /// Lanes newly arriving at `v` at the time being processed (same
+    /// aligned `n × stride` layout).
+    delta: AlignedSlab,
     /// Vertices with a non-zero `delta` row in the current column block.
     touched: Vec<NodeId>,
     /// `stamp[v] == epoch` marks `v` as already on `touched` for the
@@ -452,6 +463,9 @@ pub struct WideSweeper {
     block_target: Vec<usize>,
     /// Words per row of the most recent sweep.
     width: usize,
+    /// Allocated words per row: `width` rounded up to a whole kernel
+    /// chunk, so consecutive rows stay 64-byte aligned.
+    stride: usize,
 }
 
 /// Words per column block of one pass: 16 words (1024 lanes) keeps a
@@ -486,7 +500,7 @@ impl WideSweeper {
     #[must_use]
     pub fn reach_word(&self, v: NodeId, w: usize) -> u64 {
         assert!(w < self.width, "word {w} out of range");
-        self.before[v as usize * self.width + w]
+        self.before.words()[v as usize * self.stride + w]
     }
 
     /// Visit the closure row of every vertex of the most recent sweep in
@@ -497,8 +511,8 @@ impl WideSweeper {
         if self.width == 0 {
             return;
         }
-        for (v, row) in self.before.chunks_exact(self.width).enumerate() {
-            f(v as NodeId, row);
+        for (v, row) in self.before.words().chunks_exact(self.stride).enumerate() {
+            f(v as NodeId, &row[..self.width]);
         }
     }
 
@@ -537,11 +551,11 @@ impl WideSweeper {
         let n = tn.num_nodes();
         let lanes = sources.len();
         let width = lanes.div_ceil(64);
+        let stride = width.next_multiple_of(CHUNK_WORDS);
         self.width = width;
-        self.before.clear();
-        self.before.resize(n * width, 0);
-        self.delta.clear();
-        self.delta.resize(n * width, 0);
+        self.stride = stride;
+        self.before.resize_zeroed(n * stride);
+        self.delta.resize_zeroed(n * stride);
         self.touched.clear();
         self.stamp.clear();
         self.stamp.resize(n, 0);
@@ -563,11 +577,14 @@ impl WideSweeper {
             let we = (wb + BLOCK_WORDS).min(width);
             self.block_target[b] = (lanes.min(we * 64) - (wb * 64).min(lanes)) * n;
         }
-        for (lane, s) in sources.clone().enumerate() {
-            assert!((s as usize) < n, "source {s} out of range");
-            self.before[s as usize * width + lane / 64] |= 1 << (lane % 64);
-            self.row_bits[s as usize] += 1;
-            self.block_reached[lane / 64 / BLOCK_WORDS] += 1;
+        {
+            let before = self.before.words_mut();
+            for (lane, s) in sources.clone().enumerate() {
+                assert!((s as usize) < n, "source {s} out of range");
+                before[s as usize * stride + lane / 64] |= 1 << (lane % 64);
+                self.row_bits[s as usize] += 1;
+                self.block_reached[lane / 64 / BLOCK_WORDS] += 1;
+            }
         }
         let target = lanes * n;
         let lane_count = lanes as u32;
@@ -587,11 +604,13 @@ impl WideSweeper {
             block_target,
             ..
         } = self;
+        let before = before.words_mut();
+        let delta = delta.words_mut();
         // Apply one direction of an edge over one block's word range: OR
         // `row(from) & !row(to)` into `delta`'s row of `to`, returning the
-        // union of the new bits. The zip over three equal-length subslices
-        // elides every bounds check, so the word loop vectorizes — the
-        // whole point of keeping the frontier rows contiguous.
+        // union of the new bits — `kernels::ornot_accumulate`, the one
+        // definition of the OR/ANDN word loop, over chunk-aligned
+        // stride-padded rows.
         let apply = |before: &[u64],
                      delta: &mut [u64],
                      from: usize,
@@ -599,16 +618,11 @@ impl WideSweeper {
                      wb: usize,
                      we: usize|
          -> u64 {
-            let bf = &before[from * width + wb..from * width + we];
-            let bt = &before[to * width + wb..to * width + we];
-            let dt = &mut delta[to * width + wb..to * width + we];
-            let mut any = 0u64;
-            for ((&bf, &bt), dt) in bf.iter().zip(bt).zip(dt) {
-                let f = bf & !bt;
-                *dt |= f;
-                any |= f;
-            }
-            any
+            kernels::ornot_accumulate(
+                &mut delta[to * stride + wb..to * stride + we],
+                &before[from * stride + wb..from * stride + we],
+                &before[to * stride + wb..to * stride + we],
+            )
         };
         for &t in tn.occupied_between(start_time, horizon) {
             if reached >= target {
@@ -655,19 +669,12 @@ impl WideSweeper {
                 // `on_reach` is a no-op.
                 let mut block_fresh = 0usize;
                 for &v in touched.iter() {
-                    let v0 = v as usize * width;
-                    let dv = &mut delta[v0 + wb..v0 + we];
-                    let bv = &mut before[v0 + wb..v0 + we];
-                    let mut row_fresh = 0u32;
-                    for (w, (d, b)) in dv.iter_mut().zip(bv.iter_mut()).enumerate() {
-                        let fresh = *d & !*b;
-                        *d = 0;
-                        *b |= fresh;
-                        row_fresh += fresh.count_ones();
-                        if fresh != 0 {
-                            on_reach(v, wb + w, fresh, t);
-                        }
-                    }
+                    let v0 = v as usize * stride;
+                    let row_fresh = kernels::commit_fresh(
+                        &mut delta[v0 + wb..v0 + we],
+                        &mut before[v0 + wb..v0 + we],
+                        |w, fresh| on_reach(v, wb + w, fresh, t),
+                    );
                     // Every touched row saw at least one fresh bit
                     // (`apply` returned non-zero against the same frozen
                     // `before`).
@@ -915,6 +922,47 @@ mod tests {
         for n in [1usize, 63, 64, 1000, 1024, 1025, 1100, 5000] {
             let collected: Vec<_> = cache_blocks(n).collect();
             assert_eq!(collected, source_blocks(n, cache_block_count(n)), "n {n}");
+        }
+    }
+
+    #[test]
+    fn block_interiors_are_chunk_aligned_and_cover_exactly() {
+        // Satellite of the kernel layer: every schedule's interior blocks
+        // span whole 64-byte kernel chunks (multiples of 64·CHUNK_WORDS
+        // lanes), only the final tail is ragged, and the union still
+        // exactly covers 0..n — for source_blocks, block_schedule AND the
+        // probe split, across thread counts.
+        let chunk_lanes = (64 * CHUNK_WORDS) as u32;
+        let check = |blocks: &[Range<NodeId>], lo: u32, n: usize, tag: &str| {
+            let mut next = lo;
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(b.start, next, "{tag}: gapless at block {i}");
+                assert!(!b.is_empty(), "{tag}: empty block {i}");
+                if i + 1 < blocks.len() {
+                    assert_eq!(
+                        (b.end - b.start) % chunk_lanes,
+                        0,
+                        "{tag}: interior block {i} not chunk-aligned"
+                    );
+                }
+                next = b.end;
+            }
+            assert_eq!(next as usize, n, "{tag}: union must cover 0..n");
+        };
+        for n in [1usize, 63, 64, 65, 150, 511, 512, 513, 1100, 4097, 100_000] {
+            for threads in [1usize, 2, 3, 5, 8, 64] {
+                let blocks = source_blocks(n, threads);
+                check(&blocks, 0, n, "source_blocks");
+                let sched: Vec<_> = block_schedule(n, threads).collect();
+                assert_eq!(sched, blocks, "block_schedule must match source_blocks");
+                let (probe, rest) = probe_blocks(n, threads);
+                assert_eq!(probe, 0..64.min(n) as NodeId);
+                if n > 64 {
+                    check(&rest, 64, n, "probe_blocks rest");
+                } else {
+                    assert!(rest.iter().all(Range::is_empty) || rest.is_empty());
+                }
+            }
         }
     }
 

@@ -77,6 +77,55 @@ fn assert_matches_cold(cursor: &DeltaCursor, tn: &TemporalNetwork) {
     }
 }
 
+/// Fixed-seed regression pins, added when the retract/replay word ops
+/// moved into [`ephemeral_temporal::kernels`]: named seeds whose
+/// maintained closures must stay bit-identical to the cold oracle — and
+/// to the dispatching matrix at 1/2/8 threads — after a fixed move
+/// sequence, deterministically.
+#[test]
+fn pinned_seeds_track_moves_bit_identically_across_threads() {
+    for (seed, n, p, directed, lifetime, steps) in [
+        (0x00FE_ED28_u64, 90usize, 0.05f64, false, 60u32, 15usize),
+        (0x00FE_ED29, 120, 0.03, true, 80, 25),
+    ] {
+        let mut tn = random_network(seed, n, p, directed, 2, lifetime);
+        let mut scratch = SweepScratch::new();
+        scratch.record_delta(&tn);
+        let mut rng = SeedSequence::new(seed).rng(43);
+        if tn.graph().num_edges() > 0 {
+            for _ in 0..steps {
+                let (e, from, to) = random_move(&tn, &mut rng);
+                scratch.delta.apply_label_move(&mut tn, e, from, to);
+            }
+        }
+        let mut cold = WideSweeper::new();
+        let stats = cold.sweep(&tn, 0..n as u32, 0, |_, _, _, _| {});
+        assert_eq!(scratch.delta.stats().reached_bits, stats.reached_bits);
+        for v in 0..n as u32 {
+            for w in 0..scratch.delta.words_per_row() {
+                assert_eq!(
+                    scratch.delta.reach_word(v, w),
+                    cold.reach_word(v, w),
+                    "seed {seed:#x} row {v} word {w}"
+                );
+            }
+        }
+        for threads in [1usize, 2, 8] {
+            let matrix = ReachabilityMatrix::compute(&tn, threads);
+            for s in 0..n as u32 {
+                for v in 0..n as u32 {
+                    let bit = scratch.delta.reach_word(v, s as usize / 64) >> (s % 64) & 1 == 1;
+                    assert_eq!(
+                        matrix.reaches(s, v),
+                        bit,
+                        "seed {seed:#x} threads {threads} pair ({s}, {v})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -313,6 +313,33 @@ proptest! {
     }
 }
 
+/// Fixed-seed regression pins, added when the merge inner loops moved
+/// into [`ephemeral_temporal::kernels`]: named seeds whose sharded folds
+/// must stay bit-identical to the scalar oracle across 1/2/8 workers —
+/// both skew regimes of the galloping merge show up in these instances.
+#[test]
+fn pinned_seeds_stay_bit_identical_across_worker_counts() {
+    for (seed, n, p, directed, max_labels, lifetime) in [
+        (0x00FE_ED18_u64, 101usize, 0.03f64, false, 1usize, 500u32),
+        (0x00FE_ED19, 130, 0.10, true, 3, 80),
+        (0x00FE_ED1A, 65, 0.25, false, 2, 30),
+    ] {
+        let tn = random_network(seed, n, p, directed, max_labels, lifetime);
+        let oracle = scalar_arrivals(&tn, 0);
+        assert_eq!(sparse_arrivals(&tn, 0), oracle, "seed {seed:#x}");
+        for workers in [1usize, 2, 8] {
+            let mut sweeper = SparseSweeper::new();
+            let mut folded = Vec::with_capacity(n * n);
+            for block in source_blocks(n, workers) {
+                let mut rows = vec![0; block.len() * n];
+                sweeper.arrivals_into(&tn, block, 0, &mut rows);
+                folded.extend(rows);
+            }
+            assert_eq!(folded, oracle, "seed {seed:#x} workers {workers}");
+        }
+    }
+}
+
 proptest! {
     // The dispatching entry points in the sparse regime sweep ≥ 192
     // sources per case against n scalar oracles — fewer, heavier cases.

@@ -252,6 +252,34 @@ proptest! {
     }
 }
 
+/// Fixed-seed regression pins, added when the engine inner loops moved
+/// into [`ephemeral_temporal::kernels`]: named seeds whose sharded folds
+/// must stay bit-identical to the scalar oracle across 1/2/8 workers, so
+/// a kernel change that shifts one bit fails here deterministically — no
+/// proptest shrinking required.
+#[test]
+fn pinned_seeds_stay_bit_identical_across_worker_counts() {
+    for (seed, n, p, directed, lifetime) in [
+        (0x00FE_ED08_u64, 97usize, 0.08f64, false, 250u32),
+        (0x00FE_ED09, 129, 0.04, true, 600),
+        (0x00FE_ED0A, 64, 0.15, false, 40),
+    ] {
+        let tn = random_network(seed, n, p, directed, 2, lifetime);
+        let oracle = scalar_arrivals(&tn, 0);
+        assert_eq!(wide_arrivals(&tn, 0), oracle, "seed {seed:#x}");
+        for workers in [1usize, 2, 8] {
+            let mut sweeper = WideSweeper::new();
+            let mut folded = Vec::with_capacity(n * n);
+            for block in source_blocks(n, workers) {
+                let mut rows = vec![0; block.len() * n];
+                sweeper.arrivals_into(&tn, block, 0, &mut rows);
+                folded.extend(rows);
+            }
+            assert_eq!(folded, oracle, "seed {seed:#x} workers {workers}");
+        }
+    }
+}
+
 proptest! {
     // The dispatching entry points above the crossover sweep ≥ 192
     // sources per case against n scalar oracles — fewer, heavier cases.

@@ -22,7 +22,11 @@
 //!   `delta`
 //!   module maintains a recorded closure **differentially** across
 //!   single-label moves (retract-and-replay, bit-identical to cold
-//!   sweeps, ~15× per move on sparse `G(4096, p)`).
+//!   sweeps, ~15× per move on sparse `G(4096, p)`); all three engines
+//!   run their inner loops through the `kernels` module — one explicit
+//!   layer of unrolled OR/ANDN word kernels and galloping sorted-`u32`
+//!   merges over 64-byte-aligned slabs, pinned bit-identical to a
+//!   scalar reference.
 //! * [`core`] — the paper's contribution: U-RTN models, the Expansion
 //!   Process (Algorithm 1), the §3.5 dissemination protocol, temporal
 //!   diameter estimation, star-graph machinery, deterministic OPT schemes
