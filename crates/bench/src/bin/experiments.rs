@@ -23,7 +23,7 @@
 //! `experiment` id and `table` title, so perf/accuracy trajectories can be
 //! tracked by machine across runs. Sweep mode emits JSON lines only.
 
-use ephemeral_bench::sweep::{run_sweep, SweepSpec};
+use ephemeral_bench::sweep::{run_sweep_with, SweepOptions, SweepSpec};
 use ephemeral_bench::{all_experiments, ExpConfig};
 use std::io::Write;
 use std::time::Instant;
@@ -80,6 +80,12 @@ struct SweepCli {
     threads: Option<usize>,
     resume: Option<String>,
     out: Option<String>,
+    /// `--cell-timeout <seconds>`: per-attempt wall-clock watchdog,
+    /// cooperative (checked at engine bucket boundaries). 0 disables.
+    cell_timeout: Option<f64>,
+    /// `--max-attempts <k>`: evaluation attempts per cell before the
+    /// quarantined `"status":"failed"` row.
+    max_attempts: Option<u32>,
 }
 
 fn parse_sweep_args(args: &[String]) -> Result<SweepCli, String> {
@@ -89,6 +95,8 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepCli, String> {
         threads: None,
         resume: None,
         out: None,
+        cell_timeout: None,
+        max_attempts: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -114,6 +122,22 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepCli, String> {
                 );
             }
             "--resume" => cli.resume = Some(value_of("--resume")?),
+            "--cell-timeout" => {
+                cli.cell_timeout = Some(
+                    value_of("--cell-timeout")?
+                        .parse()
+                        .map_err(|e| format!("bad --cell-timeout: {e}"))?,
+                );
+            }
+            "--max-attempts" => {
+                let k: u32 = value_of("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-attempts: {e}"))?;
+                if k == 0 {
+                    return Err("--max-attempts must be at least 1".to_owned());
+                }
+                cli.max_attempts = Some(k);
+            }
             "--out" => cli.out = Some(value_of("--out")?),
             "--format" => {
                 let v = value_of("--format")?;
@@ -157,6 +181,16 @@ fn run_sweep_mode(args: &[String]) -> Result<(), String> {
         if cli.quick { "quick" } else { "full" },
         resume.len().min(cells)
     );
+    let mut opts = SweepOptions::default();
+    if let Some(k) = cli.max_attempts {
+        opts.max_attempts = k;
+    }
+    if let Some(secs) = cli.cell_timeout {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("bad --cell-timeout: {secs}"));
+        }
+        opts.cell_timeout = (secs > 0.0).then(|| std::time::Duration::from_secs_f64(secs));
+    }
     let started = Instant::now();
     let mut file = match &cli.out {
         Some(path) => Some(
@@ -164,7 +198,7 @@ fn run_sweep_mode(args: &[String]) -> Result<(), String> {
         ),
         None => None,
     };
-    run_sweep(&spec, threads, &resume, |row| {
+    run_sweep_with(&spec, threads, &resume, opts, |row| {
         println!("{row}");
         if let Some(f) = &mut file {
             writeln!(f, "{row}").expect("write --out row");
@@ -175,6 +209,10 @@ fn run_sweep_mode(args: &[String]) -> Result<(), String> {
 }
 
 fn main() {
+    // Deterministic fault injection for CI and soak runs: a malformed
+    // spec panics loudly here, before any work runs. The guard pins the
+    // schedule for the whole process.
+    let _faults = ephemeral_parallel::faults::install_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "sweep") {
         if let Err(e) = run_sweep_mode(&args[1..]) {

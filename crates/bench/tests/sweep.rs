@@ -2,7 +2,7 @@
 //! interrupt/resume, and thread-count invariance — exercised through both
 //! the library API and the `experiments sweep` CLI.
 
-use ephemeral_bench::sweep::{parse_cell_id, run_sweep, SweepSpec};
+use ephemeral_bench::sweep::{is_failed_row, parse_cell_id, run_sweep, SweepSpec};
 use ephemeral_core::scenario::{GraphFamily, LabelModelSpec, LifetimeRule, Metric};
 use ephemeral_parallel::adaptive::AdaptiveConfig;
 use std::process::Command;
@@ -74,10 +74,12 @@ fn correlated_rows_attribute_replay_work_and_cold_rows_report_zero() {
             );
         }
         // The tiny grid sits below the batch crossover, so the sparse
-        // engine (and its arena) never runs: both accounting fields are
-        // present and zero — pinning the rowfmt 5 schema tail.
+        // engine (and its arena) never runs: the accounting fields are
+        // present and zero — pinning the rowfmt 6 schema tail.
         assert!(
-            row.ends_with("\"arena_hiwater_words\":0,\"compactions\":0}"),
+            row.ends_with(
+                "\"arena_hiwater_words\":0,\"compactions\":0,\"degraded\":0,\"status\":\"ok\"}"
+            ),
             "batch-served rows carry zero arena accounting: {row}"
         );
     }
@@ -154,13 +156,25 @@ fn resume_rows_from_a_different_spec_are_recomputed() {
 }
 
 #[test]
-#[should_panic(expected = "sweep cell")]
-fn panicking_cell_fails_loudly_instead_of_hanging() {
+fn panicking_cell_quarantines_into_failed_row_instead_of_hanging() {
     // n = 1 trips the `scenario families need at least two vertices`
-    // assert inside the worker; run_sweep must forward it, not deadlock.
+    // assert inside the worker on every attempt; run_sweep must neither
+    // deadlock nor kill the stream — each broken cell posts exactly one
+    // quarantined row naming the failure, in canonical order.
     let mut spec = tiny_spec(9);
     spec.sizes = vec![1];
-    let _ = collect(&spec, 2, &[]);
+    let rows = collect(&spec, 2, &[]);
+    assert_eq!(rows.len(), spec.cells().len());
+    for (row, cell) in rows.iter().zip(&spec.cells()) {
+        assert!(is_failed_row(row), "{row}");
+        assert_eq!(parse_cell_id(row), Some(cell.id().as_str()), "{row}");
+        assert!(row.contains("\"attempts\":3"), "{row}");
+        assert!(row.contains("at least two vertices"), "{row}");
+    }
+    // Failed rows are retryable, not cache hits: resuming from them (with
+    // the defect still present) recomputes and quarantines again.
+    let resumed = collect(&spec, 2, &rows);
+    assert_eq!(resumed, rows);
 }
 
 #[test]

@@ -19,6 +19,7 @@ use ephemeral_graph::{generators, EdgeId, Graph};
 use ephemeral_parallel::adaptive::{
     run_adaptive, AdaptiveConfig, AdaptiveRun, FilteredMeanAccumulator, ProportionAccumulator,
 };
+use ephemeral_parallel::faults::CancelToken;
 use ephemeral_parallel::par_map_with;
 use ephemeral_rng::{DefaultRng, RandomSource, SeedSequence};
 use ephemeral_temporal::distance::instance_temporal_diameter_scratch_traced;
@@ -367,6 +368,11 @@ pub struct ScenarioOutcome {
     pub arena_hiwater_words: usize,
     /// Sparse-arena compaction cycles summed across the cell's trials.
     pub compactions: usize,
+    /// Degradation events summed across the cell's trials: forced arena
+    /// compactions under a word budget plus closure row-block shrinks
+    /// under the byte budget — sweeps that completed by doing extra work
+    /// instead of aborting (see `WideStats::degraded`).
+    pub degraded: usize,
 }
 
 /// Per-worker trial scratch: an owned network whose labels are redrawn in
@@ -411,6 +417,7 @@ impl Scratch {
 struct ArenaAccounting {
     hiwater: AtomicUsize,
     compactions: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl ArenaAccounting {
@@ -418,17 +425,23 @@ impl ArenaAccounting {
         Self {
             hiwater: AtomicUsize::new(0),
             compactions: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
     /// Run one trial body and absorb the scratch's arena counters.
     fn track<T>(&self, s: &mut Scratch, f: impl FnOnce(&mut Scratch) -> T) -> T {
         let before = s.sweeper.sparse.compactions_total();
+        let degraded_before = s.sweeper.sparse.degraded_total();
         let out = f(s);
         self.hiwater
             .fetch_max(s.sweeper.sparse.arena_hiwater_words(), Ordering::Relaxed);
         self.compactions.fetch_add(
             s.sweeper.sparse.compactions_total() - before,
+            Ordering::Relaxed,
+        );
+        self.degraded.fetch_add(
+            s.sweeper.sparse.degraded_total() - degraded_before,
             Ordering::Relaxed,
         );
         out
@@ -467,6 +480,25 @@ impl Scenario {
     /// resumed byte-identically.
     #[must_use]
     pub fn evaluate(&self, cfg: &AdaptiveConfig, seed: u64, threads: usize) -> ScenarioOutcome {
+        self.evaluate_with_cancel(cfg, seed, threads, None)
+    }
+
+    /// [`Scenario::evaluate`] with an optional cooperative cancellation
+    /// token armed on every engine in each worker's sweep scratch — the
+    /// sweep grid's per-cell watchdog (`--cell-timeout`). When the token
+    /// fires, the trial unwinds with a structured
+    /// [`WorkerPanic`](ephemeral_parallel::WorkerPanic) whose `cancelled`
+    /// field names the reason; the caller catches it at cell granularity.
+    /// A `None` token (or one that never fires) leaves the result
+    /// byte-identical to [`Scenario::evaluate`].
+    #[must_use]
+    pub fn evaluate_with_cancel(
+        &self,
+        cfg: &AdaptiveConfig,
+        seed: u64,
+        threads: usize,
+        cancel: Option<CancelToken>,
+    ) -> ScenarioOutcome {
         let graph = self.build_graph(seed);
         let nodes = graph.num_nodes();
         let edges = graph.num_edges();
@@ -474,7 +506,11 @@ impl Scenario {
         let model = self.model.instantiate(lifetime);
         let model = model.as_ref();
         let trial_seed = SeedSequence::new(seed).child(TRIAL_STREAM).base();
-        let init = || Scratch::new(&graph, lifetime);
+        let init = || {
+            let mut s = Scratch::new(&graph, lifetime);
+            s.sweeper.set_cancel_token(cancel.clone());
+            s
+        };
         // Fold of the engine that actually answered each trial: a max
         // over a fixed trial set, so the result is independent of thread
         // scheduling (the adaptive trial count itself is deterministic).
@@ -505,6 +541,9 @@ impl Scenario {
             Metric::FloodTime => {
                 let run: AdaptiveRun<FilteredMeanAccumulator> =
                     run_adaptive(cfg, trial_seed, threads, init, |s, _, rng| {
+                        if let Some(c) = &cancel {
+                            c.checkpoint();
+                        }
                         s.redraw(model, rng);
                         serve(EngineKind::Scalar);
                         match crate::dissemination::flood(&s.tn, 0).broadcast_time {
@@ -537,6 +576,7 @@ impl Scenario {
                 let steps = cfg.max_trials / chains;
                 let out = correlated_cell(
                     &graph, model, lifetime, trial_seed, chains, steps, threads, &serve, &arena,
+                    &cancel,
                 );
                 delta_replayed_buckets = out.replayed;
                 let converged = out.half_width <= cfg.target_half_width;
@@ -557,6 +597,7 @@ impl Scenario {
             delta_replayed_buckets,
             arena_hiwater_words: arena.hiwater.load(Ordering::Relaxed),
             compactions: arena.compactions.load(Ordering::Relaxed) as usize,
+            degraded: arena.degraded.load(Ordering::Relaxed) as usize,
         }
     }
 }
@@ -588,6 +629,7 @@ fn correlated_cell(
     threads: usize,
     serve: &(impl Fn(EngineKind) + Sync),
     arena: &ArenaAccounting,
+    cancel: &Option<CancelToken>,
 ) -> CorrelatedCell {
     let m = graph.num_edges();
     if m == 0 {
@@ -602,7 +644,11 @@ fn correlated_cell(
     }
     let target = static_reachable_pairs(graph);
     let ids: Vec<u64> = (0..chains as u64).collect();
-    let init = || Scratch::new(graph, lifetime);
+    let init = || {
+        let mut s = Scratch::new(graph, lifetime);
+        s.sweeper.set_cancel_token(cancel.clone());
+        s
+    };
     let per_chain = par_map_with(&ids, threads, init, |s, _, &c| {
         arena.track(s, |s| {
             let mut rng = SeedSequence::new(trial_seed).rng(c);

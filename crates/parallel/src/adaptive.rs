@@ -10,11 +10,13 @@
 //! therefore bit-identical no matter how many worker threads execute the
 //! batches — the property the sweep engine's resumable output relies on.
 
+use crate::faults::{self, site, WorkerPanic};
 use crate::montecarlo::Proportion;
 use crate::pool::par_for_with;
 use crate::stats::{wilson_half_width, OnlineStats};
 use ephemeral_rng::{DefaultRng, SeedSequence};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Stopping knobs of an adaptive run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,7 +216,9 @@ pub struct AdaptiveRun<A> {
 
 /// Hands a pooled scratch state back when its worker finishes a batch, so
 /// the next batch's workers reuse it instead of paying `init()` again —
-/// a trial scratch can be a ~100 MB network copy.
+/// a trial scratch can be a ~100 MB network copy. A state whose trial
+/// panicked is set to `None` *before* the unwind propagates, so a
+/// half-updated scratch is dropped, never re-pooled (no poisoned state).
 struct PooledState<'a, S> {
     state: Option<S>,
     pool: &'a Mutex<Vec<S>>,
@@ -240,7 +244,9 @@ impl<S> Drop for PooledState<'_, S> {
 /// only on `(cfg, seed)`, never on `threads`.
 ///
 /// # Panics
-/// If `batch == 0` or `max_trials == 0`.
+/// If `batch == 0` or `max_trials == 0`, or — re-thrown with its structured
+/// [`WorkerPanic`] payload — when a trial panics; use
+/// [`try_run_adaptive`] to receive that as an `Err` instead.
 pub fn run_adaptive<A, S, I, F>(
     cfg: &AdaptiveConfig,
     seed: u64,
@@ -248,6 +254,35 @@ pub fn run_adaptive<A, S, I, F>(
     init: I,
     sim: F,
 ) -> AdaptiveRun<A>
+where
+    A: AdaptiveAccumulator,
+    A::Sample: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut DefaultRng) -> A::Sample + Sync,
+{
+    match try_run_adaptive(cfg, seed, threads, init, sim) {
+        Ok(run) => run,
+        Err(wp) => std::panic::panic_any(wp),
+    }
+}
+
+/// Panic-isolated [`run_adaptive`]: a panicking trial is caught, its scratch
+/// state is discarded instead of returning to the state pool, the remaining
+/// trials of the batch still execute (so [`faults`] attempt counters advance
+/// uniformly and a retried run converges), and the structured
+/// [`WorkerPanic`] for the **lowest** failing trial index is returned —
+/// deterministic across thread counts, like every other number here.
+///
+/// # Panics
+/// If `batch == 0` or `max_trials == 0`.
+pub fn try_run_adaptive<A, S, I, F>(
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+    init: I,
+    sim: F,
+) -> Result<AdaptiveRun<A>, WorkerPanic>
 where
     A: AdaptiveAccumulator,
     A::Sample: Send,
@@ -263,21 +298,34 @@ where
     let mut done = 0usize;
     let half_width = loop {
         let batch = cfg.batch.min(cfg.max_trials - done);
-        let samples = par_for_with(
+        let samples: Vec<Result<A::Sample, WorkerPanic>> = par_for_with(
             batch,
             threads,
             || PooledState {
-                state: Some(pool.lock().pop().unwrap_or_else(&init)),
+                state: None, // lazily filled from the pool on first trial
                 pool: &pool,
             },
             |pooled, i| {
-                let state = pooled.state.as_mut().expect("state held until drop");
                 let trial = done + i;
-                sim(state, trial, &mut seq.rng(trial as u64))
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let state = pooled
+                        .state
+                        .get_or_insert_with(|| pool.lock().pop().unwrap_or_else(&init));
+                    faults::hit(site::ADAPTIVE_TRIAL, trial as u64);
+                    sim(state, trial, &mut seq.rng(trial as u64))
+                }));
+                match outcome {
+                    Ok(s) => Ok(s),
+                    Err(payload) => {
+                        pooled.state = None; // poisoned scratch: never re-pool
+                        Err(WorkerPanic::from_payload(trial, payload.as_ref()))
+                    }
+                }
             },
         );
+        // Fold in trial order; the lowest failing trial index wins.
         for s in samples {
-            accumulator.push(s);
+            accumulator.push(s?);
         }
         done += batch;
         let hw = accumulator.half_width(cfg.confidence);
@@ -285,12 +333,12 @@ where
             break hw;
         }
     };
-    AdaptiveRun {
+    Ok(AdaptiveRun {
         converged: half_width <= cfg.target_half_width,
         trials: done,
         half_width,
         accumulator,
-    }
+    })
 }
 
 /// An adaptively estimated mean.

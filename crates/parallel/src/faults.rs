@@ -1,0 +1,769 @@
+//! Deterministic fault injection and cooperative cancellation.
+//!
+//! The paper studies networks whose links fail at random; this module gives
+//! the *runtime* the same discipline. A [`FaultSchedule`] is a seeded,
+//! reproducible description of which named failpoints ([`site`]) fire, with
+//! what [`Fault`], on which attempt — derived from [`SeedSequence`] so an
+//! injected panic happens at exactly the same `(site, key)` pairs run after
+//! run, regardless of thread count or scheduling. Layers above
+//! (pool, adaptive runner, sweep engines, the sweep grid) call
+//! [`hit`] at their failpoints; when no schedule is installed the call is a
+//! single relaxed atomic load.
+//!
+//! Three pieces:
+//!
+//! * **Failpoints** — [`install`] a [`FaultSchedule`] (or
+//!   [`install_from_env`] for CI via `EPHEMERAL_FAULTS`), and every
+//!   [`hit`] consults it. Injected panics carry a typed
+//!   [`InjectedFault`] payload so handlers can attribute the failure to a
+//!   site. Per-`(site, key)` attempt counters make *bounded retry*
+//!   converge: a schedule with `fires = 1` fails the first attempt and
+//!   passes the retry, which (with deterministic per-cell seeds) makes the
+//!   retried result byte-identical to a fault-free run.
+//! * **Structured worker errors** — [`WorkerPanic`] is what a caught panic
+//!   becomes on the way out of a pool/adaptive call: the smallest failing
+//!   item index plus the payload, decoded. Deterministic across thread
+//!   counts because every item is still evaluated (the queue drains) and
+//!   the minimum index wins.
+//! * **Cancellation** — [`CancelToken`] is a cooperative stop flag with an
+//!   optional wall-clock deadline. Engines call [`CancelToken::checkpoint`]
+//!   at bucket boundaries: a relaxed flag load every bucket, an
+//!   `Instant::now()` only every 64th, so the hot path stays within the
+//!   CI cancellation-overhead gate. Firing unwinds with a typed
+//!   [`Cancelled`] payload caught at cell granularity.
+//!
+//! ```
+//! use ephemeral_parallel::faults::{self, Fault, FaultSchedule};
+//!
+//! // Fire a panic at every `pool::item` failpoint, first attempt only.
+//! let guard = faults::install(
+//!     FaultSchedule::new(7, 1.0, Fault::Panic).sites(&[faults::site::POOL_ITEM]),
+//! );
+//! let err = ephemeral_parallel::try_par_map(&[1u32, 2, 3], 2, |_, &x| x * 2).unwrap_err();
+//! assert_eq!(err.index, 0); // smallest failing index, deterministically
+//! assert!(err.injected.is_some());
+//! // Attempt counters advanced: the retry passes and is byte-identical.
+//! assert_eq!(
+//!     ephemeral_parallel::try_par_map(&[1u32, 2, 3], 2, |_, &x| x * 2).unwrap(),
+//!     vec![2, 4, 6]
+//! );
+//! drop(guard);
+//! ```
+
+use ephemeral_rng::SeedSequence;
+use parking_lot::{Mutex, MutexGuard};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The failpoint catalog: every named site the runtime can fail at.
+///
+/// | site | layer | key | fired from |
+/// |------|-------|-----|------------|
+/// | [`site::POOL_ITEM`] | pool | item index | `try_par_map`/`try_par_map_with` per item |
+/// | [`site::POOL_JOB`] | pool | submission # | `ThreadPool::execute` jobs |
+/// | [`site::ADAPTIVE_TRIAL`] | adaptive | trial index | every `run_adaptive` trial |
+/// | [`site::ENGINE_BUCKET`] | engines | bucket time | each sweep bucket boundary |
+/// | [`site::SWEEP_CELL`] | sweep grid | cell index | cell evaluation start |
+/// | [`site::SWEEP_EMIT`] | sweep grid | cell index | after compute, before the row posts |
+pub mod site {
+    /// One item of a `try_par_map`/`try_par_map_with` call (key: item index).
+    pub const POOL_ITEM: &str = "pool::item";
+    /// One `ThreadPool` job (key: submission number).
+    pub const POOL_JOB: &str = "pool::job";
+    /// One adaptive Monte Carlo trial (key: global trial index).
+    pub const ADAPTIVE_TRIAL: &str = "adaptive::trial";
+    /// One sweep-engine bucket boundary (key: bucket time).
+    pub const ENGINE_BUCKET: &str = "engine::bucket";
+    /// Start of one sweep-grid cell evaluation (key: cell index).
+    pub const SWEEP_CELL: &str = "sweep::cell";
+    /// After a cell computes, before its row posts (key: cell index).
+    pub const SWEEP_EMIT: &str = "sweep::emit";
+    /// Every named failpoint, for schedules and docs.
+    pub const ALL: &[&str] = &[
+        POOL_ITEM,
+        POOL_JOB,
+        ADAPTIVE_TRIAL,
+        ENGINE_BUCKET,
+        SWEEP_CELL,
+        SWEEP_EMIT,
+    ];
+}
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Unwind with an [`InjectedFault`] payload.
+    Panic,
+    /// Sleep for this many milliseconds (exercises watchdogs/timeouts).
+    Delay(u64),
+    /// Allocate-and-touch this many bytes, then free them (exercises the
+    /// degradation paths that react to memory pressure).
+    AllocPressure(usize),
+}
+
+/// Typed payload of an injected panic: which failpoint fired, on what key,
+/// on which attempt. Handlers downcast this (see [`injected_fault`]) to
+/// attribute a failure to its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failpoint name (one of [`site::ALL`]).
+    pub site: &'static str,
+    /// The caller-supplied scope key (item/trial/cell index, bucket time).
+    pub key: u64,
+    /// Zero-based attempt number at this `(site, key)`.
+    pub attempt: u32,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected fault at {} (key {}, attempt {})",
+            self.site, self.key, self.attempt
+        )
+    }
+}
+
+/// A reproducible fault schedule: every decision is a pure function of
+/// `(seed, site, key)` plus a per-`(site, key)` attempt counter, so firing
+/// is independent of thread count and scheduling order.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    rate: f64,
+    kind: Fault,
+    /// Sites the schedule arms; empty = all.
+    sites: Vec<String>,
+    /// Fire only on attempts `0..fires` at each `(site, key)` — the default
+    /// of 1 makes a single bounded retry converge.
+    fires: u32,
+}
+
+impl FaultSchedule {
+    /// A schedule firing `kind` at each armed `(site, key)` with probability
+    /// `rate` (derived from `seed`), on the first attempt only.
+    #[must_use]
+    pub fn new(seed: u64, rate: f64, kind: Fault) -> Self {
+        Self {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kind,
+            sites: Vec::new(),
+            fires: 1,
+        }
+    }
+
+    /// Restrict the schedule to the named sites (default: all sites).
+    #[must_use]
+    pub fn sites(mut self, sites: &[&str]) -> Self {
+        self.sites = sites.iter().map(|s| (*s).to_string()).collect();
+        self
+    }
+
+    /// Fire on the first `fires` attempts at each `(site, key)` instead of
+    /// just the first — `fires >= retry limit` exercises quarantine.
+    #[must_use]
+    pub fn fires(mut self, fires: u32) -> Self {
+        self.fires = fires;
+        self
+    }
+
+    /// Parse a schedule from an `EPHEMERAL_FAULTS`-style spec: comma-separated
+    /// `key=value` pairs. Recognised keys: `seed=<u64>`, `rate=<f64>`,
+    /// `kind=panic|delay:<ms>|alloc:<bytes>`, `sites=<name>+<name>+…`,
+    /// `fires=<u32>`. Example: `seed=42,rate=0.3,kind=panic,sites=sweep::cell`.
+    ///
+    /// Returns `None` for an empty spec; unknown keys or malformed values
+    /// are an `Err` so CI misconfiguration fails loudly.
+    pub fn parse(spec: &str) -> Result<Option<Self>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(None);
+        }
+        let mut schedule = Self::new(0, 1.0, Fault::Panic);
+        for pair in spec.split(',') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{pair}` is not key=value"))?;
+            match k.trim() {
+                "seed" => {
+                    schedule.seed = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad seed `{v}`: {e}"))?;
+                }
+                "rate" => {
+                    let r: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad rate `{v}`: {e}"))?;
+                    schedule.rate = r.clamp(0.0, 1.0);
+                }
+                "fires" => {
+                    schedule.fires = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad fires `{v}`: {e}"))?;
+                }
+                "kind" => {
+                    let v = v.trim();
+                    schedule.kind = if v == "panic" {
+                        Fault::Panic
+                    } else if let Some(ms) = v.strip_prefix("delay:") {
+                        Fault::Delay(ms.parse().map_err(|e| format!("bad delay `{v}`: {e}"))?)
+                    } else if let Some(b) = v.strip_prefix("alloc:") {
+                        Fault::AllocPressure(
+                            b.parse().map_err(|e| format!("bad alloc `{v}`: {e}"))?,
+                        )
+                    } else {
+                        return Err(format!("unknown fault kind `{v}`"));
+                    };
+                }
+                "sites" => {
+                    schedule.sites = v.split('+').map(|s| s.trim().to_string()).collect();
+                    for s in &schedule.sites {
+                        if !site::ALL.contains(&s.as_str()) {
+                            return Err(format!("unknown failpoint site `{s}`"));
+                        }
+                    }
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(Some(schedule))
+    }
+
+    fn armed(&self, at: &str) -> bool {
+        self.sites.is_empty() || self.sites.iter().any(|s| s == at)
+    }
+
+    /// Would this schedule fire at `(site, key)` on `attempt`? Pure —
+    /// ignores and does not advance the attempt counters.
+    #[must_use]
+    pub fn would_fire(&self, at: &str, key: u64, attempt: u32) -> bool {
+        if !self.armed(at) || attempt >= self.fires {
+            return false;
+        }
+        let v = SeedSequence::new(self.seed).child(site_tag(at)).derive(key);
+        // 53-bit mantissa uniform in [0, 1).
+        let u = (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.rate
+    }
+}
+
+/// FNV-1a over the site name: a stable per-site stream tag.
+fn site_tag(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Installed {
+    schedule: FaultSchedule,
+    attempts: Mutex<HashMap<(u64, u64), u32>>,
+    fired: AtomicUsize,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Option<Arc<Installed>>> = Mutex::new(None);
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds a schedule installed; uninstalls on drop. Installation is global
+/// and exclusive — a second [`install`] blocks until the first guard drops,
+/// which keeps concurrently running fault tests from trampling each other.
+pub struct FaultGuard {
+    installed: Arc<Installed>,
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl FaultGuard {
+    /// Total faults this schedule has fired since installation.
+    #[must_use]
+    pub fn fired(&self) -> usize {
+        self.installed.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        *REGISTRY.lock() = None;
+        ACTIVE.store(false, Ordering::Release);
+    }
+}
+
+/// Install a fault schedule globally; faults fire until the guard drops.
+#[must_use]
+pub fn install(schedule: FaultSchedule) -> FaultGuard {
+    let exclusive = INSTALL_LOCK.lock();
+    let installed = Arc::new(Installed {
+        schedule,
+        attempts: Mutex::new(HashMap::new()),
+        fired: AtomicUsize::new(0),
+    });
+    *REGISTRY.lock() = Some(Arc::clone(&installed));
+    ACTIVE.store(true, Ordering::Release);
+    FaultGuard {
+        installed,
+        _exclusive: exclusive,
+    }
+}
+
+/// Install the schedule described by the `EPHEMERAL_FAULTS` environment
+/// variable (the CI hook), if set and non-empty.
+///
+/// # Panics
+/// On a malformed spec — CI misconfiguration must fail loudly.
+pub fn install_from_env() -> Option<FaultGuard> {
+    let spec = std::env::var("EPHEMERAL_FAULTS").ok()?;
+    match FaultSchedule::parse(&spec) {
+        Ok(schedule) => schedule.map(install),
+        Err(e) => panic!("EPHEMERAL_FAULTS: {e}"),
+    }
+}
+
+/// Is any fault schedule currently installed?
+#[must_use]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// A failpoint: no-op (one relaxed load) unless a schedule is installed, in
+/// which case the schedule decides — deterministically from
+/// `(seed, site, key, attempt)` — whether to panic, delay or apply
+/// allocation pressure here.
+#[inline]
+pub fn hit(at: &'static str, key: u64) {
+    if ACTIVE.load(Ordering::Relaxed) {
+        hit_slow(at, key);
+    }
+}
+
+#[cold]
+fn hit_slow(at: &'static str, key: u64) {
+    let Some(installed) = REGISTRY.lock().clone() else {
+        return;
+    };
+    if !installed.schedule.armed(at) {
+        return;
+    }
+    let attempt = {
+        let mut attempts = installed.attempts.lock();
+        let slot = attempts.entry((site_tag(at), key)).or_insert(0);
+        let attempt = *slot;
+        *slot += 1;
+        attempt
+    };
+    if !installed.schedule.would_fire(at, key, attempt) {
+        return;
+    }
+    installed.fired.fetch_add(1, Ordering::Relaxed);
+    match installed.schedule.kind {
+        Fault::Panic => std::panic::panic_any(InjectedFault {
+            site: at,
+            key,
+            attempt,
+        }),
+        Fault::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        Fault::AllocPressure(bytes) => {
+            // Touch a page at a time so the pressure is real, then free.
+            let mut buf = vec![0u8; bytes];
+            let mut i = 0;
+            while i < buf.len() {
+                buf[i] = 1;
+                i += 4096;
+            }
+            std::hint::black_box(&buf);
+        }
+    }
+}
+
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Requested,
+    /// The wall-clock deadline passed.
+    TimedOut,
+}
+
+/// Typed payload of a cancellation unwind (see [`CancelToken::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// What pulled the trigger.
+    pub reason: CancelReason,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            CancelReason::Requested => write!(f, "sweep cancelled"),
+            CancelReason::TimedOut => write!(f, "cell timed out"),
+        }
+    }
+}
+
+struct CancelInner {
+    flag: AtomicBool,
+    reason_timeout: AtomicBool,
+    deadline: Option<Instant>,
+    ticks: AtomicU64,
+}
+
+/// A cooperative cancellation token, shared by clone across the shards of a
+/// sweep. Engines call [`checkpoint`](Self::checkpoint) at bucket
+/// boundaries: the cost when nothing fired is one relaxed load per bucket
+/// plus an `Instant::now()` every 64th bucket when a deadline is set.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`cancel`](Self::cancel).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                reason_timeout: AtomicBool::new(false),
+                deadline: None,
+                ticks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A token that also fires once `timeout` of wall-clock time passes —
+    /// the per-cell watchdog behind `--cell-timeout`.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                reason_timeout: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                ticks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Request cancellation; every clone's next checkpoint fires.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token fired (or been cancelled)?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Relaxed)
+    }
+
+    /// The bucket-boundary check: unwinds with a [`Cancelled`] payload when
+    /// the token has fired. Checks the flag every call; consults the
+    /// wall clock only every 64th call (and sets the flag, so sibling
+    /// shards stop at their next boundary).
+    ///
+    /// # Panics
+    /// With a [`Cancelled`] payload — by design; callers catch it at cell
+    /// granularity.
+    #[inline]
+    pub fn checkpoint(&self) {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            self.fire();
+        }
+        if self.inner.deadline.is_some() {
+            let t = self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+            if t.is_multiple_of(64) {
+                self.check_deadline();
+            }
+        }
+    }
+
+    #[cold]
+    fn check_deadline(&self) {
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.reason_timeout.store(true, Ordering::Relaxed);
+                self.inner.flag.store(true, Ordering::Relaxed);
+                self.fire();
+            }
+        }
+    }
+
+    #[cold]
+    fn fire(&self) {
+        let reason = if self.inner.reason_timeout.load(Ordering::Relaxed) {
+            CancelReason::TimedOut
+        } else {
+            CancelReason::Requested
+        };
+        std::panic::panic_any(Cancelled { reason });
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+/// The structured error a caught worker panic becomes: the smallest failing
+/// item/trial index plus the decoded payload. `Err(WorkerPanic)` from the
+/// `try_` pool entry points is deterministic across thread counts — every
+/// item is still evaluated (the queue drains; attempt counters advance
+/// uniformly) and the minimum index wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The smallest item/trial index whose evaluation panicked.
+    pub index: usize,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+    /// Present when the panic was an injected fault — carries the site.
+    pub injected: Option<InjectedFault>,
+    /// Present when the panic was a cancellation/timeout unwind.
+    pub cancelled: Option<CancelReason>,
+}
+
+impl WorkerPanic {
+    /// Decode a caught panic payload for item `index`.
+    #[must_use]
+    pub fn from_payload(index: usize, payload: &(dyn Any + Send)) -> Self {
+        let injected = payload.downcast_ref::<InjectedFault>().copied();
+        let cancelled = payload.downcast_ref::<Cancelled>().map(|c| c.reason);
+        // A WorkerPanic re-thrown via panic_any keeps its decoded fields.
+        if let Some(inner) = payload.downcast_ref::<WorkerPanic>() {
+            return Self {
+                index,
+                ..inner.clone()
+            };
+        }
+        Self {
+            index,
+            message: panic_message(payload),
+            injected,
+            cancelled,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a caught panic payload as a message: handles `&str`/`String`
+/// panics, typed [`InjectedFault`]/[`Cancelled`]/[`WorkerPanic`] payloads,
+/// and falls back to a placeholder for anything else.
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        f.to_string()
+    } else if let Some(c) = payload.downcast_ref::<Cancelled>() {
+        c.to_string()
+    } else if let Some(w) = payload.downcast_ref::<WorkerPanic>() {
+        w.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Extract the [`InjectedFault`] from a caught panic payload, if that is
+/// what unwound (directly or wrapped in a [`WorkerPanic`]).
+#[must_use]
+pub fn injected_fault(payload: &(dyn Any + Send)) -> Option<InjectedFault> {
+    payload
+        .downcast_ref::<InjectedFault>()
+        .copied()
+        .or_else(|| {
+            payload
+                .downcast_ref::<WorkerPanic>()
+                .and_then(|w| w.injected)
+        })
+}
+
+/// Extract the [`CancelReason`] from a caught panic payload, if the unwind
+/// was a cancellation (directly or wrapped in a [`WorkerPanic`]).
+#[must_use]
+pub fn cancel_reason(payload: &(dyn Any + Send)) -> Option<CancelReason> {
+    payload
+        .downcast_ref::<Cancelled>()
+        .map(|c| c.reason)
+        .or_else(|| {
+            payload
+                .downcast_ref::<WorkerPanic>()
+                .and_then(|w| w.cancelled)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn would_fire_is_deterministic_and_respects_fires() {
+        let s = FaultSchedule::new(42, 0.5, Fault::Panic);
+        for key in 0..64 {
+            let first = s.would_fire(site::SWEEP_CELL, key, 0);
+            assert_eq!(first, s.would_fire(site::SWEEP_CELL, key, 0));
+            // Default fires=1: the retry always passes.
+            assert!(!s.would_fire(site::SWEEP_CELL, key, 1));
+        }
+        let always = FaultSchedule::new(42, 1.0, Fault::Panic).fires(3);
+        assert!(always.would_fire(site::SWEEP_CELL, 9, 2));
+        assert!(!always.would_fire(site::SWEEP_CELL, 9, 3));
+    }
+
+    #[test]
+    fn rate_zero_never_fires_rate_one_always_fires() {
+        let never = FaultSchedule::new(1, 0.0, Fault::Panic);
+        let always = FaultSchedule::new(1, 1.0, Fault::Panic);
+        for key in 0..32 {
+            assert!(!never.would_fire(site::POOL_ITEM, key, 0));
+            assert!(always.would_fire(site::POOL_ITEM, key, 0));
+        }
+    }
+
+    #[test]
+    fn site_filter_arms_only_named_sites() {
+        let s = FaultSchedule::new(3, 1.0, Fault::Panic).sites(&[site::SWEEP_CELL]);
+        assert!(s.would_fire(site::SWEEP_CELL, 0, 0));
+        assert!(!s.would_fire(site::POOL_ITEM, 0, 0));
+    }
+
+    #[test]
+    fn hit_panics_with_typed_payload_and_counts_fires() {
+        let guard = install(FaultSchedule::new(5, 1.0, Fault::Panic).sites(&[site::POOL_JOB]));
+        assert!(active());
+        let caught = std::panic::catch_unwind(|| hit(site::POOL_JOB, 17)).expect_err("must fire");
+        let fault = injected_fault(caught.as_ref()).expect("typed payload");
+        assert_eq!(fault.site, site::POOL_JOB);
+        assert_eq!(fault.key, 17);
+        assert_eq!(fault.attempt, 0);
+        assert_eq!(guard.fired(), 1);
+        // Second attempt at the same key passes (fires=1).
+        hit(site::POOL_JOB, 17);
+        assert_eq!(guard.fired(), 1);
+        drop(guard);
+        assert!(!active());
+        hit(site::POOL_JOB, 17); // uninstalled: no-op
+    }
+
+    #[test]
+    fn parse_round_trips_the_ci_spec() {
+        let s = FaultSchedule::parse("seed=42,rate=0.25,kind=panic,sites=sweep::cell+pool::item")
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.seed, 42);
+        assert!((s.rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.kind, Fault::Panic);
+        assert!(s.armed(site::SWEEP_CELL) && s.armed(site::POOL_ITEM));
+        assert!(!s.armed(site::ADAPTIVE_TRIAL));
+
+        let d = FaultSchedule::parse("kind=delay:5,fires=2")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.kind, Fault::Delay(5));
+        assert_eq!(d.fires, 2);
+        let a = FaultSchedule::parse("kind=alloc:4096").unwrap().unwrap();
+        assert_eq!(a.kind, Fault::AllocPressure(4096));
+
+        assert!(FaultSchedule::parse("").unwrap().is_none());
+        assert!(FaultSchedule::parse("kind=frobnicate").is_err());
+        assert!(FaultSchedule::parse("sites=no::such").is_err());
+        assert!(FaultSchedule::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn delay_and_alloc_faults_do_not_unwind() {
+        let guard = install(
+            FaultSchedule::new(2, 1.0, Fault::AllocPressure(1 << 16)).sites(&[site::SWEEP_CELL]),
+        );
+        hit(site::SWEEP_CELL, 0);
+        assert_eq!(guard.fired(), 1);
+        drop(guard);
+        let guard = install(FaultSchedule::new(2, 1.0, Fault::Delay(1)).sites(&[site::SWEEP_CELL]));
+        hit(site::SWEEP_CELL, 0);
+        assert_eq!(guard.fired(), 1);
+    }
+
+    #[test]
+    fn cancel_token_fires_on_request_with_typed_payload() {
+        let token = CancelToken::new();
+        token.checkpoint(); // not yet cancelled: no-op
+        token.cancel();
+        let caught = std::panic::catch_unwind(|| token.checkpoint()).expect_err("must fire");
+        assert_eq!(
+            cancel_reason(caught.as_ref()),
+            Some(CancelReason::Requested)
+        );
+    }
+
+    #[test]
+    fn cancel_token_deadline_fires_as_timeout() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        // Tick 0 consults the wall clock immediately.
+        let caught = std::panic::catch_unwind(|| token.checkpoint()).expect_err("must fire");
+        assert_eq!(cancel_reason(caught.as_ref()), Some(CancelReason::TimedOut));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            token.checkpoint();
+        }
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn worker_panic_decodes_payload_kinds() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        let wp = WorkerPanic::from_payload(3, caught.as_ref());
+        assert_eq!(wp.index, 3);
+        assert_eq!(wp.message, "boom 7");
+        assert!(wp.injected.is_none() && wp.cancelled.is_none());
+
+        let caught = std::panic::catch_unwind(|| {
+            std::panic::panic_any(InjectedFault {
+                site: site::SWEEP_CELL,
+                key: 4,
+                attempt: 0,
+            })
+        })
+        .unwrap_err();
+        let wp = WorkerPanic::from_payload(4, caught.as_ref());
+        assert_eq!(wp.injected.unwrap().site, site::SWEEP_CELL);
+
+        // Re-thrown WorkerPanic keeps its decoded fields.
+        let rethrown = std::panic::catch_unwind(|| std::panic::panic_any(wp.clone())).unwrap_err();
+        let outer = WorkerPanic::from_payload(9, rethrown.as_ref());
+        assert_eq!(outer.index, 9);
+        assert_eq!(outer.injected.unwrap().key, 4);
+    }
+}

@@ -25,6 +25,17 @@
 //! * [`stats`]: Welford online moments (mergeable, so parallel reductions
 //!   are exact), summaries with quantiles, normal & Wilson confidence
 //!   intervals, least-squares fits (used to fit `TD ≈ γ·log n`), histograms.
+//! * [`faults`]: deterministic fault injection and cooperative
+//!   cancellation — a seeded failpoint registry (`faults::site` catalog,
+//!   [`FaultSchedule`](faults::FaultSchedule) derived from `SeedSequence`
+//!   so injected panics/delays/alloc-pressure reproduce run-to-run), the
+//!   structured [`WorkerPanic`] error the `try_` entry
+//!   points return, and [`CancelToken`], the
+//!   bucket-boundary watchdog behind the sweep grid's `--cell-timeout`.
+//! * [`try_par_map`] / [`try_par_map_with`] / [`try_par_for_with`] /
+//!   [`adaptive::try_run_adaptive`]: panic-isolated variants — item panics
+//!   are caught, the queue drains, poisoned scratch is discarded, and the
+//!   smallest failing index surfaces as a deterministic structured error.
 //!
 //! ```
 //! use ephemeral_parallel::MonteCarlo;
@@ -42,9 +53,14 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod faults;
 mod montecarlo;
 mod pool;
 pub mod stats;
 
+pub use faults::{CancelToken, WorkerPanic};
 pub use montecarlo::{MonteCarlo, Proportion};
-pub use pool::{available_threads, par_for, par_for_with, par_map, par_map_with, ThreadPool};
+pub use pool::{
+    available_threads, par_for, par_for_with, par_map, par_map_with, try_par_for_with, try_par_map,
+    try_par_map_with, PoolClosed, ThreadPool,
+};

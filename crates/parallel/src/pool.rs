@@ -1,6 +1,8 @@
 //! Data-parallel primitives.
 
+use crate::faults::{self, site, WorkerPanic};
 use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -93,6 +95,141 @@ where
     result
 }
 
+/// Panic-isolated [`par_map`]: item panics are caught instead of unwinding
+/// through the caller, and surface as a structured [`WorkerPanic`] carrying
+/// the smallest failing index (see [`try_par_map_with`] for the contract).
+pub fn try_par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    try_par_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// Panic-isolated [`par_map_with`]: every item is evaluated under
+/// `catch_unwind`, and a panicking item does **not** poison the rest of the
+/// run —
+///
+/// * the block queue drains: remaining items are still evaluated, so every
+///   [`faults`] attempt counter advances exactly once per item and a retry
+///   of the whole call converges deterministically;
+/// * a worker whose item unwound discards its scratch state and re-`init`s
+///   (a half-updated scratch is never reused);
+/// * the error is the [`WorkerPanic`] with the **smallest** item index —
+///   identical no matter how many threads ran or how blocks interleaved.
+///
+/// This is the hardened entry point the sweep grid and adaptive runner sit
+/// on; [`par_map_with`] keeps the zero-overhead unwinding behaviour for
+/// callers that treat a panic as fatal.
+pub fn try_par_map_with<T, S, R, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    // One catch_unwind frame per item: the item either yields Ok(r) or
+    // records its panic and the worker rebuilds its scratch.
+    let guarded = |state: &mut Option<S>, i: usize, t: &T| -> Result<R, WorkerPanic> {
+        let live = state.get_or_insert_with(&init);
+        match catch_unwind(AssertUnwindSafe(|| {
+            faults::hit(site::POOL_ITEM, i as u64);
+            f(live, i, t)
+        })) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                *state = None; // poisoned scratch: drop, never reuse
+                Err(WorkerPanic::from_payload(i, payload.as_ref()))
+            }
+        }
+    };
+    if threads <= 1 || len <= 1 {
+        let mut state: Option<S> = None;
+        let mut first_panic: Option<WorkerPanic> = None;
+        let mut out = Vec::with_capacity(len);
+        for (i, t) in items.iter().enumerate() {
+            match guarded(&mut state, i, t) {
+                Ok(r) => out.push(r),
+                Err(wp) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(wp);
+                    }
+                }
+            }
+        }
+        return match first_panic {
+            None => Ok(out),
+            Some(wp) => Err(wp),
+        };
+    }
+    let threads = threads.min(len);
+    let block = block_size(len, threads);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state: Option<S> = None;
+                loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + block).min(len);
+                    let mut out = Vec::with_capacity(end - start);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        match guarded(&mut state, i, item) {
+                            Ok(r) => out.push(r),
+                            Err(wp) => panics.lock().push(wp),
+                        }
+                    }
+                    collected.lock().push((start, out));
+                }
+            });
+        }
+    });
+    let mut panics = panics.into_inner();
+    panics.sort_by_key(|wp| wp.index);
+    if let Some(wp) = panics.into_iter().next() {
+        return Err(wp);
+    }
+    let mut chunks = collected.into_inner();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(len);
+    for (_, chunk) in chunks {
+        result.extend(chunk);
+    }
+    debug_assert_eq!(result.len(), len);
+    Ok(result)
+}
+
+/// Panic-isolated [`par_for_with`] (see [`try_par_map_with`]).
+pub fn try_par_for_with<S, R, I, F>(
+    count: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    try_par_map_with(&indices, threads, init, |state, _, &i| f(state, i))
+}
+
 /// Parallel `for i in 0..count { f(i) }` returning results in index order.
 pub fn par_for<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
 where
@@ -119,7 +256,21 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct PoolState {
     pending: Mutex<usize>,
     idle: Condvar,
+    panicked: AtomicUsize,
 }
+
+/// Error from [`ThreadPool::try_execute`]: the pool's job channel is closed
+/// (its workers are gone), so the job was not submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool is closed; job not submitted")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
 
 /// A persistent worker pool over a crossbeam channel, for irregular task
 /// sets where scoped block-stealing does not fit (e.g. recursive work).
@@ -142,6 +293,7 @@ pub struct ThreadPool {
     sender: Option<crossbeam::channel::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     state: Arc<PoolState>,
+    submitted: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -153,6 +305,7 @@ impl ThreadPool {
         let state = Arc::new(PoolState {
             pending: Mutex::new(0),
             idle: Condvar::new(),
+            panicked: AtomicUsize::new(0),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -162,7 +315,10 @@ impl ThreadPool {
                     while let Ok(job) = receiver.recv() {
                         // Isolate job panics: the worker must survive and the
                         // pending count must drop, or wait_idle would hang.
-                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        let outcome = catch_unwind(AssertUnwindSafe(job));
+                        if outcome.is_err() {
+                            state.panicked.fetch_add(1, Ordering::Relaxed);
+                        }
                         let mut pending = state.pending.lock();
                         *pending -= 1;
                         if *pending == 0 {
@@ -178,6 +334,7 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             state,
+            submitted: AtomicUsize::new(0),
         }
     }
 
@@ -188,16 +345,51 @@ impl ThreadPool {
     }
 
     /// Submit a job.
+    ///
+    /// # Panics
+    /// If the pool is closed (cannot happen before `Drop`); use
+    /// [`try_execute`](Self::try_execute) for the structured-error form.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Err(e) = self.try_execute(job) {
+            panic!("{e}");
+        }
+    }
+
+    /// Submit a job, reporting a closed pool as a structured [`PoolClosed`]
+    /// error instead of unwinding. On error the job was not enqueued and
+    /// the pending count is unchanged — [`wait_idle`](Self::wait_idle)
+    /// cannot wedge on a rejected submission.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(PoolClosed);
+        };
+        let key = self.submitted.fetch_add(1, Ordering::Relaxed) as u64;
         {
             let mut pending = self.state.pending.lock();
             *pending += 1;
         }
-        self.sender
-            .as_ref()
-            .expect("pool sender alive until drop")
-            .send(Box::new(job))
-            .expect("workers alive until drop");
+        let wrapped = move || {
+            faults::hit(site::POOL_JOB, key);
+            job();
+        };
+        if sender.send(Box::new(wrapped)).is_err() {
+            // Undo the reservation so wait_idle stays accurate.
+            let mut pending = self.state.pending.lock();
+            *pending -= 1;
+            if *pending == 0 {
+                self.state.idle.notify_all();
+            }
+            return Err(PoolClosed);
+        }
+        Ok(())
+    }
+
+    /// Number of jobs whose closure panicked (and was isolated) since the
+    /// pool was built — the pool's health counter: panics never kill
+    /// workers, but callers can observe that they happened.
+    #[must_use]
+    pub fn panicked_jobs(&self) -> usize {
+        self.state.panicked.load(Ordering::Relaxed)
     }
 
     /// Block until every submitted job has finished.
@@ -413,6 +605,78 @@ mod tests {
         });
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected = par_map(&items, 4, |i, &x| x * 2 + i as u64);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                try_par_map(&items, threads, |i, &x| x * 2 + i as u64).unwrap(),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_smallest_failing_index_deterministically() {
+        let items: Vec<u64> = (0..300).collect();
+        for threads in [1, 2, 8] {
+            let err = try_par_map(&items, threads, |_, &x| {
+                assert!(x % 7 != 3, "injected at {x}");
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 3, "threads={threads}");
+            assert!(err.message.contains("injected at 3"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn try_par_map_with_discards_poisoned_scratch() {
+        // A panic mid-item leaves the scratch half-updated; the worker must
+        // re-init rather than reuse it. We detect reuse by pushing a marker
+        // before panicking: a fresh scratch never contains the marker.
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let err = try_par_map_with(&items, threads, Vec::<u64>::new, |scratch, _, &x| {
+                assert!(
+                    !scratch.contains(&u64::MAX),
+                    "poisoned scratch reused at item {x}"
+                );
+                if x == 9 {
+                    scratch.push(u64::MAX); // half-updated state...
+                    panic!("die at 9"); // ...must never be seen again
+                }
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 9, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_for_with_empty_is_ok() {
+        let out = try_par_for_with(0, 4, || (), |(), i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_counts_panicked_jobs_and_try_execute_succeeds() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.panicked_jobs(), 0);
+        for i in 0..10u64 {
+            pool.try_execute(move || {
+                if i % 5 == 1 {
+                    panic!("injected");
+                }
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(pool.panicked_jobs(), 2);
     }
 
     #[test]

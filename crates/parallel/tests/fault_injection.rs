@@ -1,0 +1,180 @@
+//! Post-fault determinism of the parallel substrate: after an injected
+//! worker panic is caught and reported, the pool and the adaptive runner
+//! must stay usable and keep producing **bit-identical** results across
+//! 1/2/8 workers — no poisoned state, no scheduling leak into values.
+//!
+//! The fault registry is process-global, so these tests live in their own
+//! integration binary and serialize on [`SERIAL`].
+
+use ephemeral_parallel::adaptive::{
+    run_adaptive, try_run_adaptive, AdaptiveConfig, MeanAccumulator,
+};
+use ephemeral_parallel::faults::{self, site, Fault, FaultSchedule};
+use ephemeral_parallel::{par_map, try_par_map, try_par_map_with, ThreadPool};
+use std::sync::Mutex;
+
+/// Serializes whole tests: a fault-free phase run while a sibling test's
+/// schedule is live would be anything but fault-free.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn mean_run(threads: usize, trials: usize) -> (f64, usize) {
+    let cfg = AdaptiveConfig::new(0.01)
+        .with_min_trials(trials)
+        .with_batch(trials)
+        .with_max_trials(trials);
+    let run = run_adaptive(
+        &cfg,
+        0xBEEF,
+        threads,
+        || 0u64,
+        |_, t, rng| {
+            use ephemeral_rng::RandomSource;
+            (t as f64).mul_add(1e-6, rng.unit_f64())
+        },
+    );
+    let acc: &MeanAccumulator = &run.accumulator;
+    (acc.stats.mean(), run.trials)
+}
+
+#[test]
+fn pool_survives_injected_item_panic_and_stays_bit_deterministic() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let items: Vec<u64> = (0..257).collect();
+    let square = |_i: usize, x: &u64| x * x;
+    let clean: Vec<u64> = par_map(&items, 4, square);
+
+    // One-shot panics at one in three pool items: the first try_par_map
+    // reports the smallest failing index, identically at every width.
+    let schedule = FaultSchedule::new(0xAB, 0.34, Fault::Panic).sites(&[site::POOL_ITEM]);
+    let mut first_failure = None;
+    for threads in [1, 2, 8] {
+        let guard = faults::install(schedule.clone());
+        let err = try_par_map(&items, threads, square)
+            .expect_err("schedule must hit at least one of 257 items");
+        let fired = guard.fired();
+        drop(guard);
+        assert!(fired > 0, "threads={threads}");
+        let injected = err.injected.expect("panic payload carries the failpoint");
+        assert_eq!(injected.site, site::POOL_ITEM);
+        match first_failure {
+            None => first_failure = Some(err.index),
+            // The queue drains even after a panic, so the *smallest*
+            // failing item is reported no matter how chunks landed.
+            Some(index) => assert_eq!(err.index, index, "threads={threads}"),
+        }
+    }
+
+    // After the faulted run, the same entry points keep producing the
+    // clean bytes at every width — nothing was poisoned.
+    for threads in [1, 2, 8] {
+        assert_eq!(par_map(&items, threads, square), clean, "threads={threads}");
+        assert_eq!(
+            try_par_map(&items, threads, square).expect("no schedule installed"),
+            clean,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn poisoned_scratch_is_rebuilt_not_reused_after_injected_panic() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let items: Vec<u64> = (0..64).collect();
+    // Scratch is a counter; the result leaks it so reuse of a poisoned
+    // (post-panic) scratch would shift every later value on that worker.
+    let f = |state: &mut u64, _i: usize, x: &u64| {
+        *state += 1;
+        x + *state - *state // value independent of scratch: x
+    };
+    let clean = try_par_map_with(&items, 2, || 0u64, f).expect("fault-free");
+    let guard =
+        faults::install(FaultSchedule::new(0xCD, 1.0, Fault::Panic).sites(&[site::POOL_ITEM]));
+    let err = try_par_map_with(&items, 2, || 0u64, f).expect_err("rate-1.0 panics");
+    assert_eq!(err.index, 0, "queue drain surfaces the smallest item");
+    // Attempt counters advanced on every item, so the retry is clean —
+    // and bit-identical to the never-faulted run at every width.
+    for threads in [1, 2, 8] {
+        assert_eq!(
+            try_par_map_with(&items, threads, || 0u64, f).expect("one-shot faults spent"),
+            clean,
+            "threads={threads}"
+        );
+    }
+    drop(guard);
+}
+
+#[test]
+fn adaptive_runs_stay_bit_identical_across_widths_after_injected_trial_panic() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let trials = 96;
+    let clean = mean_run(1, trials);
+
+    let cfg = AdaptiveConfig::new(0.01)
+        .with_min_trials(trials)
+        .with_batch(trials)
+        .with_max_trials(trials);
+    let sim = |_: &mut u64, t: usize, rng: &mut ephemeral_rng::DefaultRng| {
+        use ephemeral_rng::RandomSource;
+        (t as f64).mul_add(1e-6, rng.unit_f64())
+    };
+    let mut first_failure = None;
+    for threads in [1, 2, 8] {
+        let guard = faults::install(
+            FaultSchedule::new(0xEF, 0.2, Fault::Panic).sites(&[site::ADAPTIVE_TRIAL]),
+        );
+        let err = try_run_adaptive::<MeanAccumulator, _, _, _>(&cfg, 0xBEEF, threads, || 0u64, sim)
+            .expect_err("rate 0.2 over 96 trials fires");
+        drop(guard);
+        assert_eq!(
+            err.injected.expect("injected payload survives").site,
+            site::ADAPTIVE_TRIAL
+        );
+        // Samples fold in trial order, so the reported failure is the
+        // lowest faulted trial — the same at every width.
+        match first_failure {
+            None => first_failure = Some(err.index),
+            Some(index) => assert_eq!(err.index, index, "threads={threads}"),
+        }
+        // The runner is reusable immediately, at full fidelity.
+        assert_eq!(mean_run(threads, trials), clean, "threads={threads}");
+    }
+}
+
+#[test]
+fn thread_pool_outlives_injected_job_panics() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let pool = ThreadPool::new(4);
+    let guard =
+        faults::install(FaultSchedule::new(0x11, 1.0, Fault::Panic).sites(&[site::POOL_JOB]));
+    let jobs = 16;
+    for _ in 0..jobs {
+        pool.execute(|| {});
+    }
+    pool.wait_idle();
+    let died = pool.panicked_jobs();
+    drop(guard);
+    assert_eq!(died, jobs, "one-shot per key: every first submission dies");
+    // Workers caught the unwinds; the pool still runs jobs to completion.
+    let flag = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for _ in 0..jobs {
+        let flag = std::sync::Arc::clone(&flag);
+        pool.execute(move || {
+            flag.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(flag.load(std::sync::atomic::Ordering::Relaxed), jobs);
+    assert_eq!(
+        pool.panicked_jobs(),
+        died,
+        "no further deaths without a schedule"
+    );
+}

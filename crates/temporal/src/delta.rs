@@ -118,6 +118,7 @@ use crate::sparse::{EngineChoice, FrontierRun, SparseSweeper};
 use crate::wide::{EngineKind, FrontierEngine, SweepScratch, WideStats, WideSweeper};
 use crate::Time;
 use ephemeral_graph::{EdgeId, Graph, NodeId};
+use ephemeral_parallel::faults::{self, CancelToken};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -244,6 +245,9 @@ pub struct DeltaCursor {
     agenda: BinaryHeap<Reverse<Time>>,
     hstamp: Vec<u64>,
     apply_gen: u64,
+    /// Cooperative cancellation token checked at every replayed bucket
+    /// (`None` = never fires).
+    cancel: Option<CancelToken>,
 }
 
 impl DeltaCursor {
@@ -251,6 +255,13 @@ impl DeltaCursor {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) the cooperative cancellation token checked at every
+    /// replayed bucket of subsequent applies — the sweep grid's per-cell
+    /// watchdog (`--cell-timeout`) installs the cell's token here.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Words per closure row of the recorded sweep (`⌈n/64⌉`).
@@ -284,6 +295,7 @@ impl DeltaCursor {
             buckets_visited: self.nonempty_buckets,
             arena_hiwater_words: 0,
             compactions: 0,
+            degraded: 0,
         }
     }
 
@@ -412,6 +424,7 @@ impl DeltaCursor {
         let graph = tn.graph();
         let directed = graph.is_directed();
         let (eu, ev) = graph.endpoints(mv.edge);
+        let cancel = self.cancel.clone();
         let Self {
             rows,
             occupancy,
@@ -457,6 +470,10 @@ impl DeltaCursor {
         while let Some(Reverse(t)) = agenda.pop() {
             while agenda.peek() == Some(&Reverse(t)) {
                 agenda.pop();
+            }
+            faults::hit(faults::site::ENGINE_BUCKET, u64::from(t));
+            if let Some(c) = &cancel {
+                c.checkpoint();
             }
             let edges: &[EdgeId] = tn.edges_at(t);
             // The dirty gate: a bucket's commits can differ from its

@@ -48,6 +48,7 @@ use crate::kernels::ornot_word;
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
+use ephemeral_parallel::faults::{self, CancelToken};
 
 /// Number of sources a single sweep can carry (one per bit of a `u64`).
 pub const MAX_LANES: usize = 64;
@@ -130,6 +131,9 @@ pub struct BatchSweeper {
     delta: Vec<u64>,
     /// Vertices with a non-zero `delta` in the current bucket.
     touched: Vec<NodeId>,
+    /// Cooperative cancellation token checked at every bucket boundary
+    /// (`None` = never fires).
+    cancel: Option<CancelToken>,
 }
 
 impl BatchSweeper {
@@ -137,6 +141,13 @@ impl BatchSweeper {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) the cooperative cancellation token checked at every
+    /// bucket boundary of subsequent sweeps — the sweep grid's per-cell
+    /// watchdog (`--cell-timeout`) installs the cell's token here.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Run one batched foremost sweep from `sources` (at most
@@ -192,6 +203,10 @@ impl BatchSweeper {
         let last = horizon.min(tn.lifetime());
         let mut t = start_time.saturating_add(1);
         while t <= last && reached_bits < target {
+            faults::hit(faults::site::ENGINE_BUCKET, u64::from(t));
+            if let Some(c) = &self.cancel {
+                c.checkpoint();
+            }
             for &e in tn.edges_at(t) {
                 let (u, v) = tn.graph().endpoints(e);
                 let bu = self.before[u as usize];

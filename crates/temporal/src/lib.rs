@@ -88,6 +88,17 @@
 //!   bit-identical to a naive scalar reference
 //!   (`tests/kernel_proptests.rs`). The seam a future GPU/ISPC backend
 //!   would replace.
+//! * Robustness: every engine ([`engine`], [`wide`], [`sparse`], the
+//!   [`delta`] cursor) checks an optional `CancelToken` from
+//!   `ephemeral-parallel` at each bucket boundary (armed across a whole
+//!   scratch bundle by [`wide::SweepScratch::set_cancel_token`]) and
+//!   carries the `engine::bucket` failpoint for deterministic fault
+//!   injection; the sparse engine **degrades instead of aborting** under
+//!   memory pressure — a word budget
+//!   ([`sparse::SparseSweeper::set_arena_budget_words`]) forces arena
+//!   evacuations and a tight closure byte budget shrinks row blocks,
+//!   both counted in [`wide::WideStats::degraded`] with arrivals
+//!   guaranteed unchanged.
 //! * [`interval`]: continuous (window) availability with a Dijkstra-style
 //!   foremost; [`reference`](mod@reference): the sort-based foremost used
 //!   for differential testing and ablation benchmarking.

@@ -103,6 +103,7 @@ use crate::wide::{
 };
 use crate::Time;
 use ephemeral_graph::NodeId;
+use ephemeral_parallel::faults::{self, CancelToken};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::Range;
@@ -417,6 +418,10 @@ pub struct SparseSweeper {
     compact_floor: usize,
     /// Lifetime arena high-water mark (words) across every sweep.
     arena_hiwater: usize,
+    /// Monotone count of degradation events (forced budget compactions +
+    /// closure block shrinks) across this sweeper's lifetime — the
+    /// delta-foldable counterpart of the per-sweep [`WideStats::degraded`].
+    degraded_total: u64,
     /// Lifetime compaction count across every sweep.
     compactions_total: u64,
     /// Streaming-closure row-block cache (see
@@ -432,6 +437,17 @@ pub struct SparseSweeper {
     width: usize,
     /// Vertices of the most recent sweep.
     n: usize,
+    /// Vertices per closure row block of the most recent sweep —
+    /// [`CLOSURE_BLOCK_ROWS`] unless the byte budget forced a shrink
+    /// (the degradation path; see [`WideStats::degraded`]).
+    block_rows: usize,
+    /// Arena word budget (`0` = unlimited): exceeding it between buckets
+    /// forces a compaction instead of growing on — the degradation path
+    /// for memory pressure under relabel churn.
+    arena_budget_words: usize,
+    /// Cooperative cancellation token checked at every bucket boundary
+    /// (`None` = never fires).
+    cancel: Option<CancelToken>,
 }
 
 impl SparseSweeper {
@@ -467,14 +483,14 @@ impl SparseSweeper {
         assert!(w < self.width, "word {w} out of range");
         let vi = v as usize;
         assert!(vi < self.n, "vertex {v} out of range");
-        let b = (vi / CLOSURE_BLOCK_ROWS) as u32;
+        let b = (vi / self.block_rows) as u32;
         let slot = match self.cache.iter().position(|s| s.block == b) {
             Some(i) => i,
             None => self.materialise_block(b),
         };
         self.cache_tick += 1;
         self.cache[slot].tick = self.cache_tick;
-        self.cache[slot].words.words()[(vi % CLOSURE_BLOCK_ROWS) * self.width + w]
+        self.cache[slot].words.words()[(vi % self.block_rows) * self.width + w]
     }
 
     /// Fill the closure row block `b` from the reacher lists into a free
@@ -487,7 +503,8 @@ impl SparseSweeper {
         } else {
             self.closure_budget
         };
-        let block_bytes = CLOSURE_BLOCK_ROWS * self.width * 8;
+        let block_rows = self.block_rows.max(1);
+        let block_bytes = block_rows * self.width * 8;
         let max_slots = (budget / block_bytes.max(1)).max(1);
         self.cache.truncate(max_slots);
         let slot = if self.cache.len() < max_slots {
@@ -502,15 +519,15 @@ impl SparseSweeper {
             }
             lru
         };
-        let lo = b as usize * CLOSURE_BLOCK_ROWS;
-        let hi = (lo + CLOSURE_BLOCK_ROWS).min(self.n);
+        let lo = b as usize * block_rows;
+        let hi = (lo + block_rows).min(self.n);
         let width = self.width;
         let Self {
             cache, meta, arena, ..
         } = self;
         let s = &mut cache[slot];
         s.block = b;
-        s.words.resize_zeroed(CLOSURE_BLOCK_ROWS * width);
+        s.words.resize_zeroed(block_rows * width);
         let words = s.words.words_mut();
         for (i, m) in meta[lo..hi].iter().enumerate() {
             let st = m.start as usize;
@@ -568,6 +585,23 @@ impl SparseSweeper {
         self.compact_floor = words;
     }
 
+    /// Cap the region arena at `words` `u32` entries (`0` = unlimited).
+    /// Exceeding the cap between buckets forces an evacuation regardless
+    /// of the garbage factor — the sweep degrades (more compaction work,
+    /// counted in [`WideStats::degraded`]) instead of aborting under
+    /// memory pressure. Arrival times are unaffected: compaction never
+    /// changes region contents, only their placement.
+    pub fn set_arena_budget_words(&mut self, words: usize) {
+        self.arena_budget_words = words;
+    }
+
+    /// Arm (or clear) the cooperative cancellation token checked at every
+    /// bucket boundary of subsequent sweeps — the sweep grid's per-cell
+    /// watchdog (`--cell-timeout`) installs the cell's token here.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
     /// Lifetime arena high-water mark, in words, across every sweep this
     /// sweeper ran (monotone; per-sweep values are on the returned
     /// [`WideStats::arena_hiwater_words`]).
@@ -582,6 +616,15 @@ impl SparseSweeper {
     #[must_use]
     pub const fn compactions_total(&self) -> u64 {
         self.compactions_total
+    }
+
+    /// Monotone degradation-event count across this sweeper's lifetime
+    /// (forced compactions under [`SparseSweeper::set_arena_budget_words`]
+    /// plus closure row-block shrinks under the byte budget). Fold by
+    /// per-trial delta, like [`SparseSweeper::compactions_total`].
+    #[must_use]
+    pub const fn degraded_total(&self) -> u64 {
+        self.degraded_total
     }
 
     /// One event-driven sweep from the contiguous source range `sources`
@@ -637,6 +680,21 @@ impl SparseSweeper {
             s.block = u32::MAX;
             s.tick = 0;
         }
+        // Degradation, not abortion: if even one closure row block of
+        // the default shape would blow the byte budget, halve the rows
+        // per block until a block fits (floor 1 row). Smaller blocks
+        // amortise the list walk worse — a cost, counted once on this
+        // sweep's stats — but the cache stays inside its budget.
+        let closure_budget = if self.closure_budget == 0 {
+            DEFAULT_CLOSURE_BUDGET_BYTES
+        } else {
+            self.closure_budget
+        };
+        self.block_rows = CLOSURE_BLOCK_ROWS;
+        while self.block_rows > 1 && self.block_rows * width * 8 > closure_budget {
+            self.block_rows /= 2;
+        }
+        let mut degraded = usize::from(self.block_rows < CLOSURE_BLOCK_ROWS);
         self.arena.clear();
         // Warm headroom: same-shaped redraws produce arenas of similar
         // size, so carrying the previous high-water (plus the seeds)
@@ -702,6 +760,9 @@ impl SparseSweeper {
         let mut compact_check = floor.max(2 * self.arena.len());
         let mut hiwater = self.arena.len();
         let mut compactions = 0usize;
+        let budget = self.arena_budget_words;
+        let mut budget_check = budget;
+        let cancel = self.cancel.clone();
         let Self {
             arena,
             meta,
@@ -742,6 +803,10 @@ impl SparseSweeper {
             } else {
                 break;
             };
+            faults::hit(faults::site::ENGINE_BUCKET, u64::from(t));
+            if let Some(c) = &cancel {
+                c.checkpoint();
+            }
             buckets_visited += 1;
             let edges = tn.edges_at(t);
             // Conflict scan: sparse buckets almost never carry two edges
@@ -915,12 +980,32 @@ impl SparseSweeper {
                 }
                 compact_check = (2 * arena.len()).max(floor);
             }
+            // Forced evacuation under the arena word budget: between
+            // buckets no region is borrowed, so when the budget is
+            // exceeded compact regardless of the garbage factor and
+            // account the event as degradation. Geometric back-off
+            // (+25%) bounds the re-check cost when even the live set
+            // exceeds the budget (the sweep then runs over budget —
+            // degraded, but it completes).
+            if budget != 0 && arena.len() > budget_check {
+                if arena.len() > hiwater {
+                    hiwater = arena.len();
+                }
+                let live: usize = meta.iter().map(|m| m.len as usize).sum();
+                if arena.len() > live {
+                    compact_arena(arena, meta, compact_keys, compact_starts, compact_buf);
+                    compactions += 1;
+                    degraded += 1;
+                }
+                budget_check = (arena.len() + arena.len() / 4).max(budget);
+            }
         }
         if arena.len() > hiwater {
             hiwater = arena.len();
         }
         self.arena_hiwater = self.arena_hiwater.max(hiwater);
         self.compactions_total += compactions as u64;
+        self.degraded_total += degraded as u64;
         WideStats {
             lanes,
             reached_bits: reached,
@@ -928,6 +1013,7 @@ impl SparseSweeper {
             buckets_visited,
             arena_hiwater_words: hiwater,
             compactions,
+            degraded,
         }
     }
 
@@ -1151,6 +1237,66 @@ mod tests {
         assert_eq!(stats.lanes, 4);
         assert_eq!(stats.last_arrival, 3);
         assert_eq!(stats.buckets_visited, 3);
+    }
+
+    #[test]
+    fn arena_budget_forces_compactions_and_counts_degradation() {
+        let n = 70usize;
+        let tn = random_network(5, n, false, n as Time);
+        let mut clean = SparseSweeper::new();
+        let mut base_out = vec![0; n * n];
+        let base = clean.arrivals_into(&tn, 0..n as NodeId, 0, &mut base_out);
+        assert_eq!(base.degraded, 0, "unbudgeted sweeps never degrade");
+
+        // A word budget far below the churn high-water mark: the sweep
+        // must complete with identical arrivals, trading extra forced
+        // compactions — each counted as a degradation event — for the
+        // smaller footprint.
+        let mut tight = SparseSweeper::new();
+        tight.set_arena_budget_words(256);
+        let mut out = vec![0; n * n];
+        let stats = tight.arrivals_into(&tn, 0..n as NodeId, 0, &mut out);
+        assert_eq!(out, base_out, "degradation must not change arrivals");
+        assert!(
+            stats.degraded > 0,
+            "a {}-word budget under hiwater {} must force compactions",
+            256,
+            base.arena_hiwater_words
+        );
+        assert!(stats.compactions >= stats.degraded);
+        assert_eq!(tight.degraded_total(), stats.degraded as u64);
+
+        // The budgeted sweeper is not poisoned: lifting the budget
+        // reproduces the clean sweep byte for byte, degradation-free.
+        tight.set_arena_budget_words(0);
+        let mut again = vec![0; n * n];
+        let relaxed = tight.arrivals_into(&tn, 0..n as NodeId, 0, &mut again);
+        assert_eq!(again, base_out);
+        assert_eq!(relaxed.degraded, 0);
+    }
+
+    #[test]
+    fn closure_byte_budget_shrinks_row_blocks_instead_of_aborting() {
+        let n = 70usize;
+        let tn = random_network(6, n, false, n as Time);
+        let mut reference = SparseSweeper::new();
+        reference.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        let want: Vec<u64> = (0..n as NodeId)
+            .map(|v| reference.reach_word(v, 0))
+            .collect();
+
+        // A byte budget below one default-shape block: the sweep shrinks
+        // the rows-per-block geometry (one degradation event) and every
+        // closure query must still read the same bits.
+        let mut tiny = SparseSweeper::new();
+        tiny.set_closure_budget_bytes(64);
+        let stats = tiny.sweep(&tn, 0..n as NodeId, 0, |_, _, _, _| {});
+        assert_eq!(stats.degraded, 1, "one shrink event per sweep");
+        let got: Vec<u64> = (0..n as NodeId).map(|v| tiny.reach_word(v, 0)).collect();
+        assert_eq!(
+            got, want,
+            "shrunken blocks must read identical closure bits"
+        );
     }
 
     #[test]

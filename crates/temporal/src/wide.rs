@@ -64,6 +64,7 @@ use crate::kernels::{self, AlignedSlab, CHUNK_WORDS};
 use crate::network::TemporalNetwork;
 use crate::{Time, NEVER};
 use ephemeral_graph::NodeId;
+use ephemeral_parallel::faults::{self, CancelToken};
 use std::ops::Range;
 
 /// Vertex count at which the all-source entry points (closure, all-pairs
@@ -362,6 +363,12 @@ pub struct WideStats {
     /// Arena compactions the sparse engine performed during the sweep
     /// (`0` for the wide and batched engines).
     pub compactions: usize,
+    /// Graceful-degradation events the sweep absorbed instead of
+    /// aborting: forced arena compactions under an
+    /// [`arena budget`](crate::sparse::SparseSweeper::set_arena_budget_words)
+    /// and closure row-block shrinks under the streaming-closure byte
+    /// budget. `0` means the sweep ran at full capacity.
+    pub degraded: usize,
 }
 
 impl WideStats {
@@ -376,11 +383,12 @@ impl WideStats {
             buckets_visited: 0,
             arena_hiwater_words: 0,
             compactions: 0,
+            degraded: 0,
         }
     }
 
     /// Fold another shard's stats into this one: counts add
-    /// (`lanes`, `reached_bits`, `compactions`), watermarks max
+    /// (`lanes`, `reached_bits`, `compactions`, `degraded`), watermarks max
     /// (`last_arrival`, `buckets_visited`, `arena_hiwater_words` — each
     /// shard walks its own bucket subsequence and owns its own arena, so
     /// the folded values are "the deepest any shard went"). Folding in
@@ -393,6 +401,7 @@ impl WideStats {
         self.buckets_visited = self.buckets_visited.max(other.buckets_visited);
         self.arena_hiwater_words = self.arena_hiwater_words.max(other.arena_hiwater_words);
         self.compactions += other.compactions;
+        self.degraded += other.degraded;
     }
 
     /// Did every lane reach every one of the `n` vertices?
@@ -466,6 +475,9 @@ pub struct WideSweeper {
     /// Allocated words per row: `width` rounded up to a whole kernel
     /// chunk, so consecutive rows stay 64-byte aligned.
     stride: usize,
+    /// Cooperative cancellation token checked at every bucket boundary
+    /// (`None` = never fires; see [`SweepScratch::set_cancel_token`]).
+    cancel: Option<CancelToken>,
 }
 
 /// Words per column block of one pass: 16 words (1024 lanes) keeps a
@@ -481,6 +493,13 @@ impl WideSweeper {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) the cooperative cancellation token checked at every
+    /// bucket boundary of subsequent sweeps — the sweep grid's per-cell
+    /// watchdog (`--cell-timeout`) installs the cell's token here.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Words per frontier row of the most recent sweep
@@ -593,6 +612,7 @@ impl WideSweeper {
         let mut buckets_visited = 0usize;
         let mut epoch = 0u64;
         let directed = tn.graph().is_directed();
+        let cancel = self.cancel.clone();
         let Self {
             before,
             delta,
@@ -627,6 +647,10 @@ impl WideSweeper {
         for &t in tn.occupied_between(start_time, horizon) {
             if reached >= target {
                 break; // saturated: no later bucket can set a fresh bit
+            }
+            faults::hit(faults::site::ENGINE_BUCKET, u64::from(t));
+            if let Some(c) = &cancel {
+                c.checkpoint();
             }
             buckets_visited += 1;
             // Resolve the bucket's endpoints once; every block reuses them.
@@ -697,6 +721,7 @@ impl WideSweeper {
             buckets_visited,
             arena_hiwater_words: 0,
             compactions: 0,
+            degraded: 0,
         }
     }
 
@@ -765,6 +790,18 @@ impl SweepScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) one cooperative cancellation token on every engine
+    /// in the bundle — whichever engine the density-aware dispatch picks
+    /// for a trial honours the same token at its bucket boundaries. The
+    /// sweep grid's per-cell watchdog (`--cell-timeout`) installs the
+    /// cell's token here.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.batch.set_cancel_token(token.clone());
+        self.wide.set_cancel_token(token.clone());
+        self.sparse.set_cancel_token(token.clone());
+        self.delta.set_cancel_token(token);
     }
 }
 

@@ -34,7 +34,15 @@
 //!   what-if chains on the differentially maintained closure.
 //! * [`phonecall`] — the random phone-call model baselines (§1.1).
 //! * [`rng`] — deterministic PRNG stack (xoshiro256++ / SplitMix64).
-//! * [`parallel`] — data-parallel Monte Carlo engine and statistics.
+//! * [`parallel`] — data-parallel Monte Carlo engine and statistics, plus
+//!   the robustness substrate: `parallel::faults` is a deterministic
+//!   failpoint registry (seeded panic/delay/alloc-pressure schedules that
+//!   reproduce run-to-run), `try_par_map` / `try_run_adaptive` isolate
+//!   worker panics into structured `WorkerPanic` errors without
+//!   poisoning pool or scratch state, and `CancelToken` gives sweeps a
+//!   cooperative bucket-boundary watchdog. The bench sweep grid builds
+//!   on all three: per-cell retry with byte-identical recovery,
+//!   `"status":"failed"` quarantine rows, and `--cell-timeout`.
 //!
 //! ## Quickstart
 //!
