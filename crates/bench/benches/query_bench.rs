@@ -1,0 +1,447 @@
+//! PR10 load test of the point-query layer: batched resident
+//! [`QuerySession`] service vs dispatched cold sweeps, on the corpus the
+//! service actually targets — sparse `G(4096, p)` at average degree 4,
+//! lifetime `a = 4n`, one uniform label per edge, 64-way concurrency.
+//!
+//! Three ways to answer the same 512 mixed point queries:
+//!
+//! * **resident** — one warm session, arrivals coalesced into 64-lane
+//!   batches (what `ephemeral-serve` does per instance);
+//! * **cold single-source** — every query dispatched alone as a scalar
+//!   `foremost` sweep (the pre-session probe path and the differential
+//!   oracle);
+//! * **cold all-pairs** — every query answered by running a full cold
+//!   all-pairs closure sweep (the pre-PR10 all-pairs entry points).
+//!
+//! Latency percentiles come from an open-loop discrete-event simulation:
+//! arrivals draw exponential inter-arrival gaps from a derived seed
+//! stream, service times are *measured* per batch/query, and the queue
+//! is replayed arithmetically — no sleeping, so the numbers are stable
+//! on loaded CI machines.
+//!
+//! A full run dumps `BENCH_PR10.json` at the workspace root and asserts
+//! the acceptance bars; `-- --test` runs a reduced query count and
+//! prints greppable gate lines instead of the JSON dump.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ephemeral_core::urtn::sample_urtn;
+use ephemeral_graph::generators;
+use ephemeral_rng::distr::Exponential;
+use ephemeral_rng::{RandomSource, SeedSequence};
+use ephemeral_serve::protocol::ServeStats;
+use ephemeral_serve::server::{serve_lines, ServeConfig};
+use ephemeral_temporal::engine::MAX_LANES;
+use ephemeral_temporal::session::{PointAnswer, PointQuery, QuerySession};
+use ephemeral_temporal::sparse::{EngineChoice, SparseSweeper};
+use ephemeral_temporal::wide::EngineKind;
+use ephemeral_temporal::{TemporalNetwork, Time};
+use std::hint::black_box;
+use std::time::Instant;
+
+const CONCURRENCY: usize = 64;
+
+fn corpus(n: usize) -> TemporalNetwork {
+    let mut rng = ephemeral_rng::default_rng(10);
+    let g = generators::gnp(n, 4.0 / n as f64, false, &mut rng);
+    sample_urtn(g, 4 * n as Time, &mut rng)
+}
+
+/// A mixed query stream from a derived seed stream: half foremost, a
+/// quarter bounded reaches, a quarter distance rows.
+fn query_stream(n: u32, lifetime: Time, count: usize, seq: &SeedSequence) -> Vec<PointQuery> {
+    let mut rng = seq.rng(3);
+    (0..count)
+        .map(|_| {
+            let u = rng.bounded_u32(n);
+            let v = rng.bounded_u32(n);
+            match rng.bounded_u32(4) {
+                0 | 1 => PointQuery::Foremost { u, v },
+                2 => PointQuery::Reaches {
+                    u,
+                    v,
+                    by: 1 + rng.bounded_u32(lifetime),
+                },
+                _ => PointQuery::DistanceRow {
+                    u,
+                    horizon: 1 + rng.bounded_u32(lifetime),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Open-loop arrival times: exponential gaps at `rate` per nanosecond.
+fn arrivals(count: usize, rate_per_ns: f64, seq: &SeedSequence) -> Vec<f64> {
+    let gap = Exponential::new(rate_per_ns);
+    let mut rng = seq.rng(4);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|_| {
+            t += gap.sample(&mut rng);
+            t
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Simulate a single-server queue where the server takes everything
+/// that has arrived (up to `width` queries) as one batch and `measure`
+/// returns the batch's service time in ns. Returns sorted per-query
+/// latencies (ns) and the mean batch occupancy.
+fn simulate_batched(
+    arrive: &[f64],
+    queries: &[PointQuery],
+    width: usize,
+    mut measure: impl FnMut(&[PointQuery]) -> f64,
+) -> (Vec<f64>, f64) {
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut occupancy = Vec::new();
+    let mut clock = 0.0f64;
+    let mut next = 0;
+    while next < queries.len() {
+        let start = clock.max(arrive[next]);
+        let mut take = 1;
+        while next + take < queries.len() && take < width && arrive[next + take] <= start {
+            take += 1;
+        }
+        let service = measure(&queries[next..next + take]);
+        let done = start + service;
+        for &at in &arrive[next..next + take] {
+            latencies.push(done - at);
+        }
+        occupancy.push(take as f64);
+        clock = done;
+        next += take;
+    }
+    latencies.sort_unstable_by(f64::total_cmp);
+    let mean_occ = occupancy.iter().sum::<f64>() / occupancy.len() as f64;
+    (latencies, mean_occ)
+}
+
+/// One cold dispatched query: a scalar single-source `foremost` sweep —
+/// what every point query cost before the session layer (the probe
+/// paths of `ReachabilityMatrix`, `treach`, and the scenario metrics
+/// dispatched exactly this per source), and simultaneously the
+/// semantics oracle the resident answers must match bit for bit.
+fn cold_single(tn: &TemporalNetwork, q: &PointQuery) -> PointAnswer {
+    use ephemeral_temporal::foremost::{foremost, foremost_with_horizon};
+    use ephemeral_temporal::NEVER;
+    match *q {
+        PointQuery::Foremost { u, v } => {
+            let t = foremost(tn, u, 0).arrivals()[v as usize];
+            PointAnswer::Foremost((t != NEVER).then_some(t))
+        }
+        PointQuery::Reaches { u, v, by } => {
+            let t = foremost_with_horizon(tn, u, 0, by).arrivals()[v as usize];
+            let arrival = (t != NEVER).then_some(t);
+            PointAnswer::Reaches {
+                reached: arrival.is_some(),
+                arrival,
+            }
+        }
+        PointQuery::DistanceRow { u, horizon } => {
+            let run = foremost_with_horizon(tn, u, 0, horizon);
+            PointAnswer::DistanceRow(run.arrivals().to_vec())
+        }
+    }
+}
+
+/// Wall-clock ns of one full cold all-pairs closure sweep (the engine
+/// the density dispatch selects for this corpus).
+fn allpairs_cold_ns(tn: &TemporalNetwork) -> f64 {
+    let n = tn.num_nodes() as u32;
+    let start = Instant::now();
+    let mut sweeper = SparseSweeper::new();
+    let stats = sweeper.sweep(tn, 0..n, 0, |_, _, _, _| {});
+    black_box(stats);
+    start.elapsed().as_nanos() as f64
+}
+
+/// Run the same corpus through the protocol layer end to end and report
+/// its counters (cache hit rate, batch totals).
+fn protocol_pass(n: usize, queries: &[PointQuery]) -> ServeStats {
+    let mut script = format!(
+        "{{\"op\":\"load\",\"instance\":\"corpus\",\"gnp\":{{\"nodes\":{n},\"avg_degree\":4.0,\
+         \"seed\":10}},\"directed\":false,\"lifetime\":{},\"labels_per_edge\":1,\
+         \"label_seed\":10}}\n",
+        4 * n
+    );
+    for q in queries {
+        match *q {
+            PointQuery::Foremost { u, v } => script.push_str(&format!(
+                "{{\"op\":\"query\",\"instance\":\"corpus\",\"type\":\"foremost\",\"u\":{u},\
+                 \"v\":{v}}}\n"
+            )),
+            PointQuery::Reaches { u, v, by } => script.push_str(&format!(
+                "{{\"op\":\"query\",\"instance\":\"corpus\",\"type\":\"reaches\",\"u\":{u},\
+                 \"v\":{v},\"by\":{by}}}\n"
+            )),
+            PointQuery::DistanceRow { u, horizon } => script.push_str(&format!(
+                "{{\"op\":\"query\",\"instance\":\"corpus\",\"type\":\"distance_row\",\"u\":{u},\
+                 \"horizon\":{horizon}}}\n"
+            )),
+        }
+    }
+    let mut out = Vec::new();
+    let summary =
+        serve_lines(script.as_bytes(), &mut out, &ServeConfig::default()).expect("in-memory io");
+    assert_eq!(summary.stats.failed, 0);
+    summary.stats
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let n = 4096usize;
+    let count = if smoke { 192 } else { 512 };
+    let mut tn = corpus(n);
+    assert_eq!(
+        EngineChoice::pick_for(&tn),
+        EngineKind::Sparse,
+        "the load-test corpus sits in the sparse regime"
+    );
+    let seq = SeedSequence::new(0x10_2014);
+    let queries = query_stream(n as u32, tn.lifetime(), count, &seq);
+
+    // Bit-identity before timing: the coalesced resident batches must
+    // answer exactly what cold singleton dispatches answer.
+    let mut session = QuerySession::new(tn);
+    let mut resident_answers = Vec::with_capacity(count);
+    for chunk in queries.chunks(MAX_LANES) {
+        resident_answers.extend(session.answer_batch(chunk));
+    }
+    let (tn_back, _) = session.into_parts();
+    tn = tn_back;
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(resident_answers[i], cold_single(&tn, q), "query {i}: {q:?}");
+    }
+    println!("query smoke: resident lane batches bit-identical to the scalar foremost oracle");
+
+    let mut group = c.benchmark_group("query_bench");
+    group.sample_size(if smoke { 2 } else { 10 });
+    {
+        let mut session = QuerySession::new(tn);
+        group.bench_function("resident_batched", |b| {
+            b.iter(|| {
+                let mut sum = 0usize;
+                for chunk in queries.chunks(MAX_LANES) {
+                    sum += session.answer_batch(chunk).len();
+                }
+                black_box(sum)
+            })
+        });
+        let (back, _) = session.into_parts();
+        tn = back;
+    }
+    group.bench_function("cold_single_source_x16", |b| {
+        b.iter(|| {
+            for q in &queries[..16] {
+                black_box(cold_single(&tn, q));
+            }
+        })
+    });
+    group.finish();
+
+    // ---- headline: measured service costs + open-loop latency sim ----
+
+    // Mean resident batch cost calibrates the arrival rate so the
+    // open-loop stream keeps ~CONCURRENCY queries in flight. Medians
+    // over several full passes — a single pass is too noisy to gate on.
+    let reps = if smoke { 3 } else { 9 };
+    let mut session = QuerySession::new(tn);
+    let resident_total_ns = {
+        let mut samples: Vec<f64> = (0..=reps)
+            .map(|_| {
+                let start = Instant::now();
+                for chunk in queries.chunks(MAX_LANES) {
+                    black_box(session.answer_batch(chunk));
+                }
+                start.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.remove(0); // warm-up pass
+        samples.sort_unstable_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let batch_ns = resident_total_ns / queries.chunks(MAX_LANES).count() as f64;
+    let rate_per_ns = CONCURRENCY as f64 / batch_ns;
+    let arrive = arrivals(count, rate_per_ns, &seq);
+
+    let (resident_lat, occupancy) = simulate_batched(&arrive, &queries, MAX_LANES, |chunk| {
+        let start = Instant::now();
+        black_box(session.answer_batch(chunk));
+        start.elapsed().as_nanos() as f64
+    });
+
+    // The ≥10× acceptance bar is about *point* queries (reaches /
+    // foremost): row queries deliberately dispatch through the
+    // density-chosen row engine one source at a time — correct, but
+    // nothing to amortize across lanes — so gate on the point-query
+    // component of the stream.
+    let points: Vec<PointQuery> = queries
+        .iter()
+        .filter(|q| !matches!(q, PointQuery::DistanceRow { .. }))
+        .copied()
+        .collect();
+    assert!(points.len() >= count / 2, "the stream is point-query heavy");
+    let point_resident_ns = {
+        let mut samples: Vec<f64> = (0..=reps)
+            .map(|_| {
+                let start = Instant::now();
+                for chunk in points.chunks(MAX_LANES) {
+                    black_box(session.answer_batch(chunk));
+                }
+                start.elapsed().as_nanos() as f64 / points.len() as f64
+            })
+            .collect();
+        samples.remove(0);
+        samples.sort_unstable_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let (tn_back, _) = session.into_parts();
+    tn = tn_back;
+    let point_cold_ns = {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                for q in &points {
+                    black_box(cold_single(&tn, q));
+                }
+                start.elapsed().as_nanos() as f64 / points.len() as f64
+            })
+            .collect();
+        samples.sort_unstable_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+
+    // Cold single-source: same arrivals, every query its own dispatch.
+    let (cold_lat, _) = simulate_batched(&arrive, &queries, 1, |chunk| {
+        let start = Instant::now();
+        black_box(cold_single(&tn, &chunk[0]));
+        start.elapsed().as_nanos() as f64
+    });
+
+    // Cold all-pairs: same arrivals, every query pays one full sweep
+    // (measured once — it does not depend on the query).
+    let ap_ns = allpairs_cold_ns(&tn);
+    let (allpairs_lat, _) = simulate_batched(&arrive, &queries, 1, |_| ap_ns);
+
+    let resident_service_ns = resident_total_ns / count as f64;
+    let cold_mean_ns = {
+        // Service cost alone (queueing excluded), median over passes.
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                for q in &queries {
+                    black_box(cold_single(&tn, q));
+                }
+                start.elapsed().as_nanos() as f64 / count as f64
+            })
+            .collect();
+        samples.sort_unstable_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let mixed_speedup = cold_mean_ns / resident_service_ns;
+    let point_speedup = point_cold_ns / point_resident_ns;
+    let stats = protocol_pass(n, &queries);
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+
+    let p = |lat: &[f64], q: f64| percentile(lat, q) / 1e3;
+    println!(
+        "query load (mixed): resident {:.1} µs/query service ({:.1} lanes/batch mean), cold \
+         single-source {:.1} µs/query, speedup {mixed_speedup:.1}x",
+        resident_service_ns / 1e3,
+        occupancy,
+        cold_mean_ns / 1e3,
+    );
+    println!(
+        "query load (point): resident {:.2} µs/query, cold single-source {:.1} µs/query, \
+         speedup {point_speedup:.1}x over {} point queries",
+        point_resident_ns / 1e3,
+        point_cold_ns / 1e3,
+        points.len(),
+    );
+    println!(
+        "query latency (µs): resident p50 {:.1} p95 {:.1} p99 {:.1} | cold single-source \
+         p50 {:.1} p95 {:.1} p99 {:.1} | cold all-pairs p50 {:.1} p95 {:.1} p99 {:.1}",
+        p(&resident_lat, 0.50),
+        p(&resident_lat, 0.95),
+        p(&resident_lat, 0.99),
+        p(&cold_lat, 0.50),
+        p(&cold_lat, 0.95),
+        p(&cold_lat, 0.99),
+        p(&allpairs_lat, 0.50),
+        p(&allpairs_lat, 0.95),
+        p(&allpairs_lat, 0.99),
+    );
+    println!(
+        "query cache: hit rate {hit_rate:.3} over {} protocol queries",
+        stats.queries
+    );
+
+    assert!(
+        point_speedup >= 10.0,
+        "acceptance bar: batched resident point queries must be ≥ 10× cheaper per query \
+         than dispatched cold single-source sweeps (measured {point_speedup:.1}×)"
+    );
+    println!("query gate: resident batched >= 10x cold single-source per query");
+    let resident_p99 = percentile(&resident_lat, 0.99);
+    let allpairs_p99 = percentile(&allpairs_lat, 0.99);
+    assert!(
+        allpairs_p99 >= 0.9 * resident_p99,
+        "acceptance bar: resident p99 ({resident_p99:.0} ns) must not regress below 0.9× of \
+         serving the same stream via cold all-pairs sweeps (p99 {allpairs_p99:.0} ns)"
+    );
+    println!("query gate: resident p99 within 0.9x of cold all-pairs service");
+
+    if smoke {
+        return;
+    }
+
+    let row = format!(
+        "    {{\"workload\":\"gnp_n{n}_a4n\",\"n\":{n},\"edges\":{},\"lifetime\":{},\
+         \"dispatch\":\"{}\",\"queries\":{count},\"concurrency\":{CONCURRENCY},\
+         \"resident_ns_per_query\":{:.0},\"cold_single_ns_per_query\":{:.0},\
+         \"allpairs_ns_per_sweep\":{:.0},\"mixed_speedup_vs_cold_single\":{:.2},\
+         \"point_resident_ns_per_query\":{:.0},\"point_cold_ns_per_query\":{:.0},\
+         \"point_speedup_vs_cold_single\":{:.2},\
+         \"batch_occupancy\":{:.1},\"cache_hit_rate\":{:.4},\
+         \"resident_p50_ns\":{:.0},\"resident_p95_ns\":{:.0},\"resident_p99_ns\":{:.0},\
+         \"cold_single_p99_ns\":{:.0},\"allpairs_p99_ns\":{:.0}}}",
+        tn.graph().num_edges(),
+        tn.lifetime(),
+        EngineChoice::pick_for(&tn).name(),
+        resident_service_ns,
+        cold_mean_ns,
+        ap_ns,
+        mixed_speedup,
+        point_resident_ns,
+        point_cold_ns,
+        point_speedup,
+        occupancy,
+        hit_rate,
+        percentile(&resident_lat, 0.50),
+        percentile(&resident_lat, 0.95),
+        resident_p99,
+        percentile(&cold_lat, 0.99),
+        allpairs_p99,
+    );
+    let json = format!(
+        "{{\n  \"bench\":\"query_bench\",\n  \"pr\":10,\n  \
+         \"op\":\"resident_point_queries_vs_cold_dispatch\",\n  \"threads\":1,\n  \
+         \"results\":[\n{row}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("headline numbers written to BENCH_PR10.json"),
+        Err(e) => eprintln!("could not write BENCH_PR10.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

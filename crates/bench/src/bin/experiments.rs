@@ -15,6 +15,12 @@
 //! # to an uninterrupted run.
 //! cargo run --release -p ephemeral-bench --bin experiments -- \
 //!     sweep --resume sweep.jsonl --out sweep.jsonl
+//!
+//! # Long-lived reachability service: JSON-lines protocol on stdin→stdout
+//! # (or --tcp ADDR), instances resident in a sharded byte-budgeted cache.
+//! cargo run --release -p ephemeral-bench --bin experiments -- serve
+//! cargo run --release -p ephemeral-bench --bin experiments -- \
+//!     serve --shards 4 --budget-mb 512 --deadline-ms 2000
 //! ```
 //!
 //! Default output is the markdown that EXPERIMENTS.md embeds;
@@ -25,6 +31,7 @@
 
 use ephemeral_bench::sweep::{run_sweep_with, SweepOptions, SweepSpec};
 use ephemeral_bench::{all_experiments, ExpConfig};
+use ephemeral_serve::server::{run_stdin, serve_listener, ServeConfig};
 use std::io::Write;
 use std::time::Instant;
 
@@ -208,6 +215,82 @@ fn run_sweep_mode(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `experiments serve`: the long-lived reachability service. Speaks the
+/// JSON-lines protocol on stdin→stdout by default, or on a TCP listener
+/// with `--tcp ADDR` (one connection at a time; `--connections K` stops
+/// after K, for smoke tests).
+fn run_serve_mode(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut connections: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--shards" => {
+                cfg.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if cfg.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--budget-mb" => {
+                let mb: usize = value_of("--budget-mb")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget-mb: {e}"))?;
+                cfg.byte_budget = mb << 20;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value_of("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                cfg.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--tcp" => tcp = Some(value_of("--tcp")?),
+            "--connections" => {
+                connections = Some(
+                    value_of("--connections")?
+                        .parse()
+                        .map_err(|e| format!("bad --connections: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown serve argument '{other}'")),
+        }
+    }
+    eprintln!(
+        "# serve: shards={}, budget={}MiB, deadline={:?}, front={}",
+        cfg.shards,
+        cfg.byte_budget >> 20,
+        cfg.deadline,
+        tcp.as_deref().unwrap_or("stdin")
+    );
+    if let Some(addr) = tcp {
+        let listener =
+            std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!(
+            "# serve: listening on {}",
+            listener.local_addr().map_err(|e| e.to_string())?
+        );
+        serve_listener(&listener, &cfg, connections).map_err(|e| e.to_string())?;
+    } else {
+        let summary = run_stdin(&cfg).map_err(|e| e.to_string())?;
+        eprintln!(
+            "# serve: {} requests, {} queries in {} batches, {} failed, hit rate {:.3}",
+            summary.requests,
+            summary.stats.queries,
+            summary.stats.batches,
+            summary.stats.failed,
+            summary.stats.hits as f64 / (summary.stats.hits + summary.stats.misses).max(1) as f64
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     // Deterministic fault injection for CI and soak runs: a malformed
     // spec panics loudly here, before any work runs. The guard pins the
@@ -216,6 +299,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "sweep") {
         if let Err(e) = run_sweep_mode(&args[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().is_some_and(|a| a == "serve") {
+        if let Err(e) = run_serve_mode(&args[1..]) {
             eprintln!("error: {e}");
             std::process::exit(2);
         }

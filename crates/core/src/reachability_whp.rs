@@ -4,11 +4,12 @@
 
 use crate::models::{LabelModel, UniformMulti};
 use ephemeral_graph::Graph;
-use ephemeral_parallel::adaptive::{adaptive_proportion_with, AdaptiveConfig, AdaptiveProportion};
+use ephemeral_parallel::adaptive::{
+    adaptive_proportion_pooled_with, AdaptiveConfig, AdaptiveProportion, StatePool,
+};
 use ephemeral_parallel::{MonteCarlo, Proportion};
 use ephemeral_rng::SeedSequence;
-use ephemeral_temporal::reachability::treach_holds_scratch;
-use ephemeral_temporal::wide::SweepScratch;
+use ephemeral_temporal::session::QuerySession;
 use ephemeral_temporal::{LabelAssignment, Time};
 
 /// Monte Carlo estimate of `P[T_reach]` for `r` i.i.d. uniform labels per
@@ -35,23 +36,50 @@ pub fn treach_probability(
     MonteCarlo::new(trials, seed)
         .with_threads(threads)
         .success_probability_with(
-            || {
-                (
-                    crate::urtn::placeholder_network(graph, lifetime),
-                    LabelAssignment::default(),
-                    SweepScratch::new(),
-                )
-            },
-            |(tn, spare, sweep), _, rng| {
-                model.assign_into(tn.graph().num_edges(), rng, spare);
-                let drawn = std::mem::take(spare);
-                *spare = tn
-                    .replace_assignment(drawn)
-                    .expect("model labels fit the lifetime");
-                treach_holds_scratch(tn, sweep)
-            },
+            || ProbeState::new(graph, lifetime),
+            |state, _, rng| state.trial(&model, rng),
         )
 }
+
+/// Per-worker scratch of a `T_reach` probe: a pinned [`QuerySession`]
+/// (network CSR, sweep scratch, lane buffers) plus a spare label buffer
+/// the model redraws into. One trial swaps the freshly drawn assignment
+/// in, runs the session's density-dispatched `T_reach` check, and keeps
+/// the displaced assignment as the next trial's spare — no allocation
+/// after warm-up.
+#[derive(Debug)]
+pub struct ProbeState {
+    session: QuerySession,
+    spare: LabelAssignment,
+}
+
+impl ProbeState {
+    fn new(graph: &Graph, lifetime: Time) -> Self {
+        Self {
+            session: QuerySession::new(crate::urtn::placeholder_network(graph, lifetime)),
+            spare: LabelAssignment::default(),
+        }
+    }
+
+    fn trial(&mut self, model: &UniformMulti, rng: &mut impl ephemeral_rng::RandomSource) -> bool {
+        let edges = self.session.network().graph().num_edges();
+        model.assign_into(edges, rng, &mut self.spare);
+        let drawn = std::mem::take(&mut self.spare);
+        self.spare = self
+            .session
+            .replace_assignment(drawn)
+            .expect("model labels fit the lifetime");
+        self.session.treach_holds()
+    }
+}
+
+/// Warm [`ProbeState`]s shared across adaptive runs: the per-`r` probes
+/// of [`minimal_r_adaptive`] draw from one of these, so the bisection
+/// builds at most `threads` sessions for the whole search instead of
+/// re-allocating network copies and sweep scratch per candidate `r`.
+/// States are only interchangeable across probes over the **same**
+/// `(graph, lifetime)` — use a fresh pool per instance.
+pub type ProbePool = StatePool<ProbeState>;
 
 /// [`treach_probability`] with adaptive trial allocation: batches run until
 /// the Wilson half-width reaches the config's target or its cap. At the
@@ -70,27 +98,38 @@ pub fn treach_probability_adaptive(
     seed: u64,
     threads: usize,
 ) -> AdaptiveProportion {
+    treach_probability_adaptive_pooled(graph, lifetime, r, cfg, seed, threads, &ProbePool::new())
+}
+
+/// [`treach_probability_adaptive`] drawing its per-worker
+/// [`ProbeState`]s from a caller-owned [`ProbePool`]. Identical numbers
+/// — a pooled session is fully reset by the per-trial assignment swap —
+/// but a caller probing many `r` over one instance (the bisection of
+/// [`minimal_r_adaptive`]) pays for network copies and sweep scratch
+/// once, not once per probe.
+///
+/// # Panics
+/// If `r == 0` or `lifetime == 0`, or if the pool holds states from a
+/// different `(graph, lifetime)` (edge counts then disagree).
+#[must_use]
+pub fn treach_probability_adaptive_pooled(
+    graph: &Graph,
+    lifetime: Time,
+    r: usize,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+    pool: &ProbePool,
+) -> AdaptiveProportion {
     assert!(r >= 1);
     let model = UniformMulti { lifetime, r };
-    adaptive_proportion_with(
+    adaptive_proportion_pooled_with(
         cfg,
         seed,
         threads,
-        || {
-            (
-                crate::urtn::placeholder_network(graph, lifetime),
-                LabelAssignment::default(),
-                SweepScratch::new(),
-            )
-        },
-        |(tn, spare, sweep), _, rng| {
-            model.assign_into(tn.graph().num_edges(), rng, spare);
-            let drawn = std::mem::take(spare);
-            *spare = tn
-                .replace_assignment(drawn)
-                .expect("model labels fit the lifetime");
-            treach_holds_scratch(tn, sweep)
-        },
+        pool,
+        || ProbeState::new(graph, lifetime),
+        |state, _, rng| state.trial(&model, rng),
     )
 }
 
@@ -180,6 +219,8 @@ pub fn minimal_r(
 /// binary search is unchanged, but each probed `r` runs only as many trials
 /// as its Wilson interval demands (per-probe seeds come from a
 /// [`SeedSequence`] stream keyed by `r`, so probes never share draws).
+/// One [`ProbePool`] spans the whole search, so the warm sessions built
+/// for the first probe serve every later candidate `r`.
 ///
 /// # Panics
 /// If `target ∉ (0, 1]`.
@@ -194,9 +235,18 @@ pub fn minimal_r_adaptive(
 ) -> MinimalR {
     assert!(target > 0.0 && target <= 1.0, "target must be in (0,1]");
     let seq = SeedSequence::new(seed);
+    let pool = ProbePool::new();
     let mut evaluations = Vec::new();
     let mut probe = |r: usize| -> Proportion {
-        let p = treach_probability_adaptive(graph, lifetime, r, cfg, seq.derive(r as u64), threads);
+        let p = treach_probability_adaptive_pooled(
+            graph,
+            lifetime,
+            r,
+            cfg,
+            seq.derive(r as u64),
+            threads,
+            &pool,
+        );
         evaluations.push((r, p.proportion.estimate));
         p.proportion
     };
@@ -323,6 +373,31 @@ mod tests {
             "mid {} sure {}",
             mid.proportion.trials,
             sure.proportion.trials
+        );
+    }
+
+    #[test]
+    fn pooled_probes_match_fresh_probes_and_reuse_sessions() {
+        let g = generators::star(24);
+        let cfg = AdaptiveConfig::new(0.08)
+            .with_min_trials(16)
+            .with_batch(16)
+            .with_max_trials(200);
+        let threads = 2;
+        let pool = ProbePool::new();
+        for r in [1usize, 4, 16] {
+            let pooled =
+                treach_probability_adaptive_pooled(&g, 24, r, &cfg, 7 ^ r as u64, threads, &pool);
+            let fresh = treach_probability_adaptive(&g, 24, r, &cfg, 7 ^ r as u64, threads);
+            assert_eq!(pooled.proportion, fresh.proportion, "r = {r}");
+            assert_eq!(pooled.half_width, fresh.half_width, "r = {r}");
+        }
+        // The shared pool parked its warm sessions between probes instead
+        // of rebuilding them: never more than `threads` states exist.
+        let idle = pool.idle();
+        assert!(
+            (1..=threads).contains(&idle),
+            "expected 1..={threads} pooled probe states, found {idle}"
         );
     }
 

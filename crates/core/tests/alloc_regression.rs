@@ -340,4 +340,75 @@ fn warm_montecarlo_trials_do_not_allocate() {
         "warm aligned-slab resizes and arena refills must not allocate \
          (saw {during} allocations in 50 rounds)"
     );
+
+    // The pooled bisection probes: `minimal_r_adaptive` threads one
+    // `ProbePool` of warm `QuerySession`s through every candidate `r`,
+    // so only the first probe pays for the session (network copy + sweep
+    // scratch). The `T_reach` check's static-components pass allocates
+    // by design, so the check is comparative rather than zero: probing
+    // five candidates from a warm pool must beat five cold probes by at
+    // least two sessions' worth of allocations (it saves ~five).
+    use ephemeral_core::reachability_whp::{treach_probability_adaptive_pooled, ProbePool};
+    use ephemeral_parallel::adaptive::AdaptiveConfig;
+    use ephemeral_temporal::session::QuerySession;
+    let probe_graph = generators::star(64);
+    let cfg = AdaptiveConfig::new(0.5)
+        .with_min_trials(4)
+        .with_batch(4)
+        .with_max_trials(4);
+    let candidates = [1usize, 2, 3, 5, 8];
+    let pool = ProbePool::new();
+    // Warm-up run parks the single worker's session (and its spare label
+    // buffer, sized for the largest candidate) in the shared pool.
+    let _ = treach_probability_adaptive_pooled(&probe_graph, 64, 8, &cfg, 5, 1, &pool);
+    assert_eq!(pool.idle(), 1, "the lone worker pools its probe state");
+    let before = allocations();
+    let session_build = QuerySession::new(placeholder_network(&probe_graph, 64));
+    let build_cost = allocations() - before;
+    drop(session_build);
+    assert!(build_cost > 0, "building a session visibly allocates");
+    let run_probes = |pooled: bool| {
+        let mut estimates = 0.0;
+        for r in candidates {
+            let p = if pooled {
+                treach_probability_adaptive_pooled(
+                    &probe_graph,
+                    64,
+                    r,
+                    &cfg,
+                    5 ^ r as u64,
+                    1,
+                    &pool,
+                )
+            } else {
+                treach_probability_adaptive_pooled(
+                    &probe_graph,
+                    64,
+                    r,
+                    &cfg,
+                    5 ^ r as u64,
+                    1,
+                    &ProbePool::new(),
+                )
+            };
+            estimates += p.proportion.estimate;
+        }
+        estimates
+    };
+    let before = allocations();
+    let warm_estimates = run_probes(true);
+    let pooled_allocs = allocations() - before;
+    let before = allocations();
+    let cold_estimates = run_probes(false);
+    let cold_allocs = allocations() - before;
+    assert_eq!(
+        warm_estimates, cold_estimates,
+        "pooling never changes numbers"
+    );
+    assert!(
+        pooled_allocs + 2 * build_cost <= cold_allocs,
+        "warm pooled probes must skip the per-candidate session rebuild \
+         (pooled {pooled_allocs}, cold {cold_allocs}, one session costs \
+         {build_cost} allocations)"
+    );
 }

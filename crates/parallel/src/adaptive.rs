@@ -214,6 +214,42 @@ pub struct AdaptiveRun<A> {
     pub converged: bool,
 }
 
+/// A caller-owned pool of warm scratch states for the `_pooled` adaptive
+/// runners ([`try_run_adaptive_pooled`],
+/// [`adaptive_proportion_pooled_with`]). Within one run, states already
+/// pool across batch boundaries; sharing a `StatePool` additionally
+/// carries them across *runs* — `minimal_r`'s per-candidate-`r` probes,
+/// a sweep grid's cells over one family — so a sequence of runs on
+/// `threads` workers builds at most `threads` states total instead of
+/// `threads` per run. The pool never validates what it holds: only share
+/// one across runs whose `init`/`sim` pairs accept each other's states.
+#[derive(Debug)]
+pub struct StatePool<S> {
+    states: Mutex<Vec<S>>,
+}
+
+impl<S> StatePool<S> {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            states: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of idle states currently parked in the pool.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.states.lock().len()
+    }
+}
+
+impl<S> Default for StatePool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Hands a pooled scratch state back when its worker finishes a batch, so
 /// the next batch's workers reuse it instead of paying `init()` again —
 /// a trial scratch can be a ~100 MB network copy. A state whose trial
@@ -290,10 +326,43 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &mut DefaultRng) -> A::Sample + Sync,
 {
+    try_run_adaptive_pooled(cfg, seed, threads, &StatePool::new(), init, sim)
+}
+
+/// [`try_run_adaptive`] drawing scratch states from (and returning them
+/// to) a **caller-owned** pool, so a sequence of runs — `minimal_r`'s
+/// per-candidate-`r` probes, a sweep grid's cells over one family —
+/// reuses the same warm states instead of paying `init()` again per run.
+/// The pool is consulted before `init`: pass an empty pool for the old
+/// behaviour. States poisoned by a panicking trial are dropped, never
+/// re-pooled, exactly as in [`try_run_adaptive`].
+///
+/// Results are bit-identical to [`try_run_adaptive`] whenever the pooled
+/// states are interchangeable with freshly `init()`-ed ones after `sim`'s
+/// own per-trial reset (the contract `init`/`sim` pairs already obey for
+/// cross-batch pooling within a single run).
+///
+/// # Panics
+/// If `batch == 0` or `max_trials == 0`.
+pub fn try_run_adaptive_pooled<A, S, I, F>(
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+    pool: &StatePool<S>,
+    init: I,
+    sim: F,
+) -> Result<AdaptiveRun<A>, WorkerPanic>
+where
+    A: AdaptiveAccumulator,
+    A::Sample: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut DefaultRng) -> A::Sample + Sync,
+{
     assert!(cfg.batch >= 1, "batch size must be positive");
     assert!(cfg.max_trials >= 1, "trial cap must be positive");
+    let pool = &pool.states;
     let seq = SeedSequence::new(seed);
-    let pool: Mutex<Vec<S>> = Mutex::new(Vec::new());
     let mut accumulator = A::default();
     let mut done = 0usize;
     let half_width = loop {
@@ -303,7 +372,7 @@ where
             threads,
             || PooledState {
                 state: None, // lazily filled from the pool on first trial
-                pool: &pool,
+                pool,
             },
             |pooled, i| {
                 let trial = done + i;
@@ -410,6 +479,38 @@ where
     F: Fn(&mut S, usize, &mut DefaultRng) -> bool + Sync,
 {
     let run: AdaptiveRun<ProportionAccumulator> = run_adaptive(cfg, seed, threads, init, sim);
+    AdaptiveProportion {
+        proportion: Proportion::new(run.accumulator.successes, run.accumulator.count),
+        half_width: run.half_width,
+        converged: run.converged,
+    }
+}
+
+/// [`adaptive_proportion_with`] drawing scratch from a caller-owned pool
+/// (see [`try_run_adaptive_pooled`]): a bisection probing many configs
+/// over the same instance keeps its warm sweep state across probes.
+///
+/// # Panics
+/// On invalid config or a panicking trial, as [`adaptive_proportion_with`].
+pub fn adaptive_proportion_pooled_with<S, I, F>(
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+    pool: &StatePool<S>,
+    init: I,
+    sim: F,
+) -> AdaptiveProportion
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut DefaultRng) -> bool + Sync,
+{
+    let run: Result<AdaptiveRun<ProportionAccumulator>, WorkerPanic> =
+        try_run_adaptive_pooled(cfg, seed, threads, pool, init, sim);
+    let run = match run {
+        Ok(run) => run,
+        Err(wp) => std::panic::panic_any(wp),
+    };
     AdaptiveProportion {
         proportion: Proportion::new(run.accumulator.successes, run.accumulator.count),
         half_width: run.half_width,
@@ -594,6 +695,48 @@ mod tests {
         assert!(
             calls <= threads,
             "init called {calls} times across 64 batches on {threads} threads"
+        );
+    }
+
+    #[test]
+    fn caller_owned_pool_spans_runs_without_changing_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A shared pool across a *sequence* of runs (minimal_r's per-r
+        // probes) must build at most `threads` states total, and must
+        // not perturb any reported number versus per-run local pools.
+        let inits = AtomicUsize::new(0);
+        let threads = 3;
+        let cfg = AdaptiveConfig::new(0.0)
+            .with_min_trials(32)
+            .with_batch(8)
+            .with_max_trials(32);
+        let pool: StatePool<u8> = StatePool::new();
+        for seed in [5u64, 6, 7] {
+            let pooled = adaptive_proportion_pooled_with(
+                &cfg,
+                seed,
+                threads,
+                &pool,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u8
+                },
+                |_, _, rng| rng.unit_f64() < 0.4,
+            );
+            let fresh = adaptive_proportion_with(
+                &cfg,
+                seed,
+                threads,
+                || 0u8,
+                |_, _, rng| rng.unit_f64() < 0.4,
+            );
+            assert_eq!(pooled.proportion, fresh.proportion, "seed {seed}");
+            assert_eq!(pooled.half_width, fresh.half_width, "seed {seed}");
+        }
+        let calls = inits.load(Ordering::Relaxed);
+        assert!(
+            calls <= threads,
+            "init called {calls} times across 3 runs on {threads} threads"
         );
     }
 

@@ -68,6 +68,7 @@ use std::time::{Duration, Instant};
 /// | [`site::ENGINE_BUCKET`] | engines | bucket time | each sweep bucket boundary |
 /// | [`site::SWEEP_CELL`] | sweep grid | cell index | cell evaluation start |
 /// | [`site::SWEEP_EMIT`] | sweep grid | cell index | after compute, before the row posts |
+/// | [`site::SERVE_QUERY`] | query service | request sequence # | before a query joins its lane batch |
 pub mod site {
     /// One item of a `try_par_map`/`try_par_map_with` call (key: item index).
     pub const POOL_ITEM: &str = "pool::item";
@@ -81,6 +82,9 @@ pub mod site {
     pub const SWEEP_CELL: &str = "sweep::cell";
     /// After a cell computes, before its row posts (key: cell index).
     pub const SWEEP_EMIT: &str = "sweep::emit";
+    /// One query of the long-lived reachability service (key: request
+    /// sequence number), fired as the query joins its lane batch.
+    pub const SERVE_QUERY: &str = "serve::query";
     /// Every named failpoint, for schedules and docs.
     pub const ALL: &[&str] = &[
         POOL_ITEM,
@@ -89,6 +93,7 @@ pub mod site {
         ENGINE_BUCKET,
         SWEEP_CELL,
         SWEEP_EMIT,
+        SERVE_QUERY,
     ];
 }
 

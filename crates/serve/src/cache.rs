@@ -1,0 +1,215 @@
+//! The byte-budgeted instance cache one shard owns.
+//!
+//! Accounting reuses the streaming-closure discipline of
+//! `ephemeral_temporal::sparse`: a monotone clock stamps every touch,
+//! eviction walks the slots for the smallest stamp, and the budget is
+//! measured in [`QuerySession::resident_bytes`] — a deterministic size
+//! model, not an allocator probe — so the same request stream evicts the
+//! same instances on every run and platform (the golden-transcript CI
+//! check depends on that). A single instance larger than the whole
+//! budget is still admitted alone: the budget bounds *cache* growth, it
+//! never rejects work.
+
+use ephemeral_temporal::session::QuerySession;
+use std::collections::HashMap;
+
+/// Default byte budget per shard (matches the closure cache default).
+pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
+
+struct Slot {
+    session: QuerySession,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Occupancy and traffic counters of one [`InstanceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Resident instances.
+    pub instances: usize,
+    /// Size-model bytes they pin.
+    pub resident_bytes: usize,
+    /// Lookups that found their instance resident.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Instances evicted by the byte budget.
+    pub evictions: u64,
+}
+
+/// LRU map from instance id to its resident [`QuerySession`], bounded by
+/// a byte budget over [`QuerySession::resident_bytes`].
+pub struct InstanceCache {
+    budget: usize,
+    clock: u64,
+    bytes: usize,
+    slots: HashMap<String, Slot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl InstanceCache {
+    /// An empty cache bounded by `budget` size-model bytes.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            clock: 0,
+            bytes: 0,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Pin `session` under `id`, replacing any previous instance with
+    /// that id, then evict least-recently-touched *other* instances
+    /// until the byte budget holds again. Returns how many were evicted.
+    pub fn insert(&mut self, id: &str, session: QuerySession) -> usize {
+        let bytes = session.resident_bytes();
+        self.clock += 1;
+        if let Some(old) = self.slots.insert(
+            id.to_string(),
+            Slot {
+                session,
+                bytes,
+                tick: self.clock,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.shed(id)
+    }
+
+    /// The resident session for `id`, touching its LRU stamp. Counts a
+    /// hit or a miss.
+    pub fn session(&mut self, id: &str) -> Option<&mut QuerySession> {
+        if let Some(slot) = self.slots.get_mut(id) {
+            self.hits += 1;
+            self.clock += 1;
+            slot.tick = self.clock;
+            Some(&mut slot.session)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Re-measure `id` after a mutation grew it (a label move records a
+    /// cursor), then evict other instances if the budget broke. Returns
+    /// how many were evicted.
+    pub fn reaccount(&mut self, id: &str) -> usize {
+        if let Some(slot) = self.slots.get_mut(id) {
+            let bytes = slot.session.resident_bytes();
+            self.bytes = self.bytes - slot.bytes + bytes;
+            slot.bytes = bytes;
+        }
+        self.shed(id)
+    }
+
+    /// Evict least-recently-touched slots other than `keep` until the
+    /// budget holds.
+    fn shed(&mut self, keep: &str) -> usize {
+        let mut evicted = 0;
+        while self.bytes > self.budget && self.slots.len() > 1 {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(id, _)| id.as_str() != keep)
+                .min_by_key(|(_, slot)| slot.tick)
+                .map(|(id, _)| id.clone());
+            let Some(victim) = victim else { break };
+            let slot = self.slots.remove(&victim).expect("victim is resident");
+            self.bytes -= slot.bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Current occupancy and traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            instances: self.slots.len(),
+            resident_bytes: self.bytes,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+impl std::fmt::Debug for InstanceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceCache")
+            .field("budget", &self.budget)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ephemeral_graph::generators;
+    use ephemeral_rng::{RandomSource, SeedSequence};
+    use ephemeral_temporal::{LabelAssignment, TemporalNetwork};
+
+    fn session(seed: u64, n: usize) -> QuerySession {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let g = generators::gnp(n, 0.2, false, &mut rng);
+        let lifetime = n as u32;
+        let labels =
+            LabelAssignment::from_fn(g.num_edges(), |_| vec![rng.range_u32(1, lifetime)]).unwrap();
+        QuerySession::new(TemporalNetwork::new(g, labels, lifetime).unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_instance_under_the_budget() {
+        let one = session(1, 40).resident_bytes();
+        // Room for two instances of this size, not three.
+        let mut cache = InstanceCache::new(2 * one + one / 2);
+        assert_eq!(cache.insert("a", session(1, 40)), 0);
+        assert_eq!(cache.insert("b", session(2, 40)), 0);
+        assert!(cache.session("a").is_some(), "a is fresher than b now");
+        let evicted = cache.insert("c", session(3, 40));
+        assert_eq!(evicted, 1);
+        assert!(cache.session("b").is_none(), "b was the LRU victim");
+        assert!(cache.session("a").is_some() && cache.session("c").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.instances, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn an_oversized_instance_is_admitted_alone() {
+        let mut cache = InstanceCache::new(1);
+        assert_eq!(cache.insert("big", session(4, 60)), 0);
+        assert!(cache.session("big").is_some());
+        // A second one displaces it (budget holds at one slot minimum).
+        assert_eq!(cache.insert("bigger", session(5, 60)), 1);
+        assert!(cache.session("big").is_none());
+        assert!(cache.session("bigger").is_some());
+    }
+
+    #[test]
+    fn reload_replaces_in_place_and_reaccount_tracks_growth() {
+        let mut cache = InstanceCache::new(usize::MAX);
+        cache.insert("a", session(6, 30));
+        let before = cache.stats().resident_bytes;
+        cache.insert("a", session(7, 50));
+        let after = cache.stats().resident_bytes;
+        assert_eq!(cache.stats().instances, 1);
+        assert_ne!(before, after, "replacement re-measures");
+        // Recording a cursor grows the size model; reaccount sees it.
+        cache.session("a").unwrap().record_cursor();
+        cache.reaccount("a");
+        assert!(cache.stats().resident_bytes > after);
+    }
+}

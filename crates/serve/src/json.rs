@@ -1,0 +1,383 @@
+//! A minimal JSON reader/writer for the line protocol.
+//!
+//! The workspace builds fully offline, so the service parses its own
+//! JSON instead of pulling `serde`: a recursive-descent parser into a
+//! small [`Json`] tree (every protocol message is a few dozen tokens;
+//! only [distance-row answers](crate::protocol) are ever large, and
+//! those are *written*, not parsed). Writing goes through
+//! [`escape_into`] plus plain `write!` in the protocol layer, so every
+//! response is rendered byte-stably — the golden-transcript CI check
+//! depends on that.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the protocol only uses values exact in an `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Sorted by key (protocol messages never rely on
+    /// duplicate keys; the last occurrence wins, like serde's default).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This number as a non-negative integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// This number, if it is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON value (trailing non-whitespace is an error).
+///
+/// # Errors
+/// A human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The scan above only stops on ASCII bytes, so the run is
+            // whole UTF-8 sequences from valid input `&str`.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is utf8"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(format!("raw control byte at {}", self.pos)),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), String> {
+        let Some(b) = self.peek() else {
+            return Err("unterminated escape".to_string());
+        };
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: the low half must follow.
+                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err("unpaired surrogate".to_string());
+                        }
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(c).ok_or("bad surrogate pair")?
+                    } else {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                } else {
+                    char::from_u32(hi).ok_or("unpaired surrogate")?
+                };
+                out.push(c);
+            }
+            other => return Err(format!("bad escape `\\{}`", other as char)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let slice = end.map(|e| &self.bytes[self.pos..e]);
+        let digits = slice
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or("truncated \\u escape")?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_protocol_shaped_objects() {
+        let v = parse(r#"{"op":"query","u":3,"v":10,"by":7,"tags":[1,2],"deep":{"x":null}}"#)
+            .expect("valid json");
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("tags").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("deep").and_then(|d| d.get("x")), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parses_numbers_strings_and_escapes() {
+        assert_eq!(parse("-12.5e1"), Ok(Json::Num(-125.0)));
+        assert_eq!(parse("0"), Ok(Json::Num(0.0)));
+        assert_eq!(
+            parse(r#""a\"b\\c\nA😀""#),
+            Ok(Json::Str("a\"b\\c\nA\u{1f600}".to_string()))
+        );
+        assert!(parse("1.5").unwrap().as_u64().is_none());
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            r#"{"a" 1}"#,
+            "1x",
+            r#""\q""#,
+            r#""\ud800""#,
+            "{} {}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let ugly = "line\nwith \"quotes\" \\ and \u{1} control";
+        let mut out = String::new();
+        escape_into(&mut out, ugly);
+        assert_eq!(parse(&out), Ok(Json::Str(ugly.to_string())));
+    }
+}

@@ -1,0 +1,27 @@
+//! A long-lived reachability service over resident
+//! [`QuerySession`](ephemeral_temporal::session::QuerySession)s.
+//!
+//! The all-pairs engines answer "everything about everything"; this
+//! crate serves the other access pattern from the same engine stack:
+//! **point queries against instances that stay loaded**. A JSON-lines
+//! protocol ([`protocol`]) arrives over stdin or TCP ([`server`]),
+//! requests shard by instance id onto workers that each own a
+//! byte-budgeted LRU cache of sessions ([`cache`]), consecutive queries
+//! per instance coalesce into 64-lane batches of one
+//! `BatchSweeper` pass, and answers stream back tagged with request ids
+//! in arrival order. Panic isolation and deadlines degrade a poisoned
+//! query to a `"status":"failed"` line instead of a dead server.
+//!
+//! Everything is deterministic by construction — parsing, shard
+//! routing, cache eviction, lane semantics, response rendering — so a
+//! request script replayed against 1, 2 or 8 shards produces the same
+//! transcript byte for byte; CI pins that with a golden transcript.
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, InstanceCache, DEFAULT_BYTE_BUDGET};
+pub use protocol::{parse_request, LoadSpec, Request, ServeStats};
+pub use server::{run_stdin, serve_lines, serve_listener, shard_of, ServeConfig, ServeSummary};

@@ -18,6 +18,7 @@
 use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::kernels;
 use crate::network::TemporalNetwork;
+use crate::session::closure_rows_into;
 use crate::sparse::{EngineChoice, FrontierRun};
 use crate::wide::{source_blocks, FrontierEngine};
 use ephemeral_graph::NodeId;
@@ -56,17 +57,12 @@ impl ReachabilityMatrix {
         }
         let chunks =
             EngineChoice::dispatch(tn, threads, Closure { tn, threads }).unwrap_or_else(|| {
+                // Below the crossover each 64-source batch runs through
+                // the shared lane-pass core of `session` — the same pass
+                // that answers point queries.
                 par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
-                    let batch = batch_range(n, b);
-                    let sources: Vec<NodeId> = batch.collect();
-                    sweeper.sweep(tn, &sources, 0, |_, _, _| {});
-                    let mut rows = vec![0u64; sources.len() * words_per_row];
-                    for v in 0..n {
-                        let lanes = sweeper.lanes_reaching(v as NodeId);
-                        kernels::for_each_set_lane(std::slice::from_ref(&lanes), |lane| {
-                            rows[lane * words_per_row + v / 64] |= 1 << (v % 64);
-                        });
-                    }
+                    let mut rows = Vec::new();
+                    closure_rows_into(tn, sweeper, batch_range(n, b), &mut rows);
                     rows
                 })
             });

@@ -284,6 +284,36 @@ impl DeltaCursor {
         self.rows.words()[v as usize * self.width + w]
     }
 
+    /// Foremost arrival `δ(u, v)` of the recorded-and-maintained sweep:
+    /// the bucket time at which source `u`'s bit committed into row `v`,
+    /// `Some(0)` for `u == v` (a source counts itself at the recording's
+    /// start time), `None` when `u` never reaches `v`.
+    ///
+    /// Scans `v`'s commit log: each `(source, vertex)` bit appears in the
+    /// log exactly once, in non-decreasing time order, so the first hit
+    /// **is** the foremost arrival and stays bit-identical to a cold
+    /// sweep after any [`DeltaCursor::apply_label_move`] sequence — this
+    /// is the cursor-resident fast path of
+    /// [`QuerySession`](crate::session::QuerySession), answering point
+    /// queries in `O(|log_v|)` with no sweep at all.
+    ///
+    /// # Panics
+    /// If `u` or `v` is out of range for the recorded network.
+    #[must_use]
+    pub fn arrival(&self, u: NodeId, v: NodeId) -> Option<Time> {
+        assert!((u as usize) < self.n, "source {u} out of range");
+        assert!((v as usize) < self.n, "vertex {v} out of range");
+        if u == v {
+            return Some(0);
+        }
+        let word = (u as usize / 64) as u16;
+        let bit = 1u64 << (u as usize % 64);
+        self.rowlog[v as usize]
+            .iter()
+            .find(|e| e.word == word && e.mask & bit != 0)
+            .map(|e| e.time)
+    }
+
     /// Sweep statistics of the maintained closure; see the type-level
     /// note on `buckets_visited`.
     #[must_use]
@@ -1175,6 +1205,33 @@ mod tests {
         let (_, kind) = scratch.record_delta(&small);
         assert_eq!(kind, EngineKind::Wide);
         assert_matches_cold(&scratch.delta, &small);
+    }
+
+    #[test]
+    fn arrival_reads_the_foremost_time_from_the_log() {
+        use crate::foremost::foremost;
+        let mut tn = random_network(10, 50, false, 40);
+        let mut cursor = DeltaCursor::new();
+        WideSweeper::new().record(&tn, &mut cursor);
+        let check = |cursor: &DeltaCursor, tn: &TemporalNetwork| {
+            for u in 0..50u32 {
+                let run = foremost(tn, u, 0);
+                for v in 0..50u32 {
+                    assert_eq!(cursor.arrival(u, v), run.arrival(v), "{u} -> {v}");
+                }
+            }
+        };
+        check(&cursor, &tn);
+        // The log stays the foremost oracle through label-move churn.
+        let mut rng = SeedSequence::new(10).rng(1);
+        let m = tn.assignment().num_edges();
+        for _ in 0..60 {
+            let e = rng.index(m) as EdgeId;
+            let labels = tn.labels(e);
+            let from = labels[rng.index(labels.len())];
+            let _ = cursor.apply_label_move(&mut tn, e, from, rng.range_u32(1, 40));
+        }
+        check(&cursor, &tn);
     }
 
     #[test]

@@ -98,6 +98,101 @@ impl SweepStats {
     }
 }
 
+/// One point query packed into a [`BatchSweeper::sweep_lanes`] pass.
+///
+/// A lane is a single-source foremost sweep with its own retirement
+/// policy: a `target` lane retires the moment the target's bit commits
+/// (its arrival is final — commits are non-decreasing in time), a
+/// targetless lane stays live to its `horizon` collecting a whole
+/// closure/distance row, and every lane retires when its frontier
+/// saturates `saturation` vertices — the batched sweep's global
+/// saturation exit, generalised per lane. A caller that knows the
+/// source's static reachable set (e.g. its connected-component size)
+/// tightens the bound with [`Lane::with_saturation`]; the default is
+/// `n` (no outside knowledge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Source vertex the lane sweeps from.
+    pub source: NodeId,
+    /// Vertex whose foremost arrival answers the lane, or `None` to keep
+    /// the lane live to its horizon (row-shaped queries).
+    pub target: Option<NodeId>,
+    /// Inclusive label ceiling: the lane ignores labels greater than
+    /// `horizon`, matching
+    /// [`foremost_with_horizon`](crate::foremost::foremost_with_horizon)
+    /// (clamped to the network lifetime).
+    pub horizon: Time,
+    /// The lane retires once its frontier holds this many vertices
+    /// (clamped to `n`). Sound whenever it upper-bounds the number of
+    /// vertices any journey from `source` can ever reach — once the
+    /// frontier hits the bound no future bucket can commit a new bit,
+    /// so every remaining answer is final.
+    pub saturation: u32,
+}
+
+impl Lane {
+    /// A `foremost(source → target)` lane with no horizon bound.
+    #[must_use]
+    pub const fn foremost(source: NodeId, target: NodeId) -> Self {
+        Self {
+            source,
+            target: Some(target),
+            horizon: NEVER,
+            saturation: u32::MAX,
+        }
+    }
+
+    /// A `reaches(source, target, ≤ by)` lane.
+    #[must_use]
+    pub const fn reaches(source: NodeId, target: NodeId, by: Time) -> Self {
+        Self {
+            source,
+            target: Some(target),
+            horizon: by,
+            saturation: u32::MAX,
+        }
+    }
+
+    /// A whole-row lane: sweep `source` to `horizon` with no target.
+    #[must_use]
+    pub const fn row(source: NodeId, horizon: Time) -> Self {
+        Self {
+            source,
+            target: None,
+            horizon,
+            saturation: u32::MAX,
+        }
+    }
+
+    /// Cap the lane's frontier at `bound` vertices — retire as saturated
+    /// once that many are reached. `bound` must upper-bound the source's
+    /// statically reachable set or answers may finalise early.
+    #[must_use]
+    pub const fn with_saturation(mut self, bound: u32) -> Self {
+        self.saturation = bound;
+        self
+    }
+}
+
+/// What a [`BatchSweeper::sweep_lanes`] pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Number of lanes the pass carried.
+    pub lanes: usize,
+    /// Total `(lane, vertex)` bits committed, diagonal included.
+    pub reached_bits: usize,
+    /// The last time any bit newly set across the pass.
+    pub last_arrival: Time,
+    /// Occupied buckets the pass actually scanned.
+    pub buckets_visited: usize,
+    /// Lanes that retired before their horizon was exhausted — target
+    /// found or frontier saturated (horizon expiry is not "early").
+    pub retired_early: usize,
+    /// Did the pass abandon the bucket walk because every lane had
+    /// retired, with occupied buckets still unscanned?
+    pub early_exit: bool,
+}
+
 /// Reusable scratch state of the batched multi-source sweep.
 ///
 /// Construction is free; the first sweep sizes the internal frontier
@@ -131,6 +226,9 @@ pub struct BatchSweeper {
     delta: Vec<u64>,
     /// Vertices with a non-zero `delta` in the current bucket.
     touched: Vec<NodeId>,
+    /// Per-vertex lane bits whose target is that vertex — the retirement
+    /// index of [`BatchSweeper::sweep_lanes`] (empty between passes).
+    tmask: Vec<u64>,
     /// Cooperative cancellation token checked at every bucket boundary
     /// (`None` = never fires).
     cancel: Option<CancelToken>,
@@ -252,6 +350,201 @@ impl BatchSweeper {
             lanes,
             reached_bits,
             last_arrival,
+        }
+    }
+
+    /// Run one lane-allocated pass: up to [`MAX_LANES`] independent point
+    /// queries packed as lanes of a single walk over the occupied time
+    /// buckets, each lane retiring the moment its own answer is final.
+    ///
+    /// `arrivals[i]` receives lane `i`'s foremost arrival at its target
+    /// ([`NEVER`] when unreachable within the horizon, `start_time` when
+    /// `target == source`), or stays [`NEVER`] for targetless row lanes —
+    /// their answers stream through `on_reach(v, lanes, t)`, which fires
+    /// exactly as in [`BatchSweeper::sweep`] for every commit of a lane
+    /// that was live at the top of bucket `t`.
+    ///
+    /// Lanes are independent (lane `i`'s frontier never reads lane `j`'s
+    /// bits), so masking retired lanes out of the propagation leaves every
+    /// live lane's evolution bit-identical to a dedicated
+    /// [`foremost_with_horizon`](crate::foremost::foremost_with_horizon)
+    /// sweep — the per-lane early exit is pure work avoidance
+    /// (`tests/session_proptests.rs` pins this differentially).
+    ///
+    /// # Panics
+    /// If `lanes.len() > MAX_LANES`, `arrivals.len() != lanes.len()`, or
+    /// any source/target is out of range.
+    pub fn sweep_lanes(
+        &mut self,
+        tn: &TemporalNetwork,
+        lanes: &[Lane],
+        start_time: Time,
+        arrivals: &mut [Time],
+        mut on_reach: impl FnMut(NodeId, u64, Time),
+    ) -> LaneStats {
+        let n = tn.num_nodes();
+        assert!(
+            lanes.len() <= MAX_LANES,
+            "at most {MAX_LANES} lanes per pass"
+        );
+        assert_eq!(arrivals.len(), lanes.len(), "one arrival slot per lane");
+        self.before.clear();
+        self.before.resize(n, 0);
+        self.delta.clear();
+        self.delta.resize(n, 0);
+        self.touched.clear();
+        self.tmask.clear();
+        self.tmask.resize(n, 0);
+        arrivals.fill(NEVER);
+        let mut counts = [0usize; MAX_LANES];
+        let mut sats = [usize::MAX; MAX_LANES];
+        let mut active: u64 = 0;
+        let mut max_horizon: Time = start_time;
+        // Earliest horizon among lanes still active: buckets at or below
+        // it cannot expire anything, so the per-bucket expiry scan only
+        // runs when the walk actually crosses a lane's horizon.
+        let mut min_horizon: Time = NEVER;
+        let mut retired_early = 0usize;
+        for (i, lane) in lanes.iter().enumerate() {
+            assert!(
+                (lane.source as usize) < n,
+                "source {} out of range",
+                lane.source
+            );
+            let bit = 1u64 << i;
+            self.before[lane.source as usize] |= bit;
+            counts[i] = 1;
+            sats[i] = (lane.saturation as usize).min(n);
+            match lane.target {
+                Some(tv) => {
+                    assert!((tv as usize) < n, "target {tv} out of range");
+                    if tv == lane.source {
+                        // Answered at setup: a source reaches itself at
+                        // its start time, mirroring scalar `foremost`.
+                        arrivals[i] = start_time;
+                        continue;
+                    }
+                    if lane.horizon <= start_time {
+                        continue; // no label can serve this lane
+                    }
+                    self.tmask[tv as usize] |= bit;
+                }
+                None => {
+                    if lane.horizon <= start_time {
+                        continue;
+                    }
+                }
+            }
+            if counts[i] >= sats[i] {
+                continue; // saturated at setup (n == 1, or a unit bound)
+            }
+            active |= bit;
+            max_horizon = max_horizon.max(lane.horizon.min(tn.lifetime()));
+            min_horizon = min_horizon.min(lane.horizon);
+        }
+        let mut reached_bits = lanes.len();
+        let mut last_arrival: Time = 0;
+        let directed = tn.graph().is_directed();
+        let occupied = tn.occupied_between(start_time, max_horizon);
+        let mut buckets_visited = 0usize;
+        let mut early_exit = false;
+        for &t in occupied {
+            if active == 0 {
+                early_exit = true;
+                break;
+            }
+            // Expire lanes whose horizon ended before this bucket; their
+            // answers are final (commits at times ≤ horizon all happened).
+            // `min_horizon` keeps the scan off the hot path: a retired
+            // lane can leave it stale-low, which only costs a redundant
+            // rescan, never a missed expiry.
+            if t > min_horizon {
+                let mut expiring = active;
+                min_horizon = NEVER;
+                while expiring != 0 {
+                    let i = expiring.trailing_zeros() as usize;
+                    expiring &= expiring - 1;
+                    if lanes[i].horizon < t {
+                        active &= !(1u64 << i);
+                    } else {
+                        min_horizon = min_horizon.min(lanes[i].horizon);
+                    }
+                }
+                if active == 0 {
+                    early_exit = true;
+                    break;
+                }
+            }
+            faults::hit(faults::site::ENGINE_BUCKET, u64::from(t));
+            if let Some(c) = &self.cancel {
+                c.checkpoint();
+            }
+            buckets_visited += 1;
+            for &e in tn.edges_at(t) {
+                let (u, v) = tn.graph().endpoints(e);
+                let bu = self.before[u as usize];
+                let bv = self.before[v as usize];
+                let forward = ornot_word(bu, bv) & active;
+                if forward != 0 {
+                    if self.delta[v as usize] == 0 {
+                        self.touched.push(v);
+                    }
+                    self.delta[v as usize] |= forward;
+                }
+                if !directed {
+                    let backward = ornot_word(bv, bu) & active;
+                    if backward != 0 {
+                        if self.delta[u as usize] == 0 {
+                            self.touched.push(u);
+                        }
+                        self.delta[u as usize] |= backward;
+                    }
+                }
+            }
+            // Whole-bucket commit, as in `sweep_with_horizon`. A lane that
+            // retires mid-commit may still commit other bits accumulated
+            // under this bucket's mask — harmless: its answer was final
+            // the moment its retirement condition fired.
+            let mut touched = std::mem::take(&mut self.touched);
+            for &v in &touched {
+                let fresh = ornot_word(self.delta[v as usize], self.before[v as usize]);
+                self.delta[v as usize] = 0;
+                if fresh != 0 {
+                    self.before[v as usize] |= fresh;
+                    reached_bits += fresh.count_ones() as usize;
+                    last_arrival = t;
+                    on_reach(v, fresh, t);
+                    let hit = fresh & self.tmask[v as usize];
+                    let mut iter = fresh;
+                    while iter != 0 {
+                        let i = iter.trailing_zeros() as usize;
+                        iter &= iter - 1;
+                        counts[i] += 1;
+                        let bit = 1u64 << i;
+                        if hit & bit != 0 {
+                            arrivals[i] = t;
+                            if active & bit != 0 {
+                                active &= !bit;
+                                retired_early += 1;
+                            }
+                        } else if counts[i] >= sats[i] && active & bit != 0 {
+                            active &= !bit;
+                            retired_early += 1;
+                        }
+                    }
+                }
+            }
+            touched.clear();
+            self.touched = touched;
+        }
+        self.tmask.clear();
+        LaneStats {
+            lanes: lanes.len(),
+            reached_bits,
+            last_arrival,
+            buckets_visited,
+            retired_early,
+            early_exit,
         }
     }
 
@@ -519,6 +812,130 @@ mod tests {
             seen.extend(batch_range(n, b));
         }
         assert_eq!(seen, (0..n as NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_pass_matches_scalar_foremost() {
+        for seed in 0..6 {
+            for directed in [false, true] {
+                let tn = random_network(seed, 48, directed);
+                let n = tn.num_nodes();
+                let mut rng = SeedSequence::new(seed ^ 0xbeef).rng(1);
+                let lanes: Vec<Lane> = (0..40)
+                    .map(|_| {
+                        let source = rng.range_u32(0, n as u32 - 1);
+                        let target = rng.range_u32(0, n as u32 - 1);
+                        let horizon = if rng.range_u32(0, 2) == 0 {
+                            NEVER
+                        } else {
+                            rng.range_u32(1, tn.lifetime())
+                        };
+                        Lane {
+                            source,
+                            target: Some(target),
+                            horizon,
+                            saturation: u32::MAX,
+                        }
+                    })
+                    .collect();
+                let mut got = vec![0; lanes.len()];
+                BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut got, |_, _, _| {});
+                for (i, lane) in lanes.iter().enumerate() {
+                    let run = foremost_with_horizon(&tn, lane.source, 0, lane.horizon);
+                    let want = run.arrival(lane.target.unwrap()).unwrap_or(NEVER);
+                    assert_eq!(
+                        got[i], want,
+                        "seed {seed} directed {directed} lane {i}: {lane:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_self_targets_and_tight_horizons_answer_at_setup() {
+        let tn = random_network(2, 20, false);
+        let lanes = vec![
+            Lane::foremost(7, 7),
+            Lane::reaches(3, 9, 0), // horizon ≤ start: nothing can serve it
+            Lane::reaches(3, 3, 0), // but a self-target still answers
+        ];
+        let mut got = vec![0; 3];
+        let stats = BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut got, |_, _, _| {});
+        assert_eq!(got, vec![0, NEVER, 0]);
+        assert_eq!(stats.buckets_visited, 0, "no lane needed a bucket");
+    }
+
+    #[test]
+    fn row_lanes_stream_the_same_commits_as_a_full_sweep() {
+        let tn = random_network(13, 50, false);
+        let n = tn.num_nodes();
+        let sources: Vec<NodeId> = (0..50).collect();
+        let lanes: Vec<Lane> = sources.iter().map(|&s| Lane::row(s, NEVER)).collect();
+        let mut got = vec![NEVER; lanes.len() * n];
+        for (i, &s) in sources.iter().enumerate() {
+            got[i * n + s as usize] = 0;
+        }
+        let mut arrivals = vec![0; lanes.len()];
+        let stats =
+            BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut arrivals, |v, mut bits, t| {
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    got[i * n + v as usize] = t;
+                }
+            });
+        assert_eq!(got, scalar_arrivals(&tn, &sources, 0));
+        assert!(
+            arrivals.iter().all(|&a| a == NEVER),
+            "row lanes have no target"
+        );
+        assert_eq!(stats.lanes, 50);
+    }
+
+    #[test]
+    fn retired_lanes_stop_the_pass_early() {
+        // Path with strictly increasing labels: querying the immediate
+        // neighbour of each source retires every lane after its own edge
+        // fires, long before the last occupied bucket.
+        let n = 40usize;
+        let g = generators::path(n);
+        let labels = LabelAssignment::from_fn(n - 1, |e| vec![(e as Time) + 1]).unwrap();
+        let tn = TemporalNetwork::new(g, labels, n as Time).unwrap();
+        let lanes = vec![Lane::foremost(0, 1), Lane::foremost(1, 2)];
+        let mut got = vec![0; 2];
+        let stats = BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut got, |_, _, _| {});
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(stats.retired_early, 2);
+        assert!(stats.early_exit);
+        assert!(
+            stats.buckets_visited <= 2,
+            "pass must stop once both lanes retire, saw {}",
+            stats.buckets_visited
+        );
+    }
+
+    #[test]
+    fn horizon_expired_lanes_report_horizon_answers() {
+        let tn = random_network(21, 30, false);
+        // Every query bounded at horizon 3: lanes whose journey needs a
+        // later label must come back NEVER, exactly as the scalar oracle.
+        let lanes: Vec<Lane> = (0..30).map(|v| Lane::reaches(0, v, 3)).collect();
+        let mut got = vec![0; lanes.len()];
+        BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut got, |_, _, _| {});
+        let run = foremost_with_horizon(&tn, 0, 0, 3);
+        for (v, &arrival) in got.iter().enumerate() {
+            assert_eq!(arrival, run.arrival(v as NodeId).unwrap_or(NEVER), "v {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn too_many_lanes_panics() {
+        let tn = random_network(1, 80, false);
+        let lanes: Vec<Lane> = (0..65).map(|v| Lane::foremost(0, v)).collect();
+        let mut got = vec![0; 65];
+        let _ = BatchSweeper::new().sweep_lanes(&tn, &lanes, 0, &mut got, |_, _, _| {});
     }
 
     #[test]

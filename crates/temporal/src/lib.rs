@@ -73,6 +73,16 @@
 //!   to cold sweeps after any move sequence, on any recording engine, at
 //!   any thread count (`tests/delta_proptests.rs`), and warm applies
 //!   allocate nothing (`ephemeral-core`'s allocation regression).
+//! * [`session`]: the lane-allocating point-query layer —
+//!   [`session::QuerySession`] pins one instance arena-resident and
+//!   answers batches of up to 64 point queries (`reaches(u, v, ≤t)`,
+//!   `foremost(u, v)`, `distance_row(u, horizon)`) as lanes of a single
+//!   [`engine`] pass with per-lane early exit, falls back to the
+//!   density-selected full-width engine for row-shaped queries, and
+//!   serves target queries straight from a live [`delta`] cursor log;
+//!   the `T_reach` probes and batched closure fallbacks share its
+//!   lane-pass core, so point and all-pairs code answer from one
+//!   semantics contract (`tests/session_proptests.rs`).
 //! * [`expanded`]: the Kempe–Kleinberg–Kumar time-expanded graph with
 //!   max-flow counting of time-edge-disjoint journeys.
 //! * In-place reuse: [`LabelAssignment::refill_single`] /
@@ -137,6 +147,7 @@ mod network;
 pub mod reachability;
 pub mod reference;
 pub mod reverse;
+pub mod session;
 pub mod sparse;
 pub mod wide;
 

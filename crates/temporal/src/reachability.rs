@@ -16,9 +16,10 @@
 //! [`sparse`](crate::sparse) on sparse ones. The single-source helpers
 //! stay on the scalar `foremost` oracle.
 
-use crate::engine::{batch_count, batch_range, BatchSweeper, MAX_LANES};
+use crate::engine::{batch_count, batch_range, BatchSweeper};
 use crate::foremost::foremost;
 use crate::network::TemporalNetwork;
+use crate::session::{block_all_reached, reach_counts};
 use crate::sparse::{EngineChoice, FrontierRun};
 use crate::wide::{probe_blocks, EngineKind, FrontierEngine, SweepScratch};
 use crate::{Time, NEVER};
@@ -76,16 +77,17 @@ pub fn is_temporally_connected(tn: &TemporalNetwork, threads: usize) -> bool {
         if failed.load(Ordering::Relaxed) {
             return;
         }
-        let sources: Vec<NodeId> = batch_range(n, b).collect();
-        let stats = sweeper.sweep(tn, &sources, 0, |_, _, _| {});
-        if !stats.all_reached(n) {
+        if !block_all_reached(tn, sweeper, batch_range(n, b)) {
             failed.store(true, Ordering::Relaxed);
         }
     });
     !failed.load(Ordering::Relaxed)
 }
 
-/// Probe-first whole-network connectivity over engine `S`.
+/// Probe-first whole-network connectivity over engine `S`. The 64-lane
+/// probe block runs through the shared lane-pass core of
+/// [`session`](crate::session) — the same pass that answers point
+/// queries — and only the remaining blocks sweep full-width.
 fn frontier_connected<S: FrontierEngine>(
     tn: &TemporalNetwork,
     threads: usize,
@@ -93,9 +95,7 @@ fn frontier_connected<S: FrontierEngine>(
     rest: &[std::ops::Range<NodeId>],
 ) -> bool {
     let n = tn.num_nodes();
-    let mut sweeper = S::default();
-    let stats = sweeper.sweep(tn, probe, 0, |_, _, _, _| {});
-    if !stats.all_reached(n) {
+    if !block_all_reached(tn, &mut BatchSweeper::new(), probe) {
         return false;
     }
     let failed = AtomicBool::new(false);
@@ -109,26 +109,6 @@ fn frontier_connected<S: FrontierEngine>(
         }
     });
     !failed.load(Ordering::Relaxed)
-}
-
-/// Per-lane temporal reach counts of one engine batch: each source counts
-/// itself plus one per newly-reached vertex.
-fn batch_reach_counts(
-    tn: &TemporalNetwork,
-    sweeper: &mut BatchSweeper,
-    sources: &[NodeId],
-) -> [usize; MAX_LANES] {
-    let mut counts = [0usize; MAX_LANES];
-    for c in counts.iter_mut().take(sources.len()) {
-        *c = 1;
-    }
-    sweeper.sweep(tn, sources, 0, |_, mut lanes, _: Time| {
-        while lanes != 0 {
-            counts[lanes.trailing_zeros() as usize] += 1;
-            lanes &= lanes - 1;
-        }
-    });
-    counts
 }
 
 /// Per-lane temporal reach counts of one full-width block: each source
@@ -217,23 +197,25 @@ pub fn treach_holds(tn: &TemporalNetwork, threads: usize) -> bool {
     if let Some(holds) = EngineChoice::dispatch(tn, threads, run) {
         return holds;
     }
-    let lanes_ok =
-        |base: NodeId, counts: &[usize]| -> bool { lanes_match(&static_reach, base, counts) };
     let failed = AtomicBool::new(false);
     par_for_with(batch_count(n), threads, BatchSweeper::new, |sweeper, b| {
         if failed.load(Ordering::Relaxed) {
             return;
         }
-        let sources: Vec<NodeId> = batch_range(n, b).collect();
-        let temporal = batch_reach_counts(tn, sweeper, &sources);
-        if !lanes_ok(sources[0], &temporal[..sources.len()]) {
+        let batch = batch_range(n, b);
+        let (base, width) = (batch.start, batch.len());
+        let temporal = reach_counts(tn, sweeper, batch);
+        if !lanes_match(&static_reach, base, &temporal[..width]) {
             failed.store(true, Ordering::Relaxed);
         }
     });
     !failed.load(Ordering::Relaxed)
 }
 
-/// Probe-first whole-network `T_reach` over engine `S`.
+/// Probe-first whole-network `T_reach` over engine `S`. As with
+/// connectivity, the probe block runs through the shared lane-pass core
+/// of [`session`](crate::session); only the remaining blocks sweep
+/// full-width.
 fn frontier_treach<S: FrontierEngine>(
     tn: &TemporalNetwork,
     threads: usize,
@@ -241,10 +223,9 @@ fn frontier_treach<S: FrontierEngine>(
     probe: std::ops::Range<NodeId>,
     rest: &[std::ops::Range<NodeId>],
 ) -> bool {
-    let mut sweeper = S::default();
-    let base = probe.start;
-    let counts = wide_reach_counts(tn, &mut sweeper, probe);
-    if !lanes_match(static_reach, base, &counts) {
+    let (base, width) = (probe.start, probe.len());
+    let counts = reach_counts(tn, &mut BatchSweeper::new(), probe);
+    if !lanes_match(static_reach, base, &counts[..width]) {
         return false;
     }
     let failed = AtomicBool::new(false);
@@ -301,8 +282,7 @@ pub fn treach_holds_scratch_traced(
         type Out = (bool, EngineKind);
         fn run<S: FrontierEngine>(self, shards: usize) -> Self::Out {
             let (probe, rest) = probe_blocks(self.tn.num_nodes(), shards);
-            let sweeper = S::from_scratch(self.scratch);
-            frontier_treach_scratch(self.tn, sweeper, self.static_reach, probe, rest)
+            frontier_treach_scratch::<S>(self.tn, self.scratch, self.static_reach, probe, rest)
         }
     }
     let run = TreachScratch {
@@ -312,9 +292,10 @@ pub fn treach_holds_scratch_traced(
     };
     EngineChoice::dispatch(tn, 1, run).unwrap_or_else(|| {
         for b in 0..batch_count(n) {
-            let sources: Vec<NodeId> = batch_range(n, b).collect();
-            let temporal = batch_reach_counts(tn, &mut scratch.batch, &sources);
-            if !lanes_match(&static_reach, sources[0], &temporal[..sources.len()]) {
+            let batch = batch_range(n, b);
+            let (base, width) = (batch.start, batch.len());
+            let temporal = reach_counts(tn, &mut scratch.batch, batch);
+            if !lanes_match(&static_reach, base, &temporal[..width]) {
                 return (false, EngineKind::Batch);
             }
         }
@@ -324,19 +305,23 @@ pub fn treach_holds_scratch_traced(
 
 /// Sequential probe-first `T_reach` over engine `S`, reporting whether the
 /// 64-lane probe alone answered (attributed as a batched pass) or a
-/// full-width block had to sweep.
+/// full-width block had to sweep. The probe runs through the shared
+/// lane-pass core of [`session`](crate::session) on the scratch bundle's
+/// batched engine — the probe *is* a batched pass, so the attribution is
+/// literal — and only the remaining blocks fetch the full-width engine.
 fn frontier_treach_scratch<S: FrontierEngine>(
     tn: &TemporalNetwork,
-    sweeper: &mut S,
+    scratch: &mut SweepScratch,
     static_reach: &(impl Fn(NodeId) -> usize + Sync),
     probe: std::ops::Range<NodeId>,
     rest: Vec<std::ops::Range<NodeId>>,
 ) -> (bool, EngineKind) {
-    let base = probe.start;
-    let counts = wide_reach_counts(tn, sweeper, probe);
-    if !lanes_match(static_reach, base, &counts) {
+    let (base, width) = (probe.start, probe.len());
+    let counts = reach_counts(tn, &mut scratch.batch, probe);
+    if !lanes_match(static_reach, base, &counts[..width]) {
         return (false, EngineKind::Batch);
     }
+    let sweeper = S::from_scratch(scratch);
     for block in rest {
         let base = block.start;
         let counts = wide_reach_counts(tn, sweeper, block);

@@ -32,6 +32,12 @@
 //!   diameter estimation, star-graph machinery, deterministic OPT schemes
 //!   and the Price of Randomness; `correlated` runs single-site Gibbs
 //!   what-if chains on the differentially maintained closure.
+//! * [`serve`] — a long-lived reachability service over resident
+//!   `temporal::session::QuerySession`s: a JSON-lines protocol over
+//!   stdin/TCP, instances sharded onto workers each owning a
+//!   byte-budgeted LRU cache, consecutive point queries per instance
+//!   coalesced into 64-lane batches, answers streamed back in arrival
+//!   order, and panic/deadline degradation to `"status":"failed"` lines.
 //! * [`phonecall`] — the random phone-call model baselines (§1.1).
 //! * [`rng`] — deterministic PRNG stack (xoshiro256++ / SplitMix64).
 //! * [`parallel`] — data-parallel Monte Carlo engine and statistics, plus
@@ -70,4 +76,5 @@ pub use ephemeral_graph as graph;
 pub use ephemeral_parallel as parallel;
 pub use ephemeral_phonecall as phonecall;
 pub use ephemeral_rng as rng;
+pub use ephemeral_serve as serve;
 pub use ephemeral_temporal as temporal;
